@@ -1,0 +1,306 @@
+// Package trips holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (see DESIGN.md's per-experiment
+// index and EXPERIMENTS.md for measured-vs-paper results):
+//
+//	go test -bench=Table3 -benchmem        the 21-benchmark evaluation
+//	go test -bench=Ablation                design-choice ablations
+//	go test -bench=Fig                     figure reproductions
+//
+// Custom metrics: cycles (simulated machine cycles), IPC, speedup vs the
+// Alpha-class baseline, and the Table 3 critical-path percentages.
+package trips
+
+import (
+	"testing"
+
+	"trips/internal/area"
+	"trips/internal/chip"
+	"trips/internal/eval"
+	"trips/internal/isa"
+	"trips/internal/mem"
+	"trips/internal/proc"
+	"trips/internal/tcc"
+	"trips/internal/workloads"
+)
+
+// BenchmarkTable3 regenerates the paper's Table 3: for each benchmark it
+// runs TRIPS compiled, TRIPS hand-optimized (with critical-path
+// accounting), and the Alpha baseline.
+func BenchmarkTable3(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var row eval.Table3Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = eval.Table3(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.SpeedupTCC, "speedup-tcc")
+			b.ReportMetric(row.SpeedupHand, "speedup-hand")
+			b.ReportMetric(row.IPCTCC, "ipc-tcc")
+			b.ReportMetric(row.IPCHand, "ipc-hand")
+			b.ReportMetric(row.IPCAlpha, "ipc-alpha")
+			b.ReportMetric(row.OPNHops, "opn-hops-%")
+			b.ReportMetric(row.OPNCont, "opn-cont-%")
+			b.ReportMetric(row.IFetch, "ifetch-%")
+			b.ReportMetric(row.Fanout, "fanout-%")
+			b.ReportMetric(row.Complete, "complete-%")
+			b.ReportMetric(row.Commit, "commit-%")
+		})
+	}
+}
+
+// runCycles is the ablation helper: simulated cycles for one configuration.
+func runCycles(b *testing.B, name string, opt eval.TRIPSOptions, hand bool) float64 {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunTRIPS(w.Build(hand), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Cycles
+	}
+	return float64(cycles)
+}
+
+// BenchmarkAblationPlacement: naive vs greedy instruction placement
+// (paper Section 7: "better scheduling to reduce hop-counts").
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, name := range []string{"matrix", "vadd", "conv"} {
+		b.Run(name+"/naive", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand, Placement: tcc.PlaceNaive}, true), "cycles")
+		})
+		b.Run(name+"/greedy", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand, Placement: tcc.PlaceGreedy}, true), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationOPNBandwidth: one vs two operand-network channels
+// (paper Section 7: "architectural extensions to TRIPS may include more
+// operand network bandwidth").
+func BenchmarkAblationOPNBandwidth(b *testing.B) {
+	for _, name := range []string{"vadd", "conv", "dct8x8"} {
+		b.Run(name+"/1ch", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand, OPNChannels: 1}, true), "cycles")
+		})
+		b.Run(name+"/2ch", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand, OPNChannels: 2}, true), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationOPNLatency: an extra cycle of OPN router latency
+// (paper Section 5.3: the remote bypass paths were the hardest timing
+// paths; "increasing the latency in cycles would have a significant effect
+// on instruction throughput").
+func BenchmarkAblationOPNLatency(b *testing.B) {
+	for _, name := range []string{"matrix", "vadd"} {
+		b.Run(name+"/1cycle", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand}, true), "cycles")
+		})
+		b.Run(name+"/2cycle", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand, SlowOPNRouter: true}, true), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationDependencePredictor: aggressive load issue vs stalling
+// every load until prior stores complete (paper Section 3.5).
+func BenchmarkAblationDependencePredictor(b *testing.B) {
+	for _, name := range []string{"vadd", "256.bzip2"} {
+		b.Run(name+"/aggressive", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand}, true), "cycles")
+		})
+		b.Run(name+"/conservative", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand, ConservativeLoads: true}, true), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBlockSize: compiled (one TIR block per TRIPS block,
+// naive placement) vs hand (if-converted hyperblocks, greedy placement) —
+// the TCC-vs-hand gap of Table 3.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for _, name := range []string{"cfar", "a2time01", "300.twolf"} {
+		b.Run(name+"/compiled", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Compiled}, false), "cycles")
+		})
+		b.Run(name+"/hand", func(b *testing.B) {
+			b.ReportMetric(runCycles(b, name, eval.TRIPSOptions{Mode: tcc.Hand}, true), "cycles")
+		})
+	}
+}
+
+// BenchmarkFig1Encoding measures instruction encode/decode (Figure 1).
+func BenchmarkFig1Encoding(b *testing.B) {
+	in := isa.Inst{Op: isa.ADD, T0: isa.ToLeft(5), T1: isa.ToRight(9)}
+	for i := 0; i < b.N; i++ {
+		w, err := isa.EncodeInst(&in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := isa.DecodeInst(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5bCommitPipeline runs the eight-block chain behind the
+// paper's Figure 5b and reports the steady-state block completion rate.
+func BenchmarkFigure5bCommitPipeline(b *testing.B) {
+	var blocks []*isa.Block
+	const n = 8
+	for i := 0; i < n; i++ {
+		addr := uint64(0x10000 + i*0x100)
+		blk := &isa.Block{Addr: addr, Name: "b"}
+		blk.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToLeft(0)}
+		blk.Writes[0] = isa.WriteInst{Valid: true, GR: 8}
+		if i < n-1 {
+			blk.Insts = []isa.Inst{
+				{Op: isa.ADDI, Imm: 1, T0: isa.ToWrite(0)},
+				{Op: isa.BRO, Exit: 0, Offset: 2},
+			}
+		} else {
+			blk.Reads[0].RT1 = isa.ToLeft(1)
+			blk.Insts = []isa.Inst{
+				{Op: isa.ADDI, Imm: 1, T0: isa.ToWrite(0)},
+				{Op: isa.TLTI, Imm: 200, T0: isa.ToLeft(4)},
+				{Op: isa.BRO, Pred: isa.PredOnTrue, Exit: 1, Offset: int32(-(int64(addr-0x10000) / isa.ChunkBytes))},
+				{Op: isa.BRO, Pred: isa.PredOnFalse, Exit: 0, Offset: int32(-(int64(addr) / isa.ChunkBytes))},
+				{Op: isa.MOV, T0: isa.ToPred(2), T1: isa.ToPred(3)},
+			}
+		}
+		blocks = append(blocks, blk)
+	}
+	prog, err := proc.NewProgram(blocks[0].Addr, blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var perBlock float64
+	for i := 0; i < b.N; i++ {
+		m := mem.New()
+		if err := prog.Image(m); err != nil {
+			b.Fatal(err)
+		}
+		core, err := proc.NewCore(proc.Config{Program: prog, Mem: proc.NewFixedLatencyMem(m, 20)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		perBlock = float64(res.Cycles) / float64(res.CommittedBlocks)
+	}
+	b.ReportMetric(perBlock, "cycles/block")
+}
+
+// BenchmarkTable1 and BenchmarkTable2 regenerate the static tables
+// (formatting only — the content is checked in internal/area's tests).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(area.FormatTable1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(area.FormatTable2()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig6Floorplan renders the floorplan.
+func BenchmarkFig6Floorplan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(area.Floorplan()) == 0 {
+			b.Fatal("empty floorplan")
+		}
+	}
+}
+
+// BenchmarkAlphaBaseline measures the baseline simulator alone.
+func BenchmarkAlphaBaseline(b *testing.B) {
+	w, err := workloads.ByName("matrix")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunAlpha(w.Build(false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChipDualCore runs a workload on both processor cores
+// simultaneously through the partitioned NUCA memory system — the full
+// Figure 2 chip.
+func BenchmarkChipDualCore(b *testing.B) {
+	w, err := workloads.ByName("vadd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cyc int64
+	for i := 0; i < b.N; i++ {
+		spec0 := w.Build(true)
+		spec1 := w.Build(true)
+		prog0, meta0, err := tcc.Compile(spec0.F, tcc.Options{Mode: tcc.Hand, BaseAddr: 0x10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog1, meta1, err := tcc.Compile(spec1.F, tcc.Options{Mode: tcc.Hand, BaseAddr: 0x40000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		backing := mem.New()
+		spec0.SetupMem(backing)
+		c, err := chip.New(chip.Config{
+			Programs:  [2]*proc.Program{prog0, prog1},
+			Backing:   backing,
+			Partition: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for v, val := range spec0.Init {
+			if gr, ok := meta0.RegOf[v]; ok {
+				c.Cores[0].SetRegister(0, gr, val)
+			}
+		}
+		for v, val := range spec1.Init {
+			if gr, ok := meta1.RegOf[v]; ok {
+				c.Cores[1].SetRegister(0, gr, val)
+			}
+		}
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		cyc = c.Cycle()
+	}
+	b.ReportMetric(float64(cyc), "cycles")
+}
+
+// BenchmarkNUCAvsPerfectL2 contrasts the paper's perfect-L2 normalization
+// with the full secondary memory system behind one core.
+func BenchmarkNUCAvsPerfectL2(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		nuca bool
+	}{{"perfect-l2", false}, {"nuca", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportMetric(runCycles(b, "vadd", eval.TRIPSOptions{Mode: tcc.Hand, UseNUCA: cfg.nuca}, true), "cycles")
+		})
+	}
+}

@@ -1,0 +1,123 @@
+// Command tsim is the cycle-level TRIPS processor simulator (the analogue
+// of the paper's tsim-proc, Section 5.4). It runs a named benchmark from
+// the built-in suite on the distributed TRIPS core and reports cycles,
+// IPC, protocol statistics and the critical-path breakdown.
+//
+//	tsim -list
+//	tsim -bench vadd [-mode hand|tcc] [-placement naive|greedy]
+//	     [-opn 1|2] [-conservative] [-alpha] [-golden]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trips/internal/critpath"
+	"trips/internal/eval"
+	"trips/internal/tcc"
+	"trips/internal/workloads"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available benchmarks")
+		bench     = flag.String("bench", "", "benchmark to run")
+		mode      = flag.String("mode", "hand", "compilation mode: hand or tcc")
+		placement = flag.String("placement", "", "instruction placement: naive or greedy (default per mode)")
+		opn       = flag.Int("opn", 1, "operand network channels (1 or 2)")
+		conserv   = flag.Bool("conservative", false, "disable aggressive load issue")
+		alphaRun  = flag.Bool("alpha", false, "also run the Alpha-class baseline")
+		goldenRun = flag.Bool("golden", false, "also run the golden interpreter")
+		stats     = flag.Bool("stats", false, "print per-tile statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %s\n", "benchmark", "class")
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s %s\n", w.Name, w.Class)
+		}
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv}
+	hand := true
+	switch *mode {
+	case "hand":
+		opt.Mode = tcc.Hand
+	case "tcc":
+		opt.Mode = tcc.Compiled
+		hand = false
+	default:
+		fmt.Fprintf(os.Stderr, "tsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	switch *placement {
+	case "":
+	case "naive":
+		opt.Placement = tcc.PlaceNaive
+	case "greedy":
+		opt.Placement = tcc.PlaceGreedy
+	default:
+		fmt.Fprintf(os.Stderr, "tsim: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+
+	spec := w.Build(hand)
+	r, err := eval.RunTRIPS(spec, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (%s, %s mode):\n", w.Name, w.Class, *mode)
+	fmt.Printf("  cycles            %d\n", r.Cycles)
+	fmt.Printf("  committed blocks  %d (avg %.1f useful insts/block)\n", r.Blocks, r.BlockSize)
+	fmt.Printf("  committed insts   %d\n", r.Insts)
+	fmt.Printf("  IPC               %.3f\n", r.IPC)
+	fmt.Printf("  flushes           %d\n", r.Flushes)
+	fmt.Println("  critical path:")
+	for c := critpath.Cat(0); c < critpath.NumCats; c++ {
+		fmt.Printf("    %-15s %6.2f%%\n", c.String(), r.Crit.Percent(c))
+	}
+	for _, out := range spec.Outputs {
+		fmt.Printf("  output r%d = %d\n", out, r.Regs[out])
+	}
+	if *stats {
+		fmt.Print(r.Stats.String())
+	}
+
+	if *goldenRun {
+		regs, _, ir, err := eval.RunGolden(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("golden: %d dynamic TIR insts, %d blocks\n", ir.DynInsts, ir.DynBlocks)
+		for _, out := range spec.Outputs {
+			match := "ok"
+			if regs[out] != r.Regs[out] {
+				match = "MISMATCH"
+			}
+			fmt.Printf("  r%d = %d  %s\n", out, regs[out], match)
+		}
+	}
+	if *alphaRun {
+		ar, err := eval.RunAlpha(w.Build(false))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("alpha: %d cycles, IPC %.3f, speedup(TRIPS/alpha) %.2f\n",
+			ar.Cycles, ar.IPC, float64(ar.Cycles)/float64(r.Cycles))
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: write a small program in TIR, compile it with the TCC
+// compiler into TRIPS blocks, and run it on the cycle-level model of the
+// distributed TRIPS core.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trips/internal/eval"
+	"trips/internal/tcc"
+	"trips/internal/tir"
+	"trips/internal/workloads"
+)
+
+func main() {
+	// A TIR program: sum of squares 1..n.
+	f := tir.NewFunc("sumsq")
+	n := f.NewReg()
+	i := f.NewReg()
+	sum := f.NewReg()
+
+	entry := f.NewBB("entry")
+	loop := f.NewBB("loop")
+	done := f.NewBB("done")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: i, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: sum, Imm: 0})
+	entry.Jump(loop)
+	loop.Emit(tir.Inst{Op: tir.AddI, Dst: i, A: i, Imm: 1})
+	sq := loop.Op(f, tir.Mul, i, i)
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: sum, A: sum, B: sq})
+	c := loop.Op(f, tir.SetLT, i, n)
+	loop.Branch(c, loop, done)
+	done.Ret()
+	f.Keep(sum)
+
+	spec := &workloads.Spec{F: f, Init: map[tir.Reg]uint64{n: 100}, Outputs: []tir.Reg{sum}}
+
+	// Run it three ways: compiled TRIPS code, hand-optimized TRIPS code
+	// (if-converted hyperblocks + greedy placement), and the golden
+	// interpreter.
+	gold, _, _, err := eval.RunGolden(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden: sum of squares 1..100 = %d\n\n", gold[sum])
+
+	for _, mode := range []struct {
+		name string
+		m    tcc.Mode
+	}{{"compiled (TCC)", tcc.Compiled}, {"hand-optimized", tcc.Hand}} {
+		r, err := eval.RunTRIPS(spec, eval.TRIPSOptions{Mode: mode.m, TrackCritPath: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("TRIPS %-15s sum=%d  cycles=%d  blocks=%d  IPC=%.2f  avg block=%.1f insts\n",
+			mode.name+":", r.Regs[sum], r.Cycles, r.Blocks, r.IPC, r.BlockSize)
+		fmt.Printf("  critical path: %s\n\n", critSummary(r))
+	}
+}
+
+func critSummary(r *eval.TRIPSResult) string {
+	rep := r.Crit
+	return fmt.Sprintf("ifetch %.0f%%, opn hops %.0f%%, opn contention %.0f%%, fanout %.0f%%, complete %.0f%%, commit %.0f%%, other %.0f%%",
+		rep.Percent(0), rep.Percent(1), rep.Percent(2), rep.Percent(3), rep.Percent(4), rep.Percent(5), rep.Percent(6))
+}

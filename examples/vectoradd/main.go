@@ -1,0 +1,47 @@
+// Vectoradd reproduces the paper's vadd observation (Section 5.4): TRIPS
+// has four DT memory ports against the Alpha's two, so a streaming,
+// bandwidth-bound kernel favors the distributed design — while the serial
+// sha kernel favors the centralized core.
+//
+//	go run ./examples/vectoradd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trips/internal/eval"
+	"trips/internal/tcc"
+	"trips/internal/workloads"
+)
+
+func main() {
+	for _, name := range []string{"vadd", "sha"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hand, err := eval.RunTRIPS(w.Build(true), eval.TRIPSOptions{Mode: tcc.Hand})
+		if err != nil {
+			log.Fatal(err)
+		}
+		comp, err := eval.RunTRIPS(w.Build(false), eval.TRIPSOptions{Mode: tcc.Compiled})
+		if err != nil {
+			log.Fatal(err)
+		}
+		al, err := eval.RunAlpha(w.Build(false))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  Alpha 21264-class:      %7d cycles  (IPC %.2f, 2 L1 ports)\n", al.Cycles, al.IPC)
+		fmt.Printf("  TRIPS compiled (TCC):   %7d cycles  (IPC %.2f)   speedup %.2f\n",
+			comp.Cycles, comp.IPC, float64(al.Cycles)/float64(comp.Cycles))
+		fmt.Printf("  TRIPS hand-optimized:   %7d cycles  (IPC %.2f, 4 DT ports)   speedup %.2f\n",
+			hand.Cycles, hand.IPC, float64(al.Cycles)/float64(hand.Cycles))
+		fmt.Println()
+	}
+	fmt.Println("vadd streams the L1 and wins on TRIPS's doubled memory bandwidth;")
+	fmt.Println("sha is an almost entirely serial chain the Alpha already mines, so")
+	fmt.Println("TRIPS pays the block overheads for nothing (paper Section 5.4).")
+}

@@ -1,0 +1,3 @@
+module trips
+
+go 1.22

@@ -1,0 +1,157 @@
+// Package area encodes the physical-design database of the TRIPS prototype
+// chip (paper Section 5, Table 1, Table 2, Figure 6): per-tile cell counts,
+// array bits, silicon area and replication counts for the 170M-transistor,
+// 18.30mm x 18.37mm 130nm ASIC, plus the derived area-overhead breakdown of
+// Section 5.2.
+package area
+
+import (
+	"fmt"
+	"strings"
+
+	"trips/internal/micronet"
+)
+
+// TileSpec is one row of paper Table 1.
+type TileSpec struct {
+	Name      string
+	Role      string
+	CellCount int     // placeable instances
+	ArrayBits int     // dense register/SRAM array bits
+	SizeMM2   float64 // area of one tile instance
+	Count     int     // instances across the chip
+	PctArea   float64 // % of total chip area (paper's reported figure)
+}
+
+// Table1 is the paper's Table 1. Cell counts are in thousands in the paper;
+// stored here as absolute values.
+var Table1 = []TileSpec{
+	{"GT", "global control tile", 52_000, 93_000, 3.1, 2, 1.8},
+	{"RT", "register tile", 26_000, 14_000, 1.2, 8, 2.9},
+	{"IT", "instruction tile", 5_000, 135_000, 1.0, 10, 2.9},
+	{"DT", "data tile", 119_000, 89_000, 8.8, 8, 21.0},
+	{"ET", "execution tile", 84_000, 13_000, 2.9, 32, 28.0},
+	{"MT", "memory tile", 60_000, 542_000, 6.5, 16, 30.7},
+	{"NT", "network tile", 23_000, 0, 1.0, 24, 7.1},
+	{"SDC", "SDRAM controller", 64_000, 6_000, 5.8, 2, 3.4},
+	{"DMA", "DMA controller", 30_000, 4_000, 1.3, 2, 0.8},
+	{"EBC", "external bus controller", 29_000, 0, 1.0, 1, 0.3},
+	{"C2C", "chip-to-chip controller", 48_000, 0, 2.2, 1, 0.7},
+}
+
+// Chip-level constants (paper Section 5.1).
+const (
+	ChipWidthMM    = 18.30
+	ChipHeightMM   = 18.37
+	Transistors    = 170_000_000
+	TotalCellCount = 5_800_000
+	TotalArrayBits = 11_500_000
+	TotalAreaMM2   = 334.0
+	TileTypes      = 11
+	TotalTiles     = 106
+)
+
+// TotalTileArea returns sum(size * count) — the area covered by tiles.
+func TotalTileArea() float64 {
+	var a float64
+	for _, t := range Table1 {
+		a += t.SizeMM2 * float64(t.Count)
+	}
+	return a
+}
+
+// DerivedPct returns each tile type's share of the total chip area computed
+// from the size/count columns (cross-checked against the paper's reported
+// percentages in tests).
+func DerivedPct(t TileSpec) float64 {
+	return 100 * t.SizeMM2 * float64(t.Count) / TotalAreaMM2
+}
+
+// Overheads of the distributed design (paper Section 5.2).
+const (
+	// OPNPctProcessorArea: routers + buffering at 25 of the 30 processor
+	// tiles, eight links per tile — about 12% of the processor area.
+	OPNPctProcessorArea = 12.0
+	// OCNPctChipArea: 4-ported routers with four virtual channels — about
+	// 14% of the chip.
+	OCNPctChipArea = 14.0
+	// LSQPctProcessorArea: the replicated 256-entry LSQs — about 13% of
+	// the processor core area (and 40% of each DT, Section 7).
+	LSQPctProcessorArea = 13.0
+	LSQPctOfDT          = 40.0
+)
+
+// FormatTable1 renders Table 1 the way the paper prints it.
+func FormatTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %10s %11s %9s %6s %8s\n", "Tile", "Cell Count", "Array Bits", "Size mm2", "Count", "% Area")
+	for _, t := range Table1 {
+		fmt.Fprintf(&b, "%-5s %9dK %10dK %9.1f %6d %8.1f\n",
+			t.Name, t.CellCount/1000, t.ArrayBits/1000, t.SizeMM2, t.Count, t.PctArea)
+	}
+	fmt.Fprintf(&b, "%-5s %9.1fM %9.1fM %9.0f %6d %8.1f\n",
+		"Chip", float64(TotalCellCount)/1e6, float64(TotalArrayBits)/1e6, TotalAreaMM2, TotalTiles, 100.0)
+	return b.String()
+}
+
+// FormatTable2 renders the paper's Table 2 from the micronet specs.
+func FormatTable2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-18s %s\n", "Network", "Use", "Bits")
+	for _, n := range micronet.Table2 {
+		bits := fmt.Sprintf("%d", n.Bits)
+		if n.LinksPerTile > 1 {
+			bits = fmt.Sprintf("%d (x%d)", n.Bits, n.LinksPerTile)
+		}
+		fmt.Fprintf(&b, "%-28s %-18s %s\n", n.Name+" ("+n.Abbrev+")", n.Use, bits)
+	}
+	return b.String()
+}
+
+// Floorplan renders the Figure 6 tile arrangement as ASCII art: the
+// secondary memory system's MT/NT columns on the left, the two processors
+// (each a GT/RT row, IT column and DT/ET array) on the right, and the I/O
+// controllers around the edge.
+func Floorplan() string {
+	proc := func() []string {
+		return []string{
+			"GT RT RT RT RT",
+			"IT DT ET ET ET ET",
+			"IT DT ET ET ET ET",
+			"IT DT ET ET ET ET",
+			"IT DT ET ET ET ET",
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+------------------------------------------------------------+\n")
+	b.WriteString("| DMA  EBC |                PROC 0                           |\n")
+	left := []string{
+		"MT MT NT", "MT MT NT", "MT MT NT", "MT MT NT",
+		"MT MT NT", "MT MT NT", "MT MT NT", "MT MT NT",
+	}
+	p0 := proc()
+	p1 := proc()
+	rows := 10
+	for r := 0; r < rows; r++ {
+		var l, rgt string
+		if r < len(left) {
+			l = left[r]
+		} else {
+			l = "SDC  C2C"
+		}
+		switch {
+		case r < 5:
+			rgt = p0[r] + "   (IT column feeds each row)"
+		case r == 5:
+			rgt = strings.Repeat("-", 20)
+		default:
+			rgt = p1[r-6] + "   PROC 1"
+		}
+		fmt.Fprintf(&b, "| %-9s| %-47s|\n", l, rgt)
+	}
+	b.WriteString("| SDC DMA  |   OCN: 4x10 wormhole mesh, 4 VCs, 16B links     |\n")
+	b.WriteString("+------------------------------------------------------------+\n")
+	fmt.Fprintf(&b, "chip: %.2fmm x %.2fmm, %dM transistors, %d tiles of %d types\n",
+		ChipWidthMM, ChipHeightMM, Transistors/1_000_000, TotalTiles, TileTypes)
+	return b.String()
+}

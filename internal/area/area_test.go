@@ -1,0 +1,91 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1Totals(t *testing.T) {
+	if len(Table1) != TileTypes {
+		t.Fatalf("Table 1 lists %d tile types, want %d", len(Table1), TileTypes)
+	}
+	tiles := 0
+	for _, ts := range Table1 {
+		tiles += ts.Count
+	}
+	if tiles != TotalTiles {
+		t.Errorf("tile count sums to %d, want %d (paper Table 1)", tiles, TotalTiles)
+	}
+	// Reported per-type area percentages must sum to ~100 (the paper rounds).
+	var pct float64
+	for _, ts := range Table1 {
+		pct += ts.PctArea
+	}
+	if math.Abs(pct-100) > 2.0 {
+		t.Errorf("reported area percentages sum to %.1f", pct)
+	}
+}
+
+func TestDerivedAreaMatchesReported(t *testing.T) {
+	// size x count / total must land near the paper's reported share for
+	// every tile type (the paper's own columns are internally consistent
+	// to within rounding).
+	for _, ts := range Table1 {
+		got := DerivedPct(ts)
+		if math.Abs(got-ts.PctArea) > 1.5 {
+			t.Errorf("%s: derived %.1f%%, paper reports %.1f%%", ts.Name, got, ts.PctArea)
+		}
+	}
+	// Tiles don't cover the full die (routing channels, pads): covered
+	// area must be less than but comparable to the chip area.
+	covered := TotalTileArea()
+	if covered > 1.02*TotalAreaMM2 || covered < 0.8*TotalAreaMM2 {
+		t.Errorf("tile-covered area %.1f vs chip %.1f", covered, TotalAreaMM2)
+	}
+	if die := ChipWidthMM * ChipHeightMM; math.Abs(die-TotalAreaMM2) > 3 {
+		t.Errorf("die %.1f mm2 vs total %.1f", die, TotalAreaMM2)
+	}
+}
+
+func TestLSQShareOfDT(t *testing.T) {
+	// Section 7: the LSQs occupy 40% of the DTs; the DTs are 21% of the
+	// chip and the processors are ~57%; 13% of processor core area checks
+	// out roughly: 0.4 * (DT area share of processor).
+	var dt, procArea float64
+	for _, ts := range Table1 {
+		a := ts.SizeMM2 * float64(ts.Count)
+		switch ts.Name {
+		case "GT", "RT", "IT", "DT", "ET":
+			procArea += a
+		}
+		if ts.Name == "DT" {
+			dt = a
+		}
+	}
+	lsqShare := 100 * (LSQPctOfDT / 100) * dt / procArea
+	if math.Abs(lsqShare-LSQPctProcessorArea) > 3 {
+		t.Errorf("LSQ share of processor area derived %.1f%%, paper says ~%.0f%%", lsqShare, LSQPctProcessorArea)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t1 := FormatTable1()
+	for _, want := range []string{"GT", "MT", "30.7", "5.8M", "106"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := FormatTable2()
+	for _, want := range []string{"GDN", "205", "OPN", "141 (x8)", "Commit/flush"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 output missing %q:\n%s", want, t2)
+		}
+	}
+	fp := Floorplan()
+	for _, want := range []string{"PROC 0", "PROC 1", "MT MT NT", "GT RT RT RT RT", "18.30mm"} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("floorplan missing %q:\n%s", want, fp)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cache
+
+// MSHR is a bank of miss-status holding registers. Each DT's MSHR supports
+// up to 16 requests across up to four outstanding cache lines (paper
+// Section 3.5); each NUCA memory tile has a single-entry MSHR
+// (Section 3.6).
+type MSHR struct {
+	MaxLines    int // distinct outstanding line addresses
+	MaxRequests int // total waiting requests across all lines
+	entries     map[uint64][]any
+	requests    int
+}
+
+// NewMSHR builds an MSHR with the given capacities.
+func NewMSHR(maxLines, maxRequests int) *MSHR {
+	return &MSHR{MaxLines: maxLines, MaxRequests: maxRequests, entries: make(map[uint64][]any)}
+}
+
+// Allocate registers a waiter for lineAddr. It returns (primary, ok):
+// primary is true when this is the first request for the line — the caller
+// must issue the refill; ok is false when the MSHR is full and the request
+// must retry.
+func (m *MSHR) Allocate(lineAddr uint64, waiter any) (primary, ok bool) {
+	if m.requests >= m.MaxRequests {
+		return false, false
+	}
+	ws, exists := m.entries[lineAddr]
+	if !exists {
+		if len(m.entries) >= m.MaxLines {
+			return false, false
+		}
+		m.entries[lineAddr] = []any{waiter}
+		m.requests++
+		return true, true
+	}
+	m.entries[lineAddr] = append(ws, waiter)
+	m.requests++
+	return false, true
+}
+
+// Complete removes and returns the waiters for a filled line.
+func (m *MSHR) Complete(lineAddr uint64) []any {
+	ws := m.entries[lineAddr]
+	delete(m.entries, lineAddr)
+	m.requests -= len(ws)
+	return ws
+}
+
+// Pending reports whether lineAddr has an outstanding miss.
+func (m *MSHR) Pending(lineAddr uint64) bool {
+	_, ok := m.entries[lineAddr]
+	return ok
+}
+
+// Busy reports whether any miss is outstanding.
+func (m *MSHR) Busy() bool { return len(m.entries) > 0 }
+
+// Outstanding returns the number of distinct lines in flight.
+func (m *MSHR) Outstanding() int { return len(m.entries) }

@@ -1,0 +1,214 @@
+// Package chip assembles the full TRIPS prototype of paper Figure 2: two
+// 16-wide processor cores, the 1MB NUCA secondary memory system on the
+// on-chip network, two DMA controllers, the chip-to-chip controller and the
+// external bus controller. The OCN carries all inter-processor, L2, DRAM,
+// I/O and DMA traffic (Section 3.6); the two processors communicate through
+// the secondary memory system.
+package chip
+
+import (
+	"fmt"
+
+	"trips/internal/mem"
+	"trips/internal/nuca"
+	"trips/internal/proc"
+)
+
+// Config parameterizes a chip instance.
+type Config struct {
+	// Programs for the two cores; nil leaves a core powered down.
+	Programs [2]*proc.Program
+	// Backing is the SDRAM image (programs are loaded into it by the EBC
+	// before boot).
+	Backing *mem.Memory
+	// Partition splits the NUCA array into two private 512KB L2s.
+	Partition bool
+	// Scratchpad configures the MTs as on-chip memory.
+	Scratchpad bool
+	MaxCycles  int64
+}
+
+// Chip is one TRIPS prototype chip.
+type Chip struct {
+	Cores [2]*proc.Core
+	Mem   *nuca.System
+	DMA   [2]*DMA
+	C2C   *C2C
+	cfg   Config
+	cycle int64
+}
+
+// New builds and boots a chip: the external bus controller's PowerPC host
+// loads the program images into SDRAM (paper Section 5.1: "we chose to
+// off-load much of the operating system and runtime control to this
+// PowerPC"), then the cores come up at their entry addresses.
+func New(cfg Config) (*Chip, error) {
+	if cfg.Backing == nil {
+		cfg.Backing = mem.New()
+	}
+	c := &Chip{cfg: cfg}
+	c.Mem = nuca.New(nuca.Config{
+		Backing:    cfg.Backing,
+		Partition:  cfg.Partition,
+		Scratchpad: cfg.Scratchpad,
+	})
+	for i, prog := range cfg.Programs {
+		if prog == nil {
+			continue
+		}
+		if err := prog.Image(cfg.Backing); err != nil {
+			return nil, err
+		}
+		backend := &coreBackend{sys: c.Mem, prefix: ""}
+		if i == 1 {
+			backend.prefix = "p1:"
+		}
+		core, err := proc.NewCore(proc.Config{
+			Program:         prog,
+			Mem:             backend,
+			ExternalMemTick: true,
+			MaxCycles:       cfg.MaxCycles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Cores[i] = core
+	}
+	c.DMA[0] = &DMA{chip: c, id: 0}
+	c.DMA[1] = &DMA{chip: c, id: 1}
+	c.C2C = &C2C{}
+	return c, nil
+}
+
+// coreBackend namespaces one core's ports on the shared OCN and defers
+// ticking to the chip loop.
+type coreBackend struct {
+	sys    *nuca.System
+	prefix string
+}
+
+func (b *coreBackend) Port(name string) proc.MemPort { return b.sys.Port(b.prefix + name) }
+func (b *coreBackend) Tick()                         {} // the chip ticks the OCN once per cycle
+
+// Step advances the whole chip one cycle.
+func (c *Chip) Step() {
+	for _, core := range c.Cores {
+		if core != nil && !core.Done() {
+			core.Step()
+		}
+	}
+	for _, d := range c.DMA {
+		d.tick()
+	}
+	c.Mem.Tick()
+	c.cycle++
+}
+
+// Done reports whether every active core has retired and the DMAs are idle.
+func (c *Chip) Done() bool {
+	for _, core := range c.Cores {
+		if core != nil && !core.Done() {
+			return false
+		}
+	}
+	for _, d := range c.DMA {
+		if d.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes until completion.
+func (c *Chip) Run() error {
+	limit := c.cfg.MaxCycles
+	if limit == 0 {
+		limit = 200_000_000
+	}
+	for !c.Done() {
+		if c.cycle >= limit {
+			return fmt.Errorf("chip: cycle limit %d exceeded", limit)
+		}
+		c.Step()
+	}
+	return nil
+}
+
+// Cycle returns the chip cycle count.
+func (c *Chip) Cycle() int64 { return c.cycle }
+
+// DMA is one of the two direct memory access controllers: programmable to
+// transfer data between any two regions of the physical address space
+// (paper Section 5.1), implemented as an OCN client moving one cache line
+// per transaction.
+type DMA struct {
+	chip *Chip
+	id   int
+	port proc.MemPort
+
+	src, dst uint64
+	left     int
+	inFlight bool
+	buf      []byte
+	phase    int // 0 idle, 1 reading, 2 writing
+	Moved    uint64
+}
+
+// Program arms the DMA to copy n bytes (line-aligned) from src to dst.
+func (d *DMA) Program(src, dst uint64, n int) {
+	if d.port == nil {
+		d.port = d.chip.Mem.Port(fmt.Sprintf("dma%d", d.id))
+	}
+	d.src, d.dst, d.left = src, dst, n
+	d.phase = 0
+}
+
+// Busy reports whether a transfer is in progress.
+func (d *DMA) Busy() bool { return d.left > 0 || d.inFlight }
+
+func (d *DMA) tick() {
+	if d.inFlight || (d.left <= 0 && d.phase == 0) {
+		return
+	}
+	switch d.phase {
+	case 0, 1:
+		if d.left <= 0 {
+			return
+		}
+		n := nuca.LineBytes
+		if d.left < n {
+			n = d.left
+		}
+		req := &proc.MemRequest{Addr: d.src, N: n, Done: func(data []byte) {
+			d.buf = data
+			d.inFlight = false
+			d.phase = 2
+		}}
+		if d.port.Submit(req) {
+			d.inFlight = true
+		}
+	case 2:
+		req := &proc.MemRequest{Addr: d.dst, Data: d.buf, IsWrite: true, Done: func([]byte) {
+			d.inFlight = false
+			d.phase = 1
+			d.Moved += uint64(len(d.buf))
+			d.src += uint64(len(d.buf))
+			d.dst += uint64(len(d.buf))
+			d.left -= len(d.buf)
+			if d.left <= 0 {
+				d.phase = 0
+			}
+		}}
+		if d.port.Submit(req) {
+			d.inFlight = true
+		}
+	}
+}
+
+// C2C is the chip-to-chip controller: it extends the OCN to a four-port
+// mesh router gluelessly connecting other TRIPS chips at up to half the
+// core clock (paper Section 5.1). Multi-chip simulation is out of scope;
+// the controller is modeled as a counted endpoint.
+type C2C struct {
+	MessagesOut uint64
+}

@@ -1,0 +1,110 @@
+package critpath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChainAccumulates(t *testing.T) {
+	root := Root()
+	var s1 Split
+	s1[CatIFetch] = 10
+	e1 := New(10, root, s1, CatOther)
+	var s2 Split
+	s2[CatOPNHop] = 3
+	s2[CatOPNContention] = 2
+	e2 := New(17, e1, s2, CatOther) // 7 cycles: 3 hop + 2 contention + 2 other
+	r := Finish(e2)
+	if r.TotalCycles != 17 {
+		t.Fatalf("total = %d", r.TotalCycles)
+	}
+	want := Split{}
+	want[CatIFetch] = 10
+	want[CatOPNHop] = 3
+	want[CatOPNContention] = 2
+	want[CatOther] = 2
+	if r.Cycles != want {
+		t.Fatalf("cycles = %v, want %v", r.Cycles, want)
+	}
+}
+
+func TestOverApportionedSplitClamps(t *testing.T) {
+	var s Split
+	s[CatOPNHop] = 100 // edge is only 5 cycles long
+	e := New(5, Root(), s, CatOther)
+	if e.Cum[CatOPNHop] != 5 || e.Cum[CatOther] != 0 {
+		t.Fatalf("cum = %v", e.Cum)
+	}
+}
+
+func TestBackwardTimeClamps(t *testing.T) {
+	e1 := New(10, Root(), Split{}, CatOther)
+	e2 := New(5, e1, Split{}, CatOther) // cannot precede its dependency
+	if e2.Cycle != 10 {
+		t.Fatalf("cycle = %d, want clamped to 10", e2.Cycle)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	a := New(5, Root(), Split{}, CatOther)
+	b := New(9, Root(), Split{}, CatOther)
+	if Latest(a, b) != b || Latest(b, a) != b {
+		t.Error("Latest did not pick the later event")
+	}
+	if Latest(nil, a) != a || Latest(a, nil) != a {
+		t.Error("Latest not nil-safe")
+	}
+}
+
+func TestQuickTotalsAlwaysSumToElapsed(t *testing.T) {
+	// Invariant: for any chain, the category totals sum exactly to the
+	// final cycle — no cycles lost or double-counted.
+	f := func(steps []uint8) bool {
+		e := Root()
+		for i, s := range steps {
+			if i > 200 {
+				break
+			}
+			var sp Split
+			sp[Cat(int(s)%int(NumCats))] = int64(s % 7)
+			e = New(e.Cycle+int64(s%13), e, sp, CatOther)
+		}
+		var sum int64
+		for c := Cat(0); c < NumCats; c++ {
+			sum += e.Cum[c]
+		}
+		return sum == e.Cycle
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	var s Split
+	s[CatCommit] = 25
+	e := New(100, Root(), s, CatOther)
+	r := Finish(e)
+	if got := r.Percent(CatCommit); got != 25 {
+		t.Errorf("Percent(commit) = %v", got)
+	}
+	if got := r.Percent(CatOther); got != 75 {
+		t.Errorf("Percent(other) = %v", got)
+	}
+	if (Report{}).Percent(CatOther) != 0 {
+		t.Error("empty report percent should be 0")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	names := map[Cat]string{
+		CatIFetch: "IFetch", CatOPNHop: "OPN Hops", CatOPNContention: "OPN Cont.",
+		CatFanout: "Fanout Ops", CatComplete: "Block Complete",
+		CatCommit: "Block Commit", CatOther: "Other",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Cat(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

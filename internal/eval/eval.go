@@ -1,0 +1,258 @@
+// Package eval runs benchmarks on the three machines of the paper's
+// evaluation — the TRIPS core with compiled code (TCC), the TRIPS core with
+// hand-optimized code, and the Alpha 21264-class baseline — and assembles
+// the rows of paper Table 3: distributed-protocol overheads as a percentage
+// of the critical path, plus speedups and IPCs.
+package eval
+
+import (
+	"fmt"
+
+	"trips/internal/alpha"
+	"trips/internal/critpath"
+	"trips/internal/mem"
+	"trips/internal/nuca"
+	"trips/internal/proc"
+	"trips/internal/tcc"
+	"trips/internal/tir"
+	"trips/internal/workloads"
+)
+
+// TRIPSOptions tunes a TRIPS-side run (ablations).
+type TRIPSOptions struct {
+	Mode              tcc.Mode
+	Placement         tcc.Placement
+	OPNChannels       int
+	ConservativeLoads bool
+	SlowOPNRouter     bool
+	TrackCritPath     bool
+	MemLatency        int // L1-miss latency to the perfect L2 (default 20)
+	// UseNUCA replaces the paper's perfect-L2 normalization with the full
+	// secondary memory system: the 16-bank NUCA array on the 4x10 OCN with
+	// SDRAM behind it.
+	UseNUCA bool
+}
+
+// TRIPSResult is one TRIPS run's outcome.
+type TRIPSResult struct {
+	Cycles    int64
+	Insts     uint64
+	Blocks    uint64
+	IPC       float64
+	Flushes   uint64
+	Crit      critpath.Report
+	Regs      map[tir.Reg]uint64
+	Mem       *mem.Memory
+	BlockSize float64
+	Stats     proc.TileStats
+}
+
+// RunTRIPS compiles and executes a workload spec on the TRIPS core.
+func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
+	prog, meta, err := tcc.Compile(spec.F, tcc.Options{Mode: opt.Mode, Placement: opt.Placement})
+	if err != nil {
+		return nil, fmt.Errorf("eval: compile %s: %w", spec.F.Name, err)
+	}
+	m := mem.New()
+	if spec.SetupMem != nil {
+		spec.SetupMem(m)
+	}
+	if err := prog.Image(m); err != nil {
+		return nil, err
+	}
+	lat := opt.MemLatency
+	if lat == 0 {
+		lat = 20
+	}
+	var backend proc.MemBackend
+	var sys *nuca.System
+	if opt.UseNUCA {
+		sys = nuca.New(nuca.Config{Backing: m})
+		backend = sys
+	} else {
+		backend = proc.NewFixedLatencyMem(m, lat)
+	}
+	core, err := proc.NewCore(proc.Config{
+		Program:           prog,
+		Mem:               backend,
+		TrackCritPath:     opt.TrackCritPath,
+		OPNChannels:       opt.OPNChannels,
+		ConservativeLoads: opt.ConservativeLoads,
+		SlowOPNRouter:     opt.SlowOPNRouter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v, val := range spec.Init {
+		if gr, ok := meta.RegOf[v]; ok {
+			core.SetRegister(0, gr, val)
+		}
+	}
+	res, err := core.Run()
+	if err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", spec.F.Name, err)
+	}
+	core.FlushCaches()
+	if sys != nil {
+		sys.Flush()
+	}
+	regs := make(map[tir.Reg]uint64, len(meta.RegOf))
+	for v, gr := range meta.RegOf {
+		regs[v] = core.Register(0, gr)
+	}
+	return &TRIPSResult{
+		Cycles:    res.Cycles,
+		Insts:     res.CommittedInsts,
+		Blocks:    res.CommittedBlocks,
+		IPC:       res.IPC,
+		Flushes:   res.Flushes,
+		Crit:      res.CritPath,
+		Regs:      regs,
+		Mem:       m,
+		BlockSize: meta.AvgBlockSize,
+		Stats:     core.TileStats(),
+	}, nil
+}
+
+// AlphaResult is one baseline run's outcome.
+type AlphaResult struct {
+	Cycles int64
+	Insts  uint64
+	IPC    float64
+	Regs   []uint64
+	Mem    *mem.Memory
+}
+
+// RunAlpha executes a workload spec on the baseline.
+func RunAlpha(spec *workloads.Spec) (*AlphaResult, error) {
+	code, err := alpha.Flatten(spec.F)
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	if spec.SetupMem != nil {
+		spec.SetupMem(m)
+	}
+	mc := alpha.New(alpha.DefaultConfig(), code, spec.F.NumRegs(), m)
+	for v, val := range spec.Init {
+		mc.SetReg(v, val)
+	}
+	res, err := mc.Run()
+	if err != nil {
+		return nil, fmt.Errorf("eval: alpha %s: %w", spec.F.Name, err)
+	}
+	mc.FlushCache()
+	regs := make([]uint64, spec.F.NumRegs())
+	for i := range regs {
+		regs[i] = mc.Reg(tir.Reg(i))
+	}
+	return &AlphaResult{Cycles: res.Cycles, Insts: res.Committed, IPC: res.IPC, Regs: regs, Mem: m}, nil
+}
+
+// RunGolden interprets a workload spec (the reference semantics).
+func RunGolden(spec *workloads.Spec) ([]uint64, *mem.Memory, tir.InterpResult, error) {
+	m := mem.New()
+	if spec.SetupMem != nil {
+		spec.SetupMem(m)
+	}
+	regs := make([]uint64, spec.F.NumRegs())
+	for v, val := range spec.Init {
+		regs[v] = val
+	}
+	res, err := tir.Interp(spec.F, m, regs, 100_000_000)
+	return regs, m, res, err
+}
+
+// Verify runs a workload on all three machines and checks the declared
+// outputs against the golden interpreter.
+func Verify(w workloads.Workload) error {
+	for _, hand := range []bool{false, true} {
+		spec := w.Build(hand)
+		gold, _, _, err := RunGolden(spec)
+		if err != nil {
+			return fmt.Errorf("%s golden: %w", w.Name, err)
+		}
+		mode := tcc.Compiled
+		if hand {
+			mode = tcc.Hand
+		}
+		tr, err := RunTRIPS(spec, TRIPSOptions{Mode: mode})
+		if err != nil {
+			return err
+		}
+		for _, out := range spec.Outputs {
+			got, tracked := tr.Regs[out]
+			if !tracked {
+				return fmt.Errorf("%s: output r%d not architecturally visible", w.Name, out)
+			}
+			if got != gold[out] {
+				return fmt.Errorf("%s (hand=%v): TRIPS r%d = %d, golden %d", w.Name, hand, out, got, gold[out])
+			}
+		}
+		if !hand {
+			ar, err := RunAlpha(spec)
+			if err != nil {
+				return err
+			}
+			for _, out := range spec.Outputs {
+				if ar.Regs[out] != gold[out] {
+					return fmt.Errorf("%s: alpha r%d = %d, golden %d", w.Name, out, ar.Regs[out], gold[out])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Table3Row is one row of paper Table 3.
+type Table3Row struct {
+	Name string
+	// Left half: distributed network overheads as % of the critical path
+	// (hand-optimized configuration, as the paper's methodology implies).
+	IFetch, OPNHops, OPNCont, Fanout, Complete, Commit, Other float64
+	// Right half: preliminary performance.
+	SpeedupTCC  float64 // TRIPS compiled vs Alpha (cycles ratio)
+	SpeedupHand float64
+	IPCTCC      float64
+	IPCHand     float64
+	IPCAlpha    float64
+}
+
+// Table3 computes one benchmark's row.
+func Table3(w workloads.Workload) (Table3Row, error) {
+	row := Table3Row{Name: w.Name}
+
+	handSpec := w.Build(true)
+	hand, err := RunTRIPS(handSpec, TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true})
+	if err != nil {
+		return row, err
+	}
+	compSpec := w.Build(false)
+	comp, err := RunTRIPS(compSpec, TRIPSOptions{Mode: tcc.Compiled})
+	if err != nil {
+		return row, err
+	}
+	al, err := RunAlpha(w.Build(false))
+	if err != nil {
+		return row, err
+	}
+
+	row.IFetch = hand.Crit.Percent(critpath.CatIFetch)
+	row.OPNHops = hand.Crit.Percent(critpath.CatOPNHop)
+	row.OPNCont = hand.Crit.Percent(critpath.CatOPNContention)
+	row.Fanout = hand.Crit.Percent(critpath.CatFanout)
+	row.Complete = hand.Crit.Percent(critpath.CatComplete)
+	row.Commit = hand.Crit.Percent(critpath.CatCommit)
+	row.Other = hand.Crit.Percent(critpath.CatOther)
+
+	if comp.Cycles > 0 {
+		row.SpeedupTCC = float64(al.Cycles) / float64(comp.Cycles)
+	}
+	if hand.Cycles > 0 {
+		row.SpeedupHand = float64(al.Cycles) / float64(hand.Cycles)
+	}
+	row.IPCTCC = comp.IPC
+	row.IPCHand = hand.IPC
+	row.IPCAlpha = al.IPC
+	return row, nil
+}

@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"fmt"
+)
+
+// BlockFlags is the block execution-mode control state held in the header
+// chunk (paper Section 2.1).
+type BlockFlags uint8
+
+const (
+	// FlagSpeculativeLoads permits aggressive load issue before earlier
+	// stores resolve, guarded by the DT dependence predictor.
+	FlagSpeculativeLoads BlockFlags = 1 << iota
+	// FlagBarrier forces the block to execute non-speculatively (used by
+	// configuration and uncacheable-access blocks).
+	FlagBarrier
+)
+
+// Block is one TRIPS block: the atomic unit of fetch, execution and commit
+// (paper Section 2). A block has a header chunk — up to 32 reads, up to 32
+// writes, a 32-bit store mask and flags — and up to 128 body instructions
+// in up to four 32-instruction body chunks.
+type Block struct {
+	// Addr is the block's virtual address. Blocks are 128-byte aligned.
+	Addr uint64
+	// Name is an optional label used by the assembler and disassembler.
+	Name string
+
+	Flags  BlockFlags
+	Reads  [MaxBlockReads]ReadInst
+	Writes [MaxBlockWrites]WriteInst
+	// Insts holds the body instructions; index i is N[i]. Length must not
+	// exceed MaxBlockInsts.
+	Insts []Inst
+}
+
+// StoreMask computes the 32-bit LSID bit mask that marks which of the
+// block's memory operations are stores. The mask is carried in the header
+// chunk and broadcast to the DTs at dispatch so they can detect store
+// completion (paper Sections 2.1 and 4.4).
+func (b *Block) StoreMask() uint32 {
+	var m uint32
+	for i := range b.Insts {
+		if b.Insts[i].Op.IsStore() {
+			m |= 1 << uint(b.Insts[i].LSID)
+		}
+	}
+	return m
+}
+
+// NumBodyChunks returns how many 32-instruction body chunks the block
+// occupies (1..4). Every block has at least one body chunk.
+func (b *Block) NumBodyChunks() int {
+	n := (len(b.Insts) + BodyChunkInsts - 1) / BodyChunkInsts
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// NumReads and NumWrites count the valid header instructions.
+func (b *Block) NumReads() int {
+	n := 0
+	for i := range b.Reads {
+		if b.Reads[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *Block) NumWrites() int {
+	n := 0
+	for i := range b.Writes {
+		if b.Writes[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// OutputCounts returns the number of block outputs the hardware must
+// observe before declaring the block complete: register writes, stores and
+// exactly one branch (paper Section 4.4). All executions of the block must
+// produce exactly these counts, with nullified writes and stores standing
+// in on untaken predicate paths (Section 2.1).
+func (b *Block) OutputCounts() (writes, stores int) {
+	ws := b.NumWrites()
+	var st uint32 = b.StoreMask()
+	n := 0
+	for m := st; m != 0; m &= m - 1 {
+		n++
+	}
+	return ws, n
+}
+
+// Validate checks the static block constraints of Section 2.1:
+// at most 128 instructions, at most 32 memory operations with distinct
+// in-range LSIDs, at most 32 reads and writes, at least one branch, and
+// well-formed target indices.
+func (b *Block) Validate() error {
+	if len(b.Insts) > MaxBlockInsts {
+		return fmt.Errorf("isa: block %q has %d instructions; max %d", b.Name, len(b.Insts), MaxBlockInsts)
+	}
+	if b.Addr%ChunkBytes != 0 {
+		return fmt.Errorf("isa: block %q address %#x not 128-byte aligned", b.Name, b.Addr)
+	}
+	var lsids uint64
+	branches := 0
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: block %q N[%d]: invalid opcode %d", b.Name, i, in.Op)
+		}
+		if in.Op.IsMem() {
+			if in.LSID < 0 || in.LSID >= MaxBlockMemOps {
+				return fmt.Errorf("isa: block %q N[%d]: LSID %d out of range", b.Name, i, in.LSID)
+			}
+			bit := uint64(1) << uint(in.LSID)
+			if lsids&bit != 0 {
+				return fmt.Errorf("isa: block %q N[%d]: duplicate LSID %d", b.Name, i, in.LSID)
+			}
+			lsids |= bit
+		}
+		if in.Op.IsBranch() {
+			branches++
+			if in.Exit < 0 || in.Exit > 7 {
+				return fmt.Errorf("isa: block %q N[%d]: exit %d out of range", b.Name, i, in.Exit)
+			}
+		}
+		for _, t := range in.Targets() {
+			if err := b.checkTarget(t); err != nil {
+				return fmt.Errorf("isa: block %q N[%d]: %v", b.Name, i, err)
+			}
+		}
+		if in.Pred.Predicated() && !hasPredProducer(b, i) {
+			return fmt.Errorf("isa: block %q N[%d]: predicated but no producer targets its predicate", b.Name, i)
+		}
+	}
+	if branches == 0 {
+		return fmt.Errorf("isa: block %q has no exit branch", b.Name)
+	}
+	for j := range b.Reads {
+		r := &b.Reads[j]
+		if !r.Valid {
+			continue
+		}
+		if r.GR < 0 || r.GR >= NumArchRegs {
+			return fmt.Errorf("isa: block %q R[%d]: register %d out of range", b.Name, j, r.GR)
+		}
+		if !r.RT0.Valid() && !r.RT1.Valid() {
+			return fmt.Errorf("isa: block %q R[%d]: read with no targets", b.Name, j)
+		}
+		for _, t := range []Target{r.RT0, r.RT1} {
+			if t.Valid() {
+				if err := b.checkTarget(t); err != nil {
+					return fmt.Errorf("isa: block %q R[%d]: %v", b.Name, j, err)
+				}
+			}
+		}
+	}
+	for j := range b.Writes {
+		w := &b.Writes[j]
+		if w.Valid && (w.GR < 0 || w.GR >= NumArchRegs) {
+			return fmt.Errorf("isa: block %q W[%d]: register %d out of range", b.Name, j, w.GR)
+		}
+	}
+	return nil
+}
+
+// checkTarget validates a single target against the block's shape.
+func (b *Block) checkTarget(t Target) error {
+	if t.IsWrite() {
+		if t.Index < 0 || t.Index >= MaxBlockWrites {
+			return fmt.Errorf("write target %d out of range", t.Index)
+		}
+		if !b.Writes[t.Index].Valid {
+			return fmt.Errorf("target %s names an invalid write entry", t)
+		}
+		return nil
+	}
+	if t.Index < 0 || t.Index >= MaxBlockInsts {
+		return fmt.Errorf("target index %d out of range", t.Index)
+	}
+	if t.Index >= len(b.Insts) {
+		return fmt.Errorf("target %s beyond block end", t)
+	}
+	return nil
+}
+
+func hasPredProducer(b *Block, idx int) bool {
+	for i := range b.Insts {
+		for _, t := range b.Insts[i].Targets() {
+			if t.Index == idx && t.Kind == OpPred {
+				return true
+			}
+		}
+	}
+	for j := range b.Reads {
+		r := &b.Reads[j]
+		if !r.Valid {
+			continue
+		}
+		for _, t := range []Target{r.RT0, r.RT1} {
+			if t.Valid() && t.Index == idx && t.Kind == OpPred {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer for debugging dumps.
+func (b *Block) String() string {
+	return fmt.Sprintf("block %q @%#x: %d insts, %d reads, %d writes, mask %#08x",
+		b.Name, b.Addr, len(b.Insts), b.NumReads(), b.NumWrites(), b.StoreMask())
+}

@@ -1,0 +1,251 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// figure5aBlock constructs the worked example of paper Figure 5a:
+//
+//	R[0]  read  R4       -> N[1,L] N[2,L]
+//	N[0]  movi  #0       -> N[1,R]
+//	N[1]  teq            -> N[2,P] N[3,P]
+//	N[2]  muli_f #4      -> N[32,L]
+//	N[3]  null_t         -> N[34,L] N[34,R]
+//	N[32] lw    #8       -> N[33,L]   (LSID=0)
+//	N[33] mov            -> N[34,L] N[34,R]
+//	N[34] sw    #0                   (LSID=1)
+//	N[35] callo $func1
+//
+// Note N[3] and N[33] both target the store's operands; exactly one fires
+// because they sit on complementary predicate paths.
+func figure5aBlock() *Block {
+	b := &Block{Addr: 0x10000, Name: "figure5a"}
+	b.Reads[0] = ReadInst{Valid: true, GR: 4, RT0: ToLeft(1), RT1: ToLeft(2)}
+	b.Insts = make([]Inst, 36)
+	for i := range b.Insts {
+		b.Insts[i] = Inst{Op: NOP}
+	}
+	b.Insts[0] = Inst{Op: MOVI, Imm: 0, T0: ToRight(1)}
+	b.Insts[1] = Inst{Op: TEQ, T0: ToPred(2), T1: ToPred(3)}
+	b.Insts[2] = Inst{Op: MULI, Pred: PredOnFalse, Imm: 4, T0: ToLeft(32)}
+	b.Insts[3] = Inst{Op: NULL, Pred: PredOnTrue, T0: ToLeft(34), T1: ToRight(34)}
+	b.Insts[32] = Inst{Op: LW, Imm: 8, LSID: 0, T0: ToLeft(33)}
+	b.Insts[33] = Inst{Op: MOV, T0: ToLeft(34), T1: ToRight(34)}
+	b.Insts[34] = Inst{Op: SW, Imm: 0, LSID: 1}
+	b.Insts[35] = Inst{Op: CALLO, Exit: 0, Offset: 16}
+	return b
+}
+
+func TestFigure5aBlockValidates(t *testing.T) {
+	b := figure5aBlock()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("figure 5a block invalid: %v", err)
+	}
+	if got, want := b.StoreMask(), uint32(1<<1); got != want {
+		t.Errorf("store mask = %#x, want %#x", got, want)
+	}
+	w, s := b.OutputCounts()
+	if w != 0 || s != 1 {
+		t.Errorf("output counts = (%d writes, %d stores), want (0, 1)", w, s)
+	}
+	if got := b.NumBodyChunks(); got != 2 {
+		t.Errorf("body chunks = %d, want 2 (36 instructions)", got)
+	}
+}
+
+func TestBlockEncodeDecodeRoundTrip(t *testing.T) {
+	b := figure5aBlock()
+	data, err := EncodeBlock(b)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if len(data) != 3*ChunkBytes {
+		t.Fatalf("encoded size = %d, want %d (header + 2 body chunks)", len(data), 3*ChunkBytes)
+	}
+	got, err := DecodeBlock(data, b.Addr)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Insts, b.Insts) {
+		t.Errorf("instructions do not round trip")
+	}
+	if !reflect.DeepEqual(got.Reads, b.Reads) {
+		t.Errorf("reads do not round trip: got %+v", got.Reads[0])
+	}
+	if !reflect.DeepEqual(got.Writes, b.Writes) {
+		t.Errorf("writes do not round trip")
+	}
+	if got.Flags != b.Flags {
+		t.Errorf("flags = %v, want %v", got.Flags, b.Flags)
+	}
+}
+
+func TestBlockValidateRejects(t *testing.T) {
+	mk := func(mut func(*Block)) *Block {
+		b := figure5aBlock()
+		mut(b)
+		return b
+	}
+	cases := map[string]*Block{
+		"unaligned address": mk(func(b *Block) { b.Addr = 0x10001 }),
+		"duplicate LSID":    mk(func(b *Block) { b.Insts[34].LSID = 0 }),
+		"no branch":         mk(func(b *Block) { b.Insts[35] = Inst{Op: NOP} }),
+		"target past end":   mk(func(b *Block) { b.Insts[0].T0 = ToLeft(120) }),
+		"bad write target":  mk(func(b *Block) { b.Insts[0].T0 = ToWrite(3) }),
+		"pred no producer":  mk(func(b *Block) { b.Insts[2].Pred = PredOnTrue; b.Insts[1].T0 = NoTarget }),
+		"read no targets":   mk(func(b *Block) { b.Reads[0].RT0, b.Reads[0].RT1 = NoTarget, NoTarget }),
+		"bad read register": mk(func(b *Block) { b.Reads[0].GR = 200 }),
+	}
+	for name, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestEncodeRejectsWrongBankRead(t *testing.T) {
+	b := figure5aBlock()
+	// R[0] lives on RT 0 and may only read registers r with r%4 == 0.
+	b.Reads[0].GR = 5
+	if _, err := EncodeBlock(b); err == nil {
+		t.Fatal("expected bank-mismatch error for R[0] reading register 5")
+	}
+}
+
+// randomBlock generates a structurally valid, encodable block.
+func randomBlock(r *rand.Rand) *Block {
+	n := 1 + r.Intn(MaxBlockInsts)
+	b := &Block{Addr: uint64(r.Intn(1<<20)) * ChunkBytes, Name: "rand"}
+	b.Insts = make([]Inst, n)
+	for i := range b.Insts {
+		b.Insts[i] = Inst{Op: NOP}
+	}
+	// Sprinkle ALU instructions with forward targets.
+	for i := 0; i < n-1; i++ {
+		if r.Intn(2) == 0 {
+			tgt := i + 1 + r.Intn(n-i-1)
+			b.Insts[i] = Inst{Op: ADD, T0: ToLeft(tgt)}
+		}
+	}
+	// Memory ops with unique LSIDs.
+	lsid := 0
+	for i := 0; i < n-1 && lsid < MaxBlockMemOps; i++ {
+		if r.Intn(8) == 0 {
+			if r.Intn(2) == 0 {
+				b.Insts[i] = Inst{Op: SD, LSID: lsid}
+			} else {
+				b.Insts[i] = Inst{Op: LD, LSID: lsid, T0: NoTarget}
+			}
+			lsid++
+		}
+	}
+	// Exactly one unpredicated exit branch at the end.
+	b.Insts[n-1] = Inst{Op: BRO, Exit: r.Intn(8), Offset: int32(r.Intn(1000) - 500)}
+	// Reads and writes on the right banks.
+	for j := 0; j < MaxBlockReads; j++ {
+		if r.Intn(4) == 0 {
+			b.Reads[j] = ReadInst{Valid: true, GR: r.Intn(32)*4 + j%4, RT0: ToLeft(r.Intn(n))}
+		}
+	}
+	for j := 0; j < MaxBlockWrites; j++ {
+		if r.Intn(4) == 0 {
+			b.Writes[j] = WriteInst{Valid: true, GR: r.Intn(32)*4 + j%4}
+		}
+	}
+	return b
+}
+
+func TestQuickBlockRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randomBlock(r)
+		if err := b.Validate(); err != nil {
+			t.Logf("random block invalid: %v", err)
+			return false
+		}
+		data, err := EncodeBlock(b)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		got, err := DecodeBlock(data, b.Addr)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(got.Insts, b.Insts) &&
+			reflect.DeepEqual(got.Reads, b.Reads) &&
+			reflect.DeepEqual(got.Writes, b.Writes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStoreMaskMatchesStores(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randomBlock(r)
+		mask := b.StoreMask()
+		// Every store's LSID bit is set; every set bit has a store.
+		var want uint32
+		for i := range b.Insts {
+			if b.Insts[i].Op.IsStore() {
+				want |= 1 << uint(b.Insts[i].LSID)
+			}
+		}
+		return mask == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoordinateMapping(t *testing.T) {
+	// All 128 instruction indices must map onto 16 ETs x 8 slots with no
+	// collisions, and rows/cols must stay in the 4x4 array.
+	seen := map[[2]int]bool{}
+	for i := 0; i < MaxBlockInsts; i++ {
+		et, slot := ETOf(i), SlotOf(i)
+		if et < 0 || et >= NumETs || slot < 0 || slot >= SlotsPerET {
+			t.Fatalf("N[%d] maps to ET %d slot %d", i, et, slot)
+		}
+		key := [2]int{et, slot}
+		if seen[key] {
+			t.Fatalf("N[%d] collides at ET %d slot %d", i, et, slot)
+		}
+		seen[key] = true
+		row, col := ETRowCol(et)
+		if row < 0 || row > 3 || col < 0 || col > 3 {
+			t.Fatalf("ET %d maps to row %d col %d", et, row, col)
+		}
+	}
+	// Same for the 32 read entries across 4 RTs x 8 slots.
+	seenRT := map[[2]int]bool{}
+	for j := 0; j < MaxBlockReads; j++ {
+		rt, slot := RTOf(j), RTSlotOf(j)
+		if rt < 0 || rt >= NumRTs || slot < 0 || slot >= 8 {
+			t.Fatalf("R[%d] maps to RT %d slot %d", j, rt, slot)
+		}
+		key := [2]int{rt, slot}
+		if seenRT[key] {
+			t.Fatalf("R[%d] collides at RT %d slot %d", j, rt, slot)
+		}
+		seenRT[key] = true
+	}
+	// Cache-line interleaving: consecutive lines hit consecutive DTs.
+	for line := 0; line < 16; line++ {
+		if got, want := DTOfAddr(uint64(line)*64), line%4; got != want {
+			t.Errorf("DTOfAddr(line %d) = %d, want %d", line, got, want)
+		}
+	}
+	// All addresses within one line map to the same DT.
+	for off := uint64(0); off < 64; off++ {
+		if DTOfAddr(0x1000+off) != DTOfAddr(0x1000) {
+			t.Errorf("address %#x leaves its line's DT", 0x1000+off)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction word field layouts (paper Figure 1). All instructions are 32
+// bits. The primary opcode occupies bits 31:25 and the PR predicate field
+// bits 24:23 in every format that has one.
+//
+//	G: OPCODE[31:25] PR[24:23] XOP[22:18] T1[17:9] T0[8:0]
+//	I: OPCODE[31:25] PR[24:23] IMM[22:9]           T0[8:0]
+//	L: OPCODE[31:25] PR[24:23] LSID[22:18] IMM[17:9] T0[8:0]
+//	S: OPCODE[31:25] PR[24:23] LSID[22:18] IMM[17:9] 0[8:0]
+//	B: OPCODE[31:25] PR[24:23] EXIT[22:20] OFFSET[19:0]
+//	C: OPCODE[31:25] CONST[24:9]                   T0[8:0]
+//
+// This implementation leaves XOP zero: our opcode subset fits entirely in
+// the 7-bit primary opcode space.
+const (
+	immBitsI = 14 // I-format signed immediate
+	immBitsL = 9  // L/S-format signed immediate
+	offBitsB = 20 // B-format signed offset (128-byte units)
+)
+
+// EncodeInst packs an instruction into its 32-bit word.
+func EncodeInst(in *Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	w := uint32(in.Op) << 25
+	switch in.Op.Format() {
+	case FmtG:
+		w |= uint32(in.Pred) << 23
+		w |= in.T1.encode() << 9
+		w |= in.T0.encode()
+	case FmtI:
+		if in.T1.Valid() {
+			return 0, fmt.Errorf("isa: encode: I-format %s has no second target", in.Op)
+		}
+		w |= uint32(in.Pred) << 23
+		imm, err := fitSigned(in.Imm, immBitsI, "I-format immediate")
+		if err != nil {
+			return 0, err
+		}
+		w |= imm << 9
+		w |= in.T0.encode()
+	case FmtL, FmtS:
+		if in.T1.Valid() {
+			return 0, fmt.Errorf("isa: encode: %s-format %s has no second target", in.Op.Format(), in.Op)
+		}
+		if in.Op.Format() == FmtS && in.T0.Valid() {
+			return 0, fmt.Errorf("isa: encode: stores have no targets")
+		}
+		w |= uint32(in.Pred) << 23
+		if in.LSID < 0 || in.LSID >= MaxBlockMemOps {
+			return 0, fmt.Errorf("isa: encode: LSID %d out of range", in.LSID)
+		}
+		w |= uint32(in.LSID) << 18
+		imm, err := fitSigned(in.Imm, immBitsL, "L/S-format immediate")
+		if err != nil {
+			return 0, err
+		}
+		w |= imm << 9
+		if in.Op.Format() == FmtL {
+			w |= in.T0.encode()
+		}
+	case FmtB:
+		if in.T0.Valid() || in.T1.Valid() {
+			return 0, fmt.Errorf("isa: encode: branches have no targets")
+		}
+		w |= uint32(in.Pred) << 23
+		if in.Exit < 0 || in.Exit > 7 {
+			return 0, fmt.Errorf("isa: encode: exit %d out of range", in.Exit)
+		}
+		w |= uint32(in.Exit) << 20
+		off, err := fitSigned(int64(in.Offset), offBitsB, "branch offset")
+		if err != nil {
+			return 0, err
+		}
+		w |= off
+	case FmtC:
+		if in.T1.Valid() {
+			return 0, fmt.Errorf("isa: encode: C-format %s has no second target", in.Op)
+		}
+		if in.Imm < 0 || in.Imm > 0xffff {
+			return 0, fmt.Errorf("isa: encode: C-format constant %d out of range", in.Imm)
+		}
+		w |= uint32(in.Imm) << 9
+		w |= in.T0.encode()
+	default:
+		return 0, fmt.Errorf("isa: encode: opcode %s is not a body-chunk format", in.Op)
+	}
+	return w, nil
+}
+
+// DecodeInst unpacks a 32-bit instruction word.
+func DecodeInst(w uint32) (Inst, error) {
+	op := Opcode(w >> 25)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d in word %#08x", op, w)
+	}
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FmtG:
+		in.Pred = PredMode(w >> 23 & 3)
+		in.T1 = decodeTarget(w >> 9 & 0x1ff)
+		in.T0 = decodeTarget(w & 0x1ff)
+	case FmtI:
+		in.Pred = PredMode(w >> 23 & 3)
+		in.Imm = signExtend(w>>9, immBitsI)
+		in.T0 = decodeTarget(w & 0x1ff)
+	case FmtL, FmtS:
+		in.Pred = PredMode(w >> 23 & 3)
+		in.LSID = int(w >> 18 & 0x1f)
+		in.Imm = signExtend(w>>9, immBitsL)
+		if op.Format() == FmtL {
+			in.T0 = decodeTarget(w & 0x1ff)
+		}
+	case FmtB:
+		in.Pred = PredMode(w >> 23 & 3)
+		in.Exit = int(w >> 20 & 7)
+		in.Offset = int32(signExtend(w, offBitsB))
+	case FmtC:
+		in.Imm = int64(w >> 9 & 0xffff)
+		in.T0 = decodeTarget(w & 0x1ff)
+	}
+	return in, nil
+}
+
+func fitSigned(v int64, bits int, what string) (uint32, error) {
+	min := -(int64(1) << (bits - 1))
+	max := int64(1)<<(bits-1) - 1
+	if v < min || v > max {
+		return 0, fmt.Errorf("isa: encode: %s %d does not fit in %d bits", what, v, bits)
+	}
+	return uint32(v) & (1<<bits - 1), nil
+}
+
+func signExtend(w uint32, bits int) int64 {
+	v := int64(w & (1<<bits - 1))
+	if v&(1<<(bits-1)) != 0 {
+		v -= 1 << bits
+	}
+	return v
+}
+
+// Header chunk layout (128 bytes, paper Section 2.1):
+//
+//	[0:4]    store mask (little endian)
+//	[4]      block flags
+//	[5]      body chunk count (1..4)
+//	[6:8]    instruction count (little endian uint16)
+//	[8:104]  32 read records, 3 bytes each: V(1) GR5(5) RT1(9) RT0(9)
+//	[104:128] 32 write records bit-packed at 6 bits: V(1) GR5(5)
+//
+// GR5 is the five-bit in-bank register index of Figure 1: read/write entry
+// j lives on RT j%4, which holds architectural registers r with r%4 == j%4,
+// so GR5 = r/4 and the full register index is GR5*4 + j%4.
+const (
+	hdrStoreMask = 0
+	hdrFlags     = 4
+	hdrChunks    = 5
+	hdrInstCount = 6
+	hdrReads     = 8
+	hdrWrites    = 104
+)
+
+// EncodeBlock serializes a block into its chunks: one 128-byte header chunk
+// followed by NumBodyChunks 128-byte body chunks of 32 instruction words
+// each, NOP-padded.
+func EncodeBlock(b *Block) ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	nBody := b.NumBodyChunks()
+	out := make([]byte, ChunkBytes*(1+nBody))
+	hdr := out[:ChunkBytes]
+	binary.LittleEndian.PutUint32(hdr[hdrStoreMask:], b.StoreMask())
+	hdr[hdrFlags] = byte(b.Flags)
+	hdr[hdrChunks] = byte(nBody)
+	binary.LittleEndian.PutUint16(hdr[hdrInstCount:], uint16(len(b.Insts)))
+	for j := range b.Reads {
+		r := &b.Reads[j]
+		rec := uint32(0)
+		if r.Valid {
+			if r.GR%4 != j%4 {
+				return nil, fmt.Errorf("isa: encode: block %q R[%d] reads register %d, which lives on RT %d not RT %d", b.Name, j, r.GR, r.GR%4, j%4)
+			}
+			rec = 1<<23 | uint32(r.GR/4)<<18 | r.RT1.encode()<<9 | r.RT0.encode()
+		}
+		off := hdrReads + 3*j
+		hdr[off] = byte(rec)
+		hdr[off+1] = byte(rec >> 8)
+		hdr[off+2] = byte(rec >> 16)
+	}
+	for j := range b.Writes {
+		w := &b.Writes[j]
+		if !w.Valid {
+			continue
+		}
+		if w.GR%4 != j%4 {
+			return nil, fmt.Errorf("isa: encode: block %q W[%d] writes register %d, which lives on RT %d not RT %d", b.Name, j, w.GR, w.GR%4, j%4)
+		}
+		rec := uint32(1<<5 | w.GR/4)
+		putBits6(hdr[hdrWrites:], j, rec)
+	}
+	for i := range b.Insts {
+		w, err := EncodeInst(&b.Insts[i])
+		if err != nil {
+			return nil, fmt.Errorf("isa: encode: block %q N[%d]: %v", b.Name, i, err)
+		}
+		chunk := 1 + i/BodyChunkInsts
+		off := chunk*ChunkBytes + 4*(i%BodyChunkInsts)
+		binary.LittleEndian.PutUint32(out[off:], w)
+	}
+	// Unfilled body slots stay zero, which decodes as NOP.
+	return out, nil
+}
+
+// HeaderInfo is the decoded contents of a header chunk, as seen by IT 0
+// and the GT's tag array.
+type HeaderInfo struct {
+	StoreMask  uint32
+	Flags      BlockFlags
+	BodyChunks int
+	NumInsts   int
+	Reads      [MaxBlockReads]ReadInst
+	Writes     [MaxBlockWrites]WriteInst
+}
+
+// DecodeHeaderChunk parses one 128-byte header chunk.
+func DecodeHeaderChunk(hdr []byte) (*HeaderInfo, error) {
+	if len(hdr) < ChunkBytes {
+		return nil, fmt.Errorf("isa: decode: header chunk is %d bytes, need %d", len(hdr), ChunkBytes)
+	}
+	nBody := int(hdr[hdrChunks])
+	if nBody < 1 || nBody > MaxBodyChunks {
+		return nil, fmt.Errorf("isa: decode: body chunk count %d out of range", nBody)
+	}
+	nInst := int(binary.LittleEndian.Uint16(hdr[hdrInstCount:]))
+	if nInst > nBody*BodyChunkInsts || nInst > MaxBlockInsts {
+		return nil, fmt.Errorf("isa: decode: instruction count %d exceeds %d body chunks", nInst, nBody)
+	}
+	h := &HeaderInfo{
+		StoreMask:  binary.LittleEndian.Uint32(hdr[hdrStoreMask:]),
+		Flags:      BlockFlags(hdr[hdrFlags]),
+		BodyChunks: nBody,
+		NumInsts:   nInst,
+	}
+	for j := range h.Reads {
+		off := hdrReads + 3*j
+		rec := uint32(hdr[off]) | uint32(hdr[off+1])<<8 | uint32(hdr[off+2])<<16
+		if rec>>23&1 == 0 {
+			continue
+		}
+		h.Reads[j] = ReadInst{
+			Valid: true,
+			GR:    int(rec>>18&0x1f)*4 + j%4,
+			RT1:   decodeTarget(rec >> 9 & 0x1ff),
+			RT0:   decodeTarget(rec & 0x1ff),
+		}
+	}
+	for j := range h.Writes {
+		rec := getBits6(hdr[hdrWrites:], j)
+		if rec>>5&1 == 0 {
+			continue
+		}
+		h.Writes[j] = WriteInst{Valid: true, GR: int(rec&0x1f)*4 + j%4}
+	}
+	return h, nil
+}
+
+// DecodeBodyChunk parses one 128-byte body chunk into its 32 instruction
+// slots.
+func DecodeBodyChunk(data []byte) ([BodyChunkInsts]Inst, error) {
+	var out [BodyChunkInsts]Inst
+	if len(data) < ChunkBytes {
+		return out, fmt.Errorf("isa: decode: body chunk is %d bytes, need %d", len(data), ChunkBytes)
+	}
+	for i := 0; i < BodyChunkInsts; i++ {
+		w := binary.LittleEndian.Uint32(data[4*i:])
+		in, err := DecodeInst(w)
+		if err != nil {
+			return out, fmt.Errorf("isa: decode: chunk position %d: %v", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+// DecodeBlock parses the chunks produced by EncodeBlock. addr becomes the
+// block's address.
+func DecodeBlock(data []byte, addr uint64) (*Block, error) {
+	if len(data) < ChunkBytes {
+		return nil, fmt.Errorf("isa: decode: %d bytes is shorter than a header chunk", len(data))
+	}
+	h, err := DecodeHeaderChunk(data[:ChunkBytes])
+	if err != nil {
+		return nil, err
+	}
+	want := ChunkBytes * (1 + h.BodyChunks)
+	if len(data) < want {
+		return nil, fmt.Errorf("isa: decode: have %d bytes, need %d for %d body chunks", len(data), want, h.BodyChunks)
+	}
+	b := &Block{
+		Addr:   addr,
+		Flags:  h.Flags,
+		Reads:  h.Reads,
+		Writes: h.Writes,
+		Insts:  make([]Inst, h.NumInsts),
+	}
+	for c := 0; c < h.BodyChunks; c++ {
+		insts, err := DecodeBodyChunk(data[(1+c)*ChunkBytes : (2+c)*ChunkBytes])
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < BodyChunkInsts; p++ {
+			if i := c*BodyChunkInsts + p; i < h.NumInsts {
+				b.Insts[i] = insts[p]
+			}
+		}
+	}
+	// Re-derive the store mask and cross-check against the header: a
+	// mismatch means the chunks were corrupted.
+	if got := b.StoreMask(); got != h.StoreMask {
+		return nil, fmt.Errorf("isa: decode: store mask %#08x does not match header %#08x", got, h.StoreMask)
+	}
+	return b, nil
+}
+
+// putBits6 writes the 6-bit record v at index j of a bit-packed array.
+func putBits6(buf []byte, j int, v uint32) {
+	bit := j * 6
+	for k := 0; k < 6; k++ {
+		if v>>k&1 != 0 {
+			buf[(bit+k)/8] |= 1 << uint((bit+k)%8)
+		}
+	}
+}
+
+func getBits6(buf []byte, j int) uint32 {
+	bit := j * 6
+	var v uint32
+	for k := 0; k < 6; k++ {
+		if buf[(bit+k)/8]>>uint((bit+k)%8)&1 != 0 {
+			v |= 1 << k
+		}
+	}
+	return v
+}

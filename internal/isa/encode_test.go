@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeInstFormats(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, T0: ToLeft(5), T1: ToRight(9)},
+		{Op: TEQ, Pred: PredNone, T0: ToPred(2), T1: ToPred(3)},
+		{Op: MULI, Pred: PredOnFalse, Imm: -4, T0: ToLeft(32)},
+		{Op: MOVI, Imm: 8191, T0: ToWrite(7)},
+		{Op: LW, Pred: PredOnFalse, Imm: 8, LSID: 0, T0: ToLeft(33)},
+		{Op: SW, Pred: PredOnTrue, Imm: -16, LSID: 1},
+		{Op: BRO, Exit: 3, Offset: -100},
+		{Op: CALLO, Exit: 0, Offset: 524287},
+		{Op: GENC, Imm: 0xffff, T0: ToRight(127)},
+		{Op: APPC, Imm: 0x1234, T0: ToLeft(0)},
+		{Op: NULL, Pred: PredOnTrue, T0: ToWrite(31), T1: ToLeft(100)},
+		{Op: RET, Exit: 7},
+		{Op: DIV, T0: ToWrite(0)},
+		{Op: FMUL, T0: ToLeft(64), T1: ToRight(64)},
+	}
+	for _, in := range cases {
+		w, err := EncodeInst(&in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, err := DecodeInst(w)
+		if err != nil {
+			t.Fatalf("decode %v (word %#08x): %v", in, w, err)
+		}
+		if got != in {
+			t.Errorf("round trip mismatch:\n in:  %+v\n out: %+v (word %#08x)", in, got, w)
+		}
+	}
+}
+
+func TestEncodeInstRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: ADDI, Imm: 1 << 13, T0: ToLeft(0)},    // I-format imm overflow
+		{Op: LW, Imm: 256, LSID: 0, T0: ToLeft(0)}, // L-format imm overflow
+		{Op: SW, Imm: -257, LSID: 0},               // L-format imm underflow
+		{Op: SW, Imm: 0, LSID: 32},                 // LSID out of range
+		{Op: BRO, Exit: 8},                         // exit out of range
+		{Op: BRO, Offset: 1 << 19},                 // offset overflow
+		{Op: GENC, Imm: -1, T0: ToLeft(0)},         // constant out of range
+		{Op: GENC, Imm: 0x10000, T0: ToLeft(0)},    // constant overflow
+		{Op: Opcode(120), T0: ToLeft(0)},           // invalid opcode
+	}
+	for _, in := range bad {
+		if _, err := EncodeInst(&in); err == nil {
+			t.Errorf("expected encode error for %+v", in)
+		}
+	}
+}
+
+func TestTargetEncoding(t *testing.T) {
+	// Every target kind must survive the nine-bit wire format, and the
+	// write-entry space must not collide with "no target".
+	if got := decodeTarget(NoTarget.encode()); got != NoTarget {
+		t.Errorf("NoTarget round trip: got %v", got)
+	}
+	for j := 0; j < MaxBlockWrites; j++ {
+		tg := ToWrite(j)
+		if got := decodeTarget(tg.encode()); got != tg {
+			t.Errorf("ToWrite(%d) round trip: got %v", j, got)
+		}
+		if tg.encode() == 0 {
+			t.Errorf("ToWrite(%d) collides with NoTarget", j)
+		}
+	}
+	for i := 0; i < MaxBlockInsts; i++ {
+		for _, tg := range []Target{ToLeft(i), ToRight(i), ToPred(i)} {
+			if got := decodeTarget(tg.encode()); got != tg {
+				t.Errorf("%v round trip: got %v", tg, got)
+			}
+		}
+	}
+}
+
+// randomInst builds an encodable instruction from a random source; used by
+// the property tests below.
+func randomInst(r *rand.Rand) Inst {
+	ops := []Opcode{ADD, SUB, MUL, AND, OR, XOR, TEQ, TLT, MOV, NULL, FADD,
+		ADDI, MULI, MOVI, TLTI, LW, LD, SB, SD, BRO, CALLO, RET, GENC, APPC}
+	in := Inst{Op: ops[r.Intn(len(ops))]}
+	preds := []PredMode{PredNone, PredOnFalse, PredOnTrue}
+	randTarget := func() Target {
+		switch r.Intn(5) {
+		case 0:
+			return NoTarget
+		case 1:
+			return ToLeft(r.Intn(MaxBlockInsts))
+		case 2:
+			return ToRight(r.Intn(MaxBlockInsts))
+		case 3:
+			return ToPred(r.Intn(MaxBlockInsts))
+		default:
+			return ToWrite(r.Intn(MaxBlockWrites))
+		}
+	}
+	switch in.Op.Format() {
+	case FmtG:
+		in.Pred = preds[r.Intn(3)]
+		in.T0, in.T1 = randTarget(), randTarget()
+	case FmtI:
+		in.Pred = preds[r.Intn(3)]
+		in.Imm = int64(r.Intn(1<<immBitsI) - 1<<(immBitsI-1))
+		in.T0 = randTarget()
+	case FmtL:
+		in.Pred = preds[r.Intn(3)]
+		in.LSID = r.Intn(MaxBlockMemOps)
+		in.Imm = int64(r.Intn(1<<immBitsL) - 1<<(immBitsL-1))
+		in.T0 = randTarget()
+	case FmtS:
+		in.Pred = preds[r.Intn(3)]
+		in.LSID = r.Intn(MaxBlockMemOps)
+		in.Imm = int64(r.Intn(1<<immBitsL) - 1<<(immBitsL-1))
+	case FmtB:
+		in.Pred = preds[r.Intn(3)]
+		in.Exit = r.Intn(8)
+		in.Offset = int32(r.Intn(1<<offBitsB) - 1<<(offBitsB-1))
+	case FmtC:
+		in.Imm = int64(r.Intn(1 << 16))
+		in.T0 = randTarget()
+	}
+	return in
+}
+
+func TestQuickInstRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInst(r)
+		w, err := EncodeInst(&in)
+		if err != nil {
+			t.Logf("encode %+v: %v", in, err)
+			return false
+		}
+		got, err := DecodeInst(w)
+		if err != nil {
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSignExtend(t *testing.T) {
+	f := func(v int16) bool {
+		// 14-bit immediates: any value representable in 14 bits must
+		// survive fitSigned + signExtend.
+		x := int64(v) >> 2 // force into 14-bit range
+		enc, err := fitSigned(x, 14, "imm")
+		if err != nil {
+			return false
+		}
+		return signExtend(enc, 14) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package isa
+
+import "math"
+
+// Eval computes the result of an ALU-class instruction given its left
+// operand a, right operand b, and immediate. For I-format operations the
+// immediate supplies the right operand; for C-format operations it supplies
+// the constant. Memory and branch opcodes are not evaluated here — their
+// effects belong to the data tiles and global tile.
+//
+// Division by zero produces zero (the prototype raises no arithmetic
+// exceptions inside a block; a real kernel would detect it architecturally).
+func Eval(op Opcode, a, b uint64, imm int64) uint64 {
+	switch op {
+	case NOP, NULL:
+		return 0
+	case ADD:
+		return a + b
+	case SUB:
+		return a - b
+	case MUL:
+		return uint64(int64(a) * int64(b))
+	case DIV:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) / int64(b))
+	case MOD:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SLL:
+		return a << (b & 63)
+	case SRL:
+		return a >> (b & 63)
+	case SRA:
+		return uint64(int64(a) >> (b & 63))
+	case MIN:
+		if int64(a) < int64(b) {
+			return a
+		}
+		return b
+	case MAX:
+		if int64(a) > int64(b) {
+			return a
+		}
+		return b
+	case TEQ:
+		return boolVal(a == b)
+	case TNE:
+		return boolVal(a != b)
+	case TLT:
+		return boolVal(int64(a) < int64(b))
+	case TLE:
+		return boolVal(int64(a) <= int64(b))
+	case TGT:
+		return boolVal(int64(a) > int64(b))
+	case TGE:
+		return boolVal(int64(a) >= int64(b))
+	case TLTU:
+		return boolVal(a < b)
+	case TGEU:
+		return boolVal(a >= b)
+	case MOV:
+		return a
+	case FADD:
+		return f2u(u2f(a) + u2f(b))
+	case FSUB:
+		return f2u(u2f(a) - u2f(b))
+	case FMUL:
+		return f2u(u2f(a) * u2f(b))
+	case FDIV:
+		return f2u(u2f(a) / u2f(b))
+	case FEQ:
+		return boolVal(u2f(a) == u2f(b))
+	case FLT:
+		return boolVal(u2f(a) < u2f(b))
+	case FLE:
+		return boolVal(u2f(a) <= u2f(b))
+	case ITOF:
+		return f2u(float64(int64(a)))
+	case FTOI:
+		f := u2f(a)
+		if math.IsNaN(f) {
+			return 0
+		}
+		return uint64(int64(f))
+	case ADDI:
+		return a + uint64(imm)
+	case SUBI:
+		return a - uint64(imm)
+	case MULI:
+		return uint64(int64(a) * imm)
+	case DIVI:
+		if imm == 0 {
+			return 0
+		}
+		return uint64(int64(a) / imm)
+	case ANDI:
+		return a & uint64(imm)
+	case ORI:
+		return a | uint64(imm)
+	case XORI:
+		return a ^ uint64(imm)
+	case SLLI:
+		return a << (uint64(imm) & 63)
+	case SRLI:
+		return a >> (uint64(imm) & 63)
+	case SRAI:
+		return uint64(int64(a) >> (uint64(imm) & 63))
+	case TEQI:
+		return boolVal(int64(a) == imm)
+	case TNEI:
+		return boolVal(int64(a) != imm)
+	case TLTI:
+		return boolVal(int64(a) < imm)
+	case TGEI:
+		return boolVal(int64(a) >= imm)
+	case MOVI:
+		return uint64(imm)
+	case GENC:
+		return uint64(imm) & 0xffff
+	case APPC:
+		return a<<16 | uint64(imm)&0xffff
+	}
+	return 0
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func u2f(u uint64) float64 { return math.Float64frombits(u) }
+func f2u(f float64) uint64 { return math.Float64bits(f) }
+
+// MemWidth returns the access width in bytes of a load or store opcode.
+func MemWidth(op Opcode) int {
+	switch op {
+	case LB, LBU, SB:
+		return 1
+	case LH, LHU, SH:
+		return 2
+	case LW, LWU, SW:
+		return 4
+	case LD, SD:
+		return 8
+	}
+	return 0
+}
+
+// MemSigned reports whether a load sign-extends its result.
+func MemSigned(op Opcode) bool {
+	switch op {
+	case LB, LH, LW:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalInteger(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b uint64
+		imm  int64
+		want uint64
+	}{
+		{ADD, 3, 4, 0, 7},
+		{SUB, 3, 4, 0, ^uint64(0)},
+		{MUL, 6, 7, 0, 42},
+		{DIV, 42, 6, 0, 7},
+		{DIV, 42, 0, 0, 0},
+		{MOD, 43, 6, 0, 1},
+		{AND, 0b1100, 0b1010, 0, 0b1000},
+		{OR, 0b1100, 0b1010, 0, 0b1110},
+		{XOR, 0b1100, 0b1010, 0, 0b0110},
+		{SLL, 1, 8, 0, 256},
+		{SRL, 0x8000000000000000, 63, 0, 1},
+		{SRA, ^uint64(7), 1, 0, ^uint64(3)},
+		{MIN, ^uint64(0), 1, 0, ^uint64(0)},
+		{MAX, ^uint64(0), 1, 0, 1},
+		{TEQ, 5, 5, 0, 1},
+		{TNE, 5, 5, 0, 0},
+		{TLT, ^uint64(0), 0, 0, 1},
+		{TLTU, ^uint64(0), 0, 0, 0},
+		{TGEU, ^uint64(0), 0, 0, 1},
+		{MOV, 99, 0, 0, 99},
+		{ADDI, 10, 0, -3, 7},
+		{MULI, 10, 0, 4, 40},
+		{SLLI, 1, 0, 4, 16},
+		{SRAI, ^uint64(15), 0, 2, ^uint64(3)},
+		{MOVI, 0, 0, -5, ^uint64(4)},
+		{TLTI, 3, 0, 4, 1},
+		{GENC, 0, 0, 0xbeef, 0xbeef},
+		{APPC, 0xdead, 0, 0xbeef, 0xdeadbeef},
+	}
+	for _, c := range cases {
+		if got := Eval(c.op, c.a, c.b, c.imm); got != c.want {
+			t.Errorf("Eval(%s, %#x, %#x, %d) = %#x, want %#x", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestEvalFloat(t *testing.T) {
+	f := math.Float64bits
+	if got := Eval(FADD, f(1.5), f(2.25), 0); got != f(3.75) {
+		t.Errorf("fadd = %v", math.Float64frombits(got))
+	}
+	if got := Eval(FMUL, f(3), f(-2), 0); got != f(-6) {
+		t.Errorf("fmul = %v", math.Float64frombits(got))
+	}
+	if got := Eval(FDIV, f(1), f(4), 0); got != f(0.25) {
+		t.Errorf("fdiv = %v", math.Float64frombits(got))
+	}
+	if got := Eval(FLT, f(-1), f(1), 0); got != 1 {
+		t.Errorf("flt = %d", got)
+	}
+	if got := Eval(ITOF, ^uint64(6), 0, 0); got != f(-7) {
+		t.Errorf("itof = %v", math.Float64frombits(got))
+	}
+	if got := Eval(FTOI, f(-7.9), 0, 0); got != ^uint64(6) {
+		t.Errorf("ftoi = %d", int64(got))
+	}
+	if got := Eval(FTOI, f(math.NaN()), 0, 0); got != 0 {
+		t.Errorf("ftoi(NaN) = %d, want 0", got)
+	}
+}
+
+func TestQuickConstantChain(t *testing.T) {
+	// A GENC + three APPCs must reconstruct any 64-bit constant.
+	f := func(v uint64) bool {
+		x := Eval(GENC, 0, 0, int64(v>>48&0xffff))
+		x = Eval(APPC, x, 0, int64(v>>32&0xffff))
+		x = Eval(APPC, x, 0, int64(v>>16&0xffff))
+		x = Eval(APPC, x, 0, int64(v&0xffff))
+		return x == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTestsAreBoolean(t *testing.T) {
+	tests := []Opcode{TEQ, TNE, TLT, TLE, TGT, TGE, TLTU, TGEU, FEQ, FLT, FLE}
+	f := func(a, b uint64) bool {
+		for _, op := range tests {
+			if v := Eval(op, a, b, 0); v != 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplementaryTests(t *testing.T) {
+	// TEQ/TNE, TLT/TGE and TLTU/TGEU are complements for all inputs — the
+	// property predicated TRIPS code depends on to cover both paths.
+	f := func(a, b uint64) bool {
+		return Eval(TEQ, a, b, 0)+Eval(TNE, a, b, 0) == 1 &&
+			Eval(TLT, a, b, 0)+Eval(TGE, a, b, 0) == 1 &&
+			Eval(TLTU, a, b, 0)+Eval(TGEU, a, b, 0) == 1 &&
+			Eval(TLE, a, b, 0)+Eval(TGT, a, b, 0) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemWidths(t *testing.T) {
+	widths := map[Opcode]int{LB: 1, LBU: 1, LH: 2, LHU: 2, LW: 4, LWU: 4, LD: 8,
+		SB: 1, SH: 2, SW: 4, SD: 8, ADD: 0}
+	for op, want := range widths {
+		if got := MemWidth(op); got != want {
+			t.Errorf("MemWidth(%s) = %d, want %d", op, got, want)
+		}
+	}
+	if !MemSigned(LW) || MemSigned(LWU) || MemSigned(LD) {
+		t.Error("MemSigned wrong for LW/LWU/LD")
+	}
+}
+
+func TestOpcodeMetadata(t *testing.T) {
+	if DIV.Latency() != 24 {
+		t.Errorf("integer divide latency = %d, want 24 (paper 3.4)", DIV.Latency())
+	}
+	if DIV.Pipelined() {
+		t.Error("integer divide must be unpipelined (paper 3.4)")
+	}
+	if !FMUL.Pipelined() || !ADD.Pipelined() {
+		t.Error("all units except divide are fully pipelined (paper 3.4)")
+	}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if !op.Valid() {
+			t.Errorf("opcode %d has no table entry", op)
+			continue
+		}
+		back, ok := OpcodeByName(op.String())
+		if !ok || back != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v", op.String(), back, ok)
+		}
+	}
+}
+
+func TestMetadataHelpers(t *testing.T) {
+	// Format strings.
+	for f, want := range map[Format]string{FmtG: "G", FmtI: "I", FmtL: "L", FmtS: "S", FmtB: "B", FmtC: "C", FmtR: "R", FmtW: "W"} {
+		if f.String() != want {
+			t.Errorf("Format(%d).String() = %q", f, f.String())
+		}
+	}
+	if Format(99).String() == "" {
+		t.Error("unknown format should still stringify")
+	}
+	// Predicate and operand-kind strings.
+	for p, want := range map[PredMode]string{PredNone: "", PredOnTrue: "_t", PredOnFalse: "_f"} {
+		if p.String() != want {
+			t.Errorf("PredMode(%d).String() = %q", p, p.String())
+		}
+	}
+	for k, want := range map[OperandKind]string{OpNone: "none", OpLeft: "L", OpRight: "R", OpPred: "P", OpWrite: "W"} {
+		if k.String() != want {
+			t.Errorf("OperandKind(%d).String() = %q", k, k.String())
+		}
+	}
+	// Classification helpers.
+	if !TEQ.IsTest() || ADD.IsTest() {
+		t.Error("IsTest wrong")
+	}
+	if !FADD.IsFloat() || ADD.IsFloat() {
+		t.Error("IsFloat wrong")
+	}
+	if !LD.IsMem() || !SD.IsMem() || ADD.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if Opcode(120).Format() != FmtG || Opcode(120).Latency() != 1 {
+		t.Error("invalid opcode fallbacks wrong")
+	}
+	// NeedsLeft / NeedsRight over the formats.
+	needs := []struct {
+		in          Inst
+		left, right bool
+	}{
+		{Inst{Op: ADD}, true, true},
+		{Inst{Op: MOV}, true, false},
+		{Inst{Op: NULL}, false, false},
+		{Inst{Op: NOP}, false, false},
+		{Inst{Op: MOVI}, false, false},
+		{Inst{Op: ADDI}, true, false},
+		{Inst{Op: LW}, true, false},
+		{Inst{Op: SW}, true, true},
+		{Inst{Op: BRO}, false, false},
+		{Inst{Op: RET}, true, false},
+		{Inst{Op: BR}, true, false},
+		{Inst{Op: GENC}, false, false},
+		{Inst{Op: APPC}, true, false},
+		{Inst{Op: ITOF}, true, false},
+	}
+	for _, n := range needs {
+		if n.in.NeedsLeft() != n.left || n.in.NeedsRight() != n.right {
+			t.Errorf("%s: NeedsLeft=%v NeedsRight=%v, want %v/%v",
+				n.in.Op, n.in.NeedsLeft(), n.in.NeedsRight(), n.left, n.right)
+		}
+	}
+	// IT chunk mapping.
+	for c := 0; c < 5; c++ {
+		if ITOfChunk(c) != c {
+			t.Errorf("ITOfChunk(%d) = %d", c, ITOfChunk(c))
+		}
+	}
+}
+
+func TestStringsRender(t *testing.T) {
+	ins := []Inst{
+		{Op: ADD, T0: ToLeft(5), T1: ToRight(9)},
+		{Op: ADDI, Imm: -4, T0: ToWrite(3)},
+		{Op: LW, Imm: 8, LSID: 2, T0: ToLeft(1)},
+		{Op: SW, Imm: -8, LSID: 3},
+		{Op: BRO, Exit: 2, Offset: -100, Pred: PredOnTrue},
+		{Op: GENC, Imm: 77, T0: ToPred(4)},
+	}
+	for _, in := range ins {
+		if in.String() == "" {
+			t.Errorf("empty render for %+v", in)
+		}
+	}
+	b := &Block{Addr: 0x1000, Name: "x", Insts: []Inst{{Op: BRO}}}
+	b.Reads[0] = ReadInst{Valid: true, GR: 4, RT0: ToLeft(0)}
+	b.Writes[1] = WriteInst{Valid: true, GR: 5}
+	if b.String() == "" || b.NumReads() != 1 || b.NumWrites() != 1 {
+		t.Error("block summary helpers wrong")
+	}
+}

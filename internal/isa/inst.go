@@ -1,0 +1,280 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Architectural constants of the TRIPS prototype (paper Sections 2-3).
+const (
+	MaxBlockInsts  = 128 // instructions per block
+	MaxBlockReads  = 32  // read instructions in the header chunk
+	MaxBlockWrites = 32  // write instructions in the header chunk
+	MaxBlockMemOps = 32  // loads+stores per block (LSID space)
+	NumArchRegs    = 128 // architectural registers per thread
+	ChunkBytes     = 128 // bytes per chunk (header or body)
+	BodyChunkInsts = 32  // instructions per body chunk
+	MaxBodyChunks  = 4   // body chunks per block
+
+	NumETs = 16 // execution tiles per core
+	NumRTs = 4  // register tiles per core
+	NumDTs = 4  // data tiles per core
+	NumITs = 5  // instruction tiles per core
+
+	SlotsPerET = 8 // reservation stations per ET per block (8 blocks x 8 = 64)
+)
+
+// OperandKind selects which operand field of a consumer a routed value
+// fills: left, right, or predicate (paper Section 2.2, the two type bits
+// of the nine-bit target specifier), or a header write-queue entry.
+type OperandKind uint8
+
+const (
+	OpNone OperandKind = iota
+	OpLeft
+	OpRight
+	OpPred
+	// OpWrite routes the value to header write-queue entry Index (a block
+	// register output). On the wire it shares type code 00 with "no
+	// target": index 0 is no target, index j+1 is write entry j.
+	OpWrite
+)
+
+func (k OperandKind) String() string {
+	switch k {
+	case OpNone:
+		return "none"
+	case OpLeft:
+		return "L"
+	case OpRight:
+		return "R"
+	case OpPred:
+		return "P"
+	case OpWrite:
+		return "W"
+	}
+	return "?"
+}
+
+// Target is the nine-bit target specifier of Figure 1: seven bits of
+// consumer index within the block plus two bits of operand kind. The zero
+// Target means "no target".
+type Target struct {
+	Index int // consumer instruction index 0..127, or write entry 0..31
+	Kind  OperandKind
+}
+
+// NoTarget is the absent target.
+var NoTarget = Target{}
+
+// Valid reports whether t names a consumer.
+func (t Target) Valid() bool { return t.Kind != OpNone }
+
+// IsWrite reports whether t names a header write-queue entry.
+func (t Target) IsWrite() bool { return t.Kind == OpWrite }
+
+// ToLeft, ToRight and ToPred construct operand targets; ToWrite constructs
+// a register-output target naming write-queue entry j.
+func ToLeft(i int) Target  { return Target{Index: i, Kind: OpLeft} }
+func ToRight(i int) Target { return Target{Index: i, Kind: OpRight} }
+func ToPred(i int) Target  { return Target{Index: i, Kind: OpPred} }
+func ToWrite(j int) Target { return Target{Index: j, Kind: OpWrite} }
+
+func (t Target) String() string {
+	switch t.Kind {
+	case OpNone:
+		return "-"
+	case OpWrite:
+		return fmt.Sprintf("W[%d]", t.Index)
+	default:
+		return fmt.Sprintf("N[%d,%s]", t.Index, t.Kind)
+	}
+}
+
+// encode packs t into the nine-bit wire format.
+func (t Target) encode() uint32 {
+	switch t.Kind {
+	case OpNone:
+		return 0
+	case OpWrite:
+		return uint32(t.Index+1) & 0x7f // type 00, index j+1
+	default:
+		return uint32(t.Kind)<<7 | uint32(t.Index)&0x7f
+	}
+}
+
+func decodeTarget(v uint32) Target {
+	k := OperandKind(v >> 7 & 3)
+	if k == OpNone {
+		idx := int(v & 0x7f)
+		if idx == 0 {
+			return NoTarget
+		}
+		return Target{Index: idx - 1, Kind: OpWrite}
+	}
+	return Target{Index: int(v & 0x7f), Kind: k}
+}
+
+// PredMode is the two-bit PR field: whether an instruction waits for a
+// predicate operand and which polarity enables it.
+type PredMode uint8
+
+const (
+	PredNone    PredMode = 0 // not predicated
+	PredOnFalse PredMode = 2 // executes if predicate == 0 (p_f)
+	PredOnTrue  PredMode = 3 // executes if predicate != 0 (p_t)
+)
+
+func (p PredMode) String() string {
+	switch p {
+	case PredNone:
+		return ""
+	case PredOnFalse:
+		return "_f"
+	case PredOnTrue:
+		return "_t"
+	}
+	return "_?"
+}
+
+// Predicated reports whether the instruction requires a predicate operand.
+func (p PredMode) Predicated() bool { return p == PredOnFalse || p == PredOnTrue }
+
+// Inst is one decoded TRIPS block-body instruction. Which fields are
+// meaningful depends on the opcode's Format.
+type Inst struct {
+	Op   Opcode
+	Pred PredMode
+	// T0 and T1 are the result targets (G format has both; I, L and C
+	// formats have only T0; S and B formats have none).
+	T0, T1 Target
+	// Imm is the signed immediate of I, L and S formats, or the 16-bit
+	// constant of the C format (zero-extended).
+	Imm int64
+	// LSID is the load/store ID establishing program order among the
+	// block's memory operations (L and S formats).
+	LSID int
+	// Exit is the three-bit exit number of B-format branches, used by the
+	// next-block predictor's exit histories (paper Section 3.1).
+	Exit int
+	// Offset is the B-format branch offset in 128-byte block-address units.
+	Offset int32
+}
+
+// Targets returns the valid targets of the instruction.
+func (in *Inst) Targets() []Target {
+	var ts []Target
+	if in.T0.Valid() {
+		ts = append(ts, in.T0)
+	}
+	if in.T1.Valid() {
+		ts = append(ts, in.T1)
+	}
+	return ts
+}
+
+// NeedsLeft reports whether the instruction waits for a left operand.
+func (in *Inst) NeedsLeft() bool {
+	switch in.Op.Format() {
+	case FmtG:
+		// Constant-free G ops all take a left operand except NOP; NULL
+		// takes none (it fires as soon as its predicate, if any, allows).
+		return in.Op != NOP && in.Op != NULL
+	case FmtI:
+		// All immediate ops combine a left operand with the immediate,
+		// except MOVI which generates the immediate itself.
+		return in.Op != MOVI
+	case FmtL, FmtS:
+		return true
+	case FmtB:
+		return in.Op == RET || in.Op == BR
+	case FmtC:
+		return in.Op == APPC
+	}
+	return false
+}
+
+// NeedsRight reports whether the instruction waits for a right operand.
+// Stores take address (left) and data (right); two-input ALU ops take both.
+func (in *Inst) NeedsRight() bool {
+	switch in.Op.Format() {
+	case FmtG:
+		switch in.Op {
+		case NOP, NULL, MOV, ITOF, FTOI:
+			return false
+		}
+		return true
+	case FmtS:
+		return true
+	}
+	return false
+}
+
+func (in *Inst) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s", in.Op, in.Pred)
+	switch in.Op.Format() {
+	case FmtI, FmtC:
+		fmt.Fprintf(&b, " #%d", in.Imm)
+	case FmtL:
+		fmt.Fprintf(&b, " #%d [lsid=%d]", in.Imm, in.LSID)
+	case FmtS:
+		fmt.Fprintf(&b, " #%d [lsid=%d]", in.Imm, in.LSID)
+	case FmtB:
+		fmt.Fprintf(&b, " exit=%d off=%d", in.Exit, in.Offset)
+	}
+	for _, t := range in.Targets() {
+		fmt.Fprintf(&b, " ->%s", t)
+	}
+	return b.String()
+}
+
+// ReadInst is a header read instruction: it pulls architectural register
+// GR and sends the value to up to two consumer operands (paper Figure 1,
+// R format).
+type ReadInst struct {
+	Valid    bool
+	GR       int // architectural register index, 0..127
+	RT0, RT1 Target
+}
+
+// WriteInst is a header write instruction: it receives one block output
+// value and commits it to architectural register GR (W format).
+type WriteInst struct {
+	Valid bool
+	GR    int
+}
+
+// ETOf returns the execution tile (0..15) that instruction index i of a
+// block maps to. An instruction's coordinates are implicitly determined by
+// its position in its chunk (paper Section 2.2): body chunk k is held by
+// IT k+1, which dispatches to its own row of ETs (Section 4.1), so chunk k
+// fills ET row k. Within a chunk, position p goes to column p%4,
+// reservation-station slot p/4. A consequence visible in the evaluation:
+// blocks smaller than 128 instructions use only the first rows of the
+// array, which is one reason small compiled blocks underperform.
+func ETOf(i int) int { return (i/BodyChunkInsts)*4 + i%4 }
+
+// SlotOf returns the reservation-station slot (0..7) within the ET for
+// instruction index i.
+func SlotOf(i int) int { return (i % BodyChunkInsts) / 4 }
+
+// ETRowCol returns the row (0..3) and column (0..3) of an ET index within
+// the 4x4 execution array.
+func ETRowCol(et int) (row, col int) { return et / 4, et % 4 }
+
+// RTOf returns the register tile (0..3) holding read/write queue entry j.
+func RTOf(j int) int { return j % 4 }
+
+// RTSlotOf returns the queue slot (0..7) within the RT for entry j.
+func RTSlotOf(j int) int { return j / 4 }
+
+// DTOfAddr returns the data tile (0..3) that services a virtual address.
+// Addresses interleave across the DTs at 64-byte cache-line granularity
+// (paper Section 3.5).
+func DTOfAddr(addr uint64) int { return int(addr >> 6 & 3) }
+
+// ITOfChunk returns the instruction tile (0..4) holding chunk c of a block:
+// IT 0 holds the header chunk, ITs 1..4 the body chunks (Section 3.2: each
+// of the five IT banks can hold a 128-byte chunk of each block).
+func ITOfChunk(c int) int { return c }

@@ -1,0 +1,295 @@
+// Package isa implements the TRIPS EDGE instruction set architecture:
+// 32-bit instruction formats (paper Figure 1), 128-instruction blocks with
+// header chunks (paper Section 2.1), binary encoding/decoding of blocks into
+// 128-byte chunks, and the arithmetic semantics shared by the execution
+// tiles and the golden-model interpreter.
+//
+// The two defining EDGE properties are visible directly in the types here:
+// block-atomic execution (Block is the unit of fetch/execute/commit) and
+// direct instruction communication (Inst carries Targets naming consumer
+// instructions, not register names).
+package isa
+
+import "fmt"
+
+// Format identifies the encoding format of an instruction (paper Figure 1).
+type Format uint8
+
+const (
+	FmtG Format = iota // general: OPCODE PR XOP T1 T0
+	FmtI               // immediate: OPCODE PR IMM T0
+	FmtL               // load: OPCODE PR LSID IMM T0
+	FmtS               // store: OPCODE PR LSID IMM
+	FmtB               // branch: OPCODE PR EXIT OFFSET
+	FmtC               // constant: OPCODE CONST T0
+	FmtR               // read (header): V GR RT1 RT0
+	FmtW               // write (header): V GR
+)
+
+func (f Format) String() string {
+	switch f {
+	case FmtG:
+		return "G"
+	case FmtI:
+		return "I"
+	case FmtL:
+		return "L"
+	case FmtS:
+		return "S"
+	case FmtB:
+		return "B"
+	case FmtC:
+		return "C"
+	case FmtR:
+		return "R"
+	case FmtW:
+		return "W"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// Opcode is a TRIPS primary opcode. The 7-bit encoding space (paper
+// Figure 1) is partitioned by format.
+type Opcode uint8
+
+const (
+	NOP Opcode = iota
+
+	// G-format integer ALU operations. Operand A is the left operand,
+	// operand B the right operand.
+	ADD
+	SUB
+	MUL
+	DIV // 24-cycle unpipelined integer divide (paper Section 3.4)
+	MOD
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	MIN
+	MAX
+
+	// G-format test operations. They produce 0 or 1 and typically target
+	// predicate fields of consumers.
+	TEQ
+	TNE
+	TLT
+	TLE
+	TGT
+	TGE
+	TLTU
+	TGEU
+
+	// G-format data movement. MOV forwards its left operand to its
+	// targets; it is the fanout instruction (paper Section 5.4 "fanout
+	// ops"). NULL produces a nullified token used to satisfy the
+	// block-output constraint on untaken predicate paths (Section 2.1).
+	MOV
+	NULL
+
+	// G-format floating point (64-bit IEEE). Fully pipelined (Section 3.4).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FEQ
+	FLT
+	FLE
+	ITOF
+	FTOI
+
+	// I-format immediate ALU operations.
+	ADDI
+	SUBI
+	MULI
+	DIVI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	TEQI
+	TNEI
+	TLTI
+	TGEI
+	MOVI // generate a small signed immediate
+
+	// L-format loads. Address = left operand + IMM. The loaded value is
+	// routed from the DT to the load's targets.
+	LB
+	LBU
+	LH
+	LHU
+	LW
+	LWU
+	LD
+
+	// S-format stores. Address = left operand + IMM, data = right operand.
+	SB
+	SH
+	SW
+	SD
+
+	// B-format block-exit branches. Exactly one fires per block execution.
+	BRO   // branch to block at PC + offset
+	CALLO // call: branch and write return address to the link register write
+	RET   // return: branch to left operand (address arrives as operand)
+	BR    // branch to left operand (computed target)
+
+	// C-format constant generators. GENC places a zero-extended 16-bit
+	// constant; APPC shifts the left operand up 16 bits and ORs the
+	// constant in, so a chain of one GENC plus three APPCs builds any
+	// 64-bit constant.
+	GENC
+	APPC
+
+	numOpcodes
+)
+
+// opInfo is the static metadata table consulted by the decoder, the
+// execution tiles, and the scheduler.
+type opInfo struct {
+	name    string
+	format  Format
+	latency int  // execution latency in cycles
+	writesP bool // result is a predicate-style boolean
+	isTest  bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	NOP:   {"nop", FmtG, 1, false, false},
+	ADD:   {"add", FmtG, 1, false, false},
+	SUB:   {"sub", FmtG, 1, false, false},
+	MUL:   {"mul", FmtG, 3, false, false},
+	DIV:   {"div", FmtG, 24, false, false},
+	MOD:   {"mod", FmtG, 24, false, false},
+	AND:   {"and", FmtG, 1, false, false},
+	OR:    {"or", FmtG, 1, false, false},
+	XOR:   {"xor", FmtG, 1, false, false},
+	SLL:   {"sll", FmtG, 1, false, false},
+	SRL:   {"srl", FmtG, 1, false, false},
+	SRA:   {"sra", FmtG, 1, false, false},
+	MIN:   {"min", FmtG, 1, false, false},
+	MAX:   {"max", FmtG, 1, false, false},
+	TEQ:   {"teq", FmtG, 1, true, true},
+	TNE:   {"tne", FmtG, 1, true, true},
+	TLT:   {"tlt", FmtG, 1, true, true},
+	TLE:   {"tle", FmtG, 1, true, true},
+	TGT:   {"tgt", FmtG, 1, true, true},
+	TGE:   {"tge", FmtG, 1, true, true},
+	TLTU:  {"tltu", FmtG, 1, true, true},
+	TGEU:  {"tgeu", FmtG, 1, true, true},
+	MOV:   {"mov", FmtG, 1, false, false},
+	NULL:  {"null", FmtG, 1, false, false},
+	FADD:  {"fadd", FmtG, 4, false, false},
+	FSUB:  {"fsub", FmtG, 4, false, false},
+	FMUL:  {"fmul", FmtG, 4, false, false},
+	FDIV:  {"fdiv", FmtG, 12, false, false},
+	FEQ:   {"feq", FmtG, 2, true, true},
+	FLT:   {"flt", FmtG, 2, true, true},
+	FLE:   {"fle", FmtG, 2, true, true},
+	ITOF:  {"itof", FmtG, 3, false, false},
+	FTOI:  {"ftoi", FmtG, 3, false, false},
+	ADDI:  {"addi", FmtI, 1, false, false},
+	SUBI:  {"subi", FmtI, 1, false, false},
+	MULI:  {"muli", FmtI, 3, false, false},
+	DIVI:  {"divi", FmtI, 24, false, false},
+	ANDI:  {"andi", FmtI, 1, false, false},
+	ORI:   {"ori", FmtI, 1, false, false},
+	XORI:  {"xori", FmtI, 1, false, false},
+	SLLI:  {"slli", FmtI, 1, false, false},
+	SRLI:  {"srli", FmtI, 1, false, false},
+	SRAI:  {"srai", FmtI, 1, false, false},
+	TEQI:  {"teqi", FmtI, 1, true, true},
+	TNEI:  {"tnei", FmtI, 1, true, true},
+	TLTI:  {"tlti", FmtI, 1, true, true},
+	TGEI:  {"tgei", FmtI, 1, true, true},
+	MOVI:  {"movi", FmtI, 1, false, false},
+	LB:    {"lb", FmtL, 2, false, false},
+	LBU:   {"lbu", FmtL, 2, false, false},
+	LH:    {"lh", FmtL, 2, false, false},
+	LHU:   {"lhu", FmtL, 2, false, false},
+	LW:    {"lw", FmtL, 2, false, false},
+	LWU:   {"lwu", FmtL, 2, false, false},
+	LD:    {"ld", FmtL, 2, false, false},
+	SB:    {"sb", FmtS, 1, false, false},
+	SH:    {"sh", FmtS, 1, false, false},
+	SW:    {"sw", FmtS, 1, false, false},
+	SD:    {"sd", FmtS, 1, false, false},
+	BRO:   {"bro", FmtB, 1, false, false},
+	CALLO: {"callo", FmtB, 1, false, false},
+	RET:   {"ret", FmtB, 1, false, false},
+	BR:    {"br", FmtB, 1, false, false},
+	GENC:  {"genc", FmtC, 1, false, false},
+	APPC:  {"appc", FmtC, 1, false, false},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes && opTable[op].name != "" }
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op%d", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Format returns the encoding format of op.
+func (op Opcode) Format() Format {
+	if !op.Valid() {
+		return FmtG
+	}
+	return opTable[op].format
+}
+
+// Latency returns the execution latency of op in cycles. All functional
+// units are fully pipelined except integer divide (paper Section 3.4).
+func (op Opcode) Latency() int {
+	if !op.Valid() {
+		return 1
+	}
+	return opTable[op].latency
+}
+
+// Pipelined reports whether the functional unit for op accepts a new
+// operation every cycle. Only the 24-cycle integer divide is unpipelined.
+func (op Opcode) Pipelined() bool { return op != DIV && op != MOD && op != DIVI }
+
+// IsTest reports whether op is a test instruction producing a 0/1 result.
+func (op Opcode) IsTest() bool { return op.Valid() && opTable[op].isTest }
+
+// IsLoad reports whether op is a memory load.
+func (op Opcode) IsLoad() bool { return op >= LB && op <= LD }
+
+// IsStore reports whether op is a memory store.
+func (op Opcode) IsStore() bool { return op >= SB && op <= SD }
+
+// IsMem reports whether op is a load or store.
+func (op Opcode) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op is a block-exit branch.
+func (op Opcode) IsBranch() bool { return op.Format() == FmtB }
+
+// IsFloat reports whether op executes on the floating-point unit.
+func (op Opcode) IsFloat() bool { return op >= FADD && op <= FTOI }
+
+// opcodeByName maps mnemonics back to opcodes for the assembler.
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if opTable[op].name != "" {
+			m[opTable[op].name] = op
+		}
+	}
+	return m
+}()
+
+// OpcodeByName returns the opcode with the given assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opcodeByName[name]
+	return op, ok
+}

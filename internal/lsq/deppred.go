@@ -1,0 +1,60 @@
+package lsq
+
+// DepPredictor is the memory-side dependence predictor co-located with each
+// data cache bank (paper Section 3.5): a 1024-entry bit vector. When an
+// aggressively issued load causes a dependence misprediction (and pipeline
+// flush), the bit its address hashes to is set; any later load hashing to a
+// set bit stalls until all prior stores have completed. Because individual
+// bits cannot be cleared, the whole vector is flash-cleared every 10,000
+// blocks of execution.
+type DepPredictor struct {
+	bits   [1024]bool
+	blocks int
+
+	// ClearInterval is the flash-clear period in committed blocks.
+	ClearInterval int
+
+	// Stats.
+	Stalls, Trainings, Clears uint64
+}
+
+// NewDepPredictor returns a predictor with the paper's 10,000-block clear
+// interval.
+func NewDepPredictor() *DepPredictor {
+	return &DepPredictor{ClearInterval: 10000}
+}
+
+func (d *DepPredictor) index(addr uint64) int {
+	// Fold the address down to 10 bits, ignoring byte-in-word bits.
+	h := addr >> 3
+	h ^= h >> 10
+	h ^= h >> 20
+	return int(h & 1023)
+}
+
+// Aggressive reports whether a load to addr may issue before earlier store
+// addresses are known. A false result stalls the load until all prior
+// stores have completed across the DTs.
+func (d *DepPredictor) Aggressive(addr uint64) bool {
+	if d.bits[d.index(addr)] {
+		d.Stalls++
+		return false
+	}
+	return true
+}
+
+// Mispredicted records a dependence misprediction for the load at addr.
+func (d *DepPredictor) Mispredicted(addr uint64) {
+	d.bits[d.index(addr)] = true
+	d.Trainings++
+}
+
+// OnBlockCommit advances the flash-clear counter.
+func (d *DepPredictor) OnBlockCommit() {
+	d.blocks++
+	if d.blocks >= d.ClearInterval {
+		d.blocks = 0
+		d.bits = [1024]bool{}
+		d.Clears++
+	}
+}

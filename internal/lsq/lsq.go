@@ -1,0 +1,228 @@
+// Package lsq implements the TRIPS load/store queue and the memory-side
+// dependence predictor (paper Section 3.5). The prototype replicates a full
+// 256-entry LSQ at every DT — the paper's admittedly brute-force solution
+// to distributing disambiguation ("wasteful and not scalable ... but the
+// least complex alternative for the prototype"). Because virtual addresses
+// interleave across DTs by cache line, a load and any conflicting earlier
+// store always meet at the same DT, so forwarding and violation detection
+// are local.
+//
+// Memory operations are ordered by a global key composed of the block's
+// dynamic sequence number and the operation's five-bit LSID within the
+// block (up to 8 blocks x 32 operations = 256 in flight, paper 3.5).
+package lsq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Capacity is the number of LSQ entries (paper Section 3.5).
+const Capacity = 256
+
+// OrderKey totally orders in-flight memory operations: block sequence
+// number then LSID.
+func OrderKey(blockSeq uint64, lsid int) uint64 {
+	return blockSeq<<5 | uint64(lsid)&31
+}
+
+// Entry is one LSQ record.
+type Entry struct {
+	Key      uint64
+	BlockSeq uint64
+	IsStore  bool
+	Addr     uint64
+	Width    int
+	Data     uint64 // store data
+	Issued   bool   // load has read the cache / forwarded
+	Null     bool   // nullified store: counts for ordering, never writes
+}
+
+func (e *Entry) overlaps(addr uint64, width int) bool {
+	return e.Addr < addr+uint64(width) && addr < e.Addr+uint64(e.Width)
+}
+
+func (e *Entry) covers(addr uint64, width int) bool {
+	return e.Addr <= addr && addr+uint64(width) <= e.Addr+uint64(e.Width)
+}
+
+// LoadResult describes how a load may proceed.
+type LoadResult int
+
+const (
+	// LoadFromCache: no earlier conflicting store is buffered; read the
+	// data cache (speculatively, if earlier store addresses are unknown).
+	LoadFromCache LoadResult = iota
+	// LoadForwarded: an earlier store covers the load; Data is valid.
+	LoadForwarded
+	// LoadConflict: an earlier store overlaps but does not cover the load;
+	// the load must wait until prior stores drain to the cache.
+	LoadConflict
+)
+
+// LSQ is one DT's replica of the load/store queue.
+type LSQ struct {
+	entries map[uint64]*Entry
+
+	// Stats.
+	Forwards, Violations, Conflicts uint64
+}
+
+// New returns an empty LSQ.
+func New() *LSQ {
+	return &LSQ{entries: make(map[uint64]*Entry)}
+}
+
+// Len returns the number of buffered operations.
+func (q *LSQ) Len() int { return len(q.entries) }
+
+// Full reports whether the queue is at capacity.
+func (q *LSQ) Full() bool { return len(q.entries) >= Capacity }
+
+// InsertLoad records an arriving load and resolves it against earlier
+// buffered stores. It returns the forwarding decision and, for
+// LoadForwarded, the data.
+func (q *LSQ) InsertLoad(key, blockSeq uint64, addr uint64, width int) (LoadResult, uint64, error) {
+	if q.Full() {
+		return 0, 0, fmt.Errorf("lsq: full")
+	}
+	if _, dup := q.entries[key]; dup {
+		return 0, 0, fmt.Errorf("lsq: duplicate key %#x", key)
+	}
+	e := &Entry{Key: key, BlockSeq: blockSeq, Addr: addr, Width: width, Issued: true}
+	q.entries[key] = e
+
+	// Find the youngest earlier store overlapping the load.
+	var best *Entry
+	for _, s := range q.entries {
+		if !s.IsStore || s.Null || s.Key >= key {
+			continue
+		}
+		if !s.overlaps(addr, width) {
+			continue
+		}
+		if best == nil || s.Key > best.Key {
+			best = s
+		}
+	}
+	if best == nil {
+		return LoadFromCache, 0, nil
+	}
+	if best.covers(addr, width) {
+		q.Forwards++
+		// Extract the load's bytes from the store's value.
+		shift := (addr - best.Addr) * 8
+		v := best.Data >> shift
+		if width < 8 {
+			v &= 1<<(uint(width)*8) - 1
+		}
+		return LoadForwarded, v, nil
+	}
+	q.Conflicts++
+	e.Issued = false // will re-issue from the cache after stores drain
+	return LoadConflict, 0, nil
+}
+
+// InsertStore records an arriving store and returns the issued later loads
+// whose data it invalidates (memory-ordering violations), oldest first. The
+// DT reports the oldest violating load's block to the GT, which flushes it
+// and all younger blocks (paper Section 4.3).
+func (q *LSQ) InsertStore(key, blockSeq uint64, addr uint64, width int, data uint64, null bool) ([]*Entry, error) {
+	if q.Full() {
+		return nil, fmt.Errorf("lsq: full")
+	}
+	if _, dup := q.entries[key]; dup {
+		return nil, fmt.Errorf("lsq: duplicate key %#x", key)
+	}
+	q.entries[key] = &Entry{Key: key, BlockSeq: blockSeq, IsStore: true, Addr: addr, Width: width, Data: data, Null: null}
+	if null {
+		return nil, nil
+	}
+	var violated []*Entry
+	for _, l := range q.entries {
+		if l.IsStore || l.Key <= key || !l.Issued {
+			continue
+		}
+		if l.overlaps(addr, width) {
+			violated = append(violated, l)
+		}
+	}
+	if len(violated) > 0 {
+		q.Violations++
+		sort.Slice(violated, func(i, j int) bool { return violated[i].Key < violated[j].Key })
+	}
+	return violated, nil
+}
+
+// PendingConflicts returns buffered loads (oldest first) that hit
+// LoadConflict and are now free of overlapping earlier stores — i.e. those
+// stores have drained — so the DT can replay them from the cache.
+func (q *LSQ) PendingConflicts() []*Entry {
+	var out []*Entry
+	for _, l := range q.entries {
+		if l.IsStore || l.Issued {
+			continue
+		}
+		blocked := false
+		for _, s := range q.entries {
+			if s.IsStore && !s.Null && s.Key < l.Key && s.overlaps(l.Addr, l.Width) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// MarkIssued marks a replayed load as issued.
+func (q *LSQ) MarkIssued(key uint64) {
+	if e := q.entries[key]; e != nil {
+		e.Issued = true
+	}
+}
+
+// CommitBlock removes all of blockSeq's entries and returns its
+// non-nullified stores in LSID order for the DT to drain into the cache.
+func (q *LSQ) CommitBlock(blockSeq uint64) []*Entry {
+	var stores []*Entry
+	for k, e := range q.entries {
+		if e.BlockSeq != blockSeq {
+			continue
+		}
+		if e.IsStore && !e.Null {
+			stores = append(stores, e)
+		}
+		delete(q.entries, k)
+	}
+	sort.Slice(stores, func(i, j int) bool { return stores[i].Key < stores[j].Key })
+	return stores
+}
+
+// FlushFrom removes all entries belonging to blockSeq or younger blocks
+// (the flush protocol discards the mis-speculated block and everything
+// after it, paper Section 4.3).
+func (q *LSQ) FlushFrom(blockSeq uint64) {
+	for k, e := range q.entries {
+		if e.BlockSeq >= blockSeq {
+			delete(q.entries, k)
+		}
+	}
+}
+
+// FlushBlock removes exactly one block's entries (used when the GCN flush
+// mask names specific frames).
+func (q *LSQ) FlushBlock(blockSeq uint64) {
+	for k, e := range q.entries {
+		if e.BlockSeq == blockSeq {
+			delete(q.entries, k)
+		}
+	}
+}
+
+// MaxOccupancy is exported for the area/utilization ablation: the paper
+// notes maximum occupancy of all replicated LSQs is 25%.
+func (q *LSQ) Occupancy() float64 { return float64(len(q.entries)) / Capacity }

@@ -1,0 +1,255 @@
+package lsq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderKeyOrdering(t *testing.T) {
+	// Keys order first by block sequence, then by LSID.
+	if OrderKey(1, 31) >= OrderKey(2, 0) {
+		t.Error("later block with LSID 0 must follow earlier block with LSID 31")
+	}
+	if OrderKey(5, 3) >= OrderKey(5, 4) {
+		t.Error("LSIDs must order within a block")
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	q := New()
+	if _, err := q.InsertStore(OrderKey(1, 0), 1, 0x100, 8, 0xdeadbeefcafef00d, false); err != nil {
+		t.Fatal(err)
+	}
+	res, data, err := q.InsertLoad(OrderKey(1, 1), 1, 0x100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != LoadForwarded || data != 0xdeadbeefcafef00d {
+		t.Fatalf("load = (%v, %#x), want forwarded full value", res, data)
+	}
+	// Narrow load inside the store's range extracts the right bytes.
+	res, data, _ = q.InsertLoad(OrderKey(1, 2), 1, 0x104, 4)
+	if res != LoadForwarded || data != 0xdeadbeef {
+		t.Fatalf("narrow load = (%v, %#x), want forwarded 0xdeadbeef", res, data)
+	}
+}
+
+func TestForwardFromYoungestEarlierStore(t *testing.T) {
+	q := New()
+	q.InsertStore(OrderKey(1, 0), 1, 0x100, 8, 1, false)
+	q.InsertStore(OrderKey(1, 2), 1, 0x100, 8, 2, false)
+	res, data, _ := q.InsertLoad(OrderKey(1, 3), 1, 0x100, 8)
+	if res != LoadForwarded || data != 2 {
+		t.Fatalf("load = (%v, %d), want value from youngest earlier store", res, data)
+	}
+	// A load ordered between the stores sees only the first.
+	res, data, _ = q.InsertLoad(OrderKey(1, 1), 1, 0x100, 8)
+	if res != LoadForwarded || data != 1 {
+		t.Fatalf("middle load = (%v, %d), want 1", res, data)
+	}
+}
+
+func TestNullifiedStoreNeverForwards(t *testing.T) {
+	q := New()
+	q.InsertStore(OrderKey(1, 0), 1, 0x100, 8, 99, true)
+	res, _, _ := q.InsertLoad(OrderKey(1, 1), 1, 0x100, 8)
+	if res != LoadFromCache {
+		t.Fatalf("load after nullified store = %v, want LoadFromCache", res)
+	}
+}
+
+func TestPartialOverlapConflicts(t *testing.T) {
+	q := New()
+	q.InsertStore(OrderKey(1, 0), 1, 0x102, 2, 0xffff, false)
+	res, _, _ := q.InsertLoad(OrderKey(1, 1), 1, 0x100, 8)
+	if res != LoadConflict {
+		t.Fatalf("partially-overlapped load = %v, want LoadConflict", res)
+	}
+	// The conflicted load replays once the store drains at commit.
+	if got := q.PendingConflicts(); len(got) != 0 {
+		t.Fatalf("conflict should still be blocked; pending = %d", len(got))
+	}
+	q.CommitBlock(1)
+	// Committing removed the load too (same block). Re-create the shape
+	// across blocks: store in block 1, load in block 2.
+	q.InsertStore(OrderKey(1, 0), 1, 0x102, 2, 0xffff, false)
+	res, _, _ = q.InsertLoad(OrderKey(2, 0), 2, 0x100, 8)
+	if res != LoadConflict {
+		t.Fatalf("cross-block overlapped load = %v, want LoadConflict", res)
+	}
+	q.CommitBlock(1)
+	pend := q.PendingConflicts()
+	if len(pend) != 1 || pend[0].Key != OrderKey(2, 0) {
+		t.Fatalf("pending after drain = %v", pend)
+	}
+	q.MarkIssued(pend[0].Key)
+	if len(q.PendingConflicts()) != 0 {
+		t.Fatal("load still pending after MarkIssued")
+	}
+}
+
+func TestViolationDetection(t *testing.T) {
+	q := New()
+	// A later load issues aggressively, then an earlier store to the same
+	// address arrives: ordering violation.
+	res, _, _ := q.InsertLoad(OrderKey(2, 3), 2, 0x200, 8)
+	if res != LoadFromCache {
+		t.Fatalf("aggressive load = %v", res)
+	}
+	violated, err := q.InsertStore(OrderKey(1, 5), 1, 0x200, 8, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violated) != 1 || violated[0].Key != OrderKey(2, 3) {
+		t.Fatalf("violations = %v, want the aggressive load", violated)
+	}
+	if q.Violations != 1 {
+		t.Errorf("violation counter = %d", q.Violations)
+	}
+}
+
+func TestNoViolationWhenStoreIsYounger(t *testing.T) {
+	q := New()
+	q.InsertLoad(OrderKey(2, 3), 2, 0x200, 8)
+	violated, _ := q.InsertStore(OrderKey(3, 0), 3, 0x200, 8, 7, false)
+	if len(violated) != 0 {
+		t.Fatalf("younger store reported violations %v", violated)
+	}
+	// Nullified earlier stores never violate.
+	violated, _ = q.InsertStore(OrderKey(1, 0), 1, 0x200, 8, 7, true)
+	if len(violated) != 0 {
+		t.Fatalf("nullified store reported violations %v", violated)
+	}
+}
+
+func TestCommitDrainsStoresInOrder(t *testing.T) {
+	q := New()
+	q.InsertStore(OrderKey(1, 7), 1, 0x300, 8, 3, false)
+	q.InsertStore(OrderKey(1, 2), 1, 0x308, 8, 1, false)
+	q.InsertStore(OrderKey(1, 4), 1, 0x310, 8, 2, true) // nullified
+	q.InsertLoad(OrderKey(1, 9), 1, 0x400, 8)
+	stores := q.CommitBlock(1)
+	if len(stores) != 2 {
+		t.Fatalf("drained %d stores, want 2 (nullified excluded)", len(stores))
+	}
+	if stores[0].Key != OrderKey(1, 2) || stores[1].Key != OrderKey(1, 7) {
+		t.Fatalf("stores out of LSID order: %v, %v", stores[0].Key, stores[1].Key)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("LSQ still holds %d entries after commit", q.Len())
+	}
+}
+
+func TestFlushFromRemovesYoungBlocks(t *testing.T) {
+	q := New()
+	q.InsertStore(OrderKey(1, 0), 1, 0x100, 8, 1, false)
+	q.InsertLoad(OrderKey(2, 0), 2, 0x200, 8)
+	q.InsertLoad(OrderKey(3, 0), 3, 0x300, 8)
+	q.FlushFrom(2)
+	if q.Len() != 1 {
+		t.Fatalf("after flush, %d entries remain, want 1", q.Len())
+	}
+	// The old block's store is still there.
+	if stores := q.CommitBlock(1); len(stores) != 1 {
+		t.Fatal("old block's store lost by flush")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	q := New()
+	for i := 0; i < Capacity; i++ {
+		if _, _, err := q.InsertLoad(OrderKey(uint64(i/32), i%32), uint64(i/32), uint64(0x1000+i*8), 8); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if !q.Full() {
+		t.Fatal("LSQ should be full at 256 entries")
+	}
+	if _, _, err := q.InsertLoad(OrderKey(99, 0), 99, 0x9000, 8); err == nil {
+		t.Fatal("insert past capacity succeeded")
+	}
+	if q.Occupancy() != 1.0 {
+		t.Errorf("occupancy = %v", q.Occupancy())
+	}
+}
+
+// TestQuickForwardingMatchesGoldenMemory cross-checks LSQ forwarding
+// against a simple sequential-memory model for single-address traffic.
+func TestQuickForwardingMatchesGoldenMemory(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := New()
+		golden := map[uint64]uint64{} // addr -> last stored value
+		base := uint64(0x1000)
+		key := uint64(0)
+		for i := 0; i < 100; i++ {
+			addr := base + uint64(r.Intn(8))*8
+			key++
+			if r.Intn(2) == 0 {
+				v := r.Uint64()
+				if _, err := q.InsertStore(key, key>>5, addr, 8, v, false); err != nil {
+					return false
+				}
+				golden[addr] = v
+			} else {
+				res, data, err := q.InsertLoad(key, key>>5, addr, 8)
+				if err != nil {
+					return false
+				}
+				want, stored := golden[addr]
+				switch res {
+				case LoadForwarded:
+					if !stored || data != want {
+						return false
+					}
+				case LoadFromCache:
+					// Correct only if no store to addr is buffered.
+					if stored {
+						return false
+					}
+				default:
+					return false // aligned same-width traffic never conflicts
+				}
+			}
+			if q.Len() > Capacity-2 {
+				q.CommitBlock(key >> 5)
+				// Cache now holds those stores; golden keeps them visible,
+				// so drop them from the "buffered" view.
+				for a := range golden {
+					delete(golden, a)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepPredictorLearnsAndClears(t *testing.T) {
+	d := NewDepPredictor()
+	d.ClearInterval = 100
+	if !d.Aggressive(0x1000) {
+		t.Fatal("cold predictor must allow aggressive issue")
+	}
+	d.Mispredicted(0x1000)
+	if d.Aggressive(0x1000) {
+		t.Fatal("trained address still issues aggressively")
+	}
+	// Different addresses (different hash buckets) are unaffected.
+	if !d.Aggressive(0x2008) {
+		t.Fatal("unrelated address was stalled")
+	}
+	// Flash clear after the configured number of blocks.
+	for i := 0; i < 100; i++ {
+		d.OnBlockCommit()
+	}
+	if !d.Aggressive(0x1000) {
+		t.Fatal("predictor not cleared after ClearInterval blocks")
+	}
+	if d.Clears != 1 {
+		t.Errorf("clear count = %d", d.Clears)
+	}
+}

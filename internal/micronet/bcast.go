@@ -1,0 +1,160 @@
+package micronet
+
+import "fmt"
+
+// Broadcast is the wave-propagation network used by the global control
+// network (GCN) and the refill network (GRN): a single origin node (the GT)
+// sends commands that reach every node of a rows x cols grid at exactly its
+// Manhattan distance from the origin, in order, one hop per cycle (paper
+// Section 4.3: "This wave propagates at one hop per cycle across the
+// array").
+//
+// The wave is realized as a physical forwarding tree rooted at (0,0):
+// messages travel east along row 0 and south down every column. Because
+// only the origin injects (at most one message per cycle), no arbitration
+// is needed and delivery order equals injection order at every node.
+type Broadcast[T any] struct {
+	Name       string
+	Rows, Cols int
+	east       []*Link[T]   // east[c]: (0,c) -> (0,c+1)
+	south      [][]*Link[T] // south[r][c]: (r,c) -> (r+1,c)
+	outQ       [][][]T      // delivered, per node
+	injected   uint64
+}
+
+// NewBroadcast builds the wave network for a rows x cols grid with the
+// origin at (0,0).
+func NewBroadcast[T any](name string, rows, cols int) *Broadcast[T] {
+	b := &Broadcast[T]{Name: name, Rows: rows, Cols: cols}
+	b.east = make([]*Link[T], cols-1)
+	for c := range b.east {
+		b.east[c] = NewLink[T](fmt.Sprintf("%s east %d", name, c))
+	}
+	b.south = make([][]*Link[T], rows-1)
+	for r := range b.south {
+		b.south[r] = make([]*Link[T], cols)
+		for c := range b.south[r] {
+			b.south[r][c] = NewLink[T](fmt.Sprintf("%s south %d,%d", name, r, c))
+		}
+	}
+	b.outQ = make([][][]T, rows)
+	for r := range b.outQ {
+		b.outQ[r] = make([][]T, cols)
+	}
+	return b
+}
+
+// CanInject reports whether the origin can send this cycle. The tree has no
+// internal contention, so only the first east and south links gate it.
+func (b *Broadcast[T]) CanInject() bool {
+	ok := true
+	if b.Cols > 1 {
+		ok = ok && b.east[0].CanSend()
+	}
+	if b.Rows > 1 {
+		ok = ok && b.south[0][0].CanSend()
+	}
+	return ok
+}
+
+// Inject sends msg from the origin (0,0). The origin itself receives it
+// immediately (distance 0). Returns false if the tree root links are busy.
+func (b *Broadcast[T]) Inject(msg T) bool {
+	if !b.CanInject() {
+		return false
+	}
+	b.outQ[0][0] = append(b.outQ[0][0], msg)
+	if b.Cols > 1 {
+		b.east[0].Send(msg)
+	}
+	if b.Rows > 1 {
+		b.south[0][0].Send(msg)
+	}
+	b.injected++
+	return true
+}
+
+// Deliver peeks at the oldest command delivered to node at.
+func (b *Broadcast[T]) Deliver(at Coord) (T, bool) {
+	q := b.outQ[at.Row][at.Col]
+	if len(q) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q[0], true
+}
+
+// Pop consumes the oldest delivered command at node at.
+func (b *Broadcast[T]) Pop(at Coord) {
+	q := b.outQ[at.Row][at.Col]
+	if len(q) > 0 {
+		b.outQ[at.Row][at.Col] = q[1:]
+	}
+}
+
+// Tick forwards arriving messages down the tree. Call once per cycle before
+// Propagate.
+func (b *Broadcast[T]) Tick() {
+	// Row 0 eastward wave: a message arriving at (0,c) forwards east and
+	// south, and is delivered locally.
+	for c := 1; c < b.Cols; c++ {
+		msg, ok := b.east[c-1].Recv()
+		if !ok {
+			continue
+		}
+		// Forwarding can never block: links drain in lockstep because only
+		// the origin injects, at most one message per cycle.
+		if c < b.Cols-1 {
+			b.east[c].Send(msg)
+		}
+		if b.Rows > 1 {
+			b.south[0][c].Send(msg)
+		}
+		b.outQ[0][c] = append(b.outQ[0][c], msg)
+		b.east[c-1].Pop()
+	}
+	// Southward waves in every column.
+	for r := 1; r < b.Rows; r++ {
+		for c := 0; c < b.Cols; c++ {
+			msg, ok := b.south[r-1][c].Recv()
+			if !ok {
+				continue
+			}
+			if r < b.Rows-1 {
+				b.south[r][c].Send(msg)
+			}
+			b.outQ[r][c] = append(b.outQ[r][c], msg)
+			b.south[r-1][c].Pop()
+		}
+	}
+}
+
+// Propagate advances all links one cycle. Call once per cycle after Tick.
+func (b *Broadcast[T]) Propagate() {
+	for _, l := range b.east {
+		l.Propagate()
+	}
+	for _, row := range b.south {
+		for _, l := range row {
+			l.Propagate()
+		}
+	}
+}
+
+// Quiet reports whether no commands are in flight (delivered-but-unpopped
+// commands do not count).
+func (b *Broadcast[T]) Quiet() bool {
+	for _, l := range b.east {
+		if l.Busy() {
+			return false
+		}
+	}
+	for _, row := range b.south {
+		for _, l := range row {
+			if l.Busy() {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package micronet
+
+import "fmt"
+
+// Chain is a unidirectional daisy chain of n nodes: node i can send toward
+// node 0 (the head, typically the GT), one hop per cycle. The global status
+// network's completion and commit-acknowledgment signals travel on chains
+// like this — each RT or DT combines its own status with its neighbor's and
+// passes the result along (paper Section 4.4).
+type Chain[T any] struct {
+	Name  string
+	N     int
+	links []*Link[T] // links[i]: node i+1 -> node i
+}
+
+// NewChain builds a chain of n nodes (node 0 is the head).
+func NewChain[T any](name string, n int) *Chain[T] {
+	c := &Chain[T]{Name: name, N: n, links: make([]*Link[T], n-1)}
+	for i := range c.links {
+		c.links[i] = NewLink[T](fmt.Sprintf("%s %d->%d", name, i+1, i))
+	}
+	return c
+}
+
+// CanSend reports whether node from (1..n-1) can send toward the head.
+func (c *Chain[T]) CanSend(from int) bool { return c.links[from-1].CanSend() }
+
+// Send sends msg from node from (1..n-1) one hop toward the head.
+func (c *Chain[T]) Send(from int, msg T) bool { return c.links[from-1].Send(msg) }
+
+// Recv peeks at the message arriving at node at (0..n-2) this cycle.
+func (c *Chain[T]) Recv(at int) (T, bool) { return c.links[at].Recv() }
+
+// Pop consumes the message arriving at node at.
+func (c *Chain[T]) Pop(at int) { c.links[at].Pop() }
+
+// Propagate advances the chain one cycle.
+func (c *Chain[T]) Propagate() {
+	for _, l := range c.links {
+		l.Propagate()
+	}
+}
+
+// Quiet reports whether no messages are in flight.
+func (c *Chain[T]) Quiet() bool {
+	for _, l := range c.links {
+		if l.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// BiChain is a bidirectional chain of n nodes in which a message injected
+// at node i is delivered to every other node, propagating one hop per cycle
+// in both directions. The data status network (DSN) is a BiChain over the
+// four DTs: when an executed store arrives at a DT, its LSID and block ID
+// are sent to the other DTs so each can track store completion (paper
+// Section 4.4).
+type BiChain[T any] struct {
+	Name string
+	N    int
+	up   []*Link[T] // up[i]: node i+1 -> node i
+	down []*Link[T] // down[i]: node i -> node i+1
+	outQ [][]T
+}
+
+// NewBiChain builds a bidirectional chain of n nodes.
+func NewBiChain[T any](name string, n int) *BiChain[T] {
+	b := &BiChain[T]{Name: name, N: n, outQ: make([][]T, n)}
+	b.up = make([]*Link[T], n-1)
+	b.down = make([]*Link[T], n-1)
+	for i := 0; i < n-1; i++ {
+		b.up[i] = NewLink[T](fmt.Sprintf("%s up %d->%d", name, i+1, i))
+		b.down[i] = NewLink[T](fmt.Sprintf("%s down %d->%d", name, i, i+1))
+	}
+	return b
+}
+
+// CanInject reports whether node i can broadcast this cycle: both its
+// outgoing links (if present) must be free.
+func (b *BiChain[T]) CanInject(i int) bool {
+	if i > 0 && !b.up[i-1].CanSend() {
+		return false
+	}
+	if i < b.N-1 && !b.down[i].CanSend() {
+		return false
+	}
+	return true
+}
+
+// Inject broadcasts msg from node i to all other nodes.
+func (b *BiChain[T]) Inject(i int, msg T) bool {
+	if !b.CanInject(i) {
+		return false
+	}
+	if i > 0 {
+		b.up[i-1].Send(msg)
+	}
+	if i < b.N-1 {
+		b.down[i].Send(msg)
+	}
+	return true
+}
+
+// Deliver peeks at the oldest message delivered to node i.
+func (b *BiChain[T]) Deliver(i int) (T, bool) {
+	if len(b.outQ[i]) == 0 {
+		var zero T
+		return zero, false
+	}
+	return b.outQ[i][0], true
+}
+
+// Pop consumes the oldest message delivered to node i.
+func (b *BiChain[T]) Pop(i int) {
+	if len(b.outQ[i]) > 0 {
+		b.outQ[i] = b.outQ[i][1:]
+	}
+}
+
+// Tick forwards arriving messages along the chain and delivers them. A
+// message blocked by a busy forwarding link stays on its incoming link
+// (backpressure), so nothing is lost under contention.
+func (b *BiChain[T]) Tick() {
+	// Upward-moving messages arrive at node i from link up[i].
+	for i := 0; i < b.N-1; i++ {
+		msg, ok := b.up[i].Recv()
+		if !ok {
+			continue
+		}
+		if i > 0 && !b.up[i-1].CanSend() {
+			continue // forward hop busy; retry next cycle
+		}
+		if i > 0 {
+			b.up[i-1].Send(msg)
+		}
+		b.outQ[i] = append(b.outQ[i], msg)
+		b.up[i].Pop()
+	}
+	// Downward-moving messages arrive at node i+1 from link down[i].
+	for i := b.N - 2; i >= 0; i-- {
+		msg, ok := b.down[i].Recv()
+		if !ok {
+			continue
+		}
+		at := i + 1
+		if at < b.N-1 && !b.down[at].CanSend() {
+			continue
+		}
+		if at < b.N-1 {
+			b.down[at].Send(msg)
+		}
+		b.outQ[at] = append(b.outQ[at], msg)
+		b.down[i].Pop()
+	}
+}
+
+// Propagate advances all links one cycle.
+func (b *BiChain[T]) Propagate() {
+	for _, l := range b.up {
+		l.Propagate()
+	}
+	for _, l := range b.down {
+		l.Propagate()
+	}
+}
+
+// Quiet reports whether no messages are in flight.
+func (b *BiChain[T]) Quiet() bool {
+	for _, l := range b.up {
+		if l.Busy() {
+			return false
+		}
+	}
+	for _, l := range b.down {
+		if l.Busy() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+// Package micronet implements the microarchitectural network substrate of
+// the TRIPS prototype (paper Section 3, Figure 3, Table 2): point-to-point,
+// nearest-neighbor links that move one message per hop per cycle, a
+// dimension-ordered routed mesh with per-port arbitration (the operand
+// network and on-chip network), a broadcast wave network (global control
+// and dispatch), and daisy chains (global status and data status).
+//
+// The simulation discipline is two-phase: during a cycle, tiles and routers
+// Send into links and Recv/Pop from them; after all tiles have ticked, every
+// link Propagates, making this cycle's sends visible next cycle. That gives
+// exactly the paper's one-tile-per-cycle message propagation with no global
+// wires.
+package micronet
+
+import "fmt"
+
+// Link is a one-cycle, single-entry pipeline register between two
+// endpoints. A value sent in cycle t is receivable in cycle t+1. If the
+// receiver does not pop, the value stays and the link backpressures the
+// sender — flow control without credits, sufficient for single-flit
+// micronets.
+type Link[T any] struct {
+	name    string
+	in, out T
+	hasIn   bool
+	hasOut  bool
+	sent    uint64 // lifetime messages accepted
+	stalled uint64 // lifetime cycles a send was refused
+}
+
+// NewLink creates a named link. The name appears in debug dumps only.
+func NewLink[T any](name string) *Link[T] {
+	return &Link[T]{name: name}
+}
+
+// CanSend reports whether the link can accept a message this cycle.
+func (l *Link[T]) CanSend() bool { return !l.hasIn }
+
+// Send places v on the link. It returns false — and counts a stall — if the
+// link's input register is occupied.
+func (l *Link[T]) Send(v T) bool {
+	if l.hasIn {
+		l.stalled++
+		return false
+	}
+	l.in = v
+	l.hasIn = true
+	l.sent++
+	return true
+}
+
+// Recv peeks at the message deliverable this cycle without consuming it.
+func (l *Link[T]) Recv() (T, bool) { return l.out, l.hasOut }
+
+// Pop consumes the deliverable message.
+func (l *Link[T]) Pop() {
+	var zero T
+	l.out = zero
+	l.hasOut = false
+}
+
+// Propagate advances the link by one cycle: the input register moves to the
+// output register if the output is free. Call exactly once per cycle, after
+// all endpoints have ticked.
+func (l *Link[T]) Propagate() {
+	if l.hasIn && !l.hasOut {
+		l.out, l.hasOut = l.in, true
+		var zero T
+		l.in = zero
+		l.hasIn = false
+	}
+}
+
+// Busy reports whether any message is in flight on the link.
+func (l *Link[T]) Busy() bool { return l.hasIn || l.hasOut }
+
+// Sent returns the number of messages the link has accepted.
+func (l *Link[T]) Sent() uint64 { return l.sent }
+
+// Stalls returns the number of refused sends (backpressure events).
+func (l *Link[T]) Stalls() uint64 { return l.stalled }
+
+func (l *Link[T]) String() string {
+	return fmt.Sprintf("link %s (in=%v out=%v)", l.name, l.hasIn, l.hasOut)
+}

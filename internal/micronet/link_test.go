@@ -1,0 +1,79 @@
+package micronet
+
+import "testing"
+
+func TestLinkOneCycleLatency(t *testing.T) {
+	l := NewLink[int]("t")
+	if !l.Send(42) {
+		t.Fatal("send refused on empty link")
+	}
+	if _, ok := l.Recv(); ok {
+		t.Fatal("message visible in the same cycle it was sent")
+	}
+	l.Propagate()
+	v, ok := l.Recv()
+	if !ok || v != 42 {
+		t.Fatalf("Recv = %d, %v; want 42, true", v, ok)
+	}
+	l.Pop()
+	if _, ok := l.Recv(); ok {
+		t.Fatal("message still visible after Pop")
+	}
+}
+
+func TestLinkBackpressure(t *testing.T) {
+	l := NewLink[int]("t")
+	l.Send(1)
+	if l.Send(2) {
+		t.Fatal("second send in one cycle accepted")
+	}
+	l.Propagate() // 1 moves to out
+	if !l.Send(2) {
+		t.Fatal("send refused after propagate freed the input register")
+	}
+	l.Propagate() // out still holds 1 (not popped), 2 stays in input
+	if l.Send(3) {
+		t.Fatal("send accepted while input register still holds 2")
+	}
+	v, _ := l.Recv()
+	if v != 1 {
+		t.Fatalf("head of link = %d, want 1", v)
+	}
+	l.Pop()
+	l.Propagate()
+	v, ok := l.Recv()
+	if !ok || v != 2 {
+		t.Fatalf("after pop+propagate head = %d, %v; want 2", v, ok)
+	}
+	if l.Stalls() != 2 {
+		t.Errorf("stall count = %d, want 2", l.Stalls())
+	}
+	if l.Sent() != 2 {
+		t.Errorf("sent count = %d, want 2", l.Sent())
+	}
+}
+
+func TestLinkOrderPreserved(t *testing.T) {
+	l := NewLink[int]("t")
+	var got []int
+	next := 0
+	for cycle := 0; cycle < 20; cycle++ {
+		if l.CanSend() && next < 10 {
+			l.Send(next)
+			next++
+		}
+		if v, ok := l.Recv(); ok {
+			got = append(got, v)
+			l.Pop()
+		}
+		l.Propagate()
+	}
+	if len(got) != 10 {
+		t.Fatalf("received %d messages, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: got[%d] = %d", i, v)
+		}
+	}
+}

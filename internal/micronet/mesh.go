@@ -1,0 +1,328 @@
+package micronet
+
+import "fmt"
+
+// Coord is a (row, column) position on a mesh.
+type Coord struct {
+	Row, Col int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Manhattan returns the hop distance between two coordinates on a mesh.
+func (c Coord) Manhattan(o Coord) int {
+	return abs(c.Row-o.Row) + abs(c.Col-o.Col)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Dir is a router port direction.
+type Dir int
+
+const (
+	North Dir = iota
+	South
+	East
+	West
+	Local
+	numDirs
+)
+
+func (d Dir) String() string {
+	return [...]string{"N", "S", "E", "W", "L"}[d]
+}
+
+// Routable is a message that a Mesh can deliver.
+type Routable interface {
+	Dest() Coord
+}
+
+// Tracked is optionally implemented by messages that want per-hop
+// accounting: NoteHop is called once per link traversal, NoteWait once per
+// cycle the message loses arbitration or is blocked by a busy link. The
+// critical-path analyzer uses these to separate OPN hop latency from OPN
+// contention (paper Table 3).
+type Tracked interface {
+	NoteHop()
+	NoteWait()
+}
+
+// router is one mesh node: per-input-port single-entry buffers plus a local
+// injection register and a local delivery queue.
+type router[T Routable] struct {
+	at       Coord
+	inBuf    [numDirs]T
+	inFull   [numDirs]bool
+	outQ     []T // delivered messages awaiting the tile
+	rrOffset int // round-robin arbitration state
+}
+
+// Mesh is a dimension-ordered (X then Y) wormhole mesh of single-flit
+// messages: one message per link per cycle, round-robin arbitration per
+// output port, one hop per cycle. The TRIPS operand network is a 5x5
+// instance (paper Section 3); the on-chip network a 4x10 instance with
+// wider payloads (Section 3.6).
+type Mesh[T Routable] struct {
+	Name       string
+	Rows, Cols int
+	routers    [][]router[T]
+	// links[d][r][c] is the link leaving node (r,c) in direction d.
+	links [numDirs][][]*Link[T]
+	// DeliveryCap bounds messages delivered to one tile per cycle
+	// (default 1).
+	DeliveryCap int
+
+	delivered uint64
+	injected  uint64
+}
+
+// NewMesh builds a Rows x Cols mesh.
+func NewMesh[T Routable](name string, rows, cols int) *Mesh[T] {
+	m := &Mesh[T]{Name: name, Rows: rows, Cols: cols, DeliveryCap: 1}
+	m.routers = make([][]router[T], rows)
+	for r := range m.routers {
+		m.routers[r] = make([]router[T], cols)
+		for c := range m.routers[r] {
+			m.routers[r][c] = router[T]{at: Coord{r, c}}
+		}
+	}
+	for d := North; d < Local; d++ {
+		m.links[d] = make([][]*Link[T], rows)
+		for r := 0; r < rows; r++ {
+			m.links[d][r] = make([]*Link[T], cols)
+			for c := 0; c < cols; c++ {
+				if nr, nc, ok := step(r, c, d, rows, cols); ok {
+					m.links[d][r][c] = NewLink[T](fmt.Sprintf("%s %v->%v", name, Coord{r, c}, Coord{nr, nc}))
+				}
+			}
+		}
+	}
+	return m
+}
+
+func step(r, c int, d Dir, rows, cols int) (int, int, bool) {
+	switch d {
+	case North:
+		r--
+	case South:
+		r++
+	case East:
+		c++
+	case West:
+		c--
+	}
+	if r < 0 || r >= rows || c < 0 || c >= cols {
+		return 0, 0, false
+	}
+	return r, c, true
+}
+
+// route returns the output direction for a message at (r,c): X (columns)
+// first, then Y (rows) — deterministic and deadlock-free.
+func route(at, dest Coord) Dir {
+	switch {
+	case dest.Col > at.Col:
+		return East
+	case dest.Col < at.Col:
+		return West
+	case dest.Row > at.Row:
+		return South
+	case dest.Row < at.Row:
+		return North
+	default:
+		return Local
+	}
+}
+
+// CanInject reports whether node at can accept a new message this cycle.
+func (m *Mesh[T]) CanInject(at Coord) bool {
+	return !m.routers[at.Row][at.Col].inFull[Local]
+}
+
+// Inject offers a message into the network at the given node. It returns
+// false if the node's injection register is busy.
+func (m *Mesh[T]) Inject(at Coord, msg T) bool {
+	rt := &m.routers[at.Row][at.Col]
+	if rt.inFull[Local] {
+		if tr, ok := any(msg).(Tracked); ok {
+			tr.NoteWait()
+		}
+		return false
+	}
+	rt.inBuf[Local] = msg
+	rt.inFull[Local] = true
+	m.injected++
+	return true
+}
+
+// Deliver peeks at the oldest message delivered to the given node.
+func (m *Mesh[T]) Deliver(at Coord) (T, bool) {
+	rt := &m.routers[at.Row][at.Col]
+	if len(rt.outQ) == 0 {
+		var zero T
+		return zero, false
+	}
+	return rt.outQ[0], true
+}
+
+// Pop consumes the oldest delivered message at the node.
+func (m *Mesh[T]) Pop(at Coord) {
+	rt := &m.routers[at.Row][at.Col]
+	if len(rt.outQ) > 0 {
+		var zero T
+		rt.outQ[0] = zero
+		rt.outQ = rt.outQ[1:]
+	}
+}
+
+// Tick runs one routing cycle: every router arbitrates its buffered
+// messages onto output links (or local delivery), round-robin per output
+// port. Call once per cycle before Propagate.
+func (m *Mesh[T]) Tick() {
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			m.tickRouter(&m.routers[r][c])
+		}
+	}
+}
+
+func (m *Mesh[T]) tickRouter(rt *router[T]) {
+	// Collect claims: for each output direction, the input ports wanting it.
+	var claimed [numDirs]bool
+	delivered := 0
+	for k := 0; k < int(numDirs); k++ {
+		// Rotate the starting input port each cycle for fairness.
+		in := Dir((k + rt.rrOffset) % int(numDirs))
+		if !rt.inFull[in] {
+			continue
+		}
+		msg := rt.inBuf[in]
+		out := route(rt.at, msg.Dest())
+		if out == Local {
+			if delivered < m.DeliveryCap {
+				rt.outQ = append(rt.outQ, msg)
+				var zero T
+				rt.inBuf[in] = zero
+				rt.inFull[in] = false
+				delivered++
+				m.delivered++
+			} else if tr, ok := any(msg).(Tracked); ok {
+				tr.NoteWait()
+			}
+			continue
+		}
+		link := m.links[out][rt.at.Row][rt.at.Col]
+		if link == nil {
+			// Message routed off the edge: drop loudly. Should be
+			// impossible for in-range destinations.
+			panic(fmt.Sprintf("micronet: %s: message at %v routed %v off mesh (dest %v)", m.Name, rt.at, out, msg.Dest()))
+		}
+		if claimed[out] || !link.CanSend() {
+			if tr, ok := any(msg).(Tracked); ok {
+				tr.NoteWait()
+			}
+			continue
+		}
+		link.Send(msg)
+		claimed[out] = true
+		if tr, ok := any(msg).(Tracked); ok {
+			tr.NoteHop()
+		}
+		var zero T
+		rt.inBuf[in] = zero
+		rt.inFull[in] = false
+	}
+	rt.rrOffset = (rt.rrOffset + 1) % int(numDirs)
+}
+
+// Propagate advances all links one cycle and latches arriving messages into
+// router input buffers. Call once per cycle after Tick.
+func (m *Mesh[T]) Propagate() {
+	for d := North; d < Local; d++ {
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				if l := m.links[d][r][c]; l != nil {
+					l.Propagate()
+				}
+			}
+		}
+	}
+	// Latch link outputs into the receiving router's input buffer for the
+	// opposite direction, if that buffer is free.
+	for d := North; d < Local; d++ {
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				l := m.links[d][r][c]
+				if l == nil {
+					continue
+				}
+				msg, ok := l.Recv()
+				if !ok {
+					continue
+				}
+				nr, nc, _ := step(r, c, d, m.Rows, m.Cols)
+				in := opposite(d)
+				rt := &m.routers[nr][nc]
+				if rt.inFull[in] {
+					if tr, okt := any(msg).(Tracked); okt {
+						tr.NoteWait()
+					}
+					continue // backpressure: stays on the link
+				}
+				rt.inBuf[in] = msg
+				rt.inFull[in] = true
+				l.Pop()
+			}
+		}
+	}
+}
+
+func opposite(d Dir) Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Local
+}
+
+// Quiet reports whether no messages are anywhere in the network.
+func (m *Mesh[T]) Quiet() bool {
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			rt := &m.routers[r][c]
+			if len(rt.outQ) > 0 {
+				return false
+			}
+			for d := Dir(0); d < numDirs; d++ {
+				if rt.inFull[d] {
+					return false
+				}
+			}
+		}
+	}
+	for d := North; d < Local; d++ {
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				if l := m.links[d][r][c]; l != nil && l.Busy() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Injected and Delivered return lifetime message counts.
+func (m *Mesh[T]) Injected() uint64  { return m.injected }
+func (m *Mesh[T]) Delivered() uint64 { return m.delivered }

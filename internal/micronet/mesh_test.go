@@ -1,0 +1,276 @@
+package micronet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testMsg implements Routable and Tracked for mesh tests.
+type testMsg struct {
+	id    int
+	dest  Coord
+	hops  int
+	waits int
+}
+
+func (m *testMsg) Dest() Coord { return m.dest }
+func (m *testMsg) NoteHop()    { m.hops++ }
+func (m *testMsg) NoteWait()   { m.waits++ }
+
+func runMesh(t *testing.T, m *Mesh[*testMsg], maxCycles int, collect map[Coord][]*testMsg) int {
+	t.Helper()
+	cycles := 0
+	for ; cycles < maxCycles; cycles++ {
+		m.Tick()
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				at := Coord{r, c}
+				for {
+					msg, ok := m.Deliver(at)
+					if !ok {
+						break
+					}
+					collect[at] = append(collect[at], msg)
+					m.Pop(at)
+				}
+			}
+		}
+		m.Propagate()
+		if m.Quiet() {
+			break
+		}
+	}
+	return cycles
+}
+
+func TestMeshDeliversAtManhattanDistance(t *testing.T) {
+	// With no contention, a message injected at cycle 0 arrives after
+	// exactly one cycle per hop plus the final local delivery.
+	cases := []struct{ src, dst Coord }{
+		{Coord{0, 0}, Coord{4, 4}},
+		{Coord{0, 0}, Coord{0, 1}},
+		{Coord{2, 2}, Coord{2, 2}},
+		{Coord{4, 0}, Coord{0, 4}},
+		{Coord{1, 3}, Coord{3, 1}},
+	}
+	for _, c := range cases {
+		m := NewMesh[*testMsg]("opn", 5, 5)
+		msg := &testMsg{id: 1, dest: c.dst}
+		if !m.Inject(c.src, msg) {
+			t.Fatalf("inject at %v refused", c.src)
+		}
+		got := map[Coord][]*testMsg{}
+		runMesh(t, m, 100, got)
+		delivered := got[c.dst]
+		if len(delivered) != 1 {
+			t.Fatalf("%v->%v: delivered %d messages", c.src, c.dst, len(delivered))
+		}
+		if want := c.src.Manhattan(c.dst); msg.hops != want {
+			t.Errorf("%v->%v: hops = %d, want %d", c.src, c.dst, msg.hops, want)
+		}
+		if msg.waits != 0 {
+			t.Errorf("%v->%v: unexpected contention waits %d", c.src, c.dst, msg.waits)
+		}
+	}
+}
+
+func TestMeshContentionSerializesSharedLink(t *testing.T) {
+	// Two messages injected the same cycle from the same node to the same
+	// destination must share every link: the second records waits.
+	m := NewMesh[*testMsg]("opn", 5, 5)
+	a := &testMsg{id: 1, dest: Coord{0, 4}}
+	b := &testMsg{id: 2, dest: Coord{0, 4}}
+	if !m.Inject(Coord{0, 0}, a) {
+		t.Fatal("first inject refused")
+	}
+	if m.Inject(Coord{0, 0}, b) {
+		t.Fatal("second inject in the same cycle should be refused (one injection register)")
+	}
+	if b.waits == 0 {
+		t.Error("refused injection should record a wait")
+	}
+	m.Tick()
+	m.Propagate()
+	if !m.Inject(Coord{0, 0}, b) {
+		t.Fatal("second inject refused after a cycle")
+	}
+	got := map[Coord][]*testMsg{}
+	runMesh(t, m, 100, got)
+	if len(got[Coord{0, 4}]) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(got[Coord{0, 4}]))
+	}
+}
+
+func TestMeshManyToOneAllDelivered(t *testing.T) {
+	// Every node sends to the center; all messages must arrive despite
+	// heavy contention, and total hops must be at least the sum of
+	// distances (contention never shortens a path).
+	m := NewMesh[*testMsg]("opn", 5, 5)
+	center := Coord{2, 2}
+	var msgs []*testMsg
+	pending := []func() bool{}
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			if (Coord{r, c}) == center {
+				continue
+			}
+			msg := &testMsg{id: r*5 + c, dest: center}
+			msgs = append(msgs, msg)
+			src := Coord{r, c}
+			pending = append(pending, func() bool { return m.Inject(src, msg) })
+		}
+	}
+	got := map[Coord][]*testMsg{}
+	for cycle := 0; cycle < 300; cycle++ {
+		var still []func() bool
+		for _, try := range pending {
+			if !try() {
+				still = append(still, try)
+			}
+		}
+		pending = still
+		m.Tick()
+		for {
+			msg, ok := m.Deliver(center)
+			if !ok {
+				break
+			}
+			got[center] = append(got[center], msg)
+			m.Pop(center)
+		}
+		m.Propagate()
+		if len(pending) == 0 && m.Quiet() {
+			break
+		}
+	}
+	if len(got[center]) != len(msgs) {
+		t.Fatalf("delivered %d of %d messages", len(got[center]), len(msgs))
+	}
+	totalWait := 0
+	for _, msg := range msgs {
+		totalWait += msg.waits
+	}
+	if totalWait == 0 {
+		t.Error("24-to-1 traffic should exhibit contention waits")
+	}
+}
+
+func TestMeshDeliveryOrderFIFOPerPair(t *testing.T) {
+	// Messages between one source/dest pair must arrive in injection order
+	// (single path, FIFO links).
+	m := NewMesh[*testMsg]("opn", 5, 5)
+	src, dst := Coord{4, 0}, Coord{0, 4}
+	var sent []*testMsg
+	next := 0
+	var got []*testMsg
+	for cycle := 0; cycle < 200; cycle++ {
+		if next < 10 {
+			msg := &testMsg{id: next, dest: dst}
+			if m.Inject(src, msg) {
+				sent = append(sent, msg)
+				next++
+			}
+		}
+		m.Tick()
+		for {
+			msg, ok := m.Deliver(dst)
+			if !ok {
+				break
+			}
+			got = append(got, msg)
+			m.Pop(dst)
+		}
+		m.Propagate()
+		if next == 10 && m.Quiet() {
+			break
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+	for i, msg := range got {
+		if msg.id != i {
+			t.Fatalf("out of order: got[%d].id = %d", i, msg.id)
+		}
+	}
+}
+
+func TestQuickMeshRandomTrafficDelivers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMesh[*testMsg]("opn", 5, 5)
+		n := 1 + r.Intn(40)
+		type job struct {
+			src Coord
+			msg *testMsg
+		}
+		var jobs []job
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job{
+				src: Coord{r.Intn(5), r.Intn(5)},
+				msg: &testMsg{id: i, dest: Coord{r.Intn(5), r.Intn(5)}},
+			})
+		}
+		deliveredCount := 0
+		pending := jobs
+		for cycle := 0; cycle < 2000; cycle++ {
+			var still []job
+			for _, j := range pending {
+				if !m.Inject(j.src, j.msg) {
+					still = append(still, j)
+				}
+			}
+			pending = still
+			m.Tick()
+			for rr := 0; rr < 5; rr++ {
+				for cc := 0; cc < 5; cc++ {
+					at := Coord{rr, cc}
+					for {
+						msg, ok := m.Deliver(at)
+						if !ok {
+							break
+						}
+						if msg.Dest() != at {
+							t.Logf("message %d delivered to %v, dest %v", msg.id, at, msg.Dest())
+							return false
+						}
+						deliveredCount++
+						m.Pop(at)
+					}
+				}
+			}
+			m.Propagate()
+			if len(pending) == 0 && m.Quiet() {
+				break
+			}
+		}
+		return deliveredCount == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable2Contents(t *testing.T) {
+	if len(Table2) != 8 {
+		t.Fatalf("Table 2 has %d networks, want 8", len(Table2))
+	}
+	wantBits := map[string]int{
+		"GDN": 205, "GSN": 6, "GCN": 13, "GRN": 36,
+		"DSN": 72, "ESN": 10, "OPN": 141, "OCN": 138,
+	}
+	for abbrev, bits := range wantBits {
+		s, ok := SpecByAbbrev(abbrev)
+		if !ok {
+			t.Errorf("missing network %s", abbrev)
+			continue
+		}
+		if s.Bits != bits {
+			t.Errorf("%s bits = %d, want %d", abbrev, s.Bits, bits)
+		}
+	}
+	if _, ok := SpecByAbbrev("XXX"); ok {
+		t.Error("SpecByAbbrev accepted unknown network")
+	}
+}

@@ -1,0 +1,50 @@
+package micronet
+
+// NetworkSpec describes one TRIPS control or data network as reported in
+// paper Table 2.
+type NetworkSpec struct {
+	Abbrev string
+	Name   string
+	Use    string
+	// Bits is the link width in wires; LinksPerTile is the multiplier shown
+	// as (x8) in Table 2 for the routed networks.
+	Bits         int
+	LinksPerTile int
+}
+
+// Table2 is the paper's Table 2: the seven processor micronetworks plus the
+// on-chip network, with their link widths.
+var Table2 = []NetworkSpec{
+	{"GDN", "Global Dispatch Network", "I-fetch", 205, 1},
+	{"GSN", "Global Status Network", "Block status", 6, 1},
+	{"GCN", "Global Control Network", "Commit/flush", 13, 1},
+	{"GRN", "Global Refill Network", "I-cache refill", 36, 1},
+	{"DSN", "Data Status Network", "Store completion", 72, 1},
+	{"ESN", "External Store Network", "L1 misses", 10, 1},
+	{"OPN", "Operand Network", "Operand routing", 141, 8},
+	{"OCN", "On-chip Network", "Memory traffic", 138, 8},
+}
+
+// SpecByAbbrev returns the Table 2 row for a network abbreviation.
+func SpecByAbbrev(abbrev string) (NetworkSpec, bool) {
+	for _, s := range Table2 {
+		if s.Abbrev == abbrev {
+			return s, true
+		}
+	}
+	return NetworkSpec{}, false
+}
+
+// Core mesh geometry (paper Section 3): the OPN connects the GT, RTs, DTs
+// and ETs in a 5x5 mesh; the OCN is a 4x10 mesh threaded through the
+// secondary memory system.
+const (
+	OPNRows = 5
+	OPNCols = 5
+	OCNRows = 10
+	OCNCols = 4
+	// OCNVirtualChannels is the number of OCN virtual channels (Section 3.6).
+	OCNVirtualChannels = 4
+	// OCNLinkBytes is the OCN data link width in bytes (Section 3.6).
+	OCNLinkBytes = 16
+)

@@ -1,0 +1,569 @@
+// Package nuca implements the TRIPS secondary memory system (paper
+// Section 3.6): a 1MB static NUCA array of sixteen memory tiles (MTs), each
+// a 4-way 64KB bank with an on-chip-network router and a single-entry MSHR,
+// embedded in a 4x10 wormhole-routed OCN mesh with 16-byte links. Network
+// tiles (NTs) around the array hold programmable routing tables that
+// translate memory-system requests, letting a programmer configure the
+// array as a single shared L2, as two independent 512KB L2s, or as on-chip
+// scratchpad memory. Two SDRAM controllers (SDCs) sit at the mesh ends.
+//
+// The package satisfies proc.MemBackend, so a core's DT and IT ports plug
+// directly into the OCN, each IT/DT pair getting its own private port as in
+// the prototype.
+package nuca
+
+import (
+	"fmt"
+
+	"trips/internal/cache"
+	"trips/internal/mem"
+	"trips/internal/micronet"
+	"trips/internal/proc"
+)
+
+// Mesh geometry (paper Section 3.6, Figure 2): 4 columns x 10 rows. The
+// sixteen MTs occupy columns 0-1 of rows 1-8's even positions — concretely
+// rows 1..8 in columns 0 and 1. Processor-facing NTs occupy columns 2-3;
+// the SDCs attach at rows 0 and 9.
+const (
+	Rows      = 10
+	Cols      = 4
+	NumMTs    = 16
+	LineBytes = 64
+	// FlitBytes is the OCN link width; a 64-byte line moves as 4 flits
+	// (Section 3.6: 16-byte data links).
+	FlitBytes = 16
+)
+
+// Mode selects what an MT bank does.
+type Mode int
+
+const (
+	// ModeL2: the bank caches DRAM lines.
+	ModeL2 Mode = iota
+	// ModeScratchpad: the bank is directly addressed on-chip memory
+	// (no refills; the bank is the backing store for its range).
+	ModeScratchpad
+)
+
+// Config parameterizes the memory system.
+type Config struct {
+	// Backing is the SDRAM contents.
+	Backing *mem.Memory
+	// SDRAMLatency is the SDC access time in OCN cycles.
+	SDRAMLatency int
+	// Partition splits the MTs between the two processors: 0 = one shared
+	// L2 (any port may reach any MT); 1 = two independent halves.
+	Partition bool
+	// Scratchpad switches every MT to scratchpad mode.
+	Scratchpad bool
+}
+
+// msgKind discriminates OCN transactions.
+type msgKind uint8
+
+const (
+	mkReq msgKind = iota
+	mkResp
+	mkSDCReq
+	mkSDCResp
+)
+
+// ocnMsg is one OCN transaction. Multi-flit payloads are modeled as a
+// serialization delay added at delivery (flits - 1 cycles), a documented
+// approximation of wormhole flit pipelining.
+type ocnMsg struct {
+	dst    micronet.Coord
+	kind   msgKind
+	addr   uint64
+	n      int
+	data   []byte
+	write  bool
+	id     int
+	origin micronet.Coord // requester NT for the reply
+	mt     micronet.Coord // MT awaiting an SDC response
+	flits  int
+	hops   int
+	waits  int
+}
+
+func (m *ocnMsg) Dest() micronet.Coord { return m.dst }
+func (m *ocnMsg) NoteHop()             { m.hops++ }
+func (m *ocnMsg) NoteWait()            { m.waits++ }
+
+// pending tracks an outstanding client request, possibly split across
+// several line-sized OCN transactions (a 128-byte I-cache chunk spans two
+// interleaved MT banks).
+type pending struct {
+	req  *proc.MemRequest
+	port *ntPort
+	// Assembly state for split reads.
+	left  int
+	buf   []byte
+	base  uint64
+	parts map[int]part // transaction id -> slice position
+}
+
+type part struct {
+	off, n int
+}
+
+// ntPort is one client port (an NT on the processor-facing columns).
+type ntPort struct {
+	sys  *System
+	name string
+	at   micronet.Coord
+	outQ []*ocnMsg
+	// half selects the MT partition this port may address (when the
+	// system is partitioned).
+	half int
+}
+
+// Submit implements proc.MemPort. Requests that cross line boundaries are
+// split into per-line OCN transactions, since consecutive lines live on
+// different MTs; the port reassembles read data before completing.
+func (p *ntPort) Submit(req *proc.MemRequest) bool {
+	if len(p.outQ) >= 8 {
+		return false
+	}
+	n := req.N
+	if req.IsWrite {
+		n = len(req.Data)
+	}
+	start := req.Addr
+	end := req.Addr + uint64(n)
+	firstLine := start / LineBytes
+	lastLine := (end - 1) / LineBytes
+	if firstLine == lastLine {
+		p.submitPart(req, nil, req.Addr, n, 0)
+		return true
+	}
+	pd := &pending{req: req, port: p, base: start, parts: make(map[int]part)}
+	if !req.IsWrite {
+		pd.buf = make([]byte, n)
+	}
+	for line := firstLine; line <= lastLine; line++ {
+		a := line * LineBytes
+		if a < start {
+			a = start
+		}
+		e := (line + 1) * LineBytes
+		if e > end {
+			e = end
+		}
+		pd.left++
+		p.submitPart(req, pd, a, int(e-a), int(a-start))
+	}
+	return true
+}
+
+// submitPart issues one line-contained transaction. pd is nil for unsplit
+// requests.
+func (p *ntPort) submitPart(req *proc.MemRequest, pd *pending, addr uint64, n, off int) {
+	id := p.sys.nextID
+	p.sys.nextID++
+	if pd == nil {
+		p.sys.pending[id] = pending{req: req, port: p}
+	} else {
+		pd.parts[id] = part{off: off, n: n}
+		p.sys.pendSplit[id] = pd
+	}
+	mt := p.sys.route(p.half, addr)
+	msg := &ocnMsg{
+		dst: mt, kind: mkReq, addr: addr, n: n,
+		write: req.IsWrite, id: id, origin: p.at,
+		flits: 1 + (n+FlitBytes-1)/FlitBytes,
+	}
+	if req.IsWrite {
+		msg.data = req.Data[off : off+n]
+	}
+	p.outQ = append(p.outQ, msg)
+}
+
+// mtState is one memory tile.
+type mtState struct {
+	at   micronet.Coord
+	bank *cache.Bank
+	mode Mode
+	// Single-entry MSHR (Section 3.6): one outstanding SDC fetch.
+	busy     bool
+	waiters  []*ocnMsg
+	waitLine uint64
+	outQ     []*ocnMsg
+	// Stats.
+	Hits, Misses uint64
+}
+
+// System is the full secondary memory system.
+type System struct {
+	cfg       Config
+	mesh      *micronet.Mesh[*ocnMsg]
+	mts       []*mtState
+	mtAt      map[micronet.Coord]*mtState
+	ports     map[string]*ntPort
+	order     []*ntPort
+	sdcs      [2]micronet.Coord
+	sdcQ      map[int][]sdcJob // per-SDC in-flight jobs
+	pending   map[int]pending
+	pendSplit map[int]*pending
+	nextID    int
+	cycle     int64
+	// delivery delay queue for multi-flit serialization
+	delayed []delayedMsg
+
+	// Stats.
+	Requests, LineTransfers uint64
+}
+
+type sdcJob struct {
+	msg     *ocnMsg
+	readyAt int64
+}
+
+type delayedMsg struct {
+	msg     *ocnMsg
+	readyAt int64
+}
+
+// New builds the memory system.
+func New(cfg Config) *System {
+	if cfg.Backing == nil {
+		cfg.Backing = mem.New()
+	}
+	if cfg.SDRAMLatency == 0 {
+		cfg.SDRAMLatency = 60
+	}
+	s := &System{
+		cfg:       cfg,
+		mesh:      micronet.NewMesh[*ocnMsg]("ocn", Rows, Cols),
+		mtAt:      make(map[micronet.Coord]*mtState),
+		ports:     make(map[string]*ntPort),
+		pending:   make(map[int]pending),
+		pendSplit: make(map[int]*pending),
+		sdcQ:      make(map[int][]sdcJob),
+	}
+	s.mesh.DeliveryCap = 2
+	mode := ModeL2
+	if cfg.Scratchpad {
+		mode = ModeScratchpad
+	}
+	for i := 0; i < NumMTs; i++ {
+		at := micronet.Coord{Row: 1 + i/2, Col: i % 2}
+		mt := &mtState{at: at, bank: cache.NewBank(64<<10, 4, LineBytes), mode: mode}
+		s.mts = append(s.mts, mt)
+		s.mtAt[at] = mt
+	}
+	s.sdcs = [2]micronet.Coord{{Row: 0, Col: 0}, {Row: Rows - 1, Col: 0}}
+	return s
+}
+
+// Port implements proc.MemBackend. Port names follow the proc convention
+// ("dt0".."dt3", "it0".."it4"), optionally prefixed "p1:" for the second
+// processor, which attaches to the east column's southern half.
+func (s *System) Port(name string) proc.MemPort {
+	if p, ok := s.ports[name]; ok {
+		return p
+	}
+	half := 0
+	base := name
+	if len(name) > 3 && name[:3] == "p1:" {
+		half = 1
+		base = name[3:]
+	}
+	row := 1 + len(s.orderForHalf(half))%(Rows-2)
+	_ = base
+	at := micronet.Coord{Row: row, Col: 3}
+	p := &ntPort{sys: s, name: name, at: at, half: half}
+	s.ports[name] = p
+	s.order = append(s.order, p)
+	return p
+}
+
+func (s *System) orderForHalf(h int) []*ntPort {
+	var out []*ntPort
+	for _, p := range s.order {
+		if p.half == h {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// route maps an address to its home MT. The default policy interleaves
+// 64-byte lines across the sixteen banks; a partitioned system restricts
+// each half's ports to its eight banks (Section 3.6's "two independent
+// 512KB level-2 caches").
+func (s *System) route(half int, addr uint64) micronet.Coord {
+	line := addr / LineBytes
+	if s.cfg.Partition {
+		idx := int(line % (NumMTs / 2))
+		if half == 1 {
+			idx += NumMTs / 2
+		}
+		return s.mts[idx].at
+	}
+	return s.mts[int(line%NumMTs)].at
+}
+
+// MTFor exposes the routing decision (used by tests and tools).
+func (s *System) MTFor(addr uint64) int {
+	at := s.route(0, addr)
+	for i, mt := range s.mts {
+		if mt.at == at {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tick implements proc.MemBackend: one OCN cycle.
+func (s *System) Tick() {
+	s.cycle++
+	// Deliver delayed (multi-flit) messages whose serialization elapsed.
+	kept := s.delayed[:0]
+	for _, d := range s.delayed {
+		if d.readyAt <= s.cycle {
+			s.dispatch(d.msg)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	s.delayed = kept
+
+	s.mesh.Tick()
+	// Drain deliveries at every node.
+	for r := 0; r < Rows; r++ {
+		for c := 0; c < Cols; c++ {
+			at := micronet.Coord{Row: r, Col: c}
+			for {
+				msg, ok := s.mesh.Deliver(at)
+				if !ok {
+					break
+				}
+				s.mesh.Pop(at)
+				if msg.flits > 1 {
+					s.delayed = append(s.delayed, delayedMsg{msg: msg, readyAt: s.cycle + int64(msg.flits-1)})
+				} else {
+					s.dispatch(msg)
+				}
+			}
+		}
+	}
+	// SDC completions.
+	for sdc := 0; sdc < 2; sdc++ {
+		var still []sdcJob
+		for _, j := range s.sdcQ[sdc] {
+			if j.readyAt > s.cycle {
+				still = append(still, j)
+				continue
+			}
+			m := j.msg
+			if m.write {
+				s.cfg.Backing.WriteBytes(m.addr, m.data)
+				continue
+			}
+			resp := &ocnMsg{
+				dst: m.mt, kind: mkSDCResp, addr: m.addr, n: m.n,
+				data: s.cfg.Backing.ReadBytes(m.addr, m.n), id: m.id,
+				origin: m.origin, mt: m.mt,
+				flits: 1 + (m.n+FlitBytes-1)/FlitBytes,
+			}
+			if !s.mesh.Inject(s.sdcs[sdc], resp) {
+				still = append(still, sdcJob{msg: m, readyAt: s.cycle + 1})
+				continue
+			}
+		}
+		s.sdcQ[sdc] = still
+	}
+	// MT output queues.
+	for _, mt := range s.mts {
+		for len(mt.outQ) > 0 {
+			if !s.mesh.Inject(mt.at, mt.outQ[0]) {
+				break
+			}
+			mt.outQ = mt.outQ[1:]
+		}
+	}
+	// Port output queues.
+	for _, p := range s.order {
+		for len(p.outQ) > 0 {
+			if !s.mesh.Inject(p.at, p.outQ[0]) {
+				break
+			}
+			p.outQ = p.outQ[1:]
+			s.Requests++
+		}
+	}
+	s.mesh.Propagate()
+}
+
+// dispatch handles a message arriving at its destination node.
+func (s *System) dispatch(msg *ocnMsg) {
+	switch msg.kind {
+	case mkReq:
+		s.mtRequest(msg)
+	case mkSDCResp:
+		s.mtFill(msg)
+	case mkSDCReq:
+		sdc := 0
+		if msg.dst == s.sdcs[1] {
+			sdc = 1
+		}
+		s.sdcQ[sdc] = append(s.sdcQ[sdc], sdcJob{msg: msg, readyAt: s.cycle + int64(s.cfg.SDRAMLatency)})
+	case mkResp:
+		if pd, ok := s.pendSplit[msg.id]; ok {
+			delete(s.pendSplit, msg.id)
+			pt := pd.parts[msg.id]
+			if !pd.req.IsWrite {
+				copy(pd.buf[pt.off:pt.off+pt.n], msg.data)
+			}
+			pd.left--
+			if pd.left == 0 && pd.req.Done != nil {
+				pd.req.Done(pd.buf)
+			}
+			return
+		}
+		p, ok := s.pending[msg.id]
+		if !ok {
+			panic("nuca: response for unknown request")
+		}
+		delete(s.pending, msg.id)
+		if p.req.Done != nil {
+			p.req.Done(msg.data)
+		}
+	}
+}
+
+// nearestSDC picks the SDC closer to an MT.
+func (s *System) nearestSDC(at micronet.Coord) micronet.Coord {
+	if at.Row <= Rows/2 {
+		return s.sdcs[0]
+	}
+	return s.sdcs[1]
+}
+
+// mtRequest services a client request at its home MT.
+func (s *System) mtRequest(msg *ocnMsg) {
+	mt := s.mtAt[msg.dst]
+	if mt == nil {
+		panic(fmt.Sprintf("nuca: request routed to non-MT node %v", msg.dst))
+	}
+	if mt.mode == ModeScratchpad {
+		s.scratchAccess(mt, msg)
+		return
+	}
+	if msg.write {
+		if mt.bank.Write(msg.addr, msg.data) {
+			mt.Hits++
+			mt.outQ = append(mt.outQ, &ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
+			return
+		}
+	} else if data, ok := s.bankRead(mt, msg.addr, msg.n); ok {
+		mt.Hits++
+		mt.outQ = append(mt.outQ, &ocnMsg{
+			dst: msg.origin, kind: mkResp, id: msg.id, data: data,
+			flits: 1 + (msg.n+FlitBytes-1)/FlitBytes,
+		})
+		return
+	}
+	// Miss: single-entry MSHR — a second missing line stalls behind the
+	// first (retried on fill).
+	mt.Misses++
+	line := mt.bank.LineAddr(msg.addr)
+	if mt.busy {
+		if line == mt.waitLine {
+			mt.waiters = append(mt.waiters, msg)
+		} else {
+			// Retry by self-requeueing into the MT next cycle.
+			mt.waiters = append(mt.waiters, msg)
+		}
+		return
+	}
+	mt.busy = true
+	mt.waitLine = line
+	mt.waiters = append(mt.waiters, msg)
+	sdc := s.nearestSDC(mt.at)
+	mt.outQ = append(mt.outQ, &ocnMsg{
+		dst: sdc, kind: mkSDCReq, addr: line, n: LineBytes,
+		id: msg.id, origin: msg.origin, mt: mt.at, flits: 1,
+	})
+}
+
+// bankRead reads n bytes, splitting line-straddling accesses.
+func (s *System) bankRead(mt *mtState, addr uint64, n int) ([]byte, bool) {
+	la := mt.bank.LineAddr(addr)
+	if mt.bank.LineAddr(addr+uint64(n)-1) == la {
+		return mt.bank.Read(addr, n)
+	}
+	first := int(la + LineBytes - addr)
+	d1, ok := mt.bank.Read(addr, first)
+	if !ok {
+		return nil, false
+	}
+	d2, ok := mt.bank.Read(addr+uint64(first), n-first)
+	if !ok {
+		return nil, false
+	}
+	return append(d1, d2...), true
+}
+
+// mtFill installs a refilled line and replays waiters.
+func (s *System) mtFill(msg *ocnMsg) {
+	mt := s.mtAt[msg.mt]
+	if v := mt.bank.Fill(msg.addr, msg.data); v.Valid {
+		sdc := s.nearestSDC(mt.at)
+		mt.outQ = append(mt.outQ, &ocnMsg{dst: sdc, kind: mkSDCReq, addr: v.Addr, data: v.Data, write: true, flits: 1 + LineBytes/FlitBytes})
+	}
+	s.LineTransfers++
+	mt.busy = false
+	waiters := mt.waiters
+	mt.waiters = nil
+	for _, w := range waiters {
+		s.mtRequest(w)
+	}
+}
+
+// scratchAccess services a scratchpad-mode access: the bank IS the memory
+// for its interleaved slice; untouched lines are zero-filled on first use.
+func (s *System) scratchAccess(mt *mtState, msg *ocnMsg) {
+	line := mt.bank.LineAddr(msg.addr)
+	if !mt.bank.Probe(line) {
+		mt.bank.Fill(line, make([]byte, LineBytes))
+	}
+	end := mt.bank.LineAddr(msg.addr + uint64(msg.n) - 1)
+	if end != line && !mt.bank.Probe(end) {
+		mt.bank.Fill(end, make([]byte, LineBytes))
+	}
+	if msg.write {
+		mt.bank.Write(msg.addr, msg.data)
+		mt.outQ = append(mt.outQ, &ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
+		return
+	}
+	data, _ := s.bankRead(mt, msg.addr, msg.n)
+	mt.outQ = append(mt.outQ, &ocnMsg{
+		dst: msg.origin, kind: mkResp, id: msg.id, data: data,
+		flits: 1 + (msg.n+FlitBytes-1)/FlitBytes,
+	})
+}
+
+// Flush writes every dirty L2 line back to the backing store (test and
+// shutdown aid).
+func (s *System) Flush() {
+	for _, mt := range s.mts {
+		if mt.mode == ModeScratchpad {
+			continue
+		}
+		for _, v := range mt.bank.DirtyLines() {
+			s.cfg.Backing.WriteBytes(v.Addr, v.Data)
+		}
+	}
+}
+
+// Stats returns per-MT hit/miss counters.
+func (s *System) Stats() (hits, misses uint64) {
+	for _, mt := range s.mts {
+		hits += mt.Hits
+		misses += mt.Misses
+	}
+	return
+}

@@ -1,0 +1,264 @@
+// Package predictor implements the TRIPS next-block predictor (paper
+// Section 3.1). Because each block emits exactly one of up to eight exit
+// branches, the predictor operates on three-bit exit histories rather than
+// taken/not-taken bits. It has two major parts:
+//
+//   - an exit predictor: a tournament of a local and a gshare exit
+//     predictor (paper: 9K, 16K and 12K bits for the local, global and
+//     tournament components), and
+//   - a target predictor: a branch target buffer, a call target buffer, a
+//     return address stack, and a branch type predictor that selects among
+//     branch/call/return/sequential targets (20K, 6K, 7K and 12K bits).
+//
+// The type predictor is required by the distributed fetch protocol: the GT
+// never sees the actual branch instructions, which flow directly from the
+// ITs to the ETs (paper Section 3.1).
+package predictor
+
+// Kind is the predicted or actual control transfer type of a block's exit.
+type Kind uint8
+
+const (
+	KindSeq    Kind = iota // sequential: next block follows in memory
+	KindBranch             // ordinary branch (BRO)
+	KindCall               // call (CALLO): pushes a return address
+	KindReturn             // return (RET): target comes from the RAS
+	numKinds
+)
+
+func (k Kind) String() string {
+	return [...]string{"seq", "branch", "call", "return"}[k]
+}
+
+// Table geometry. Sizes approximate the paper's bit budgets.
+const (
+	localHistEntries = 512  // 512 x 9-bit local exit histories (~4.5K bits)
+	localPredEntries = 1024 // 1024 x 4 bits (~4K bits): 9K total local
+	globalEntries    = 4096 // 4096 x 4 bits = 16K bits
+	chooserEntries   = 4096 // chooser: 4096 x 2 bits + type reuse = ~12K
+	btbEntries       = 512  // 512 x ~40 bits = 20K bits
+	ctbEntries       = 128  // 128 x ~48 bits = 6K bits
+	rasEntries       = 108  // ~7K bits of 64-bit return addresses
+	btypeEntries     = 4096 // 4096 x 3 bits = 12K bits
+	historyExits     = 3    // exits folded into the 9-bit local history
+	globalHistBits   = 12   // gshare history length in bits
+)
+
+type exitEntry struct {
+	exit uint8
+	conf uint8 // 0..3 hysteresis
+}
+
+type targetEntry struct {
+	tag    uint32
+	target uint64
+	valid  bool
+}
+
+type typeEntry struct {
+	kind Kind
+	conf uint8
+}
+
+// Predictor is the per-core next-block predictor state. It is not safe for
+// concurrent use; the GT owns it.
+type Predictor struct {
+	localHist [localHistEntries]uint16
+	localPred [localPredEntries]exitEntry
+	globPred  [globalEntries]exitEntry
+	chooser   [chooserEntries]uint8 // 2-bit: >=2 prefers global
+	ghr       uint32
+
+	btb   [btbEntries]targetEntry
+	ctb   [ctbEntries]targetEntry
+	ras   [rasEntries]uint64
+	rasSP int
+	btype [btypeEntries]typeEntry
+
+	// Stats.
+	Predictions, ExitMisses, TargetMisses uint64
+}
+
+// New returns a predictor with cold tables: exits predict 0, types predict
+// sequential, empty RAS.
+func New() *Predictor {
+	p := &Predictor{}
+	for i := range p.chooser {
+		p.chooser[i] = 1 // weakly prefer local
+	}
+	return p
+}
+
+// Prediction carries everything the GT needs to later verify and train.
+type Prediction struct {
+	Next  uint64 // predicted next block address
+	Exit  int    // predicted exit number
+	Kind  Kind   // predicted transfer type
+	ghr   uint32 // history checkpoint for repair
+	rasSP int    // RAS checkpoint for repair
+	usedG bool   // tournament selected the global component
+	lexit uint8  // the two component predictions, for chooser training
+	gexit uint8
+}
+
+func blockIndex(addr uint64) uint32 { return uint32(addr >> 7) } // blocks are 128B aligned
+
+// Predict produces the next-block prediction for the block at addr.
+// seqNext is the address of the next sequential block (addr plus the
+// block's size in memory), which the GT knows from the fetched header.
+func (p *Predictor) Predict(addr uint64, seqNext uint64) Prediction {
+	p.Predictions++
+	bi := blockIndex(addr)
+
+	lh := p.localHist[bi%localHistEntries]
+	le := p.localPred[(bi^uint32(lh))%localPredEntries]
+	ge := p.globPred[(bi^p.ghr)%globalEntries]
+	choose := p.chooser[(bi^p.ghr)%chooserEntries]
+	exit := le.exit
+	usedG := choose >= 2
+	if usedG {
+		exit = ge.exit
+	}
+
+	// The predicted exit number combines with the block address to access
+	// the target predictor (paper Section 3.1).
+	ti := (bi*8 + uint32(exit))
+	te := p.btype[ti%btypeEntries]
+	pred := Prediction{
+		Exit:  int(exit),
+		Kind:  te.kind,
+		ghr:   p.ghr,
+		rasSP: p.rasSP,
+		usedG: usedG,
+		lexit: le.exit,
+		gexit: ge.exit,
+	}
+	switch te.kind {
+	case KindSeq:
+		pred.Next = seqNext
+	case KindBranch:
+		e := p.btb[ti%btbEntries]
+		if e.valid && e.tag == bi {
+			pred.Next = e.target
+		} else {
+			pred.Next = seqNext
+		}
+	case KindCall:
+		e := p.ctb[ti%ctbEntries]
+		if e.valid && e.tag == bi {
+			pred.Next = e.target
+		} else {
+			pred.Next = seqNext
+		}
+		// Speculatively push the return address (the sequential successor).
+		p.rasSP = (p.rasSP + 1) % rasEntries
+		p.ras[p.rasSP] = seqNext
+	case KindReturn:
+		pred.Next = p.ras[p.rasSP]
+		p.rasSP = (p.rasSP - 1 + rasEntries) % rasEntries
+	}
+	// Speculatively update the global history with the predicted exit;
+	// repaired on misprediction.
+	p.ghr = (p.ghr<<historyExits | uint32(exit)) & (1<<globalHistBits - 1)
+	return pred
+}
+
+// Repair rolls back the speculative history and RAS state captured in a
+// prediction. The GT calls it when the flush protocol discards the blocks
+// fetched under that prediction.
+func (p *Predictor) Repair(pred Prediction) {
+	p.ghr = pred.ghr
+	p.rasSP = pred.rasSP
+}
+
+// Update trains the predictor with a block's actual outcome: its actual
+// exit number, transfer kind, next block address and return address (the
+// sequential successor, pushed by calls). The GT calls this at block commit
+// (paper Section 4.4: the commit command "updates the block predictor").
+func (p *Predictor) Update(addr uint64, pred Prediction, exit int, kind Kind, next uint64, retAddr uint64) {
+	bi := blockIndex(addr)
+	if exit != pred.Exit {
+		p.ExitMisses++
+	} else if next != pred.Next {
+		p.TargetMisses++
+	}
+
+	// Exit components train on the history state at prediction time.
+	lhIdx := bi % localHistEntries
+	lh := p.localHist[lhIdx]
+	lpIdx := (bi ^ uint32(lh)) % localPredEntries
+	gpIdx := (bi ^ pred.ghr) % globalEntries
+	trainExit(&p.localPred[lpIdx], uint8(exit))
+	trainExit(&p.globPred[gpIdx], uint8(exit))
+
+	// Chooser: strengthen the component that was right when they disagree.
+	localRight := pred.lexit == uint8(exit)
+	globalRight := pred.gexit == uint8(exit)
+	cIdx := (bi ^ pred.ghr) % chooserEntries
+	if localRight != globalRight {
+		if globalRight {
+			if p.chooser[cIdx] < 3 {
+				p.chooser[cIdx]++
+			}
+		} else if p.chooser[cIdx] > 0 {
+			p.chooser[cIdx]--
+		}
+	}
+
+	// Histories advance with the actual exit.
+	p.localHist[lhIdx] = (lh<<historyExits | uint16(exit)) & (1<<(historyExits*historyExits) - 1)
+	if exit != pred.Exit {
+		// The speculative ghr shifted in a wrong exit; rebuild from the
+		// prediction-time checkpoint.
+		p.ghr = (pred.ghr<<historyExits | uint32(exit)) & (1<<globalHistBits - 1)
+	}
+
+	// Target structures train on the actual exit.
+	ti := bi*8 + uint32(exit)
+	trainType(&p.btype[ti%btypeEntries], kind)
+	switch kind {
+	case KindBranch:
+		p.btb[ti%btbEntries] = targetEntry{tag: bi, target: next, valid: true}
+	case KindCall:
+		p.ctb[ti%ctbEntries] = targetEntry{tag: bi, target: next, valid: true}
+		if exit != pred.Exit || pred.Kind != KindCall {
+			// The speculative path never pushed; push the real return.
+			p.rasSP = (p.rasSP + 1) % rasEntries
+			p.ras[p.rasSP] = retAddr
+		}
+	case KindReturn:
+		if exit != pred.Exit || pred.Kind != KindReturn {
+			p.rasSP = (p.rasSP - 1 + rasEntries) % rasEntries
+		}
+	}
+}
+
+func trainExit(e *exitEntry, exit uint8) {
+	if e.exit == exit {
+		if e.conf < 3 {
+			e.conf++
+		}
+		return
+	}
+	if e.conf > 0 {
+		e.conf--
+		return
+	}
+	e.exit = exit
+	e.conf = 1
+}
+
+func trainType(e *typeEntry, kind Kind) {
+	if e.kind == kind {
+		if e.conf < 3 {
+			e.conf++
+		}
+		return
+	}
+	if e.conf > 0 {
+		e.conf--
+		return
+	}
+	e.kind = kind
+	e.conf = 1
+}

@@ -1,0 +1,195 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// run trains the predictor on a deterministic block-exit trace and returns
+// the exit-prediction accuracy over the final quarter of the trace.
+func run(t *testing.T, trace func(i int) (addr uint64, exit int, kind Kind, next uint64), n int) float64 {
+	t.Helper()
+	p := New()
+	correct, total := 0, 0
+	for i := 0; i < n; i++ {
+		addr, exit, kind, next := trace(i)
+		seq := addr + 5*128
+		pred := p.Predict(addr, seq)
+		if i >= 3*n/4 {
+			total++
+			if pred.Exit == exit && pred.Next == next {
+				correct++
+			}
+		}
+		if pred.Next != next {
+			p.Repair(pred)
+			// Re-predict after repair as the GT would refetch; then train.
+		}
+		p.Update(addr, pred, exit, kind, next, seq)
+	}
+	if total == 0 {
+		t.Fatal("empty measurement window")
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestLearnsSingleExitLoop(t *testing.T) {
+	// One block always exiting via exit 2 to the same target.
+	acc := run(t, func(i int) (uint64, int, Kind, uint64) {
+		return 0x1000, 2, KindBranch, 0x8000
+	}, 400)
+	if acc < 0.99 {
+		t.Errorf("steady-exit accuracy = %.2f, want ~1.0", acc)
+	}
+}
+
+func TestLearnsAlternatingExits(t *testing.T) {
+	// A block alternating exits 1,3,1,3... is learnable from local history.
+	targets := map[int]uint64{1: 0x8000, 3: 0x9000}
+	acc := run(t, func(i int) (uint64, int, Kind, uint64) {
+		exit := 1
+		if i%2 == 1 {
+			exit = 3
+		}
+		return 0x2000, exit, KindBranch, targets[exit]
+	}, 2000)
+	if acc < 0.95 {
+		t.Errorf("alternating-exit accuracy = %.2f, want > 0.95", acc)
+	}
+}
+
+func TestLearnsPeriodicPattern(t *testing.T) {
+	// Period-4 exit pattern exercising longer histories.
+	pattern := []int{0, 0, 5, 1}
+	targets := map[int]uint64{0: 0x8000, 5: 0x9000, 1: 0xa000}
+	acc := run(t, func(i int) (uint64, int, Kind, uint64) {
+		exit := pattern[i%len(pattern)]
+		return 0x3000, exit, KindBranch, targets[exit]
+	}, 4000)
+	if acc < 0.90 {
+		t.Errorf("periodic-exit accuracy = %.2f, want > 0.90", acc)
+	}
+}
+
+func TestCallReturnPairsUseRAS(t *testing.T) {
+	// Three call sites invoke the same function block; the function's
+	// return must be predicted to each caller's successor via the RAS,
+	// which a BTB alone cannot do.
+	p := New()
+	callers := []uint64{0x1000, 0x2000, 0x3000}
+	fn := uint64(0x8000)
+	var returnCorrect, returnTotal int
+	for round := 0; round < 50; round++ {
+		for _, c := range callers {
+			seq := c + 128
+			pred := p.Predict(c, seq)
+			p.Update(c, pred, 0, KindCall, fn, seq)
+			fpred := p.Predict(fn, fn+128)
+			if round > 10 {
+				returnTotal++
+				if fpred.Kind == KindReturn && fpred.Next == seq {
+					returnCorrect++
+				}
+			}
+			p.Update(fn, fpred, 0, KindReturn, seq, fn+128)
+		}
+	}
+	if returnTotal == 0 || returnCorrect < returnTotal*9/10 {
+		t.Errorf("RAS return accuracy = %d/%d, want >= 90%%", returnCorrect, returnTotal)
+	}
+}
+
+func TestRepairRestoresRAS(t *testing.T) {
+	p := New()
+	// Push a return address via a trained call.
+	for i := 0; i < 10; i++ {
+		pred := p.Predict(0x1000, 0x1080)
+		p.Update(0x1000, pred, 0, KindCall, 0x8000, 0x1080)
+		fp := p.Predict(0x8000, 0x8080)
+		p.Update(0x8000, fp, 0, KindReturn, 0x1080, 0x8080)
+	}
+	spBefore := p.rasSP
+	ghrBefore := p.ghr
+	pred := p.Predict(0x1000, 0x1080) // trained: predicts call, pushes RAS
+	if p.rasSP == spBefore {
+		t.Fatal("predicted call did not push the RAS")
+	}
+	p.Repair(pred)
+	if p.rasSP != spBefore {
+		t.Error("Repair did not restore the RAS pointer")
+	}
+	if p.ghr != ghrBefore {
+		t.Error("Repair did not restore the global history")
+	}
+}
+
+func TestTypePredictorDistinguishesExits(t *testing.T) {
+	// One block whose exit 0 is a branch and exit 1 is a return: the type
+	// predictor is indexed by (block, exit) so both must be learned.
+	p := New()
+	for i := 0; i < 200; i++ {
+		exit := i % 2
+		pred := p.Predict(0x4000, 0x4080)
+		if exit == 0 {
+			p.Update(0x4000, pred, 0, KindBranch, 0x9000, 0x4080)
+		} else {
+			p.Update(0x4000, pred, 1, KindReturn, 0x7000, 0x4080)
+		}
+	}
+	// After training, force-check the learned types via the tables.
+	bi := blockIndex(0x4000)
+	e0 := p.btype[(bi*8+0)%btypeEntries]
+	e1 := p.btype[(bi*8+1)%btypeEntries]
+	if e0.kind != KindBranch {
+		t.Errorf("exit 0 type = %v, want branch", e0.kind)
+	}
+	if e1.kind != KindReturn {
+		t.Errorf("exit 1 type = %v, want return", e1.kind)
+	}
+}
+
+func TestColdPredictorIsSane(t *testing.T) {
+	p := New()
+	pred := p.Predict(0x5000, 0x5080)
+	if pred.Kind != KindSeq || pred.Next != 0x5080 {
+		t.Errorf("cold prediction = %+v, want sequential fallthrough", pred)
+	}
+	if pred.Exit != 0 {
+		t.Errorf("cold exit = %d, want 0", pred.Exit)
+	}
+}
+
+func TestManyBlocksNoInterferenceCatastrophe(t *testing.T) {
+	// 64 independent steady blocks must all be predictable: aliasing may
+	// cost some accuracy but not collapse.
+	r := rand.New(rand.NewSource(42))
+	type blk struct {
+		addr, next uint64
+		exit       int
+	}
+	blocks := make([]blk, 64)
+	for i := range blocks {
+		blocks[i] = blk{
+			addr: uint64(0x10000 + i*640),
+			next: uint64(0x80000 + r.Intn(1000)*128),
+			exit: r.Intn(8),
+		}
+	}
+	p := New()
+	correct, total := 0, 0
+	for round := 0; round < 60; round++ {
+		for _, b := range blocks {
+			pred := p.Predict(b.addr, b.addr+128)
+			if round > 40 {
+				total++
+				if pred.Exit == b.exit && pred.Next == b.next {
+					correct++
+				}
+			}
+			p.Update(b.addr, pred, b.exit, KindBranch, b.next, b.addr+128)
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("64-block working set accuracy = %.2f, want > 0.9", acc)
+	}
+}

@@ -1,0 +1,695 @@
+package proc
+
+import (
+	"fmt"
+
+	"trips/internal/critpath"
+	"trips/internal/isa"
+	"trips/internal/micronet"
+)
+
+// haltAddr is the conventional halt target: a block whose committed exit
+// branches to address 0 halts its thread.
+const haltAddr = 0
+
+// Config parameterizes one TRIPS core.
+type Config struct {
+	Program *Program
+	Mem     MemBackend
+	// Entries holds one entry address per SMT thread (1, 2 or 4 threads).
+	Entries []uint64
+	// TrackCritPath enables Fields-style critical-path accounting
+	// (paper Section 5.4).
+	TrackCritPath bool
+	// OPNChannels is the number of operand-network channels per link
+	// (1 in the prototype; 2 is the paper's proposed bandwidth extension).
+	OPNChannels int
+	// ConservativeLoads disables the dependence predictor's aggressive
+	// issue: every load waits for all prior stores (ablation).
+	ConservativeLoads bool
+	// SlowOPNRouter adds one cycle of router latency to every OPN
+	// delivery, the sensitivity the paper's timing analysis worries about
+	// (Section 5.3: "increasing the latency in cycles would have a
+	// significant effect on instruction throughput").
+	SlowOPNRouter bool
+	// MaxCycles bounds the simulation (0 = default bound).
+	MaxCycles int64
+	// TraceCommits logs every commit and flush (debugging aid).
+	TraceCommits bool
+	// ExternalMemTick suppresses the core's own memory-system tick so a
+	// chip-level loop that shares one backend between two cores can tick
+	// it exactly once per cycle.
+	ExternalMemTick bool
+	// RecordTimeline captures per-block protocol phase times (dispatch,
+	// completion, commit command, commit acknowledgment) — the data behind
+	// paper Figure 5b.
+	RecordTimeline bool
+}
+
+// BlockTime is one block's protocol timeline (Figure 5b's phases).
+type BlockTime struct {
+	Seq                                  uint64
+	Addr                                 uint64
+	Dispatch, Complete, CommitCmd, Acked int64
+}
+
+// Core is one TRIPS processor core.
+type Core struct {
+	cfg     Config
+	program *Program
+	mem     MemBackend
+
+	gt  *gtTile
+	its [isa.NumITs]*itTile
+	rts [isa.NumRTs]*rtTile
+	ets [isa.NumETs]*etTile
+	dts [isa.NumDTs]*dtTile
+
+	opns  []*micronet.Mesh[*opnMsg]
+	gcn   *micronet.Broadcast[gcnMsg]
+	gsnRT *micronet.Chain[gsnMsg]
+	gsnDT *micronet.Chain[gsnMsg]
+	gsnIT *micronet.Chain[gsnMsg]
+	dsn   *micronet.BiChain[dsnMsg]
+
+	gcnQueue []gcnMsg
+
+	cycle     int64
+	scheduled map[int64][]func()
+
+	// Store-arrival critical-path events per frame (tracked at DT0's view).
+	storeEvs [NumSlots]*critpath.Event
+	storeSeq [NumSlots]uint64
+
+	// Stats.
+	CommittedBlocks uint64
+	CommittedInsts  uint64
+	FlushedBlocks   uint64
+	nonNopCount     map[uint64]uint64 // block addr -> useful instruction count
+
+	// Timeline holds per-block protocol phases when RecordTimeline is set.
+	Timeline  []BlockTime
+	timelineI map[uint64]int // seq -> Timeline index
+}
+
+// NewCore builds a core over the given configuration.
+func NewCore(cfg Config) (*Core, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("proc: config needs a program")
+	}
+	if cfg.Mem == nil {
+		return nil, fmt.Errorf("proc: config needs a memory backend")
+	}
+	if len(cfg.Entries) == 0 {
+		cfg.Entries = []uint64{cfg.Program.Entry}
+	}
+	if n := len(cfg.Entries); n != 1 && n != 2 && n != 4 {
+		return nil, fmt.Errorf("proc: %d threads unsupported (1, 2 or 4)", n)
+	}
+	if cfg.OPNChannels == 0 {
+		cfg.OPNChannels = 1
+	}
+	c := &Core{
+		cfg:         cfg,
+		program:     cfg.Program,
+		mem:         cfg.Mem,
+		scheduled:   make(map[int64][]func()),
+		nonNopCount: make(map[uint64]uint64),
+		timelineI:   make(map[uint64]int),
+	}
+	for i := 0; i < cfg.OPNChannels; i++ {
+		c.opns = append(c.opns, micronet.NewMesh[*opnMsg](fmt.Sprintf("opn%d", i), 5, 5))
+	}
+	c.gcn = micronet.NewBroadcast[gcnMsg]("gcn", 5, 5)
+	c.gsnRT = micronet.NewChain[gsnMsg]("gsn-rt", isa.NumRTs+1)
+	c.gsnDT = micronet.NewChain[gsnMsg]("gsn-dt", isa.NumDTs+1)
+	c.gsnIT = micronet.NewChain[gsnMsg]("gsn-it", isa.NumITs+1)
+	c.dsn = micronet.NewBiChain[dsnMsg]("dsn", isa.NumDTs)
+
+	c.gt = newGT(c)
+	for i := range c.its {
+		c.its[i] = newIT(c, i)
+		c.its[i].port = c.mem.Port(fmt.Sprintf("it%d", i))
+	}
+	for i := range c.rts {
+		c.rts[i] = newRT(c, i)
+	}
+	for i := range c.ets {
+		c.ets[i] = newET(c, i)
+	}
+	for i := range c.dts {
+		c.dts[i] = newDT(c, i)
+		c.dts[i].port = c.mem.Port(fmt.Sprintf("dt%d", i))
+		if cfg.ConservativeLoads {
+			// Saturate the dependence predictor: every load stalls.
+			for a := uint64(0); a < 1024; a++ {
+				c.dts[i].dep.Mispredicted(a << 3)
+			}
+			c.dts[i].dep.ClearInterval = 1 << 60
+		}
+	}
+	for a, b := range c.program.blocks {
+		n := uint64(0)
+		for i := range b.Insts {
+			if b.Insts[i].Op != isa.NOP {
+				n++
+			}
+		}
+		c.nonNopCount[a] = n
+	}
+	for t, entry := range cfg.Entries {
+		c.gt.startThread(t, entry)
+	}
+	return c, nil
+}
+
+func (c *Core) activeThreads() int { return len(c.cfg.Entries) }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// newEvent allocates a critical-path event, or nil when tracking is off.
+func (c *Core) newEvent(cycle int64, parent *critpath.Event, split critpath.Split, rem critpath.Cat) *critpath.Event {
+	if !c.cfg.TrackCritPath {
+		return nil
+	}
+	return critpath.New(cycle, parent, split, rem)
+}
+
+// schedule registers fn to run at the start of the given cycle.
+func (c *Core) schedule(cycle int64, fn func()) {
+	if cycle <= c.cycle {
+		cycle = c.cycle + 1
+	}
+	c.scheduled[cycle] = append(c.scheduled[cycle], fn)
+}
+
+// opnChannel selects the channel for a message (bandwidth ablation).
+// Memory operations hash by cache line only, so accesses that could
+// conflict (same line) stay ordered on one channel; operand deliveries
+// spread by consumer.
+func (c *Core) opnChannel(msg *opnMsg) *micronet.Mesh[*opnMsg] {
+	if len(c.opns) == 1 {
+		return c.opns[0]
+	}
+	var h uint64
+	if msg.kind == opnLoadReq || msg.kind == opnStoreReq {
+		h = msg.addr >> 6
+	} else {
+		h = uint64(msg.slot) + uint64(msg.target.Index)
+	}
+	return c.opns[h%uint64(len(c.opns))]
+}
+
+// injectOPN offers a message to the operand network.
+func (c *Core) injectOPN(at micronet.Coord, msg *opnMsg) bool {
+	return c.opnChannel(msg).Inject(at, msg)
+}
+
+// deliverOPN pops the next message delivered to a coordinate (GT pull).
+func (c *Core) deliverOPN(at micronet.Coord) (*opnMsg, bool) {
+	for _, m := range c.opns {
+		if msg, ok := m.Deliver(at); ok {
+			m.Pop(at)
+			return msg, true
+		}
+	}
+	return nil, false
+}
+
+// issueGCN queues a control command for broadcast (one launches per cycle;
+// the queue is how commit commands pipeline, paper Section 4.4).
+func (c *Core) issueGCN(msg gcnMsg) { c.gcnQueue = append(c.gcnQueue, msg) }
+
+func (c *Core) canIssueGCN() bool { return true }
+
+// issueGRN starts a distributed I-cache refill: the refill address reaches
+// IT k after 1+k cycles (paper Section 4.1).
+func (c *Core) issueGRN(addr uint64) {
+	for k := range c.its {
+		it := c.its[k]
+		c.schedule(c.cycle+1+int64(k), func() { it.onRefill(addr) })
+	}
+}
+
+// noteStoreEv tracks the last-arriving store event per frame, from DT0's
+// DSN-complete view, for completion-phase attribution.
+func (c *Core) noteStoreEv(slot int, seq uint64, ev *critpath.Event) {
+	if c.storeSeq[slot] != seq {
+		c.storeEvs[slot] = nil
+		c.storeSeq[slot] = seq
+	}
+	c.storeEvs[slot] = critpath.Latest(c.storeEvs[slot], ev)
+}
+
+func (c *Core) storeEv(slot int, seq uint64) *critpath.Event {
+	if c.storeSeq[slot] != seq {
+		return nil
+	}
+	return c.storeEvs[slot]
+}
+
+// cancelScheduled is a hook for dropping flushed dispatch work; staleness
+// filtering at the tiles already guarantees correctness, so this only
+// exists to document the GDN property that a refetch can never overtake a
+// flush (paper Section 4.3).
+func (c *Core) cancelScheduled(mask uint8, seqs [8]uint64) {}
+
+// onBlockRetired records commit statistics.
+func (c *Core) onBlockRetired(addr uint64) {
+	c.CommittedBlocks++
+	c.CommittedInsts += c.nonNopCount[addr]
+}
+
+// markTimeline records one protocol phase for a block.
+func (c *Core) markTimeline(seq, addr uint64, phase string) {
+	if !c.cfg.RecordTimeline {
+		return
+	}
+	i, ok := c.timelineI[seq]
+	if !ok {
+		i = len(c.Timeline)
+		c.Timeline = append(c.Timeline, BlockTime{Seq: seq, Addr: addr, Dispatch: -1, Complete: -1, CommitCmd: -1, Acked: -1})
+		c.timelineI[seq] = i
+	}
+	bt := &c.Timeline[i]
+	switch phase {
+	case "dispatch":
+		bt.Dispatch = c.cycle
+	case "complete":
+		bt.Complete = c.cycle
+	case "commit":
+		bt.CommitCmd = c.cycle
+	case "acked":
+		bt.Acked = c.cycle
+	}
+}
+
+// scheduleDispatch plays out the pipelined GDN instruction distribution for
+// one block (paper Section 4.1): the GT issues eight beat commands on
+// consecutive cycles; ITs read their banks and stream four instructions per
+// cycle eastward across their rows.
+func (c *Core) scheduleDispatch(now int64, slot int, seq uint64, thread int, addr uint64, hdr *isa.HeaderInfo, dispEv *critpath.Event) {
+	// The instruction payloads come from the IT banks (refilled over the
+	// GRN), not from the program map: the ITs are the architects of what
+	// actually executes.
+	bodies := make([]*[isa.BodyChunkInsts]isa.Inst, hdr.BodyChunks)
+	for chunk := 0; chunk < hdr.BodyChunks; chunk++ {
+		insts, err := c.its[chunk+1].bodyOf(addr)
+		if err != nil {
+			panic(fmt.Sprintf("proc: dispatch without chunk %d: %v", chunk, err))
+		}
+		bodies[chunk] = insts
+	}
+
+	// Control-state binding happens as the dispatch command leaves the GT;
+	// per-payload timing below models the pipelined distribution.
+	for _, e := range c.ets {
+		e.bindSlot(slot, seq, thread)
+	}
+	for _, r := range c.rts {
+		r.bindSlot(slot, seq, thread)
+	}
+	for _, d := range c.dts {
+		d.bindSlot(slot, seq, thread, 0)
+		d.maskKnown[slot] = false
+	}
+	// The store mask reaches each DT a few cycles into dispatch.
+	mask := hdr.StoreMask
+	for i, d := range c.dts {
+		dt := d
+		di := i
+		arrive := now + 3 + int64(di)
+		c.schedule(arrive, func() {
+			if dt.slotSeq[slot] == seq {
+				dt.storeMask[slot] = mask
+				dt.maskKnown[slot] = true
+				dt.bindEv[slot] = c.newEvent(arrive, dispEv, critpath.Split{}, critpath.CatIFetch)
+			}
+		})
+	}
+
+	// Header beats: IT0 feeds row 0. Beat b carries read and write queue
+	// entries with index b*4+rt for each RT (column rt+1).
+	it0 := gdnCmdToIT + itBankCycles
+	for b := 0; b < dispatchBeats; b++ {
+		for rt := 0; rt < isa.NumRTs; rt++ {
+			j := b*4 + rt
+			rd := hdr.Reads[j]
+			wr := hdr.Writes[j]
+			arrive := now + int64(it0+b+(rt+1)+1)
+			rtt := c.rts[rt]
+			beat := b
+			c.schedule(arrive, func() {
+				ev := c.newEvent(arrive, dispEv, critpath.Split{}, critpath.CatIFetch)
+				rtt.deliverHeaderBeat(slot, seq, beat, rd, wr, ev)
+			})
+		}
+	}
+
+	// Body beats: IT k+1 feeds ET row k with chunk k. Beat b carries chunk
+	// positions b*4..b*4+3, one per column.
+	for chunk := 0; chunk < hdr.BodyChunks; chunk++ {
+		itk := gdnCmdToIT + (chunk + 1) + itBankCycles
+		for b := 0; b < dispatchBeats; b++ {
+			for col := 0; col < 4; col++ {
+				idx := chunk*isa.BodyChunkInsts + b*4 + col
+				if idx >= hdr.NumInsts {
+					continue
+				}
+				in := bodies[chunk][idx%isa.BodyChunkInsts]
+				et := c.ets[isa.ETOf(idx)]
+				arrive := now + int64(itk+b+(col+1)+1)
+				i := idx
+				c.schedule(arrive, func() {
+					ev := c.newEvent(arrive, dispEv, critpath.Split{}, critpath.CatIFetch)
+					et.deliverInst(slot, seq, i, in, ev)
+				})
+			}
+		}
+	}
+}
+
+// Step advances the core (and its memory system) by one cycle.
+func (c *Core) Step() {
+	now := c.cycle
+	// Scheduled GDN/GRN deliveries land first.
+	if fns, ok := c.scheduled[now]; ok {
+		for _, fn := range fns {
+			fn()
+		}
+		delete(c.scheduled, now)
+	}
+	// Route the operand network, then hand deliveries to the tiles.
+	for _, m := range c.opns {
+		m.Tick()
+	}
+	c.pumpOPNDeliveries(now)
+	// Control network wave and command delivery.
+	c.gcn.Tick()
+	c.pumpGCNDeliveries(now)
+	c.dsn.Tick()
+	// Tiles.
+	c.gt.tick(now)
+	for _, it := range c.its {
+		it.tick(now)
+	}
+	for _, r := range c.rts {
+		r.tick(now)
+	}
+	for _, e := range c.ets {
+		e.tick(now)
+	}
+	for _, d := range c.dts {
+		d.tick(now)
+	}
+	// Launch at most one queued GCN command per cycle.
+	if len(c.gcnQueue) > 0 && c.gcn.CanInject() {
+		if c.gcn.Inject(c.gcnQueue[0]) {
+			c.gcnQueue = c.gcnQueue[1:]
+		}
+	}
+	// Advance all transports.
+	for _, m := range c.opns {
+		m.Propagate()
+	}
+	c.gcn.Propagate()
+	c.gsnRT.Propagate()
+	c.gsnDT.Propagate()
+	c.gsnIT.Propagate()
+	c.dsn.Propagate()
+	if !c.cfg.ExternalMemTick {
+		c.mem.Tick()
+	}
+	c.cycle++
+}
+
+// pumpOPNDeliveries routes delivered operand-network messages into ET and
+// RT state (the GT and DTs pull from their own queues).
+func (c *Core) pumpOPNDeliveries(now int64) {
+	for _, m := range c.opns {
+		for row := 0; row < 5; row++ {
+			for col := 0; col < 5; col++ {
+				at := micronet.Coord{Row: row, Col: col}
+				if at == gtCoord() {
+					continue // the GT pulls in its own tick
+				}
+				for {
+					msg, ok := m.Deliver(at)
+					if !ok {
+						break
+					}
+					m.Pop(at)
+					if c.cfg.SlowOPNRouter {
+						at, msg := at, msg
+						c.schedule(now+1, func() { c.routeDelivered(now+1, at, msg) })
+						continue
+					}
+					c.routeDelivered(now, at, msg)
+				}
+			}
+		}
+	}
+}
+
+func (c *Core) routeDelivered(now int64, at micronet.Coord, msg *opnMsg) {
+	switch {
+	case at.Col == 0:
+		// DT column: memory requests queue for the one-per-cycle LSQ port.
+		c.dts[at.Row-1].enqueue(msg)
+	case at.Row == 0:
+		// RT row: register write values (and read-to-write copies).
+		if msg.kind != opnOperand || !msg.target.IsWrite() {
+			panic("proc: RT received non-write OPN message")
+		}
+		ev := c.newEvent(now, msg.ev, critpath.Split{
+			critpath.CatOPNHop:        int64(msg.hops),
+			critpath.CatOPNContention: int64(msg.waits),
+		}, critpath.CatOPNHop)
+		// Write entry j lives at local queue slot j/4 of RT j%4.
+		c.rts[at.Col-1].deliverWrite(now, msg.slot, msg.seq, isa.RTSlotOf(msg.target.Index), msg.val, ev)
+	default:
+		// ET array: operand deliveries.
+		if msg.kind != opnOperand {
+			panic("proc: ET received non-operand OPN message")
+		}
+		ev := c.newEvent(now, msg.ev, critpath.Split{
+			critpath.CatOPNHop:        int64(msg.hops),
+			critpath.CatOPNContention: int64(msg.waits),
+		}, critpath.CatOPNHop)
+		et := (at.Row-1)*4 + (at.Col - 1)
+		c.ets[et].deliverOperand(msg.slot, msg.seq, msg.target, msg.val, ev)
+	}
+}
+
+// pumpGCNDeliveries hands arriving control commands to every tile.
+func (c *Core) pumpGCNDeliveries(now int64) {
+	for row := 0; row < 5; row++ {
+		for col := 0; col < 5; col++ {
+			at := micronet.Coord{Row: row, Col: col}
+			for {
+				cmd, ok := c.gcn.Deliver(at)
+				if !ok {
+					break
+				}
+				c.gcn.Pop(at)
+				c.applyGCN(now, at, cmd)
+			}
+		}
+	}
+}
+
+func (c *Core) applyGCN(now int64, at micronet.Coord, cmd gcnMsg) {
+	if at == gtCoord() {
+		return // the GT issued it
+	}
+	switch cmd.kind {
+	case gcnCommit:
+		switch {
+		case at.Row == 0:
+			c.rts[at.Col-1].onCommitCommand(now, cmd.slot, cmd.seq, cmd.ev)
+		case at.Col == 0:
+			c.dts[at.Row-1].onCommitCommand(now, cmd.slot, cmd.seq, cmd.ev)
+		default:
+			et := (at.Row-1)*4 + (at.Col - 1)
+			c.ets[et].onCommit(cmd.slot, cmd.seq)
+		}
+	case gcnFlush:
+		for s := 0; s < NumSlots; s++ {
+			if cmd.mask&(1<<uint(s)) == 0 {
+				continue
+			}
+			switch {
+			case at.Row == 0:
+				c.rts[at.Col-1].flush(s, cmd.seqs[s])
+			case at.Col == 0:
+				c.dts[at.Row-1].flush(s, cmd.seqs[s])
+			default:
+				et := (at.Row-1)*4 + (at.Col - 1)
+				c.ets[et].flush(s, cmd.seqs[s])
+			}
+		}
+	}
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Cycles          int64
+	CommittedBlocks uint64
+	CommittedInsts  uint64
+	Flushes         uint64
+	Mispredicts     uint64
+	Violations      uint64
+	IPC             float64
+	CritPath        critpath.Report
+}
+
+// drainsIdle reports whether every DT has finished pushing committed
+// stores into its bank (the background tail of the commit protocol).
+func (c *Core) drainsIdle() bool {
+	for _, d := range c.dts {
+		if len(d.drainOrder) > 0 || d.wb.valid || len(d.uncachedSt) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes until every thread halts and all committed stores have
+// drained, returning summary statistics.
+func (c *Core) Run() (Result, error) {
+	limit := c.cfg.MaxCycles
+	if limit == 0 {
+		limit = 200_000_000
+	}
+	lastCommit := c.cycle
+	lastCount := c.CommittedBlocks
+	for !(c.gt.allRetired() && c.drainsIdle()) {
+		if c.cycle >= limit {
+			return Result{}, fmt.Errorf("proc: cycle limit %d exceeded (%d blocks committed)", limit, c.CommittedBlocks)
+		}
+		c.Step()
+		if c.CommittedBlocks != lastCount {
+			lastCount = c.CommittedBlocks
+			lastCommit = c.cycle
+		} else if c.cycle-lastCommit > 200_000 {
+			return Result{}, fmt.Errorf("proc: no commit in 200000 cycles at cycle %d (%d blocks committed): deadlock", c.cycle, c.CommittedBlocks)
+		}
+	}
+	res := Result{
+		Cycles:          c.cycle,
+		CommittedBlocks: c.CommittedBlocks,
+		CommittedInsts:  c.CommittedInsts,
+		Flushes:         uint64(c.gt.Flushes),
+		Mispredicts:     c.gt.Mispredicts,
+		Violations:      c.gt.ViolationFlushes,
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.CommittedInsts) / float64(res.Cycles)
+	}
+	if c.cfg.TrackCritPath && c.gt.lastCommitEv != nil {
+		res.CritPath = critpath.Finish(c.gt.lastCommitEv)
+	}
+	return res, nil
+}
+
+// DebugState summarizes per-tile block state for deadlock diagnosis.
+func (c *Core) DebugState() string {
+	var b []byte
+	app := func(f string, a ...any) { b = fmt.Appendf(b, f, a...) }
+	for s := 0; s < NumSlots; s++ {
+		bc := &c.gt.slots[s]
+		if !bc.valid {
+			continue
+		}
+		app("slot %d seq=%d addr=%#x br=%v w=%v s=%v cs=%v ackR=%v ackS=%v\n",
+			s, bc.seq, bc.addr, bc.branchSeen, bc.writesDone, bc.storesDone, bc.commitSent, bc.ackR, bc.ackS)
+		for i, d := range c.dts {
+			app("  dt%d seen=%x mask=%x known=%v inQ=%d stalled=%d conflict=%d loads=%d stores=%d\n",
+				i, d.storeSeen[s], d.storeMask[s], d.maskKnown[s], len(d.inQ), len(d.stalled), len(d.conflictLoads), d.Loads, d.Stores)
+		}
+		for i, e := range c.ets {
+			live := 0
+			for k := range e.stations[s] {
+				st := &e.stations[s][k]
+				if st.present && !st.fired {
+					live++
+				}
+			}
+			if live > 0 {
+				app("  et%d unfired=%d outQ=%d pipe=%d\n", i, live, len(e.outQ), len(e.pipe))
+			}
+		}
+	}
+	return string(b)
+}
+
+// Done reports whether every thread has halted with all blocks retired and
+// all committed stores drained.
+func (c *Core) Done() bool { return c.gt.allRetired() && c.drainsIdle() }
+
+// Snapshot returns the current run statistics (used by chip-level loops
+// that step cores manually instead of calling Run).
+func (c *Core) Snapshot() Result {
+	res := Result{
+		Cycles:          c.cycle,
+		CommittedBlocks: c.CommittedBlocks,
+		CommittedInsts:  c.CommittedInsts,
+		Flushes:         c.gt.Flushes,
+		Mispredicts:     c.gt.Mispredicts,
+		Violations:      c.gt.ViolationFlushes,
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.CommittedInsts) / float64(res.Cycles)
+	}
+	if c.cfg.TrackCritPath && c.gt.lastCommitEv != nil {
+		res.CritPath = critpath.Finish(c.gt.lastCommitEv)
+	}
+	return res
+}
+
+// Register reads an architectural register after (or during) a run.
+func (c *Core) Register(thread, r int) uint64 {
+	return c.rts[r%4].regs[thread][r/4]
+}
+
+// SetRegister initializes an architectural register before a run.
+func (c *Core) SetRegister(thread, r int, v uint64) {
+	c.rts[r%4].regs[thread][r/4] = v
+}
+
+// FlushCaches writes all dirty data-cache lines back to memory so final
+// results are visible in the backing store, retrying submissions that the
+// port backpressures and ticking the memory system until they land.
+func (c *Core) FlushCaches() {
+	// Drain the commit pipelines and write buffers into the banks first.
+	for i := 0; i < 1_000_000; i++ {
+		busy := false
+		for _, d := range c.dts {
+			if len(d.drainOrder) > 0 || d.wb.valid {
+				busy = true
+				d.pumpDrain(c.cycle)
+				d.pumpFetch()
+				d.drainWriteBuffer()
+			}
+		}
+		if !busy {
+			break
+		}
+		c.mem.Tick()
+	}
+	outstanding := 0
+	for _, d := range c.dts {
+		for _, v := range d.bank.DirtyLines() {
+			req := &MemRequest{Addr: v.Addr, Data: v.Data, IsWrite: true,
+				Done: func([]byte) { outstanding-- }}
+			outstanding++
+			for !d.port.Submit(req) {
+				c.mem.Tick()
+			}
+		}
+	}
+	for i := 0; outstanding > 0 && i < 1_000_000; i++ {
+		c.mem.Tick()
+	}
+}

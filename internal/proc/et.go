@@ -1,0 +1,399 @@
+package proc
+
+import (
+	"trips/internal/critpath"
+	"trips/internal/isa"
+	"trips/internal/micronet"
+)
+
+// operand is one reservation-station operand field.
+type operand struct {
+	have bool
+	v    Value
+	ev   *critpath.Event
+}
+
+// station is one reservation station: an instruction plus two 64-bit data
+// operands and a one-bit predicate (paper Section 3.4).
+type station struct {
+	present bool
+	fired   bool // issued (or proven dead by a mismatched predicate)
+	inst    isa.Inst
+	index   int // N[index] within the block
+	left    operand
+	right   operand
+	pred    operand
+	arrEv   *critpath.Event // instruction arrival (GDN dispatch)
+}
+
+// inflight is an operation in the execution pipeline.
+type inflight struct {
+	doneAt int64
+	slot   int
+	seq    uint64
+	thread int
+	st     *station
+	result Value
+	ev     *critpath.Event
+}
+
+// etTile is one of the sixteen execution tiles: a single-issue pipeline, a
+// bank of 64 reservation stations (8 per in-flight block), an integer unit
+// and a floating-point unit, all fully pipelined except the 24-cycle
+// integer divide (paper Section 3.4, Figure 4d).
+type etTile struct {
+	core *Core
+	id   int
+	at   micronet.Coord
+
+	stations   [NumSlots][isa.SlotsPerET]station
+	slotSeq    [NumSlots]uint64 // 0 = frame unbound
+	slotThread [NumSlots]int
+
+	divBusyUntil int64
+	pipe         []inflight
+	outQ         []*opnMsg // results awaiting OPN injection
+
+	// Stats.
+	Issued, LocalBypass, Remote, DeadPred, DroppedStale uint64
+}
+
+func newET(core *Core, id int) *etTile {
+	return &etTile{core: core, id: id, at: etCoord(id)}
+}
+
+// bindSlot is called (via the dispatch schedule) when a new block begins
+// occupying a frame at this tile.
+func (e *etTile) bindSlot(slot int, seq uint64, thread int) {
+	e.stations[slot] = [isa.SlotsPerET]station{}
+	e.slotSeq[slot] = seq
+	e.slotThread[slot] = thread
+}
+
+// deliverInst installs a dispatched instruction into its reservation
+// station ("written into ... the reservation stations in the ETs when they
+// arrive, and are available to execute as soon as they arrive", paper 4.1).
+func (e *etTile) deliverInst(slot int, seq uint64, index int, in isa.Inst, ev *critpath.Event) {
+	if e.slotSeq[slot] != seq {
+		return // stale dispatch (frame was flushed and rebound)
+	}
+	s := &e.stations[slot][isa.SlotOf(index)]
+	// Operands routed by early-dispatched producers may already be waiting
+	// in the station; instruction arrival must not clear them.
+	s.present = true
+	s.inst = in
+	s.index = index
+	s.arrEv = ev
+	if in.Op == isa.NOP {
+		s.fired = true
+	}
+}
+
+// deliverOperand fills an operand field from the OPN or the local bypass.
+func (e *etTile) deliverOperand(slot int, seq uint64, tgt isa.Target, v Value, ev *critpath.Event) {
+	if e.slotSeq[slot] != seq {
+		e.DroppedStale++
+		return
+	}
+	if isa.ETOf(tgt.Index) != e.id {
+		panic("proc: operand routed to wrong ET")
+	}
+	s := &e.stations[slot][isa.SlotOf(tgt.Index)]
+	if s.fired {
+		// Duplicate arrivals happen only on nullified dual-predicate
+		// paths; the station fired on the first pair (see DESIGN.md).
+		return
+	}
+	var op *operand
+	switch tgt.Kind {
+	case isa.OpLeft:
+		op = &s.left
+	case isa.OpRight:
+		op = &s.right
+	case isa.OpPred:
+		op = &s.pred
+	default:
+		panic("proc: bad operand kind at ET")
+	}
+	if op.have {
+		return // keep the first arrival (complementary-path duplicate)
+	}
+	*op = operand{have: true, v: v, ev: ev}
+}
+
+// ready reports whether station s can issue, and whether its predicate
+// proves it dead.
+func (e *etTile) ready(s *station) (ok, dead bool) {
+	if !s.present || s.fired {
+		return false, false
+	}
+	in := &s.inst
+	if in.Pred.Predicated() {
+		if !s.pred.have {
+			return false, false
+		}
+		if !s.pred.v.Null {
+			taken := s.pred.v.Bits != 0
+			if (in.Pred == isa.PredOnTrue) != taken {
+				return false, true // mismatched predicate: never fires
+			}
+		}
+		// A null predicate fires the instruction with nullified outputs,
+		// keeping block output counts invariant on dead paths.
+	}
+	if in.NeedsLeft() && !s.left.have {
+		return false, false
+	}
+	if in.NeedsRight() && !s.right.have {
+		return false, false
+	}
+	return true, false
+}
+
+// tick runs one ET cycle: retire finished operations (routing their
+// results), then select and issue at most one ready instruction, then retry
+// blocked OPN injections.
+func (e *etTile) tick(now int64) {
+	e.completeFinished(now)
+	e.selectAndIssue(now)
+	e.drainOutQ(now)
+}
+
+func (e *etTile) completeFinished(now int64) {
+	kept := e.pipe[:0]
+	for _, f := range e.pipe {
+		if f.doneAt > now {
+			kept = append(kept, f)
+			continue
+		}
+		if e.slotSeq[f.slot] == f.seq {
+			e.route(now, f)
+		}
+	}
+	e.pipe = kept
+}
+
+func (e *etTile) selectAndIssue(now int64) {
+	// Select the ready instruction from the oldest block first (then by
+	// station order) — the age-ordered select of Section 3.4.
+	var best *station
+	bestSlot := -1
+	var bestSeq uint64
+	for slot := 0; slot < NumSlots; slot++ {
+		seq := e.slotSeq[slot]
+		if seq == 0 {
+			continue
+		}
+		for i := range e.stations[slot] {
+			s := &e.stations[slot][i]
+			ok, dead := e.ready(s)
+			if dead {
+				s.fired = true
+				e.DeadPred++
+				continue
+			}
+			if !ok {
+				continue
+			}
+			if best == nil || seq < bestSeq {
+				best, bestSlot, bestSeq = s, slot, seq
+			}
+			break // stations scan in slot order; first ready in this frame
+		}
+	}
+	if best == nil {
+		return
+	}
+	in := &best.inst
+	// The unpipelined integer divider blocks issue of a new divide (ALU
+	// contention, charged to Other on the critical path).
+	if !in.Op.Pipelined() && e.divBusyUntil > now {
+		return
+	}
+	best.fired = true
+	e.Issued++
+
+	// The issue time was determined by the last-arriving dependency.
+	parent := best.arrEv
+	parentCat := critpath.CatIFetch
+	consider := func(op *operand) {
+		if op.have && op.ev != nil && (parent == nil || op.ev.Cycle >= parent.Cycle) {
+			parent = op.ev
+			parentCat = critpath.CatOther
+		}
+	}
+	consider(&best.left)
+	consider(&best.right)
+	consider(&best.pred)
+
+	null := (in.NeedsLeft() && best.left.v.Null) ||
+		(in.NeedsRight() && best.right.v.Null) ||
+		(in.Pred.Predicated() && best.pred.v.Null)
+
+	// Cycles between the last arrival and issue are select/ALU contention
+	// (Other) when an operand was last, instruction distribution (IFetch)
+	// when the instruction itself was.
+	issueEv := e.core.newEvent(now, parent, critpath.Split{}, parentCat)
+
+	lat := int64(in.Op.Latency())
+	if null {
+		lat = 1
+	}
+	execCat := critpath.CatOther
+	if in.Op == isa.MOV {
+		// Fanout instructions exist only to replicate operands; their
+		// execution latency is the "fanout ops" overhead of Table 3.
+		execCat = critpath.CatFanout
+	}
+	var split critpath.Split
+	split[execCat] = lat
+	doneEv := e.core.newEvent(now+lat, issueEv, split, execCat)
+
+	if !in.Op.Pipelined() {
+		e.divBusyUntil = now + lat
+	}
+
+	var result Value
+	if null {
+		result = Value{Null: true}
+	} else {
+		switch in.Op.Format() {
+		case isa.FmtG, isa.FmtI, isa.FmtC:
+			result = Value{Bits: isa.Eval(in.Op, best.left.v.Bits, best.right.v.Bits, in.Imm)}
+		case isa.FmtL, isa.FmtS:
+			// Effective address computed here; memory op issued at route.
+			result = Value{Bits: best.left.v.Bits + uint64(in.Imm)}
+		case isa.FmtB:
+			result = best.left.v // RET/BR target (unused for BRO/CALLO)
+		}
+	}
+	e.pipe = append(e.pipe, inflight{
+		doneAt: now + lat,
+		slot:   bestSlot,
+		seq:    bestSeq,
+		thread: e.slotThread[bestSlot],
+		st:     best,
+		result: result,
+		ev:     doneEv,
+	})
+}
+
+// route delivers a completed operation's outputs: locally bypassed operands
+// to this ET's own stations, OPN messages to remote tiles, memory requests
+// to the DTs, and branch outputs to the GT (paper Section 4.2).
+func (e *etTile) route(now int64, f inflight) {
+	in := &f.st.inst
+	switch {
+	case in.Op.IsLoad():
+		if f.result.Null {
+			// A nullified load produces null results locally without a
+			// DT round trip; loads are not block outputs.
+			e.emitValue(now, f, in.T0, Value{Null: true}, f.ev)
+			e.emitValue(now, f, in.T1, Value{Null: true}, f.ev)
+			return
+		}
+		addr := f.result.Bits
+		e.outQ = append(e.outQ, &opnMsg{
+			dst: dtCoord(isa.DTOfAddr(addr)), kind: opnLoadReq,
+			slot: f.slot, seq: f.seq, thread: f.thread,
+			lsid: in.LSID, memOp: in.Op, addr: addr,
+			ldT0: in.T0, ldT1: in.T1, ev: f.ev,
+		})
+	case in.Op.IsStore():
+		addr := f.result.Bits
+		data := f.st.right.v
+		null := f.result.Null || data.Null
+		if null {
+			addr = 0
+		}
+		e.outQ = append(e.outQ, &opnMsg{
+			dst: dtCoord(isa.DTOfAddr(addr)), kind: opnStoreReq,
+			slot: f.slot, seq: f.seq, thread: f.thread,
+			lsid: in.LSID, memOp: in.Op, addr: addr,
+			data: Value{Bits: data.Bits, Null: null}, ev: f.ev,
+		})
+	case in.Op.IsBranch():
+		e.outQ = append(e.outQ, &opnMsg{
+			dst: gtCoord(), kind: opnBranch,
+			slot: f.slot, seq: f.seq, thread: f.thread,
+			brOp: in.Op, brExit: in.Exit, brOffset: in.Offset,
+			val: f.result, ev: f.ev,
+		})
+	default:
+		e.emitValue(now, f, in.T0, f.result, f.ev)
+		e.emitValue(now, f, in.T1, f.result, f.ev)
+	}
+}
+
+// emitValue routes one result value to one target: same-ET targets use the
+// local bypass path (back-to-back issue); everything else crosses the OPN.
+func (e *etTile) emitValue(now int64, f inflight, tgt isa.Target, v Value, ev *critpath.Event) {
+	if !tgt.Valid() {
+		return
+	}
+	if tgt.IsWrite() {
+		e.outQ = append(e.outQ, &opnMsg{
+			dst: rtCoord(isa.RTOf(tgt.Index)), kind: opnOperand,
+			slot: f.slot, seq: f.seq, thread: f.thread,
+			target: tgt, val: v, ev: ev,
+		})
+		return
+	}
+	if isa.ETOf(tgt.Index) == e.id {
+		e.LocalBypass++
+		e.deliverOperand(f.slot, f.seq, tgt, v, ev)
+		return
+	}
+	e.Remote++
+	e.outQ = append(e.outQ, &opnMsg{
+		dst: etCoord(isa.ETOf(tgt.Index)), kind: opnOperand,
+		slot: f.slot, seq: f.seq, thread: f.thread,
+		target: tgt, val: v, ev: ev,
+	})
+}
+
+// drainOutQ injects pending OPN messages, respecting the single injection
+// register per node (injection stalls are OPN contention).
+func (e *etTile) drainOutQ(now int64) {
+	for len(e.outQ) > 0 {
+		msg := e.outQ[0]
+		if e.slotSeq[msg.slot] != msg.seq {
+			e.outQ = e.outQ[1:]
+			continue // flushed while waiting
+		}
+		if !e.core.injectOPN(e.at, msg) {
+			return // retry next cycle; waits accumulate on the message
+		}
+		e.outQ = e.outQ[1:]
+	}
+}
+
+// flush clears a frame's stations and drops its queued output.
+func (e *etTile) flush(slot int, seq uint64) {
+	if e.slotSeq[slot] != seq {
+		return
+	}
+	e.stations[slot] = [isa.SlotsPerET]station{}
+	e.slotSeq[slot] = 0
+	kept := e.outQ[:0]
+	for _, m := range e.outQ {
+		if !(m.slot == slot && m.seq == seq) {
+			kept = append(kept, m)
+		}
+	}
+	e.outQ = kept
+	keptPipe := e.pipe[:0]
+	for _, f := range e.pipe {
+		if !(f.slot == slot && f.seq == seq) {
+			keptPipe = append(keptPipe, f)
+		}
+	}
+	e.pipe = keptPipe
+}
+
+// onCommit clears any remaining speculative state for the committing frame
+// ("The commit command on the GCN also flushes any speculative in-flight
+// state in the ETs and DTs for that block", paper Section 4.4).
+func (e *etTile) onCommit(slot int, seq uint64) {
+	e.flush(slot, seq)
+}

@@ -1,0 +1,220 @@
+package proc
+
+import (
+	"testing"
+
+	"trips/internal/isa"
+	"trips/internal/mem"
+)
+
+func TestUncachedAccessBypassesL1(t *testing.T) {
+	// A store+load pair to an uncached address must round-trip through the
+	// memory backend, not the DT bank. Two programs run against the same
+	// backing memory: the first stores uncached, the second (fresh core,
+	// cold caches) loads uncached and must see it without any flush.
+	mkStore := func() *Program {
+		b := &isa.Block{Addr: 0x1000, Name: "st"}
+		b.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToRight(3)}
+		b.Insts = []isa.Inst{
+			{Op: isa.GENC, Imm: 0x0100, T0: isa.ToLeft(1)},
+			{Op: isa.APPC, Imm: 0x0000, T0: isa.ToLeft(2)},
+			{Op: isa.APPC, Imm: 0x9000, T0: isa.ToLeft(3)}, // 1<<40 | 0x9000
+			{Op: isa.SD, Imm: 0, LSID: 0},
+			{Op: isa.BRO, Exit: 0, Offset: haltOffset(0x1000)},
+		}
+		p, err := NewProgram(b.Addr, []*isa.Block{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	mkLoad := func() *Program {
+		b := &isa.Block{Addr: 0x1000, Name: "ld"}
+		b.Writes[0] = isa.WriteInst{Valid: true, GR: 16}
+		b.Insts = []isa.Inst{
+			{Op: isa.GENC, Imm: 0x0100, T0: isa.ToLeft(1)},
+			{Op: isa.APPC, Imm: 0x0000, T0: isa.ToLeft(2)},
+			{Op: isa.APPC, Imm: 0x9000, T0: isa.ToLeft(3)},
+			{Op: isa.LD, Imm: 0, LSID: 0, T0: isa.ToWrite(0)},
+			{Op: isa.BRO, Exit: 0, Offset: haltOffset(0x1000)},
+		}
+		p, err := NewProgram(b.Addr, []*isa.Block{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	m := mem.New()
+	ps := mkStore()
+	if err := ps.Image(m); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := NewCore(Config{Program: ps, Mem: NewFixedLatencyMem(m, 20), MaxCycles: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetRegister(0, 8, 0xabcd)
+	if _, err := c1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// No FlushCaches: the uncached store must already be in the backing
+	// memory (written at commit through the port).
+	if got := m.Read(0x9000, 8, false); got != 0xabcd {
+		t.Fatalf("uncached store not visible in backing memory: %#x", got)
+	}
+	m2 := mem.New()
+	m2.Write(0x9000, 8, 0x1234)
+	pl := mkLoad()
+	if err := pl.Image(m2); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCore(Config{Program: pl, Mem: NewFixedLatencyMem(m2, 20), MaxCycles: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Register(0, 16); got != 0x1234 {
+		t.Fatalf("uncached load = %#x, want 0x1234", got)
+	}
+	// And the DT cache banks must not contain the line.
+	for _, d := range c2.dts {
+		if d.bank.Probe(0x9000) || d.bank.Probe(Uncached(0x9000)) {
+			t.Error("uncached access left a line in a DT bank")
+		}
+	}
+}
+
+func TestTimelinePhasesOrdered(t *testing.T) {
+	p := arithProgram(t)
+	m := mem.New()
+	if err := p.Image(m); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCore(Config{Program: p, Mem: NewFixedLatencyMem(m, 20), RecordTimeline: true, MaxCycles: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRegister(0, 8, 1)
+	c.SetRegister(0, 13, 2)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Timeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	for _, bt := range c.Timeline {
+		if !(bt.Dispatch >= 0 && bt.Dispatch <= bt.Complete && bt.Complete <= bt.CommitCmd && bt.CommitCmd < bt.Acked) {
+			t.Errorf("phases out of order: %+v", bt)
+		}
+	}
+}
+
+func TestOPNContentionCounted(t *testing.T) {
+	// Many producers feeding one consumer station's ET forces output-port
+	// contention on the OPN; the contention must appear in the critical
+	// path accounting rather than vanish.
+	b := &isa.Block{Addr: 0x1000, Name: "cont"}
+	b.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToLeft(0), RT1: isa.ToLeft(1)}
+	b.Writes[0] = isa.WriteInst{Valid: true, GR: 16}
+	// A reduction tree whose adds all live far from their producers.
+	b.Insts = make([]isa.Inst, 40)
+	for i := range b.Insts {
+		b.Insts[i] = isa.Inst{Op: isa.NOP}
+	}
+	// 8 producers (indices 0..7 across rows) all target two adders.
+	for i := 0; i < 8; i++ {
+		tgt := isa.ToLeft(32)
+		if i%2 == 1 {
+			tgt = isa.ToRight(32)
+		}
+		if i >= 4 {
+			tgt = isa.ToLeft(33)
+			if i%2 == 1 {
+				tgt = isa.ToRight(33)
+			}
+		}
+		b.Insts[i] = isa.Inst{Op: isa.ADDI, Imm: int64(i), T0: tgt}
+	}
+	b.Reads[0].RT0 = isa.ToLeft(0)
+	b.Reads[0].RT1 = isa.ToLeft(1)
+	for i := 2; i < 8; i++ {
+		b.Insts[i].Op = isa.MOVI // independent of reads
+	}
+	b.Insts[32] = isa.Inst{Op: isa.ADD, T0: isa.ToLeft(34)}
+	b.Insts[33] = isa.Inst{Op: isa.ADD, T0: isa.ToRight(34)}
+	b.Insts[34] = isa.Inst{Op: isa.ADD, T0: isa.ToWrite(0)}
+	b.Insts[35] = isa.Inst{Op: isa.BRO, Exit: 0, Offset: haltOffset(0x1000)}
+	p, err := NewProgram(b.Addr, []*isa.Block{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	if err := p.Image(m); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCore(Config{Program: p, Mem: NewFixedLatencyMem(m, 20), TrackCritPath: true, MaxCycles: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := c.TileStats()
+	if stats.OPNInjected == 0 || stats.OPNInjected != stats.OPNDelivered {
+		t.Errorf("OPN injected %d, delivered %d", stats.OPNInjected, stats.OPNDelivered)
+	}
+	_ = res
+}
+
+func TestFourThreadMemoryIsolation(t *testing.T) {
+	// Four SMT threads each store a distinct value to a distinct address;
+	// no thread may disturb another's data, and all must halt.
+	mk := func(addrBase uint64, code uint64) *isa.Block {
+		b := &isa.Block{Addr: code, Name: "stm"}
+		b.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToRight(2)} // value
+		b.Reads[1] = isa.ReadInst{Valid: true, GR: 13, RT0: isa.ToLeft(2)} // address
+		b.Insts = []isa.Inst{
+			{Op: isa.NOP},
+			{Op: isa.NOP},
+			{Op: isa.SD, Imm: 0, LSID: 0},
+			{Op: isa.BRO, Exit: 0, Offset: haltOffset(code)},
+		}
+		_ = addrBase
+		return b
+	}
+	var blocks []*isa.Block
+	var entries []uint64
+	for tid := 0; tid < 4; tid++ {
+		code := uint64(0x10000 + tid*0x1000)
+		blocks = append(blocks, mk(0, code))
+		entries = append(entries, code)
+	}
+	p, err := NewProgram(entries[0], blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	if err := p.Image(m); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCore(Config{Program: p, Mem: NewFixedLatencyMem(m, 20), Entries: entries, MaxCycles: 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 4; tid++ {
+		c.SetRegister(tid, 8, uint64(0x100+tid))
+		c.SetRegister(tid, 13, uint64(0x8000+tid*256))
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushCaches()
+	for tid := 0; tid < 4; tid++ {
+		if got := m.Read(uint64(0x8000+tid*256), 8, false); got != uint64(0x100+tid) {
+			t.Errorf("thread %d stored %#x", tid, got)
+		}
+	}
+}

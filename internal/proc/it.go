@@ -1,0 +1,150 @@
+package proc
+
+import (
+	"fmt"
+
+	"trips/internal/isa"
+)
+
+// itChunk is one cached 128-byte chunk plus its lazily decoded form.
+type itChunk struct {
+	raw  []byte
+	body *[isa.BodyChunkInsts]isa.Inst // decoded on first dispatch (body ITs)
+	hdr  *isa.HeaderInfo               // decoded on first dispatch (IT 0)
+}
+
+// itRefill tracks one outstanding distributed I-cache refill at this IT.
+type itRefill struct {
+	ownDone   bool
+	southDone bool
+}
+
+// itTile is one of the five instruction tiles: a 16KB bank holding one
+// 128-byte chunk for each of up to 128 distinct blocks, acting as a slave
+// to the GT which holds the single tag array (paper Section 3.2). IT 0
+// holds header chunks; IT k holds body chunk k-1.
+type itTile struct {
+	core *Core
+	id   int
+
+	chunks      map[uint64]*itChunk // keyed by block address
+	refills     map[uint64]*itRefill
+	refillOrder []uint64
+	port        MemPort
+	pending     []uint64 // refill reads awaiting a free port
+
+	// Stats.
+	Refills uint64
+}
+
+func newIT(core *Core, id int) *itTile {
+	return &itTile{core: core, id: id, chunks: make(map[uint64]*itChunk), refills: make(map[uint64]*itRefill)}
+}
+
+// chunkAddr returns where this IT's chunk of the block at addr lives.
+func (it *itTile) chunkAddr(blockAddr uint64) uint64 {
+	return blockAddr + uint64(it.id)*isa.ChunkBytes
+}
+
+// onRefill begins fetching this IT's chunk of the block ("Each IT processes
+// the misses for its own chunk independently", paper Section 4.1).
+func (it *itTile) onRefill(blockAddr uint64) {
+	if _, ok := it.refills[blockAddr]; ok {
+		return
+	}
+	it.Refills++
+	st := &itRefill{}
+	it.refills[blockAddr] = st
+	it.refillOrder = append(it.refillOrder, blockAddr)
+	if c, ok := it.chunks[blockAddr]; ok && c != nil {
+		st.ownDone = true // chunk already resident
+		return
+	}
+	it.pending = append(it.pending, blockAddr)
+}
+
+func (it *itTile) tick(now int64) {
+	// Submit queued chunk reads.
+	for len(it.pending) > 0 {
+		blockAddr := it.pending[0]
+		req := &MemRequest{Addr: it.chunkAddr(blockAddr), N: isa.ChunkBytes, Done: func(data []byte) {
+			it.chunks[blockAddr] = &itChunk{raw: data}
+			if st := it.refills[blockAddr]; st != nil {
+				st.ownDone = true
+			}
+		}}
+		if !it.port.Submit(req) {
+			break
+		}
+		it.pending = it.pending[1:]
+	}
+	// South-neighbor refill completions arrive on the GSN chain.
+	node := it.id + 1
+	if node < it.core.gsnIT.N-1 {
+		if msg, ok := it.core.gsnIT.Recv(node); ok {
+			if msg.kind == gsnRefill {
+				if st := it.refills[msg.seq]; st != nil { // seq carries the address
+					st.southDone = true
+				}
+				it.core.gsnIT.Pop(node)
+			} else {
+				it.core.gsnIT.Pop(node)
+			}
+		}
+	}
+	// Signal refill completion northward once this IT and its south
+	// neighbor are done (the bottom IT needs no neighbor).
+	kept := it.refillOrder[:0]
+	for _, addr := range it.refillOrder {
+		st := it.refills[addr]
+		if st == nil {
+			continue
+		}
+		done := st.ownDone && (it.id == isa.NumITs-1 || st.southDone)
+		if done && it.core.gsnIT.CanSend(it.id+1) {
+			it.core.gsnIT.Send(it.id+1, gsnMsg{kind: gsnRefill, seq: addr})
+			delete(it.refills, addr)
+			continue
+		}
+		kept = append(kept, addr)
+	}
+	it.refillOrder = kept
+	_ = now
+}
+
+// headerOf returns the decoded header chunk for a resident block (IT 0).
+func (it *itTile) headerOf(blockAddr uint64) (*isa.HeaderInfo, error) {
+	c := it.chunks[blockAddr]
+	if c == nil {
+		return nil, fmt.Errorf("proc: IT%d has no chunk for block %#x", it.id, blockAddr)
+	}
+	if c.hdr == nil {
+		h, err := isa.DecodeHeaderChunk(c.raw)
+		if err != nil {
+			return nil, err
+		}
+		c.hdr = h
+	}
+	return c.hdr, nil
+}
+
+// bodyOf returns the decoded instructions of this IT's body chunk.
+func (it *itTile) bodyOf(blockAddr uint64) (*[isa.BodyChunkInsts]isa.Inst, error) {
+	c := it.chunks[blockAddr]
+	if c == nil {
+		return nil, fmt.Errorf("proc: IT%d has no chunk for block %#x", it.id, blockAddr)
+	}
+	if c.body == nil {
+		insts, err := isa.DecodeBodyChunk(c.raw)
+		if err != nil {
+			return nil, err
+		}
+		c.body = &insts
+	}
+	return c.body, nil
+}
+
+// evict drops a block's chunk (GT tag replacement).
+func (it *itTile) evict(blockAddr uint64) {
+	delete(it.chunks, blockAddr)
+}

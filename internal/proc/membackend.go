@@ -1,0 +1,105 @@
+package proc
+
+import "trips/internal/mem"
+
+// MemRequest is one secondary-memory transaction issued by a DT (L1 miss,
+// writeback) or IT (I-cache refill) through its private port into the
+// on-chip network (paper Section 3.6: "each IT/DT pair has its own private
+// port into the secondary memory system").
+type MemRequest struct {
+	Addr    uint64
+	N       int
+	Data    []byte // write payload
+	IsWrite bool
+	// Done is invoked when the transaction completes; for reads it carries
+	// the data.
+	Done func(data []byte)
+}
+
+// MemPort accepts transactions from one tile. Submit returns false when the
+// port cannot accept a request this cycle (backpressure).
+type MemPort interface {
+	Submit(req *MemRequest) bool
+}
+
+// MemBackend is the secondary memory system behind the core's ports: the
+// NUCA L2 + SDRAM in the full chip, or a fixed-latency model in unit tests.
+type MemBackend interface {
+	// Port returns the private port for the named client. Names are of the
+	// form "dt0".."dt3" and "it0".."it4".
+	Port(name string) MemPort
+	// Tick advances the memory system one cycle.
+	Tick()
+}
+
+// FixedLatencyMem is a simple MemBackend: every transaction completes a
+// fixed number of cycles after submission, one new transaction per port per
+// cycle, backed by a flat memory. Used for unit tests and as the paper's
+// "perfect L2" configuration (Section 5.4 normalizes the secondary memory
+// system out of the TRIPS/Alpha comparison).
+type FixedLatencyMem struct {
+	Mem     *mem.Memory
+	Latency int
+	ports   map[string]*fixedPort
+	order   []*fixedPort // deterministic tick order
+	cycle   int64
+}
+
+// NewFixedLatencyMem builds the backend over m with the given latency.
+func NewFixedLatencyMem(m *mem.Memory, latency int) *FixedLatencyMem {
+	return &FixedLatencyMem{Mem: m, Latency: latency, ports: make(map[string]*fixedPort)}
+}
+
+type fixedPort struct {
+	parent  *FixedLatencyMem
+	lastSub int64
+	queue   []pendingReq
+}
+
+type pendingReq struct {
+	req  *MemRequest
+	when int64
+}
+
+// Port implements MemBackend.
+func (f *FixedLatencyMem) Port(name string) MemPort {
+	p, ok := f.ports[name]
+	if !ok {
+		p = &fixedPort{parent: f, lastSub: -1}
+		f.ports[name] = p
+		f.order = append(f.order, p)
+	}
+	return p
+}
+
+// Submit implements MemPort: at most one request per cycle per port.
+func (p *fixedPort) Submit(req *MemRequest) bool {
+	if p.lastSub == p.parent.cycle {
+		return false
+	}
+	p.lastSub = p.parent.cycle
+	p.queue = append(p.queue, pendingReq{req: req, when: p.parent.cycle + int64(p.parent.Latency)})
+	return true
+}
+
+// Tick implements MemBackend.
+func (f *FixedLatencyMem) Tick() {
+	f.cycle++
+	for _, p := range f.order {
+		for len(p.queue) > 0 && p.queue[0].when <= f.cycle {
+			pr := p.queue[0]
+			p.queue = p.queue[1:]
+			if pr.req.IsWrite {
+				f.Mem.WriteBytes(pr.req.Addr, pr.req.Data)
+				if pr.req.Done != nil {
+					pr.req.Done(nil)
+				}
+			} else {
+				data := f.Mem.ReadBytes(pr.req.Addr, pr.req.N)
+				if pr.req.Done != nil {
+					pr.req.Done(data)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package proc
+
+import (
+	"fmt"
+	"sort"
+
+	"trips/internal/isa"
+	"trips/internal/mem"
+)
+
+// Program is a TRIPS binary: a set of encoded blocks laid out in memory
+// plus an entry address. The instruction tiles fetch chunk bytes from this
+// image through the secondary memory system, exactly as the hardware
+// refills its I-cache banks from the L2.
+type Program struct {
+	Entry  uint64
+	blocks map[uint64]*isa.Block
+	sizes  map[uint64]int // encoded size in bytes per block
+}
+
+// NewProgram builds a program from blocks. Every block must validate and
+// encode; blocks must not overlap in memory.
+func NewProgram(entry uint64, blocks []*isa.Block) (*Program, error) {
+	p := &Program{Entry: entry, blocks: make(map[uint64]*isa.Block), sizes: make(map[uint64]int)}
+	for _, b := range blocks {
+		if _, dup := p.blocks[b.Addr]; dup {
+			return nil, fmt.Errorf("proc: duplicate block at %#x", b.Addr)
+		}
+		data, err := isa.EncodeBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		p.blocks[b.Addr] = b
+		p.sizes[b.Addr] = len(data)
+	}
+	// Overlap check.
+	addrs := p.Addrs()
+	for i := 1; i < len(addrs); i++ {
+		prev := addrs[i-1]
+		if prev+uint64(p.sizes[prev]) > addrs[i] {
+			return nil, fmt.Errorf("proc: blocks at %#x and %#x overlap", prev, addrs[i])
+		}
+	}
+	if _, ok := p.blocks[entry]; !ok {
+		return nil, fmt.Errorf("proc: entry %#x is not a block", entry)
+	}
+	return p, nil
+}
+
+// Addrs returns all block addresses in ascending order.
+func (p *Program) Addrs() []uint64 {
+	addrs := make([]uint64, 0, len(p.blocks))
+	for a := range p.blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// Block returns the block at addr.
+func (p *Program) Block(addr uint64) (*isa.Block, bool) {
+	b, ok := p.blocks[addr]
+	return b, ok
+}
+
+// Size returns the encoded size in bytes of the block at addr.
+func (p *Program) Size(addr uint64) int { return p.sizes[addr] }
+
+// Next returns the sequential successor address of the block at addr.
+func (p *Program) Next(addr uint64) uint64 { return addr + uint64(p.sizes[addr]) }
+
+// Image writes every block's encoded chunks into memory, giving the ITs a
+// byte image to refill from.
+func (p *Program) Image(m *mem.Memory) error {
+	for addr, b := range p.blocks {
+		data, err := isa.EncodeBlock(b)
+		if err != nil {
+			return err
+		}
+		m.WriteBytes(addr, data)
+	}
+	return nil
+}
+
+// NumBlocks returns the number of static blocks.
+func (p *Program) NumBlocks() int { return len(p.blocks) }

@@ -1,0 +1,287 @@
+package proc
+
+import (
+	"testing"
+
+	"trips/internal/isa"
+	"trips/internal/mem"
+)
+
+// storeLoadProgram: block A stores r8 to [r12]; block B loads [r12] into
+// r16; then halt. Exercises cross-block memory ordering: B's load issues
+// aggressively and may be violated by A's store, forcing a distributed
+// flush and replay, or may be correctly held back / forwarded.
+func storeLoadProgram(t *testing.T) *Program {
+	t.Helper()
+	a := &isa.Block{Addr: 0x1000, Name: "store"}
+	a.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToRight(0)} // data
+	a.Reads[1] = isa.ReadInst{Valid: true, GR: 13, RT0: isa.ToLeft(0)} // address
+	a.Insts = []isa.Inst{
+		{Op: isa.SD, Imm: 0, LSID: 0},
+		{Op: isa.BRO, Exit: 0, Offset: branchOffset(0x1000, 0x2000)},
+	}
+	b := &isa.Block{Addr: 0x2000, Name: "load"}
+	b.Reads[1] = isa.ReadInst{Valid: true, GR: 13, RT0: isa.ToLeft(0)}
+	b.Writes[0] = isa.WriteInst{Valid: true, GR: 16}
+	b.Insts = []isa.Inst{
+		{Op: isa.LD, Imm: 0, LSID: 0, T0: isa.ToWrite(0)},
+		{Op: isa.BRO, Exit: 0, Offset: haltOffset(0x2000)},
+	}
+	p, err := NewProgram(a.Addr, []*isa.Block{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCrossBlockStoreLoadOrdering(t *testing.T) {
+	p := storeLoadProgram(t)
+	c := newTestCore(t, p, nil)
+	c.SetRegister(0, 8, 0xfeedface)
+	c.SetRegister(0, 13, 0x8000)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Register(0, 16); got != 0xfeedface {
+		t.Errorf("loaded r16 = %#x, want 0xfeedface (violations=%d)", got, res.Violations)
+	}
+}
+
+func TestDependencePredictorAvoidsRepeatViolations(t *testing.T) {
+	// Loop the store/load pair many times through fresh cores sharing
+	// nothing; within ONE run, a loop re-executing the same conflicting
+	// pair must not violate every iteration once the predictor trains.
+	loopA := &isa.Block{Addr: 0x1000, Name: "sl-loop"}
+	loopA.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToRight(0)} // data = i
+	loopA.Reads[1] = isa.ReadInst{Valid: true, GR: 13, RT0: isa.ToLeft(0)} // addr
+	loopA.Reads[2] = isa.ReadInst{Valid: true, GR: 14, RT0: isa.ToLeft(2)} // addr again for load
+	loopA.Reads[3] = isa.ReadInst{Valid: true, GR: 19, RT0: isa.ToLeft(3)} // n
+	loopA.Writes[0] = isa.WriteInst{Valid: true, GR: 8}                    // i+1
+	loopA.Writes[1] = isa.WriteInst{Valid: true, GR: 17}                   // loaded value
+	loopA.Insts = []isa.Inst{
+		{Op: isa.SD, Imm: 0, LSID: 0}, // [addr] = i
+		{Op: isa.NOP},
+		{Op: isa.LD, Imm: 0, LSID: 1, T0: isa.ToWrite(1)},       // load [addr]
+		{Op: isa.TGT, T0: isa.ToPred(4), T1: isa.ToPred(5)},     // n > i+1 ?
+		{Op: isa.BRO, Pred: isa.PredOnTrue, Exit: 1, Offset: 0}, // loop
+		{Op: isa.BRO, Pred: isa.PredOnFalse, Exit: 0, Offset: haltOffset(0x1000)},
+		{Op: isa.ADDI, Imm: 1, T0: isa.ToLeft(7)},             // i+1 -> fan
+		{Op: isa.MOV, T0: isa.ToWrite(0), T1: isa.ToRight(3)}, // i+1 -> W0, test
+	}
+	// Wire: i (r8) feeds store data and the incrementer.
+	loopA.Reads[0].RT1 = isa.ToLeft(6)
+	p, err := NewProgram(loopA.Addr, []*isa.Block{loopA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCore(t, p, nil)
+	c.SetRegister(0, 8, 0)
+	c.SetRegister(0, 13, 0x8000)
+	c.SetRegister(0, 14, 0x8000)
+	c.SetRegister(0, 19, 40)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Register(0, 17); got != 39 {
+		t.Errorf("final loaded value = %d, want 39", got)
+	}
+	if res.Violations >= 40 {
+		t.Errorf("dependence predictor never learned: %d violations over 40 iterations", res.Violations)
+	}
+}
+
+func TestEightBlocksInFlight(t *testing.T) {
+	// A long chain of dependent-free blocks: with 8 frames and pipelined
+	// fetch every 8 cycles, many blocks overlap. The run must commit all
+	// blocks in order and the window must give real overlap (cycles much
+	// less than blocks x single-block latency).
+	var blocks []*isa.Block
+	n := 32
+	for i := 0; i < n; i++ {
+		addr := uint64(0x1000 + i*0x100)
+		b := &isa.Block{Addr: addr, Name: "chain"}
+		b.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToLeft(0)}
+		b.Writes[0] = isa.WriteInst{Valid: true, GR: 8}
+		next := addr + 0x100
+		off := branchOffset(addr, next)
+		if i == n-1 {
+			off = haltOffset(addr)
+		}
+		b.Insts = []isa.Inst{
+			{Op: isa.ADDI, Imm: 1, T0: isa.ToWrite(0)},
+			{Op: isa.BRO, Exit: 0, Offset: off},
+		}
+		blocks = append(blocks, b)
+	}
+	p, err := NewProgram(blocks[0].Addr, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCore(t, p, nil)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Register(0, 8); got != uint64(n) {
+		t.Errorf("r8 = %d, want %d", got, n)
+	}
+	if res.CommittedBlocks != uint64(n) {
+		t.Errorf("committed %d blocks, want %d", res.CommittedBlocks, n)
+	}
+	// Sequential (unpipelined) execution would cost well over 60 cycles
+	// per block (fetch 13 + execute + complete + commit round trips).
+	// Overlap must bring the steady-state rate far below that.
+	perBlock := float64(res.Cycles) / float64(n)
+	if perBlock > 45 {
+		t.Errorf("%.1f cycles/block: the 8-deep block window is not overlapping (total %d)", perBlock, res.Cycles)
+	}
+}
+
+func TestSMTTwoThreads(t *testing.T) {
+	// Two threads run independent accumulation loops over disjoint
+	// registers (per-thread register files) and addresses.
+	mk := func(base uint64) *isa.Block {
+		b := &isa.Block{Addr: base, Name: "smt-loop"}
+		b.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToLeft(0)}
+		b.Reads[1] = isa.ReadInst{Valid: true, GR: 13, RT0: isa.ToLeft(1)}
+		b.Reads[2] = isa.ReadInst{Valid: true, GR: 18, RT0: isa.ToRight(2)}
+		b.Writes[0] = isa.WriteInst{Valid: true, GR: 8}
+		b.Writes[1] = isa.WriteInst{Valid: true, GR: 13}
+		b.Insts = []isa.Inst{
+			{Op: isa.ADDI, Imm: 1, T0: isa.ToLeft(4)},
+			{Op: isa.ADD, T0: isa.ToWrite(1)},
+			{Op: isa.TLT, T0: isa.ToPred(5), T1: isa.ToPred(6)},
+			{Op: isa.NOP},
+			{Op: isa.MOV, T0: isa.ToWrite(0), T1: isa.ToLeft(7)},
+			{Op: isa.BRO, Pred: isa.PredOnTrue, Exit: 1, Offset: 0},
+			{Op: isa.BRO, Pred: isa.PredOnFalse, Exit: 0, Offset: haltOffset(base)},
+			{Op: isa.MOV, T0: isa.ToRight(1), T1: isa.ToLeft(2)},
+		}
+		return b
+	}
+	b0 := mk(0x2000)
+	b1 := mk(0x4000)
+	p, err := NewProgram(b0.Addr, []*isa.Block{b0, b1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	if err := p.Image(m); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCore(Config{
+		Program:   p,
+		Mem:       NewFixedLatencyMem(m, 20),
+		Entries:   []uint64{0x2000, 0x4000},
+		MaxCycles: 2_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRegister(0, 18, 10) // thread 0: n = 10
+	c.SetRegister(1, 18, 7)  // thread 1: n = 7
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Register(0, 13); got != 55 {
+		t.Errorf("thread 0 sum = %d, want 55", got)
+	}
+	if got := c.Register(1, 13); got != 28 {
+		t.Errorf("thread 1 sum = %d, want 28", got)
+	}
+	if res.CommittedBlocks != 17 {
+		t.Errorf("committed %d blocks, want 17", res.CommittedBlocks)
+	}
+}
+
+func TestDivergentPredicationBothPaths(t *testing.T) {
+	// abs(): w0 = r8 < 0 ? -r8 : r8, using complementary predicated movs
+	// feeding one write entry.
+	b := &isa.Block{Addr: 0x1000, Name: "abs"}
+	b.Writes[0] = isa.WriteInst{Valid: true, GR: 16}
+	b.Insts = []isa.Inst{
+		{Op: isa.TLTI, Imm: 0, T0: isa.ToLeft(6)},               // p = r8 < 0 (I-format: one target)
+		{Op: isa.MOV, T0: isa.ToRight(3), T1: isa.ToLeft(4)},    // fan r8
+		{Op: isa.MOVI, Imm: 0, T0: isa.ToLeft(3)},               // 0
+		{Op: isa.SUB, Pred: isa.PredOnTrue, T0: isa.ToWrite(0)}, // 0 - r8
+		{Op: isa.ADDI, Pred: isa.PredOnFalse, Imm: 0, T0: isa.ToWrite(0)},
+		{Op: isa.BRO, Exit: 0, Offset: haltOffset(0x1000)},
+		{Op: isa.MOV, T0: isa.ToPred(3), T1: isa.ToPred(4)}, // fan the predicate
+	}
+	b.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToLeft(0), RT1: isa.ToLeft(1)}
+	for _, tc := range []struct{ in, want int64 }{{-42, 42}, {42, 42}, {0, 0}} {
+		p, err := NewProgram(b.Addr, []*isa.Block{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newTestCore(t, p, nil)
+		c.SetRegister(0, 8, uint64(tc.in))
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(c.Register(0, 16)); got != tc.want {
+			t.Errorf("abs(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestICacheCapacityEviction(t *testing.T) {
+	// More than 128 static blocks forces tag evictions and re-refills.
+	var blocks []*isa.Block
+	n := 150
+	for i := 0; i < n; i++ {
+		addr := uint64(0x10000 + i*0x100)
+		b := &isa.Block{Addr: addr, Name: "big"}
+		b.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToLeft(0)}
+		b.Writes[0] = isa.WriteInst{Valid: true, GR: 8}
+		off := branchOffset(addr, addr+0x100)
+		if i == n-1 {
+			off = haltOffset(addr)
+		}
+		b.Insts = []isa.Inst{
+			{Op: isa.ADDI, Imm: 1, T0: isa.ToWrite(0)},
+			{Op: isa.BRO, Exit: 0, Offset: off},
+		}
+		blocks = append(blocks, b)
+	}
+	p, err := NewProgram(blocks[0].Addr, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCore(t, p, nil)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Register(0, 8); got != uint64(n) {
+		t.Errorf("r8 = %d, want %d", got, n)
+	}
+	if res.CommittedBlocks != uint64(n) {
+		t.Errorf("committed %d, want %d", res.CommittedBlocks, n)
+	}
+	if len(c.gt.tags) > c.gt.tagCap {
+		t.Errorf("tag array holds %d entries, cap %d", len(c.gt.tags), c.gt.tagCap)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Result, uint64) {
+		p := loopProgram(t)
+		c := newTestCore(t, p, nil)
+		c.SetRegister(0, 18, 25)
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, c.Register(0, 13)
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if r1.Cycles != r2.Cycles || s1 != s2 || r1.Mispredicts != r2.Mispredicts {
+		t.Errorf("nondeterministic: run1 = (%d cycles, sum %d, %d misp), run2 = (%d, %d, %d)",
+			r1.Cycles, s1, r1.Mispredicts, r2.Cycles, s2, r2.Mispredicts)
+	}
+}

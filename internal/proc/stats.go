@@ -1,0 +1,134 @@
+package proc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TileStats aggregates per-tile counters across the core — the kind of
+// bookkeeping tsim-proc reports alongside cycle counts.
+type TileStats struct {
+	// Execution tiles.
+	ETIssued      uint64 // instructions issued (including wrong-path)
+	ETLocalBypass uint64 // operands delivered over the same-ET bypass
+	ETRemote      uint64 // operands sent across the OPN
+	ETDeadPred    uint64 // instructions killed by mismatched predicates
+
+	// Register tiles.
+	RTReadsForwarded uint64 // reads satisfied from older in-flight writes
+	RTReadsFromFile  uint64 // reads satisfied from the architectural file
+	RTReadsBuffered  uint64 // reads that waited on a pending write
+	RTNullWrites     uint64 // nullified register outputs
+
+	// Data tiles.
+	DTLoads      uint64
+	DTStores     uint64
+	DTNullStores uint64
+	DTHits       uint64
+	DTMisses     uint64
+	DTDepStalls  uint64 // loads held back by the dependence predictor
+	DTViolations uint64 // memory-ordering violations detected
+	LSQForwards  uint64 // store-to-load forwards
+
+	// Operand network.
+	OPNInjected  uint64
+	OPNDelivered uint64
+
+	// Instruction supply and control.
+	ITRefillFetches uint64 // per-IT chunk fetches
+	Fetches         uint64 // blocks dispatched
+	Refills         uint64 // distributed I-cache refills
+	Flushes         uint64
+	Mispredicts     uint64
+	Commits         uint64
+
+	// Next-block predictor.
+	Predictions  uint64
+	ExitMisses   uint64
+	TargetMisses uint64
+}
+
+// TileStats gathers the counters.
+func (c *Core) TileStats() TileStats {
+	var s TileStats
+	for _, e := range c.ets {
+		s.ETIssued += e.Issued
+		s.ETLocalBypass += e.LocalBypass
+		s.ETRemote += e.Remote
+		s.ETDeadPred += e.DeadPred
+	}
+	for _, r := range c.rts {
+		s.RTReadsForwarded += r.ReadsForwarded
+		s.RTReadsFromFile += r.ReadsFromFile
+		s.RTReadsBuffered += r.ReadsBuffered
+		s.RTNullWrites += r.NullWrites
+	}
+	for _, d := range c.dts {
+		s.DTLoads += d.Loads
+		s.DTStores += d.Stores
+		s.DTNullStores += d.NullStores
+		s.DTHits += d.Hits
+		s.DTMisses += d.MissesStat
+		s.DTDepStalls += d.StallsDep
+		s.DTViolations += d.ViolationsStat
+		for _, q := range d.lsqs {
+			s.LSQForwards += q.Forwards
+		}
+	}
+	for _, m := range c.opns {
+		s.OPNInjected += m.Injected()
+		s.OPNDelivered += m.Delivered()
+	}
+	for _, it := range c.its {
+		s.ITRefillFetches += it.Refills
+	}
+	s.Fetches = c.gt.Fetches
+	s.Refills = c.gt.Refills
+	s.Flushes = c.gt.Flushes
+	s.Mispredicts = c.gt.Mispredicts
+	s.Commits = c.gt.Commits
+	s.Predictions = c.gt.pred.Predictions
+	s.ExitMisses = c.gt.pred.ExitMisses
+	s.TargetMisses = c.gt.pred.TargetMisses
+	return s
+}
+
+// RegisterForwardRate returns the fraction of register reads served by
+// in-flight write queues rather than the architectural file — the dynamic
+// forwarding that "performs a function equivalent to register renaming"
+// (paper Section 3.3).
+func (s TileStats) RegisterForwardRate() float64 {
+	total := s.RTReadsForwarded + s.RTReadsFromFile
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RTReadsForwarded) / float64(total)
+}
+
+// LocalBypassRate returns the fraction of operand deliveries that used the
+// same-ET bypass instead of crossing the OPN.
+func (s TileStats) LocalBypassRate() float64 {
+	total := s.ETLocalBypass + s.ETRemote
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ETLocalBypass) / float64(total)
+}
+
+// String renders the statistics in tsim style.
+func (s TileStats) String() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("ET: issued %d, local bypass %d (%.0f%%), remote %d, dead-predicate %d",
+		s.ETIssued, s.ETLocalBypass, 100*s.LocalBypassRate(), s.ETRemote, s.ETDeadPred)
+	w("RT: reads forwarded %d (%.0f%%), from file %d, buffered %d; null writes %d",
+		s.RTReadsForwarded, 100*s.RegisterForwardRate(), s.RTReadsFromFile, s.RTReadsBuffered, s.RTNullWrites)
+	w("DT: loads %d, stores %d (null %d), hits %d, misses %d, dep-stalls %d, violations %d, lsq forwards %d",
+		s.DTLoads, s.DTStores, s.DTNullStores, s.DTHits, s.DTMisses, s.DTDepStalls, s.DTViolations, s.LSQForwards)
+	w("OPN: injected %d, delivered %d", s.OPNInjected, s.OPNDelivered)
+	w("GT: fetches %d, refills %d, flushes %d, mispredicts %d, commits %d",
+		s.Fetches, s.Refills, s.Flushes, s.Mispredicts, s.Commits)
+	w("predictor: %d predictions, %d exit misses, %d target misses",
+		s.Predictions, s.ExitMisses, s.TargetMisses)
+	return b.String()
+}

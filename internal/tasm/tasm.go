@@ -1,0 +1,397 @@
+// Package tasm implements the TRIPS assembly language (TASL), a textual
+// form of TRIPS blocks mirroring the paper's examples (Figure 5a). A
+// program is a sequence of blocks:
+//
+//	block figure5a @0x10000
+//	    read  R[0] r4 -> N[1,L] N[2,L]
+//	    write W[1] r13
+//	    N[0]  movi #0 -> N[1,R]
+//	    N[1]  teq -> N[2,P] N[3,P]
+//	    N[2]  muli_f #4 -> N[32,L]
+//	    N[3]  null_t -> N[34,L] N[34,R]
+//	    N[32] lw #8 L[0] -> N[33,L]
+//	    N[33] mov -> N[34,L] N[34,R]
+//	    N[34] sw #0 L[1]
+//	    N[35] callo exit=0 @func1
+//	end
+//
+// Mnemonics take the `_t`/`_f` suffix for predication; loads and stores
+// name their LSID as `L[n]`; branches name an exit number and either a
+// `@label` (resolved across the program; `@halt` is address 0) or a raw
+// `offset=n`. Targets are `N[i,L]`, `N[i,R]`, `N[i,P]` or `W[j]`.
+// Comments run from `;` or `//` to end of line.
+package tasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"trips/internal/isa"
+	"trips/internal/proc"
+)
+
+// Assemble parses TASL source into a runnable program. The first block is
+// the entry unless a line `entry <name>` names another.
+func Assemble(src string) (*proc.Program, error) {
+	p := &parser{labels: map[string]uint64{}}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	if len(p.blocks) == 0 {
+		return nil, fmt.Errorf("tasm: no blocks")
+	}
+	entry := p.blocks[0].Addr
+	if p.entry != "" {
+		a, ok := p.labels[p.entry]
+		if !ok {
+			return nil, fmt.Errorf("tasm: entry %q is not a block", p.entry)
+		}
+		entry = a
+	}
+	return proc.NewProgram(entry, p.blocks)
+}
+
+type parser struct {
+	blocks []*isa.Block
+	labels map[string]uint64
+	entry  string
+	cur    *isa.Block
+	// branch fixups: block, inst index, label
+	fixups []fixup
+	line   int
+}
+
+type fixup struct {
+	b     *isa.Block
+	idx   int
+	label string
+	line  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("tasm: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		p.line = i + 1
+		line := raw
+		if j := strings.Index(line, ";"); j >= 0 {
+			line = line[:j]
+		}
+		if j := strings.Index(line, "//"); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		var err error
+		switch fields[0] {
+		case "entry":
+			if len(fields) != 2 {
+				return p.errf("entry wants a block name")
+			}
+			p.entry = fields[1]
+		case "block":
+			err = p.beginBlock(fields[1:])
+		case "end":
+			p.cur = nil
+		case "read":
+			err = p.parseRead(fields[1:])
+		case "write":
+			err = p.parseWrite(fields[1:])
+		default:
+			err = p.parseInst(fields)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Resolve branch labels.
+	for _, f := range p.fixups {
+		target, ok := p.labels[f.label]
+		if !ok {
+			if f.label == "halt" {
+				target = 0
+			} else {
+				return fmt.Errorf("tasm: line %d: undefined label %q", f.line, f.label)
+			}
+		}
+		off := (int64(target) - int64(f.b.Addr)) / isa.ChunkBytes
+		f.b.Insts[f.idx].Offset = int32(off)
+	}
+	return nil
+}
+
+func (p *parser) beginBlock(args []string) error {
+	if len(args) != 2 || !strings.HasPrefix(args[1], "@") {
+		return p.errf("usage: block <name> @<addr>")
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(args[1], "@"), 0, 64)
+	if err != nil {
+		return p.errf("bad address %q: %v", args[1], err)
+	}
+	b := &isa.Block{Name: args[0], Addr: addr}
+	if _, dup := p.labels[args[0]]; dup {
+		return p.errf("duplicate block %q", args[0])
+	}
+	p.labels[args[0]] = addr
+	p.blocks = append(p.blocks, b)
+	p.cur = b
+	return nil
+}
+
+// parseTargets parses the optional "-> tgt tgt" tail.
+func (p *parser) parseTargets(fields []string) ([]isa.Target, error) {
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	if fields[0] != "->" {
+		return nil, p.errf("expected '->', got %q", fields[0])
+	}
+	var out []isa.Target
+	for _, tok := range fields[1:] {
+		t, err := parseTarget(tok)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, p.errf("'->' with no targets")
+	}
+	return out, nil
+}
+
+func parseTarget(tok string) (isa.Target, error) {
+	switch {
+	case strings.HasPrefix(tok, "W[") && strings.HasSuffix(tok, "]"):
+		j, err := strconv.Atoi(tok[2 : len(tok)-1])
+		if err != nil {
+			return isa.NoTarget, fmt.Errorf("bad write target %q", tok)
+		}
+		return isa.ToWrite(j), nil
+	case strings.HasPrefix(tok, "N[") && strings.HasSuffix(tok, "]"):
+		body := tok[2 : len(tok)-1]
+		parts := strings.Split(body, ",")
+		if len(parts) != 2 {
+			return isa.NoTarget, fmt.Errorf("bad target %q (want N[i,L|R|P])", tok)
+		}
+		i, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return isa.NoTarget, fmt.Errorf("bad target index in %q", tok)
+		}
+		switch strings.ToUpper(parts[1]) {
+		case "L":
+			return isa.ToLeft(i), nil
+		case "R":
+			return isa.ToRight(i), nil
+		case "P":
+			return isa.ToPred(i), nil
+		}
+		return isa.NoTarget, fmt.Errorf("bad operand kind in %q", tok)
+	}
+	return isa.NoTarget, fmt.Errorf("bad target %q", tok)
+}
+
+func (p *parser) parseRead(fields []string) error {
+	if p.cur == nil {
+		return p.errf("read outside a block")
+	}
+	// read R[j] r<gr> -> targets
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "R[") {
+		return p.errf("usage: read R[j] r<gr> -> targets")
+	}
+	j, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(fields[0], "R["), "]"))
+	if err != nil || j < 0 || j >= isa.MaxBlockReads {
+		return p.errf("bad read index %q", fields[0])
+	}
+	gr, err := strconv.Atoi(strings.TrimPrefix(fields[1], "r"))
+	if err != nil {
+		return p.errf("bad register %q", fields[1])
+	}
+	ts, err := p.parseTargets(fields[2:])
+	if err != nil {
+		return err
+	}
+	if len(ts) > 2 {
+		return p.errf("reads take at most two targets")
+	}
+	rd := isa.ReadInst{Valid: true, GR: gr}
+	if len(ts) > 0 {
+		rd.RT0 = ts[0]
+	}
+	if len(ts) > 1 {
+		rd.RT1 = ts[1]
+	}
+	p.cur.Reads[j] = rd
+	return nil
+}
+
+func (p *parser) parseWrite(fields []string) error {
+	if p.cur == nil {
+		return p.errf("write outside a block")
+	}
+	if len(fields) != 2 || !strings.HasPrefix(fields[0], "W[") {
+		return p.errf("usage: write W[j] r<gr>")
+	}
+	j, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(fields[0], "W["), "]"))
+	if err != nil || j < 0 || j >= isa.MaxBlockWrites {
+		return p.errf("bad write index %q", fields[0])
+	}
+	gr, err := strconv.Atoi(strings.TrimPrefix(fields[1], "r"))
+	if err != nil {
+		return p.errf("bad register %q", fields[1])
+	}
+	p.cur.Writes[j] = isa.WriteInst{Valid: true, GR: gr}
+	return nil
+}
+
+func (p *parser) parseInst(fields []string) error {
+	if p.cur == nil {
+		return p.errf("instruction outside a block")
+	}
+	// N[i] mnemonic[_t|_f] [#imm] [L[id]] [exit=n] [@label|offset=n] [-> targets]
+	if !strings.HasPrefix(fields[0], "N[") {
+		return p.errf("unrecognized line %q", strings.Join(fields, " "))
+	}
+	idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(fields[0], "N["), "]"))
+	if err != nil || idx < 0 || idx >= isa.MaxBlockInsts {
+		return p.errf("bad instruction index %q", fields[0])
+	}
+	if len(fields) < 2 {
+		return p.errf("missing mnemonic")
+	}
+	mn := fields[1]
+	in := isa.Inst{}
+	switch {
+	case strings.HasSuffix(mn, "_t"):
+		in.Pred = isa.PredOnTrue
+		mn = strings.TrimSuffix(mn, "_t")
+	case strings.HasSuffix(mn, "_f"):
+		in.Pred = isa.PredOnFalse
+		mn = strings.TrimSuffix(mn, "_f")
+	}
+	op, ok := isa.OpcodeByName(mn)
+	if !ok {
+		return p.errf("unknown mnemonic %q", mn)
+	}
+	in.Op = op
+
+	rest := fields[2:]
+	for len(rest) > 0 && rest[0] != "->" {
+		tok := rest[0]
+		switch {
+		case strings.HasPrefix(tok, "#"):
+			v, err := strconv.ParseInt(strings.TrimPrefix(tok, "#"), 0, 64)
+			if err != nil {
+				return p.errf("bad immediate %q", tok)
+			}
+			in.Imm = v
+		case strings.HasPrefix(tok, "L[") && strings.HasSuffix(tok, "]"):
+			v, err := strconv.Atoi(tok[2 : len(tok)-1])
+			if err != nil {
+				return p.errf("bad LSID %q", tok)
+			}
+			in.LSID = v
+		case strings.HasPrefix(tok, "exit="):
+			v, err := strconv.Atoi(strings.TrimPrefix(tok, "exit="))
+			if err != nil {
+				return p.errf("bad exit %q", tok)
+			}
+			in.Exit = v
+		case strings.HasPrefix(tok, "offset="):
+			v, err := strconv.ParseInt(strings.TrimPrefix(tok, "offset="), 0, 32)
+			if err != nil {
+				return p.errf("bad offset %q", tok)
+			}
+			in.Offset = int32(v)
+		case strings.HasPrefix(tok, "@"):
+			if !op.IsBranch() {
+				return p.errf("@label on non-branch %q", mn)
+			}
+			p.fixups = append(p.fixups, fixup{b: p.cur, idx: idx, label: strings.TrimPrefix(tok, "@"), line: p.line})
+		default:
+			return p.errf("unexpected token %q", tok)
+		}
+		rest = rest[1:]
+	}
+	ts, err := p.parseTargets(rest)
+	if err != nil {
+		return err
+	}
+	if len(ts) > 2 {
+		return p.errf("at most two targets")
+	}
+	if len(ts) > 0 {
+		in.T0 = ts[0]
+	}
+	if len(ts) > 1 {
+		in.T1 = ts[1]
+	}
+	for len(p.cur.Insts) <= idx {
+		p.cur.Insts = append(p.cur.Insts, isa.Inst{Op: isa.NOP})
+	}
+	p.cur.Insts[idx] = in
+	return nil
+}
+
+// Disassemble renders a program back to TASL (round-trip aid and debugger).
+func Disassemble(p *proc.Program) string {
+	var b strings.Builder
+	for _, addr := range p.Addrs() {
+		blk, _ := p.Block(addr)
+		fmt.Fprintf(&b, "block %s @%#x\n", blockName(blk, addr), addr)
+		for j, rd := range blk.Reads {
+			if rd.Valid {
+				fmt.Fprintf(&b, "    read R[%d] r%d%s\n", j, rd.GR, targetsStr(rd.RT0, rd.RT1))
+			}
+		}
+		for j, w := range blk.Writes {
+			if w.Valid {
+				fmt.Fprintf(&b, "    write W[%d] r%d\n", j, w.GR)
+			}
+		}
+		for i := range blk.Insts {
+			in := &blk.Insts[i]
+			if in.Op == isa.NOP {
+				continue
+			}
+			fmt.Fprintf(&b, "    N[%d] %s%s", i, in.Op, in.Pred)
+			switch in.Op.Format() {
+			case isa.FmtI, isa.FmtC:
+				fmt.Fprintf(&b, " #%d", in.Imm)
+			case isa.FmtL, isa.FmtS:
+				fmt.Fprintf(&b, " #%d L[%d]", in.Imm, in.LSID)
+			case isa.FmtB:
+				fmt.Fprintf(&b, " exit=%d offset=%d", in.Exit, in.Offset)
+			}
+			b.WriteString(targetsStr(in.T0, in.T1))
+			b.WriteString("\n")
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+func blockName(blk *isa.Block, addr uint64) string {
+	if blk.Name != "" {
+		return strings.ReplaceAll(blk.Name, " ", "_")
+	}
+	return fmt.Sprintf("b%x", addr)
+}
+
+func targetsStr(ts ...isa.Target) string {
+	var out []string
+	for _, t := range ts {
+		if t.Valid() {
+			out = append(out, t.String())
+		}
+	}
+	if len(out) == 0 {
+		return ""
+	}
+	return " -> " + strings.Join(out, " ")
+}

@@ -1,0 +1,111 @@
+package tasm
+
+import (
+	"strings"
+	"testing"
+
+	"trips/internal/mem"
+	"trips/internal/proc"
+)
+
+const figure5aSrc = `
+; Paper Figure 5a, with a halting callee.
+entry figure5a
+
+block figure5a @0x10000
+    read  R[0] r4 -> N[1,L] N[2,L]
+    N[0]  movi #0 -> N[1,R]
+    N[1]  teq -> N[2,P] N[3,P]
+    N[2]  muli_f #4 -> N[32,L]
+    N[3]  null_t -> N[34,L] N[34,R]
+    N[32] lw #8 L[0] -> N[33,L]
+    N[33] mov -> N[34,L] N[34,R]    // fan the loaded value
+    N[34] sw #0 L[1]
+    N[35] callo exit=0 @func1
+end
+
+block func1 @0x20000
+    N[0] bro exit=0 @halt
+end
+`
+
+func TestAssembleFigure5aAndRun(t *testing.T) {
+	prog, err := Assemble(figure5aSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Entry != 0x10000 {
+		t.Fatalf("entry = %#x", prog.Entry)
+	}
+	m := mem.New()
+	m.Write(4*4+8, 4, 0x7777)
+	if err := prog.Image(m); err != nil {
+		t.Fatal(err)
+	}
+	core, err := proc.NewCore(proc.Config{Program: prog, Mem: proc.NewFixedLatencyMem(m, 20), MaxCycles: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetRegister(0, 4, 4)
+	if _, err := core.Run(); err != nil {
+		t.Fatal(err)
+	}
+	core.FlushCaches()
+	if got := m.Read(0x7777, 4, false); got != 0x7777 {
+		t.Errorf("assembled program stored %#x", got)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	prog, err := Assemble(figure5aSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(prog)
+	prog2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if Disassemble(prog2) != text {
+		t.Error("disassembly is not a fixed point")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"inst outside block":  "N[0] movi #0 -> N[1,L]",
+		"unknown mnemonic":    "block b @0x1000\n N[0] frob\nend",
+		"bad target":          "block b @0x1000\n N[0] movi #0 -> X[1]\nend",
+		"undefined label":     "block b @0x1000\n N[0] bro exit=0 @nowhere\nend",
+		"bad address":         "block b @zork\n",
+		"duplicate block":     "block b @0x1000\nend\nblock b @0x2000\nend",
+		"too many targets":    "block b @0x1000\n N[0] add -> N[1,L] N[2,L] N[3,L]\nend",
+		"label on non-branch": "block b @0x1000\n N[0] movi @b\nend",
+		"bad entry":           "entry zzz\nblock b @0x1000\n N[0] bro exit=0 @halt\nend",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+; full-line comment
+block b @0x1000   ; trailing comment
+
+    N[0] movi #42 -> W[0]   // write it back
+    write W[0] r8
+    N[1] bro exit=0 @halt
+end
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(prog)
+	if !strings.Contains(text, "movi #42") {
+		t.Errorf("disassembly lost the instruction:\n%s", text)
+	}
+}

@@ -1,0 +1,821 @@
+package tcc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"trips/internal/isa"
+	"trips/internal/tir"
+)
+
+// sink is one destination of a produced value: an operand of another unit,
+// or a header write-queue entry.
+type sink struct {
+	u        *unit
+	kind     isa.OperandKind
+	writeIdx int // >= 0: header write entry; u/kind unused
+}
+
+// unit is one TRIPS instruction under construction.
+type unit struct {
+	op   isa.Opcode
+	imm  int64
+	lsid int
+	pred isa.PredMode
+
+	outs  []sink
+	prods []*unit // producing units (for placement and topo order)
+
+	isBranch bool
+	brTarget *hblock // nil = halt
+	brExit   int
+
+	seq   int // creation order
+	index int // placed N index
+}
+
+// capacity returns how many targets the unit's encoding supports.
+func (u *unit) capacity() int {
+	switch u.op.Format() {
+	case isa.FmtG:
+		if u.op.IsBranch() {
+			return 0
+		}
+		return 2
+	case isa.FmtI, isa.FmtL, isa.FmtC:
+		return 1
+	}
+	return 0 // stores, branches
+}
+
+// readEnt is a header read instruction under construction.
+type readEnt struct {
+	gr   int
+	outs []sink
+	j    int // header queue index
+}
+
+// prodRef is a value producer: exactly one of u, rd is set.
+type prodRef struct {
+	u  *unit
+	rd *readEnt
+}
+
+func (p prodRef) addSink(s sink) {
+	if p.u != nil {
+		p.u.outs = append(p.u.outs, s)
+	} else {
+		p.rd.outs = append(p.rd.outs, s)
+	}
+}
+
+// branchFix records a branch whose offset is patched after layout.
+type branchFix struct {
+	instIdx int
+	target  *hblock
+}
+
+// codegen translates hyperblocks into isa.Blocks.
+type codegen struct {
+	regOf     map[tir.Reg]int
+	placement Placement
+	meta      *Meta
+	fixes     map[*hblock][]branchFix
+	g         *cfg
+
+	// Per-block state.
+	units   []*unit
+	reads   []*readEnt
+	readOf  map[tir.Reg]*readEnt
+	defs    map[tir.Reg][]prodRef
+	defined map[tir.Reg]bool
+	liveIn  map[tir.Reg]bool
+	nextSeq int
+	memOps  int
+	name    string
+	label   string
+}
+
+func (cg *codegen) errf(format string, args ...any) error {
+	return fmt.Errorf("tcc: %s/%s: %s", cg.name, cg.label, fmt.Sprintf(format, args...))
+}
+
+func (cg *codegen) newUnit(op isa.Opcode, imm int64) *unit {
+	u := &unit{op: op, imm: imm, seq: cg.nextSeq, index: -1}
+	cg.nextSeq++
+	cg.units = append(cg.units, u)
+	return u
+}
+
+// connect wires every current producer of v to the given operand of u.
+func (cg *codegen) connect(v tir.Reg, u *unit, kind isa.OperandKind) error {
+	prods, err := cg.producersOf(v)
+	if err != nil {
+		return err
+	}
+	for _, p := range prods {
+		p.addSink(sink{u: u, kind: kind, writeIdx: -1})
+		if p.u != nil {
+			u.prods = append(u.prods, p.u)
+		}
+	}
+	return nil
+}
+
+// producersOf resolves v to its in-block defs or a (lazily created) read.
+func (cg *codegen) producersOf(v tir.Reg) ([]prodRef, error) {
+	if ds, ok := cg.defs[v]; ok {
+		return ds, nil
+	}
+	if rd, ok := cg.readOf[v]; ok {
+		return []prodRef{{rd: rd}}, nil
+	}
+	gr, ok := cg.regOf[v]
+	if !ok || !cg.liveIn[v] {
+		return nil, cg.errf("use of r%d with no reaching definition", v)
+	}
+	rd := &readEnt{gr: gr, j: -1}
+	cg.readOf[v] = rd
+	cg.reads = append(cg.reads, rd)
+	return []prodRef{{rd: rd}}, nil
+}
+
+// materialize emits units producing the 64-bit constant v, returning the
+// final producer.
+func (cg *codegen) materialize(v uint64) *unit {
+	if sv := int64(v); sv >= -(1<<13) && sv < 1<<13 {
+		return cg.newUnit(isa.MOVI, sv)
+	}
+	// GENC + APPC chain, high piece first.
+	pieces := []int64{int64(v >> 48 & 0xffff), int64(v >> 32 & 0xffff), int64(v >> 16 & 0xffff), int64(v & 0xffff)}
+	// Skip leading zero pieces only when the value is non-negative small.
+	start := 0
+	for start < 3 && pieces[start] == 0 {
+		start++
+	}
+	u := cg.newUnit(isa.GENC, pieces[start])
+	for i := start + 1; i < 4; i++ {
+		nx := cg.newUnit(isa.APPC, pieces[i])
+		u.outs = append(u.outs, sink{u: nx, kind: isa.OpLeft, writeIdx: -1})
+		nx.prods = append(nx.prods, u)
+		u = nx
+	}
+	return u
+}
+
+// opMap translates TIR register-register ops.
+var opMap = map[tir.Op]isa.Opcode{
+	tir.Add: isa.ADD, tir.Sub: isa.SUB, tir.Mul: isa.MUL, tir.Div: isa.DIV,
+	tir.Mod: isa.MOD, tir.And: isa.AND, tir.Or: isa.OR, tir.Xor: isa.XOR,
+	tir.Shl: isa.SLL, tir.Shr: isa.SRL, tir.Sra: isa.SRA,
+	tir.Min: isa.MIN, tir.Max: isa.MAX,
+	tir.SetEQ: isa.TEQ, tir.SetNE: isa.TNE, tir.SetLT: isa.TLT,
+	tir.SetLE: isa.TLE, tir.SetGT: isa.TGT, tir.SetGE: isa.TGE,
+	tir.SetLTU: isa.TLTU, tir.SetGEU: isa.TGEU,
+	tir.Mov:  isa.MOV,
+	tir.FAdd: isa.FADD, tir.FSub: isa.FSUB, tir.FMul: isa.FMUL, tir.FDiv: isa.FDIV,
+	tir.FSetEQ: isa.FEQ, tir.FSetLT: isa.FLT, tir.FSetLE: isa.FLE,
+	tir.IToF: isa.ITOF, tir.FToI: isa.FTOI,
+}
+
+// immMap translates TIR immediate ops (14-bit range permitting).
+var immMap = map[tir.Op]isa.Opcode{
+	tir.AddI: isa.ADDI, tir.MulI: isa.MULI, tir.AndI: isa.ANDI,
+	tir.OrI: isa.ORI, tir.XorI: isa.XORI, tir.ShlI: isa.SLLI,
+	tir.ShrI: isa.SRLI, tir.SraI: isa.SRAI,
+	tir.SetEQI: isa.TEQI, tir.SetLTI: isa.TLTI, tir.SetGEI: isa.TGEI,
+}
+
+// regOp is the register-register fallback for immediate ops whose constant
+// does not fit the 14-bit I-format field.
+var regOp = map[tir.Op]isa.Opcode{
+	tir.AddI: isa.ADD, tir.MulI: isa.MUL, tir.AndI: isa.AND,
+	tir.OrI: isa.OR, tir.XorI: isa.XOR, tir.ShlI: isa.SLL,
+	tir.ShrI: isa.SRL, tir.SraI: isa.SRA,
+	tir.SetEQI: isa.TEQ, tir.SetLTI: isa.TLT, tir.SetGEI: isa.TGE,
+}
+
+func fitsI(imm int64) bool  { return imm >= -(1<<13) && imm < 1<<13 }
+func fitsLS(imm int64) bool { return imm >= -(1<<8) && imm < 1<<8 }
+
+// loadOp/storeOp pick the memory opcode for a width.
+func loadOp(width int, signed bool) isa.Opcode {
+	switch width {
+	case 1:
+		if signed {
+			return isa.LB
+		}
+		return isa.LBU
+	case 2:
+		if signed {
+			return isa.LH
+		}
+		return isa.LHU
+	case 4:
+		if signed {
+			return isa.LW
+		}
+		return isa.LWU
+	default:
+		return isa.LD
+	}
+}
+
+func storeOp(width int) isa.Opcode {
+	switch width {
+	case 1:
+		return isa.SB
+	case 2:
+		return isa.SH
+	case 4:
+		return isa.SW
+	default:
+		return isa.SD
+	}
+}
+
+// applyPred marks a unit predicated and wires the predicate producers.
+func (cg *codegen) applyPred(u *unit, pi *pinst) error {
+	if !pi.hasPred {
+		return nil
+	}
+	if pi.predTrue {
+		u.pred = isa.PredOnTrue
+	} else {
+		u.pred = isa.PredOnFalse
+	}
+	return cg.connect(pi.pred, u, isa.OpPred)
+}
+
+// predMov wraps a value in a predicated MOV so it only reaches its sinks on
+// one predicate path (used for store operand gating).
+func (cg *codegen) predMov(v tir.Reg, pred tir.Reg, pol bool) (*unit, error) {
+	m := cg.newUnit(isa.MOV, 0)
+	if pol {
+		m.pred = isa.PredOnTrue
+	} else {
+		m.pred = isa.PredOnFalse
+	}
+	if err := cg.connect(v, m, isa.OpLeft); err != nil {
+		return nil, err
+	}
+	if err := cg.connect(pred, m, isa.OpPred); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// genBlock translates one hyperblock into an isa.Block.
+func (cg *codegen) genBlock(name string, hb *hblock, liveIn, liveOut map[tir.Reg]bool) (*isa.Block, error) {
+	cg.units = nil
+	cg.reads = nil
+	cg.readOf = map[tir.Reg]*readEnt{}
+	cg.defs = map[tir.Reg][]prodRef{}
+	cg.defined = map[tir.Reg]bool{}
+	cg.liveIn = liveIn
+	cg.nextSeq = 0
+	cg.memOps = 0
+	cg.name = name
+	cg.label = hb.label
+	if cg.fixes == nil {
+		cg.fixes = map[*hblock][]branchFix{}
+	}
+
+	for i := range hb.pinsts {
+		if err := cg.genPinst(&hb.pinsts[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := cg.genTerm(hb); err != nil {
+		return nil, err
+	}
+
+	// Register outputs: one write entry per defined live-out vreg.
+	writeBank := [4]int{}
+	readBank := [4]int{}
+	var writes [isa.MaxBlockWrites]isa.WriteInst
+	var outVregs []tir.Reg
+	for v := range liveOut {
+		if cg.defined[v] {
+			outVregs = append(outVregs, v)
+		}
+	}
+	sort.Slice(outVregs, func(i, j int) bool { return outVregs[i] < outVregs[j] })
+	for _, v := range outVregs {
+		gr, ok := cg.regOf[v]
+		if !ok {
+			return nil, cg.errf("live-out r%d has no architectural register", v)
+		}
+		bank := gr % 4
+		if writeBank[bank] >= 8 {
+			return nil, cg.errf("more than 8 register writes on bank %d", bank)
+		}
+		j := writeBank[bank]*4 + bank
+		writeBank[bank]++
+		writes[j] = isa.WriteInst{Valid: true, GR: gr}
+		for _, p := range cg.defs[v] {
+			p.addSink(sink{writeIdx: j})
+		}
+	}
+
+	// Fanout expansion: replicate over MOV trees where sinks exceed the
+	// encoding's target capacity.
+	for _, u := range cg.units {
+		cg.expandFanout(func() []sink { return u.outs }, func(s []sink) { u.outs = s }, u.capacity(), u)
+	}
+	for _, rd := range cg.reads {
+		cg.expandFanout(func() []sink { return rd.outs }, func(s []sink) { rd.outs = s }, 2, nil)
+	}
+
+	if len(cg.units) > isa.MaxBlockInsts {
+		return nil, cg.errf("%d instructions exceed the 128-instruction block (split the TIR block or reduce unrolling)", len(cg.units))
+	}
+
+	// Header read entries.
+	var readInsts [isa.MaxBlockReads]isa.ReadInst
+	for _, rd := range cg.reads {
+		bank := rd.gr % 4
+		if readBank[bank] >= 8 {
+			return nil, cg.errf("more than 8 register reads on bank %d", bank)
+		}
+		rd.j = readBank[bank]*4 + bank
+		readBank[bank]++
+	}
+
+	if err := cg.place(); err != nil {
+		return nil, err
+	}
+
+	// Emit the final block.
+	maxIdx := 0
+	for _, u := range cg.units {
+		if u.index > maxIdx {
+			maxIdx = u.index
+		}
+	}
+	blk := &isa.Block{Name: hb.label, Writes: writes}
+	blk.Insts = make([]isa.Inst, maxIdx+1)
+	for i := range blk.Insts {
+		blk.Insts[i] = isa.Inst{Op: isa.NOP}
+	}
+	for _, u := range cg.units {
+		in := isa.Inst{Op: u.op, Pred: u.pred, Imm: u.imm, LSID: u.lsid, Exit: u.brExit}
+		ts, err := cg.sinkTargets(u.outs)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) > 0 {
+			in.T0 = ts[0]
+		}
+		if len(ts) > 1 {
+			in.T1 = ts[1]
+		}
+		blk.Insts[u.index] = in
+		if u.isBranch {
+			cg.fixes[hb] = append(cg.fixes[hb], branchFix{instIdx: u.index, target: u.brTarget})
+		}
+	}
+	for _, rd := range cg.reads {
+		ts, err := cg.sinkTargets(rd.outs)
+		if err != nil {
+			return nil, err
+		}
+		ri := isa.ReadInst{Valid: true, GR: rd.gr}
+		if len(ts) > 0 {
+			ri.RT0 = ts[0]
+		}
+		if len(ts) > 1 {
+			ri.RT1 = ts[1]
+		}
+		readInsts[rd.j] = ri
+	}
+	blk.Reads = readInsts
+	return blk, nil
+}
+
+func (cg *codegen) sinkTargets(outs []sink) ([]isa.Target, error) {
+	var ts []isa.Target
+	for _, s := range outs {
+		if s.writeIdx >= 0 {
+			ts = append(ts, isa.ToWrite(s.writeIdx))
+			continue
+		}
+		if s.u.index < 0 {
+			return nil, cg.errf("unplaced consumer")
+		}
+		ts = append(ts, isa.Target{Index: s.u.index, Kind: s.kind})
+	}
+	return ts, nil
+}
+
+// expandFanout rewrites a producer's sink list through a balanced MOV tree
+// when it exceeds the target capacity.
+func (cg *codegen) expandFanout(get func() []sink, set func([]sink), cap int, prod *unit) {
+	outs := get()
+	if len(outs) <= cap {
+		return
+	}
+	set(cg.buildTree(outs, cap, prod))
+}
+
+func (cg *codegen) buildTree(outs []sink, cap int, prod *unit) []sink {
+	if len(outs) <= cap {
+		return outs
+	}
+	// Split sinks into cap nearly equal groups; each oversized group hangs
+	// off a MOV with capacity 2.
+	groups := make([][]sink, cap)
+	for i, s := range outs {
+		groups[i%cap] = append(groups[i%cap], s)
+	}
+	var top []sink
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if len(g) == 1 {
+			top = append(top, g[0])
+			continue
+		}
+		m := cg.newUnit(isa.MOV, 0)
+		cg.meta.FanoutMovs++
+		if prod != nil {
+			m.prods = append(m.prods, prod)
+		}
+		m.outs = cg.buildTree(g, 2, m)
+		for _, s := range m.outs {
+			if s.u != nil {
+				s.u.prods = append(s.u.prods, m)
+			}
+		}
+		top = append(top, sink{u: m, kind: isa.OpLeft, writeIdx: -1})
+	}
+	return top
+}
+
+// genPinst translates one predicated TIR instruction.
+func (cg *codegen) genPinst(pi *pinst) error {
+	if pi.isPhi {
+		return cg.genPhi(pi)
+	}
+	in := pi.inst
+	switch in.Op {
+	case tir.ConstI:
+		u := cg.materialize(uint64(in.Imm))
+		if pi.hasPred {
+			// Predicate the final unit of the chain.
+			if err := cg.applyPred(u, pi); err != nil {
+				return err
+			}
+		}
+		cg.define(in.Dst, prodRef{u: u})
+		return nil
+	case tir.Load:
+		return cg.genLoad(pi)
+	case tir.Store:
+		return cg.genStore(pi)
+	case tir.Mov:
+		u := cg.newUnit(isa.MOV, 0)
+		if err := cg.connect(in.A, u, isa.OpLeft); err != nil {
+			return err
+		}
+		if err := cg.applyPred(u, pi); err != nil {
+			return err
+		}
+		cg.define(in.Dst, prodRef{u: u})
+		return nil
+	}
+	if op, ok := immMap[in.Op]; ok {
+		if fitsI(in.Imm) {
+			u := cg.newUnit(op, in.Imm)
+			if err := cg.connect(in.A, u, isa.OpLeft); err != nil {
+				return err
+			}
+			if err := cg.applyPred(u, pi); err != nil {
+				return err
+			}
+			cg.define(in.Dst, prodRef{u: u})
+			return nil
+		}
+		// Large immediate: materialize and fall back to the reg-reg form.
+		c := cg.materialize(uint64(in.Imm))
+		u := cg.newUnit(regOp[in.Op], 0)
+		if err := cg.connect(in.A, u, isa.OpLeft); err != nil {
+			return err
+		}
+		c.outs = append(c.outs, sink{u: u, kind: isa.OpRight, writeIdx: -1})
+		u.prods = append(u.prods, c)
+		if err := cg.applyPred(u, pi); err != nil {
+			return err
+		}
+		cg.define(in.Dst, prodRef{u: u})
+		return nil
+	}
+	op, ok := opMap[in.Op]
+	if !ok {
+		return cg.errf("unsupported TIR op %v", in.Op)
+	}
+	u := cg.newUnit(op, 0)
+	if err := cg.connect(in.A, u, isa.OpLeft); err != nil {
+		return err
+	}
+	if in.Op.UsesB() {
+		if err := cg.connect(in.B, u, isa.OpRight); err != nil {
+			return err
+		}
+	}
+	if err := cg.applyPred(u, pi); err != nil {
+		return err
+	}
+	cg.define(in.Dst, prodRef{u: u})
+	return nil
+}
+
+// genPhi expands a merge select into two complementary predicated movs.
+func (cg *codegen) genPhi(pi *pinst) error {
+	mt, err := cg.predMov(pi.phiT, pi.pred, true)
+	if err != nil {
+		return err
+	}
+	mf, err := cg.predMov(pi.phiF, pi.pred, false)
+	if err != nil {
+		return err
+	}
+	cg.defs[pi.inst.Dst] = []prodRef{{u: mt}, {u: mf}}
+	cg.defined[pi.inst.Dst] = true
+	return nil
+}
+
+func (cg *codegen) define(v tir.Reg, p prodRef) {
+	cg.defs[v] = []prodRef{p}
+	cg.defined[v] = true
+}
+
+// memBase resolves a load/store base+offset into (baseProducerConn, imm):
+// offsets beyond the 9-bit L/S immediate are folded into the address.
+func (cg *codegen) memBase(a tir.Reg, imm int64, u *unit) (int64, error) {
+	if fitsLS(imm) {
+		if err := cg.connect(a, u, isa.OpLeft); err != nil {
+			return 0, err
+		}
+		return imm, nil
+	}
+	var addr *unit
+	if fitsI(imm) {
+		addr = cg.newUnit(isa.ADDI, imm)
+		if err := cg.connect(a, addr, isa.OpLeft); err != nil {
+			return 0, err
+		}
+	} else {
+		c := cg.materialize(uint64(imm))
+		addr = cg.newUnit(isa.ADD, 0)
+		if err := cg.connect(a, addr, isa.OpLeft); err != nil {
+			return 0, err
+		}
+		c.outs = append(c.outs, sink{u: addr, kind: isa.OpRight, writeIdx: -1})
+		addr.prods = append(addr.prods, c)
+	}
+	addr.outs = append(addr.outs, sink{u: u, kind: isa.OpLeft, writeIdx: -1})
+	u.prods = append(u.prods, addr)
+	return 0, nil
+}
+
+func (cg *codegen) genLoad(pi *pinst) error {
+	if cg.memOps >= isa.MaxBlockMemOps {
+		return cg.errf("more than %d memory operations", isa.MaxBlockMemOps)
+	}
+	in := pi.inst
+	u := cg.newUnit(loadOp(in.Width, in.Signed), 0)
+	u.lsid = cg.memOps
+	cg.memOps++
+	imm, err := cg.memBase(in.A, in.Imm, u)
+	if err != nil {
+		return err
+	}
+	u.imm = imm
+	if err := cg.applyPred(u, pi); err != nil {
+		return err
+	}
+	cg.define(in.Dst, prodRef{u: u})
+	return nil
+}
+
+// genStore emits a store. A predicated store is emitted unpredicated with
+// its operands gated by predicated movs on the taken path and a NULL on the
+// complementary path, exactly the Figure 5a pattern, so the store issues
+// (possibly nullified) on every execution and block completion detection
+// works (paper Section 2.1).
+func (cg *codegen) genStore(pi *pinst) error {
+	if cg.memOps >= isa.MaxBlockMemOps {
+		return cg.errf("more than %d memory operations", isa.MaxBlockMemOps)
+	}
+	in := pi.inst
+	u := cg.newUnit(storeOp(in.Width), 0)
+	u.lsid = cg.memOps
+	cg.memOps++
+	if !pi.hasPred {
+		imm, err := cg.memBase(in.A, in.Imm, u)
+		if err != nil {
+			return err
+		}
+		u.imm = imm
+		return cg.connect(in.B, u, isa.OpRight)
+	}
+	// Gate the address through a predicated mov (the offset folds into the
+	// store's immediate only on the ungated path, so fold it here).
+	maddr, err := cg.predMov(in.A, pi.pred, pi.predTrue)
+	if err != nil {
+		return err
+	}
+	u.imm = 0
+	if fitsLS(in.Imm) {
+		u.imm = in.Imm
+	} else {
+		maddr.op = isa.ADDI
+		maddr.imm = in.Imm
+		if !fitsI(in.Imm) {
+			return cg.errf("predicated store offset %d too large", in.Imm)
+		}
+	}
+	maddr.outs = append(maddr.outs, sink{u: u, kind: isa.OpLeft, writeIdx: -1})
+	u.prods = append(u.prods, maddr)
+	mdata, err := cg.predMov(in.B, pi.pred, pi.predTrue)
+	if err != nil {
+		return err
+	}
+	mdata.outs = append(mdata.outs, sink{u: u, kind: isa.OpRight, writeIdx: -1})
+	u.prods = append(u.prods, mdata)
+	// Complementary NULL feeds both operands so the store issues nullified
+	// on the untaken path.
+	nl := cg.newUnit(isa.NULL, 0)
+	if pi.predTrue {
+		nl.pred = isa.PredOnFalse
+	} else {
+		nl.pred = isa.PredOnTrue
+	}
+	if err := cg.connect(pi.pred, nl, isa.OpPred); err != nil {
+		return err
+	}
+	nl.outs = append(nl.outs, sink{u: u, kind: isa.OpLeft, writeIdx: -1}, sink{u: u, kind: isa.OpRight, writeIdx: -1})
+	u.prods = append(u.prods, nl)
+	return nil
+}
+
+// genTerm emits the block's exit branches.
+func (cg *codegen) genTerm(hb *hblock) error {
+	switch hb.term.Kind {
+	case tir.TermRet:
+		u := cg.newUnit(isa.BRO, 0)
+		u.isBranch = true
+		u.brTarget = nil
+		u.brExit = 0
+	case tir.TermJump:
+		u := cg.newUnit(isa.BRO, 0)
+		u.isBranch = true
+		u.brTarget = cg.g.owner[hb.term.Then]
+		u.brExit = 0
+	case tir.TermBranch:
+		ut := cg.newUnit(isa.BRO, 0)
+		ut.isBranch = true
+		ut.brTarget = cg.g.owner[hb.term.Then]
+		ut.brExit = 1
+		ut.pred = isa.PredOnTrue
+		if err := cg.connect(hb.termCond, ut, isa.OpPred); err != nil {
+			return err
+		}
+		ue := cg.newUnit(isa.BRO, 0)
+		ue.isBranch = true
+		ue.brTarget = cg.g.owner[hb.term.Else]
+		ue.brExit = 0
+		ue.pred = isa.PredOnFalse
+		if err := cg.connect(hb.termCond, ue, isa.OpPred); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// place assigns instruction indices.
+func (cg *codegen) place() error {
+	order := cg.topoOrder()
+	switch cg.placement {
+	case PlaceNaive:
+		for i, u := range order {
+			u.index = i
+		}
+	case PlaceGreedy:
+		used := [isa.MaxBlockInsts]bool{}
+		maxChunk := 0
+		for _, u := range order {
+			best, bestCost := -1, math.Inf(1)
+			for idx := 0; idx < isa.MaxBlockInsts; idx++ {
+				if used[idx] {
+					continue
+				}
+				et := isa.ETOf(idx)
+				row, col := isa.ETRowCol(et)
+				grow, gcol := row+1, col+1 // grid coordinates
+				cost := 0.0
+				for _, p := range u.prods {
+					if p.index < 0 {
+						continue
+					}
+					pe := isa.ETOf(p.index)
+					pr, pc := isa.ETRowCol(pe)
+					cost += float64(abs(pr+1-grow) + abs(pc+1-gcol))
+				}
+				if u.op.IsMem() {
+					cost += 0.8 * float64(gcol) // pull memory ops toward the DT column
+				}
+				if u.isBranch {
+					cost += 0.3 * float64(grow+gcol) // branches travel to the GT
+				}
+				if c := idx / isa.BodyChunkInsts; c > maxChunk {
+					cost += 2.5 * float64(c-maxChunk) // opening new chunks costs fetch footprint
+				}
+				cost += 0.01 * float64(isa.SlotOf(idx))
+				if cost < bestCost {
+					bestCost, best = cost, idx
+				}
+			}
+			if best < 0 {
+				return cg.errf("no free slot for instruction (block too large)")
+			}
+			u.index = best
+			used[best] = true
+			if c := best / isa.BodyChunkInsts; c > maxChunk {
+				maxChunk = c
+			}
+		}
+	}
+	return nil
+}
+
+// topoOrder sorts units so producers precede consumers (Kahn's algorithm,
+// ties broken by creation order for determinism).
+func (cg *codegen) topoOrder() []*unit {
+	indeg := map[*unit]int{}
+	for _, u := range cg.units {
+		indeg[u] += 0
+		for _, s := range u.outs {
+			if s.u != nil {
+				indeg[s.u]++
+			}
+		}
+	}
+	ready := []*unit{}
+	for _, u := range cg.units {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].seq < ready[j].seq })
+	var order []*unit
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		var woke []*unit
+		for _, s := range u.outs {
+			if s.u == nil {
+				continue
+			}
+			indeg[s.u]--
+			if indeg[s.u] == 0 {
+				woke = append(woke, s.u)
+			}
+		}
+		sort.Slice(woke, func(i, j int) bool { return woke[i].seq < woke[j].seq })
+		ready = append(ready, woke...)
+	}
+	if len(order) != len(cg.units) {
+		// A cycle would be a compiler bug; fall back to creation order.
+		order = append([]*unit(nil), cg.units...)
+		sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+	}
+	return order
+}
+
+// patchBranches fills branch offsets once block addresses are known.
+func (cg *codegen) patchBranches(blk *isa.Block, hb *hblock, addrOf map[*hblock]uint64) error {
+	for _, fix := range cg.fixes[hb] {
+		var target uint64
+		if fix.target != nil {
+			target = addrOf[fix.target]
+		}
+		off := (int64(target) - int64(blk.Addr)) / isa.ChunkBytes
+		if off < -(1<<19) || off >= 1<<19 {
+			return cg.errf("branch offset %d out of range", off)
+		}
+		blk.Insts[fix.instIdx].Offset = int32(off)
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

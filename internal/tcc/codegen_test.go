@@ -1,0 +1,214 @@
+package tcc
+
+import (
+	"testing"
+
+	"trips/internal/isa"
+	"trips/internal/tir"
+)
+
+// compileOne compiles a single-function TIR program and returns its blocks.
+func compileOne(t *testing.T, f *tir.Func, opt Options) []*isa.Block {
+	t.Helper()
+	prog, _, err := Compile(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*isa.Block
+	for _, a := range prog.Addrs() {
+		b, _ := prog.Block(a)
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestPlacementRespectsChunkRows(t *testing.T) {
+	// A tiny block under naive placement must stay in chunk 0 (row 0 of
+	// the ET array) — small blocks occupy few chunks.
+	f := tir.NewFunc("tiny")
+	a := f.NewReg()
+	b := f.NewBB("b")
+	x := b.OpI(f, tir.AddI, a, 1)
+	y := b.OpI(f, tir.AddI, x, 2)
+	_ = y
+	b.Ret()
+	f.Keep(y)
+	blocks := compileOne(t, f, Options{Mode: Compiled})
+	if got := blocks[0].NumBodyChunks(); got != 1 {
+		t.Errorf("tiny block occupies %d chunks, want 1", got)
+	}
+}
+
+func TestGreedyPlacementClustersDependents(t *testing.T) {
+	// A pure dependence chain: greedy placement should produce mostly
+	// same-ET or 1-hop placements, giving far less total producer-consumer
+	// distance than naive placement does for long chains.
+	mk := func() *tir.Func {
+		f := tir.NewFunc("chain")
+		a := f.NewReg()
+		bb := f.NewBB("b")
+		cur := a
+		for i := 0; i < 30; i++ {
+			cur = bb.OpI(f, tir.AddI, cur, 1)
+		}
+		bb.Ret()
+		f.Keep(cur)
+		return f
+	}
+	dist := func(placement Placement) int {
+		blocks := compileOne(t, mk(), Options{Mode: Hand, Placement: placement})
+		blk := blocks[0]
+		total := 0
+		for i := range blk.Insts {
+			for _, tg := range blk.Insts[i].Targets() {
+				if tg.IsWrite() {
+					continue
+				}
+				pr, pc := isa.ETRowCol(isa.ETOf(i))
+				cr, cc := isa.ETRowCol(isa.ETOf(tg.Index))
+				d := abs(pr-cr) + abs(pc-cc)
+				total += d
+			}
+		}
+		return total
+	}
+	naive := dist(PlaceNaive)
+	greedy := dist(PlaceGreedy)
+	if greedy > naive {
+		t.Errorf("greedy total producer-consumer distance %d exceeds naive %d", greedy, naive)
+	}
+	if greedy != 0 {
+		// A pure chain can be placed entirely on one ET (8 slots) plus
+		// spills to neighbors; expect mostly-local placement.
+		t.Logf("greedy chain distance = %d (naive %d)", greedy, naive)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	mk := func() *tir.Func {
+		f := tir.NewFunc("det")
+		a := f.NewReg()
+		b := f.NewReg()
+		entry := f.NewBB("entry")
+		thenB := f.NewBB("then")
+		elseB := f.NewBB("else")
+		join := f.NewBB("join")
+		c := entry.Op(f, tir.SetLT, a, b)
+		entry.Branch(c, thenB, elseB)
+		x := f.NewReg()
+		thenB.Emit(tir.Inst{Op: tir.AddI, Dst: x, A: a, Imm: 3})
+		thenB.Store(b, 0, x, 8)
+		thenB.Jump(join)
+		elseB.Emit(tir.Inst{Op: tir.MulI, Dst: x, A: b, Imm: 5})
+		elseB.Jump(join)
+		join.Ret()
+		f.Keep(x)
+		return f
+	}
+	enc := func() []byte {
+		blocks := compileOne(t, mk(), Options{Mode: Hand})
+		var all []byte
+		for _, b := range blocks {
+			data, err := isa.EncodeBlock(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, data...)
+		}
+		return all
+	}
+	a, b := enc(), enc()
+	if string(a) != string(b) {
+		t.Fatal("compilation is not deterministic")
+	}
+}
+
+func TestEveryBlockValidatesAndEncodes(t *testing.T) {
+	// Compile a branchy program in both modes; every produced block must
+	// pass the ISA validator and encode (Compile already does this via
+	// proc.NewProgram; this test asserts the per-block properties we rely
+	// on: one unpredicated-or-covered exit set, LSIDs unique, etc.).
+	f := tir.NewFunc("branchy")
+	a := f.NewReg()
+	base := f.NewReg()
+	entry := f.NewBB("entry")
+	loop := f.NewBB("loop")
+	thenB := f.NewBB("then")
+	elseB := f.NewBB("else")
+	join := f.NewBB("join")
+	done := f.NewBB("done")
+	i := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: i, Imm: 0})
+	entry.Jump(loop)
+	v := loop.Load(f, base, 0, 8, false)
+	c := loop.Op(f, tir.SetLT, v, a)
+	loop.Branch(c, thenB, elseB)
+	x := f.NewReg()
+	thenB.Emit(tir.Inst{Op: tir.AddI, Dst: x, A: v, Imm: 1})
+	thenB.Store(base, 8, x, 8)
+	thenB.Jump(join)
+	elseB.Emit(tir.Inst{Op: tir.Mov, Dst: x, A: v})
+	elseB.Jump(join)
+	join.Emit(tir.Inst{Op: tir.AddI, Dst: i, A: i, Imm: 1})
+	cc := join.OpI(f, tir.SetLTI, i, 4)
+	join.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(x)
+	for _, mode := range []Mode{Compiled, Hand} {
+		blocks := compileOne(t, f, Options{Mode: mode})
+		for _, b := range blocks {
+			if err := b.Validate(); err != nil {
+				t.Errorf("mode %v: %v", mode, err)
+			}
+			branches := 0
+			for idx := range b.Insts {
+				if b.Insts[idx].Op.IsBranch() {
+					branches++
+				}
+			}
+			if branches == 0 {
+				t.Errorf("mode %v block %q: no exit branch", mode, b.Name)
+			}
+		}
+		if mode == Hand && len(blocks) >= len(f.Blocks) {
+			t.Errorf("hand mode produced %d blocks from %d TIR blocks; expected if-conversion to merge", len(blocks), len(f.Blocks))
+		}
+	}
+}
+
+func TestFanoutTreeRespectsCapacity(t *testing.T) {
+	// After compilation, no instruction may have more than two targets and
+	// no I/L/C-format instruction more than one — the encoder would reject
+	// them, but assert the invariant directly.
+	f := tir.NewFunc("wide")
+	x := f.NewReg()
+	bb := f.NewBB("b")
+	acc := bb.OpI(f, tir.AddI, x, 0)
+	for k := 0; k < 20; k++ {
+		acc = bb.Op(f, tir.Add, acc, x)
+	}
+	bb.Ret()
+	f.Keep(acc)
+	for _, mode := range []Mode{Compiled, Hand} {
+		blocks := compileOne(t, f, Options{Mode: mode})
+		for _, b := range blocks {
+			for i := range b.Insts {
+				in := &b.Insts[i]
+				n := len(in.Targets())
+				max := 2
+				switch in.Op.Format() {
+				case isa.FmtI, isa.FmtL, isa.FmtC:
+					max = 1
+				case isa.FmtS, isa.FmtB:
+					max = 0
+				}
+				if in.Op == isa.NOP {
+					continue
+				}
+				if n > max {
+					t.Errorf("mode %v: %s has %d targets, format allows %d", mode, in.String(), n, max)
+				}
+			}
+		}
+	}
+}

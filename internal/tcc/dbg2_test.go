@@ -1,0 +1,29 @@
+package tcc
+
+import (
+	"fmt"
+	"testing"
+
+	"trips/internal/mem"
+	"trips/internal/proc"
+)
+
+func TestDebugDiamondRun(t *testing.T) {
+	f, a, r, addr := absDiamond(t)
+	_ = r
+	prog, meta, err := Compile(f, Options{Mode: Compiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("meta: %+v\n", meta)
+	m := mem.New()
+	prog.Image(m)
+	core, err := proc.NewCore(proc.Config{Program: prog, Mem: proc.NewFixedLatencyMem(m, 20), MaxCycles: 100000, TraceCommits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetRegister(0, meta.RegOf[a], ^uint64(6)) // -7
+	core.SetRegister(0, meta.RegOf[addr], 0x8000)
+	res, err := core.Run()
+	fmt.Printf("res=%+v err=%v r=%d\n", res, err, int64(core.Register(0, meta.RegOf[r])))
+}

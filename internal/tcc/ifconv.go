@@ -1,0 +1,302 @@
+package tcc
+
+import (
+	"trips/internal/tir"
+)
+
+// pinst is a possibly-predicated TIR instruction inside a hyperblock.
+type pinst struct {
+	inst     tir.Inst
+	hasPred  bool
+	pred     tir.Reg
+	predTrue bool
+	// isPhi marks a merge-point select: dst = pred ? phiT : phiF. It
+	// expands to two complementary predicated movs at codegen.
+	isPhi bool
+	phiT  tir.Reg
+	phiF  tir.Reg
+}
+
+func (p *pinst) uses() []tir.Reg {
+	var u []tir.Reg
+	if p.isPhi {
+		u = append(u, p.phiT, p.phiF)
+	} else {
+		if p.inst.Op.UsesA() {
+			u = append(u, p.inst.A)
+		}
+		if p.inst.Op.UsesB() {
+			u = append(u, p.inst.B)
+		}
+	}
+	if p.hasPred {
+		u = append(u, p.pred)
+	}
+	return u
+}
+
+func (p *pinst) def() (tir.Reg, bool) {
+	if p.isPhi {
+		return p.inst.Dst, true
+	}
+	if p.inst.Op.WritesDst() {
+		return p.inst.Dst, true
+	}
+	return 0, false
+}
+
+// hblock is a hyperblock: predicated straight-line code with one
+// terminator. Initially hyperblocks mirror TIR basic blocks 1:1;
+// if-conversion merges diamonds and triangles.
+type hblock struct {
+	label    string
+	pinsts   []pinst
+	term     tir.Term // Then/Else refer to TIR BBs; resolved via the cfg
+	termCond tir.Reg
+	merged   bool // contains predicated code (single-level predication)
+	bb       *tir.BB
+}
+
+// cfg is the hyperblock-level control flow graph under construction.
+type cfg struct {
+	f     *tir.Func
+	hbs   []*hblock
+	owner map[*tir.BB]*hblock // which hyperblock a TIR BB now lives in
+}
+
+// succs resolves a hyperblock's successor hyperblocks.
+func (c *cfg) succs(h *hblock) []*hblock {
+	var out []*hblock
+	switch h.term.Kind {
+	case tir.TermJump:
+		out = append(out, c.owner[h.term.Then])
+	case tir.TermBranch:
+		out = append(out, c.owner[h.term.Then], c.owner[h.term.Else])
+	}
+	return out
+}
+
+// fromCFG builds the initial 1:1 hyperblocks.
+func fromCFG(f *tir.Func) *cfg {
+	c := &cfg{f: f, owner: make(map[*tir.BB]*hblock, len(f.Blocks))}
+	for _, b := range f.Blocks {
+		hb := &hblock{label: b.Label, term: b.Term, termCond: b.Term.Cond, bb: b}
+		for _, in := range b.Insts {
+			hb.pinsts = append(hb.pinsts, pinst{inst: in})
+		}
+		c.owner[b] = hb
+		c.hbs = append(c.hbs, hb)
+	}
+	return c
+}
+
+// ifConvertLimit bounds the merged hyperblock's TIR size so the TRIPS block
+// stays within its 128-instruction / 32-memory-op budget after fanout and
+// constant expansion.
+const ifConvertLimit = 48
+
+// ifConvert repeatedly merges branch diamonds and triangles into predicated
+// hyperblocks (hand-optimized mode).
+func (c *cfg) ifConvert() {
+	preds := func() map[*hblock]int {
+		p := map[*hblock]int{}
+		for _, hb := range c.hbs {
+			if hb == nil {
+				continue
+			}
+			for _, s := range c.succs(hb) {
+				p[s]++
+			}
+		}
+		return p
+	}
+	for changed := true; changed; {
+		changed = false
+		p := preds()
+		for _, h := range c.hbs {
+			if h == nil || h.merged || h.term.Kind != tir.TermBranch {
+				continue
+			}
+			thb := c.owner[h.term.Then]
+			ehb := c.owner[h.term.Else]
+			if thb == nil || ehb == nil || thb == ehb || thb == h || ehb == h {
+				continue
+			}
+			// Diamond: H -> T, H -> E; T and E jump to common J.
+			if c.isArm(thb, p) && c.isArm(ehb, p) {
+				tj := c.owner[thb.term.Then]
+				ej := c.owner[ehb.term.Then]
+				if tj != nil && tj == ej && tj != h && p[tj] == 2 &&
+					sizeOK(h, thb, ehb, tj) {
+					c.mergeDiamond(h, thb, ehb, tj)
+					c.remove(thb, ehb, tj)
+					changed = true
+					break
+				}
+			}
+			// Triangle: H -> T -> J, H -> J.
+			if c.isArm(thb, p) && c.owner[thb.term.Then] == ehb && p[ehb] == 2 &&
+				sizeOK(h, thb, ehb) {
+				c.mergeTriangle(h, thb, ehb, true)
+				c.remove(thb, ehb)
+				changed = true
+				break
+			}
+			// Mirrored triangle: H -> J, H -> E -> J.
+			if c.isArm(ehb, p) && c.owner[ehb.term.Then] == thb && p[thb] == 2 &&
+				sizeOK(h, ehb, thb) {
+				c.mergeTriangle(h, ehb, thb, false)
+				c.remove(ehb, thb)
+				changed = true
+				break
+			}
+		}
+		if changed {
+			out := c.hbs[:0]
+			for _, h := range c.hbs {
+				if h != nil {
+					out = append(out, h)
+				}
+			}
+			c.hbs = out
+		}
+	}
+}
+
+// isArm reports whether hb can be an if-conversion arm: single predecessor,
+// unpredicated, straight-line, ending in a jump.
+func (c *cfg) isArm(hb *hblock, preds map[*hblock]int) bool {
+	return hb != nil && !hb.merged && preds[hb] == 1 && hb.term.Kind == tir.TermJump
+}
+
+func sizeOK(hs ...*hblock) bool {
+	n := 0
+	for _, h := range hs {
+		n += len(h.pinsts)
+	}
+	return n <= ifConvertLimit
+}
+
+func (c *cfg) remove(dead ...*hblock) {
+	for i, h := range c.hbs {
+		for _, d := range dead {
+			if h == d {
+				c.hbs[i] = nil
+			}
+		}
+	}
+}
+
+// renameArm rewrites an arm's defs to fresh registers (and its internal
+// uses after the def), returning the pinsts predicated on (pred, pol) and
+// the ordered list of (original, renamed) defs.
+func renameArm(f *tir.Func, arm *hblock, pred tir.Reg, pol bool) ([]pinst, [][2]tir.Reg) {
+	rename := map[tir.Reg]tir.Reg{}
+	var order [][2]tir.Reg
+	var out []pinst
+	for _, pi := range arm.pinsts {
+		in := pi.inst
+		if in.Op.UsesA() {
+			if r, ok := rename[in.A]; ok {
+				in.A = r
+			}
+		}
+		if in.Op.UsesB() {
+			if r, ok := rename[in.B]; ok {
+				in.B = r
+			}
+		}
+		if in.Op.WritesDst() {
+			fresh, seen := rename[in.Dst]
+			if !seen {
+				fresh = f.NewReg()
+				rename[in.Dst] = fresh
+				order = append(order, [2]tir.Reg{in.Dst, fresh})
+			}
+			in.Dst = fresh
+		}
+		out = append(out, pinst{inst: in, hasPred: true, pred: pred, predTrue: pol})
+	}
+	return out, order
+}
+
+// mergeDiamond folds H -> (T | E) -> J into H.
+func (cg *cfg) mergeDiamond(h, t, e, j *hblock) {
+	c := h.term.Cond
+	tp, tdefs := renameArm(cg.f, t, c, true)
+	ep, edefs := renameArm(cg.f, e, c, false)
+	h.pinsts = append(h.pinsts, tp...)
+	h.pinsts = append(h.pinsts, ep...)
+	// Phi for every register defined on either side.
+	tMap := map[tir.Reg]tir.Reg{}
+	for _, d := range tdefs {
+		tMap[d[0]] = d[1]
+	}
+	eMap := map[tir.Reg]tir.Reg{}
+	for _, d := range edefs {
+		eMap[d[0]] = d[1]
+	}
+	seen := map[tir.Reg]bool{}
+	emitPhi := func(orig tir.Reg) {
+		if seen[orig] {
+			return
+		}
+		seen[orig] = true
+		tv, tok := tMap[orig]
+		ev, eok := eMap[orig]
+		if !tok {
+			tv = orig // falls through: prior value
+		}
+		if !eok {
+			ev = orig
+		}
+		h.pinsts = append(h.pinsts, pinst{
+			inst:  tir.Inst{Op: tir.Mov, Dst: orig},
+			isPhi: true, pred: c, phiT: tv, phiF: ev,
+		})
+	}
+	for _, d := range tdefs {
+		emitPhi(d[0])
+	}
+	for _, d := range edefs {
+		emitPhi(d[0])
+	}
+	// Join block runs unpredicated after the merge.
+	h.pinsts = append(h.pinsts, j.pinsts...)
+	h.term = j.term
+	h.termCond = j.term.Cond
+	h.merged = true
+	// H now owns all the merged BBs.
+	for bb, owner := range cg.owner {
+		if owner == t || owner == e || owner == j {
+			cg.owner[bb] = h
+		}
+	}
+}
+
+// mergeTriangle folds H -> T -> J (with H -> J direct) into H. armTaken
+// tells whether the arm runs when the branch condition is true.
+func (cg *cfg) mergeTriangle(h, t, j *hblock, armTaken bool) {
+	c := h.term.Cond
+	tp, tdefs := renameArm(cg.f, t, c, armTaken)
+	h.pinsts = append(h.pinsts, tp...)
+	for _, d := range tdefs {
+		phiT, phiF := d[1], d[0]
+		if !armTaken {
+			phiT, phiF = d[0], d[1]
+		}
+		h.pinsts = append(h.pinsts, pinst{
+			inst:  tir.Inst{Op: tir.Mov, Dst: d[0]},
+			isPhi: true, pred: c, phiT: phiT, phiF: phiF,
+		})
+	}
+	h.pinsts = append(h.pinsts, j.pinsts...)
+	h.term = j.term
+	h.termCond = j.term.Cond
+	h.merged = true
+	for bb, owner := range cg.owner {
+		if owner == t || owner == j {
+			cg.owner[bb] = h
+		}
+	}
+}

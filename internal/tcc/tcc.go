@@ -1,0 +1,240 @@
+// Package tcc compiles TIR programs into TRIPS blocks, standing in for the
+// paper's Scale-based TRIPS compiler (Section 5.4, reference [19]). It
+// supports two modes matching the paper's two configurations:
+//
+//   - Compiled (TCC): each TIR basic block becomes one TRIPS block with
+//     naive (program-order) instruction placement — small blocks, which is
+//     exactly why the paper's compiled numbers trail hand-optimized code;
+//   - Hand: if-conversion merges branch diamonds into predicated
+//     hyperblocks (Section 6's hyperblock heritage) and a greedy placer
+//     minimizes operand-network hop counts (Section 7: "better scheduling
+//     to reduce hop-counts").
+//
+// Workload generators provide additional hand-style restructuring (loop
+// unrolling) at the TIR level.
+package tcc
+
+import (
+	"fmt"
+	"sort"
+
+	"trips/internal/isa"
+	"trips/internal/proc"
+	"trips/internal/tir"
+)
+
+// Mode selects the compilation style.
+type Mode int
+
+const (
+	// Compiled mimics the paper's TCC configuration.
+	Compiled Mode = iota
+	// Hand mimics the paper's hand-optimized configuration.
+	Hand
+)
+
+// Placement selects the instruction placer.
+type Placement int
+
+const (
+	// PlaceDefault picks naive for Compiled and greedy for Hand.
+	PlaceDefault Placement = iota
+	// PlaceNaive assigns instructions in program order.
+	PlaceNaive
+	// PlaceGreedy minimizes producer-consumer OPN distance.
+	PlaceGreedy
+)
+
+// Options parameterizes a compilation.
+type Options struct {
+	Mode      Mode
+	Placement Placement
+	// BaseAddr is where the first block is laid out (128-byte aligned,
+	// non-zero because address 0 is the halt convention).
+	BaseAddr uint64
+}
+
+// Meta describes the compiled program's register binding and statistics.
+type Meta struct {
+	// RegOf maps cross-block TIR virtual registers to architectural
+	// registers; TIR registers that never cross a block boundary have no
+	// entry (they live entirely on the operand network).
+	RegOf map[tir.Reg]int
+	// Blocks, Insts count the static output.
+	Blocks int
+	Insts  int
+	// FanoutMovs counts inserted operand-replication instructions.
+	FanoutMovs int
+	// AvgBlockSize is Insts/Blocks.
+	AvgBlockSize float64
+}
+
+// Compile translates f into a TRIPS program.
+func Compile(f *tir.Func, opt Options) (*proc.Program, *Meta, error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opt.BaseAddr == 0 {
+		opt.BaseAddr = 0x10000
+	}
+	if opt.BaseAddr%isa.ChunkBytes != 0 {
+		return nil, nil, fmt.Errorf("tcc: base address %#x not 128-byte aligned", opt.BaseAddr)
+	}
+	placement := opt.Placement
+	if placement == PlaceDefault {
+		if opt.Mode == Hand {
+			placement = PlaceGreedy
+		} else {
+			placement = PlaceNaive
+		}
+	}
+
+	g := fromCFG(f)
+	if opt.Mode == Hand {
+		g.ifConvert()
+	}
+	hbs := g.hbs
+	liveIn, liveOut := liveness(g)
+
+	// Allocate architectural registers for every vreg that crosses a block
+	// boundary (including program inputs, live into the entry block).
+	cross := map[tir.Reg]bool{}
+	for _, hb := range hbs {
+		for v := range liveIn[hb] {
+			cross[v] = true
+		}
+		for v := range liveOut[hb] {
+			cross[v] = true
+		}
+	}
+	var crossList []tir.Reg
+	for v := range cross {
+		crossList = append(crossList, v)
+	}
+	sort.Slice(crossList, func(i, j int) bool { return crossList[i] < crossList[j] })
+	if len(crossList) > isa.NumArchRegs {
+		return nil, nil, fmt.Errorf("tcc: %s needs %d architectural registers, machine has %d", f.Name, len(crossList), isa.NumArchRegs)
+	}
+	regOf := make(map[tir.Reg]int, len(crossList))
+	for i, v := range crossList {
+		regOf[v] = i
+	}
+
+	meta := &Meta{RegOf: regOf}
+	cg := &codegen{
+		regOf:     regOf,
+		placement: placement,
+		meta:      meta,
+		g:         g,
+	}
+	var blocks []*isa.Block
+	for _, hb := range hbs {
+		blk, err := cg.genBlock(f.Name, hb, liveIn[hb], liveOut[hb])
+		if err != nil {
+			return nil, nil, err
+		}
+		blocks = append(blocks, blk)
+	}
+
+	// Lay out blocks and patch branch offsets.
+	addrOf := make(map[*hblock]uint64, len(hbs))
+	addr := opt.BaseAddr
+	for i, hb := range hbs {
+		blocks[i].Addr = addr
+		addrOf[hb] = addr
+		addr += uint64(1+blocks[i].NumBodyChunks()) * isa.ChunkBytes
+	}
+	for i, hb := range hbs {
+		if err := cg.patchBranches(blocks[i], hb, addrOf); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	meta.Blocks = len(blocks)
+	for _, b := range blocks {
+		for i := range b.Insts {
+			if b.Insts[i].Op != isa.NOP {
+				meta.Insts++
+			}
+		}
+	}
+	if meta.Blocks > 0 {
+		meta.AvgBlockSize = float64(meta.Insts) / float64(meta.Blocks)
+	}
+	prog, err := proc.NewProgram(addrOf[hbs[0]], blocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, meta, nil
+}
+
+// liveness computes per-hyperblock live-in/live-out virtual register sets
+// with the standard backward dataflow.
+func liveness(g *cfg) (liveIn, liveOut map[*hblock]map[tir.Reg]bool) {
+	hbs := g.hbs
+	liveIn = make(map[*hblock]map[tir.Reg]bool, len(hbs))
+	liveOut = make(map[*hblock]map[tir.Reg]bool, len(hbs))
+	use := make(map[*hblock]map[tir.Reg]bool, len(hbs))
+	def := make(map[*hblock]map[tir.Reg]bool, len(hbs))
+	for _, hb := range hbs {
+		u, d := map[tir.Reg]bool{}, map[tir.Reg]bool{}
+		addUse := func(v tir.Reg) {
+			if !d[v] {
+				u[v] = true
+			}
+		}
+		for _, pi := range hb.pinsts {
+			for _, v := range pi.uses() {
+				addUse(v)
+			}
+			if dv, ok := pi.def(); ok {
+				// Predicated (non-phi) defs exist only for arm-renamed
+				// fresh registers introduced by if-conversion; those are
+				// never upward-exposed or live across blocks, so every def
+				// kills. Phi defs fully define their register by
+				// construction (complementary mov pair).
+				d[dv] = true
+			}
+		}
+		if hb.term.Kind == tir.TermBranch {
+			addUse(hb.termCond)
+		}
+
+		use[hb], def[hb] = u, d
+		liveIn[hb] = map[tir.Reg]bool{}
+		liveOut[hb] = map[tir.Reg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(hbs) - 1; i >= 0; i-- {
+			hb := hbs[i]
+			out := map[tir.Reg]bool{}
+			for _, s := range g.succs(hb) {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			if hb.term.Kind == tir.TermRet {
+				// Program results stay live past the exit.
+				for _, v := range g.f.Keeps {
+					out[v] = true
+				}
+			}
+			in := map[tir.Reg]bool{}
+			for v := range use[hb] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[hb][v] {
+					in[v] = true
+				}
+			}
+			if len(out) != len(liveOut[hb]) || len(in) != len(liveIn[hb]) {
+				changed = true
+			}
+			liveOut[hb] = out
+			liveIn[hb] = in
+		}
+	}
+	return liveIn, liveOut
+}

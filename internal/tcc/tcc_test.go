@@ -1,0 +1,367 @@
+package tcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trips/internal/mem"
+	"trips/internal/proc"
+	"trips/internal/tir"
+)
+
+// runTRIPS compiles f with the given mode and executes it on the processor
+// model, returning the final value of each requested TIR register and the
+// memory.
+func runTRIPS(t *testing.T, f *tir.Func, mode Mode, init map[tir.Reg]uint64, m *mem.Memory) (map[tir.Reg]uint64, *Meta, proc.Result) {
+	t.Helper()
+	prog, meta, err := Compile(f, Options{Mode: mode})
+	if err != nil {
+		t.Fatalf("compile(%v): %v", mode, err)
+	}
+	if m == nil {
+		m = mem.New()
+	}
+	if err := prog.Image(m); err != nil {
+		t.Fatal(err)
+	}
+	core, err := proc.NewCore(proc.Config{
+		Program:   prog,
+		Mem:       proc.NewFixedLatencyMem(m, 20),
+		MaxCycles: 20_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, val := range init {
+		gr, ok := meta.RegOf[v]
+		if !ok {
+			continue // dead input
+		}
+		core.SetRegister(0, gr, val)
+	}
+	res, err := core.Run()
+	if err != nil {
+		t.Fatalf("run(%v): %v", mode, err)
+	}
+	core.FlushCaches()
+	out := map[tir.Reg]uint64{}
+	for v, gr := range meta.RegOf {
+		out[v] = core.Register(0, gr)
+	}
+	return out, meta, res
+}
+
+// golden interprets f and returns the final registers (indexed by vreg).
+func golden(t *testing.T, f *tir.Func, init map[tir.Reg]uint64, m *mem.Memory) []uint64 {
+	t.Helper()
+	if m == nil {
+		m = mem.New()
+	}
+	regs := make([]uint64, f.NumRegs())
+	for v, val := range init {
+		regs[v] = val
+	}
+	if _, err := tir.Interp(f, m, regs, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return regs
+}
+
+// sumLoop builds: sum = 0; for i = 1..n { sum += i }.
+func sumLoop(t *testing.T) (*tir.Func, tir.Reg, tir.Reg) {
+	f := tir.NewFunc("sum")
+	n := f.NewReg()
+	i := f.NewReg()
+	sum := f.NewReg()
+	entry := f.NewBB("entry")
+	loop := f.NewBB("loop")
+	done := f.NewBB("done")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: i, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: sum, Imm: 0})
+	entry.Jump(loop)
+	loop.Emit(tir.Inst{Op: tir.AddI, Dst: i, A: i, Imm: 1})
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: sum, A: sum, B: i})
+	c := loop.Op(f, tir.SetLT, i, n)
+	loop.Branch(c, loop, done)
+	done.Ret()
+	f.Keep(sum, i)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f, n, sum
+}
+
+func TestCompileSumLoopBothModes(t *testing.T) {
+	for _, mode := range []Mode{Compiled, Hand} {
+		f, n, sum := sumLoop(t)
+		init := map[tir.Reg]uint64{n: 20}
+		out, _, res := runTRIPS(t, f, mode, init, nil)
+		if out[sum] != 210 {
+			t.Errorf("mode %v: sum = %d, want 210", mode, out[sum])
+		}
+		if res.CommittedBlocks == 0 {
+			t.Errorf("mode %v: nothing committed", mode)
+		}
+	}
+}
+
+// absDiamond builds: if a < 0 { r = 0 - a } else { r = a }; plus a store of
+// r so the predicated-store path is exercised under if-conversion.
+func absDiamond(t *testing.T) (*tir.Func, tir.Reg, tir.Reg, tir.Reg) {
+	f := tir.NewFunc("abs")
+	a := f.NewReg()
+	r := f.NewReg()
+	addr := f.NewReg()
+	entry := f.NewBB("entry")
+	neg := f.NewBB("neg")
+	pos := f.NewBB("pos")
+	join := f.NewBB("join")
+	c := entry.OpI(f, tir.SetLTI, a, 0)
+	entry.Branch(c, neg, pos)
+	zero := neg.Const(f, 0)
+	neg.Emit(tir.Inst{Op: tir.Sub, Dst: r, A: zero, B: a})
+	neg.Store(addr, 0, r, 8)
+	neg.Jump(join)
+	pos.Emit(tir.Inst{Op: tir.Mov, Dst: r, A: a})
+	pos.Jump(join)
+	join.Ret()
+	f.Keep(r)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f, a, r, addr
+}
+
+func TestIfConversionMergesDiamond(t *testing.T) {
+	f, a, r, addr := absDiamond(t)
+	_, metaC, _ := runTRIPS(t, f, Compiled, map[tir.Reg]uint64{a: ^uint64(6), addr: 0x8000}, nil)
+	f2, a2, r2, addr2 := absDiamond(t)
+	_, metaH, _ := runTRIPS(t, f2, Hand, map[tir.Reg]uint64{a2: ^uint64(6), addr2: 0x8000}, nil)
+	if metaH.Blocks >= metaC.Blocks {
+		t.Errorf("hand mode should merge the diamond: %d blocks vs %d compiled", metaH.Blocks, metaC.Blocks)
+	}
+	_ = r
+	_ = r2
+}
+
+func TestDiamondBothPathsBothModes(t *testing.T) {
+	for _, mode := range []Mode{Compiled, Hand} {
+		for _, in := range []int64{-7, 7, 0} {
+			f, a, r, addr := absDiamond(t)
+			m := mem.New()
+			init := map[tir.Reg]uint64{a: uint64(in), addr: 0x8000}
+			gm := mem.New()
+			gr := golden(t, f, init, gm)
+			out, _, _ := runTRIPS(t, f, mode, init, m)
+			if out[r] != gr[r] {
+				t.Errorf("mode %v in %d: r = %d, want %d", mode, in, int64(out[r]), int64(gr[r]))
+			}
+			if got, want := m.Read(0x8000, 8, false), gm.Read(0x8000, 8, false); got != want {
+				t.Errorf("mode %v in %d: mem = %d, want %d (predicated store)", mode, in, got, want)
+			}
+		}
+	}
+}
+
+// arraySum builds: s = Σ a[i] for i < n (8-byte elements).
+func arraySum(t *testing.T) (*tir.Func, tir.Reg, tir.Reg, tir.Reg) {
+	f := tir.NewFunc("arraysum")
+	base := f.NewReg()
+	n := f.NewReg()
+	s := f.NewReg()
+	i := f.NewReg()
+	entry := f.NewBB("entry")
+	loop := f.NewBB("loop")
+	done := f.NewBB("done")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: s, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: i, Imm: 0})
+	entry.Jump(loop)
+	off := loop.OpI(f, tir.ShlI, i, 3)
+	addr := loop.Op(f, tir.Add, base, off)
+	v := loop.Load(f, addr, 0, 8, false)
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: s, A: s, B: v})
+	loop.Emit(tir.Inst{Op: tir.AddI, Dst: i, A: i, Imm: 1})
+	c := loop.Op(f, tir.SetLT, i, n)
+	loop.Branch(c, loop, done)
+	done.Ret()
+	f.Keep(s)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f, base, n, s
+}
+
+func TestArraySumMatchesGolden(t *testing.T) {
+	for _, mode := range []Mode{Compiled, Hand} {
+		f, base, n, s := arraySum(t)
+		m := mem.New()
+		want := uint64(0)
+		for i := 0; i < 32; i++ {
+			m.Write(0x9000+uint64(i)*8, 8, uint64(i*i+1))
+			want += uint64(i*i + 1)
+		}
+		init := map[tir.Reg]uint64{base: 0x9000, n: 32}
+		out, _, _ := runTRIPS(t, f, mode, init, m)
+		if out[s] != want {
+			t.Errorf("mode %v: sum = %d, want %d", mode, out[s], want)
+		}
+	}
+}
+
+func TestLargeConstantsAndOffsets(t *testing.T) {
+	f := tir.NewFunc("bigconst")
+	r := f.NewReg()
+	addr := f.NewReg()
+	got := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: r, Imm: int64(0x1122334455667788)})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: addr, Imm: 0x4000})
+	entry.Store(addr, 4096, r, 8) // offset beyond the 9-bit L/S field
+	entry.Emit(tir.Inst{Op: tir.Load, Dst: got, A: addr, Imm: 4096, Width: 8})
+	entry.Ret()
+	f.Keep(got)
+	for _, mode := range []Mode{Compiled, Hand} {
+		m := mem.New()
+		out, _, _ := runTRIPS(t, f, mode, nil, m)
+		if out[got] != 0x1122334455667788 {
+			t.Errorf("mode %v: got %#x", mode, out[got])
+		}
+		if v := m.Read(0x5000, 8, false); v != 0x1122334455667788 {
+			t.Errorf("mode %v: mem = %#x", mode, v)
+		}
+	}
+}
+
+func TestFanoutManyConsumers(t *testing.T) {
+	// One value consumed by 12 instructions forces a MOV fanout tree.
+	f := tir.NewFunc("fanout")
+	x := f.NewReg()
+	entry := f.NewBB("entry")
+	acc := entry.OpI(f, tir.AddI, x, 0)
+	for k := 0; k < 12; k++ {
+		y := entry.Op(f, tir.Add, x, x) // two uses of x each
+		acc = entry.Op(f, tir.Add, acc, y)
+	}
+	sum := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.Mov, Dst: sum, A: acc})
+	next := f.NewBB("next")
+	entry.Jump(next)
+	keep := next.Op(f, tir.Add, sum, x) // keeps sum and x live-out of entry
+	final := f.NewReg()
+	next.Emit(tir.Inst{Op: tir.Mov, Dst: final, A: keep})
+	next.Ret()
+	f.Keep(final)
+	for _, mode := range []Mode{Compiled, Hand} {
+		init := map[tir.Reg]uint64{x: 3}
+		gr := golden(t, f, init, nil)
+		out, meta, _ := runTRIPS(t, f, mode, init, nil)
+		if out[final] != gr[final] {
+			t.Errorf("mode %v: final = %d, want %d", mode, out[final], gr[final])
+		}
+		if mode == Hand && meta.FanoutMovs == 0 {
+			t.Error("expected fanout movs for a 25-consumer value")
+		}
+	}
+}
+
+// randFunc generates a structured random TIR program: an arithmetic
+// prologue, an optional diamond, and a counted loop with loads/stores.
+func randFunc(r *rand.Rand) (*tir.Func, map[tir.Reg]uint64, []tir.Reg) {
+	f := tir.NewFunc("rand")
+	nIn := 2 + r.Intn(3)
+	var inputs []tir.Reg
+	init := map[tir.Reg]uint64{}
+	for i := 0; i < nIn; i++ {
+		v := f.NewReg()
+		inputs = append(inputs, v)
+		init[v] = uint64(r.Intn(1000))
+	}
+	base := f.NewReg()
+	init[base] = 0x10000 * 8 // data region away from code
+	entry := f.NewBB("entry")
+	cur := inputs
+	emitArith := func(b *tir.BB, n int) []tir.Reg {
+		vals := append([]tir.Reg{}, cur...)
+		ops := []tir.Op{tir.Add, tir.Sub, tir.Mul, tir.And, tir.Or, tir.Xor, tir.AddI, tir.ShlI, tir.Min, tir.Max}
+		for i := 0; i < n; i++ {
+			op := ops[r.Intn(len(ops))]
+			a := vals[r.Intn(len(vals))]
+			var d tir.Reg
+			if op == tir.AddI || op == tir.ShlI {
+				d = b.OpI(f, op, a, int64(r.Intn(7)))
+			} else {
+				d = b.Op(f, op, a, vals[r.Intn(len(vals))])
+			}
+			vals = append(vals, d)
+		}
+		return vals
+	}
+	vals := emitArith(entry, 3+r.Intn(5))
+	// Store a couple of values.
+	for i := 0; i < 2; i++ {
+		entry.Store(base, int64(8*i), vals[len(vals)-1-i], 8)
+	}
+	// Diamond on a computed condition.
+	c := entry.OpI(f, tir.SetLTI, vals[len(vals)-1], 500)
+	thenB := f.NewBB("then")
+	elseB := f.NewBB("else")
+	join := f.NewBB("join")
+	entry.Branch(c, thenB, elseB)
+	x := f.NewReg()
+	thenB.Emit(tir.Inst{Op: tir.AddI, Dst: x, A: vals[0], Imm: 7})
+	thenB.Store(base, 64, x, 8)
+	thenB.Jump(join)
+	elseB.Emit(tir.Inst{Op: tir.MulI, Dst: x, A: vals[1], Imm: 3})
+	elseB.Jump(join)
+	// Counted loop accumulating loads of what we stored.
+	i := f.NewReg()
+	s := f.NewReg()
+	join.Emit(tir.Inst{Op: tir.ConstI, Dst: i, Imm: 0})
+	join.Emit(tir.Inst{Op: tir.ConstI, Dst: s, Imm: 0})
+	loop := f.NewBB("loop")
+	done := f.NewBB("done")
+	join.Jump(loop)
+	v := loop.Load(f, base, 0, 8, false)
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: s, A: s, B: v})
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: s, A: s, B: x})
+	loop.Emit(tir.Inst{Op: tir.AddI, Dst: i, A: i, Imm: 1})
+	cc := loop.OpI(f, tir.SetLTI, i, int64(2+r.Intn(6)))
+	loop.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(s, x, vals[len(vals)-1])
+	outs := []tir.Reg{s, x, vals[len(vals)-1]}
+	return f, init, outs
+}
+
+func TestQuickRandomProgramsMatchGolden(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f, init, outs := randFunc(r)
+		gm := mem.New()
+		gr := golden(t, f, init, gm)
+		for _, mode := range []Mode{Compiled, Hand} {
+			m := mem.New()
+			out, meta, _ := runTRIPS(t, f, mode, init, m)
+			for _, v := range outs {
+				if _, tracked := meta.RegOf[v]; !tracked {
+					continue
+				}
+				if out[v] != gr[v] {
+					t.Logf("seed %d mode %v: r%d = %d, want %d", seed, mode, v, out[v], gr[v])
+					return false
+				}
+			}
+			for a := uint64(0x80000); a < 0x80000+128; a += 8 {
+				if m.Read(a, 8, false) != gm.Read(a, 8, false) {
+					t.Logf("seed %d mode %v: mem[%#x] = %d, want %d", seed, mode, a, m.Read(a, 8, false), gm.Read(a, 8, false))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package tir
+
+import (
+	"fmt"
+	"math"
+
+	"trips/internal/mem"
+)
+
+// InterpResult summarizes a golden-model run.
+type InterpResult struct {
+	// DynInsts is the number of executed TIR instructions (excluding
+	// terminators); a machine-neutral work measure.
+	DynInsts uint64
+	// DynBlocks is the number of executed basic blocks.
+	DynBlocks uint64
+	// Branches counts executed conditional branches.
+	Branches uint64
+}
+
+// Interp executes f over memory m with the given initial register values
+// (regs is modified in place and holds the final values on return).
+// maxBlocks bounds execution to catch runaway programs.
+func Interp(f *Func, m *mem.Memory, regs []uint64, maxBlocks uint64) (InterpResult, error) {
+	var res InterpResult
+	if err := f.Validate(); err != nil {
+		return res, err
+	}
+	need := f.NumRegs()
+	if len(regs) < need {
+		return res, fmt.Errorf("tir: %s needs %d registers, got %d", f.Name, need, len(regs))
+	}
+	b := f.Entry
+	for {
+		res.DynBlocks++
+		if res.DynBlocks > maxBlocks {
+			return res, fmt.Errorf("tir: %s exceeded %d blocks", f.Name, maxBlocks)
+		}
+		for _, in := range b.Insts {
+			res.DynInsts++
+			switch in.Op {
+			case Load:
+				regs[in.Dst] = m.Read(regs[in.A]+uint64(in.Imm), in.Width, in.Signed)
+			case Store:
+				m.Write(regs[in.A]+uint64(in.Imm), in.Width, regs[in.B])
+			default:
+				regs[in.Dst] = EvalOp(in.Op, regs[in.A], regs[in.B], in.Imm)
+			}
+		}
+		switch b.Term.Kind {
+		case TermRet:
+			return res, nil
+		case TermJump:
+			b = b.Term.Then
+		case TermBranch:
+			res.Branches++
+			if regs[b.Term.Cond] != 0 {
+				b = b.Term.Then
+			} else {
+				b = b.Term.Else
+			}
+		}
+	}
+}
+
+// EvalOp computes a non-memory TIR operation. It is shared with the alpha
+// baseline's execute stage so both machines agree on semantics.
+func EvalOp(op Op, a, b uint64, imm int64) uint64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return uint64(int64(a) * int64(b))
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) / int64(b))
+	case Mod:
+		if b == 0 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (b & 63)
+	case Shr:
+		return a >> (b & 63)
+	case Sra:
+		return uint64(int64(a) >> (b & 63))
+	case Min:
+		if int64(a) < int64(b) {
+			return a
+		}
+		return b
+	case Max:
+		if int64(a) > int64(b) {
+			return a
+		}
+		return b
+	case SetEQ:
+		return b2u(a == b)
+	case SetNE:
+		return b2u(a != b)
+	case SetLT:
+		return b2u(int64(a) < int64(b))
+	case SetLE:
+		return b2u(int64(a) <= int64(b))
+	case SetGT:
+		return b2u(int64(a) > int64(b))
+	case SetGE:
+		return b2u(int64(a) >= int64(b))
+	case SetLTU:
+		return b2u(a < b)
+	case SetGEU:
+		return b2u(a >= b)
+	case AddI:
+		return a + uint64(imm)
+	case MulI:
+		return uint64(int64(a) * imm)
+	case AndI:
+		return a & uint64(imm)
+	case OrI:
+		return a | uint64(imm)
+	case XorI:
+		return a ^ uint64(imm)
+	case ShlI:
+		return a << (uint64(imm) & 63)
+	case ShrI:
+		return a >> (uint64(imm) & 63)
+	case SraI:
+		return uint64(int64(a) >> (uint64(imm) & 63))
+	case SetEQI:
+		return b2u(int64(a) == imm)
+	case SetLTI:
+		return b2u(int64(a) < imm)
+	case SetGEI:
+		return b2u(int64(a) >= imm)
+	case ConstI:
+		return uint64(imm)
+	case Mov:
+		return a
+	case FAdd:
+		return f2u(u2f(a) + u2f(b))
+	case FSub:
+		return f2u(u2f(a) - u2f(b))
+	case FMul:
+		return f2u(u2f(a) * u2f(b))
+	case FDiv:
+		return f2u(u2f(a) / u2f(b))
+	case FSetEQ:
+		return b2u(u2f(a) == u2f(b))
+	case FSetLT:
+		return b2u(u2f(a) < u2f(b))
+	case FSetLE:
+		return b2u(u2f(a) <= u2f(b))
+	case IToF:
+		return f2u(float64(int64(a)))
+	case FToI:
+		f := u2f(a)
+		if math.IsNaN(f) {
+			return 0
+		}
+		return uint64(int64(f))
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func u2f(u uint64) float64 { return math.Float64frombits(u) }
+func f2u(f float64) uint64 { return math.Float64bits(f) }

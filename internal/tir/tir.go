@@ -1,0 +1,304 @@
+// Package tir defines TIR, the tiny imperative IR that all benchmarks in
+// this repository are written in. One TIR program compiles three ways:
+//
+//   - interpreted directly (the golden model used to verify both simulators),
+//   - through tcc into TRIPS blocks (compiled and hand-optimized modes), and
+//   - through the alpha backend into RISC code for the baseline simulator.
+//
+// TIR stands in for the paper's C/Fortran toolchain (Section 5.4): it is
+// deliberately small — virtual registers, basic blocks, explicit loads and
+// stores — but rich enough to express the paper's microbenchmarks, signal
+// kernels, EEMBC-class loops and SPEC-class fragments.
+package tir
+
+import "fmt"
+
+// Reg is a virtual register. Values are untyped 64-bit words; floating
+// point uses IEEE 754 bit patterns.
+type Reg int
+
+// Op is a TIR operation.
+type Op uint8
+
+const (
+	Nop Op = iota
+	// Arithmetic and logic (two register sources).
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Sra
+	Min
+	Max
+	// Comparisons producing 0/1.
+	SetEQ
+	SetNE
+	SetLT
+	SetLE
+	SetGT
+	SetGE
+	SetLTU
+	SetGEU
+	// Immediate forms (source A + Imm).
+	AddI
+	MulI
+	AndI
+	OrI
+	XorI
+	ShlI
+	ShrI
+	SraI
+	SetEQI
+	SetLTI
+	SetGEI
+	// Constants and moves.
+	ConstI // Dst = Imm (any 64-bit value)
+	Mov    // Dst = A
+	// Floating point (64-bit IEEE).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FSetEQ
+	FSetLT
+	FSetLE
+	IToF
+	FToI
+	// Memory. Address = A + Imm. Width from the instruction; loads may
+	// sign-extend. Store data in B.
+	Load
+	Store
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop: "nop", Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Sra: "sra",
+	Min: "min", Max: "max",
+	SetEQ: "seteq", SetNE: "setne", SetLT: "setlt", SetLE: "setle",
+	SetGT: "setgt", SetGE: "setge", SetLTU: "setltu", SetGEU: "setgeu",
+	AddI: "addi", MulI: "muli", AndI: "andi", OrI: "ori", XorI: "xori",
+	ShlI: "shli", ShrI: "shri", SraI: "srai",
+	SetEQI: "seteqi", SetLTI: "setlti", SetGEI: "setgei",
+	ConstI: "const", Mov: "mov",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv",
+	FSetEQ: "fseteq", FSetLT: "fsetlt", FSetLE: "fsetle",
+	IToF: "itof", FToI: "ftoi",
+	Load: "load", Store: "store",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// HasImm reports whether the op consumes its Imm field as an operand.
+func (o Op) HasImm() bool {
+	switch o {
+	case AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SraI, SetEQI, SetLTI, SetGEI, ConstI, Load, Store:
+		return true
+	}
+	return false
+}
+
+// UsesA and UsesB report which register sources the op reads.
+func (o Op) UsesA() bool { return o != ConstI && o != Nop }
+func (o Op) UsesB() bool {
+	switch o {
+	case Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr, Sra, Min, Max,
+		SetEQ, SetNE, SetLT, SetLE, SetGT, SetGE, SetLTU, SetGEU,
+		FAdd, FSub, FMul, FDiv, FSetEQ, FSetLT, FSetLE, Store:
+		return true
+	}
+	return false
+}
+
+// WritesDst reports whether the op produces a register result.
+func (o Op) WritesDst() bool { return o != Store && o != Nop }
+
+// IsFloat reports whether the op runs on the FPU.
+func (o Op) IsFloat() bool { return o >= FAdd && o <= FToI }
+
+// Inst is one TIR instruction.
+type Inst struct {
+	Op     Op
+	Dst    Reg
+	A, B   Reg
+	Imm    int64
+	Width  int  // memory access width (1, 2, 4, 8)
+	Signed bool // sign-extending load
+}
+
+func (in Inst) String() string {
+	switch {
+	case in.Op == ConstI:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case in.Op == Load:
+		return fmt.Sprintf("r%d = load%d [r%d+%d]", in.Dst, in.Width*8, in.A, in.Imm)
+	case in.Op == Store:
+		return fmt.Sprintf("store%d [r%d+%d] = r%d", in.Width*8, in.A, in.Imm, in.B)
+	case in.Op.HasImm():
+		return fmt.Sprintf("r%d = %s r%d, %d", in.Dst, in.Op, in.A, in.Imm)
+	case in.Op.UsesB():
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Op, in.A)
+	}
+}
+
+// TermKind discriminates block terminators.
+type TermKind uint8
+
+const (
+	// TermJump transfers to Then unconditionally.
+	TermJump TermKind = iota
+	// TermBranch transfers to Then if Cond != 0, else to Else.
+	TermBranch
+	// TermRet ends the program.
+	TermRet
+)
+
+// Term is a basic-block terminator.
+type Term struct {
+	Kind TermKind
+	Cond Reg
+	Then *BB
+	Else *BB
+}
+
+// BB is a basic block: straight-line instructions plus one terminator.
+type BB struct {
+	Label string
+	Insts []Inst
+	Term  Term
+	// ID is assigned by Func in creation order.
+	ID int
+}
+
+// Func is a TIR program: an entry block and the blocks reachable from it.
+type Func struct {
+	Name   string
+	Blocks []*BB
+	Entry  *BB
+	// Keeps are registers observable after the program returns (its
+	// results); compilers must keep them live to the exit.
+	Keeps   []Reg
+	nextReg Reg
+}
+
+// Keep marks registers as program results, live at every return.
+func (f *Func) Keep(regs ...Reg) { f.Keeps = append(f.Keeps, regs...) }
+
+// NewFunc creates an empty function.
+func NewFunc(name string) *Func {
+	return &Func{Name: name}
+}
+
+// NewBB appends a new basic block. The first block created is the entry.
+func (f *Func) NewBB(label string) *BB {
+	b := &BB{Label: label, ID: len(f.Blocks), Term: Term{Kind: TermRet}}
+	f.Blocks = append(f.Blocks, b)
+	if f.Entry == nil {
+		f.Entry = b
+	}
+	return b
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	f.nextReg++
+	return f.nextReg - 1
+}
+
+// NumRegs returns the number of virtual registers allocated.
+func (f *Func) NumRegs() int { return int(f.nextReg) }
+
+// Emit appends an instruction.
+func (b *BB) Emit(in Inst) { b.Insts = append(b.Insts, in) }
+
+// Op emits a two-source operation into a fresh register.
+func (b *BB) Op(f *Func, op Op, a, bb Reg) Reg {
+	d := f.NewReg()
+	b.Emit(Inst{Op: op, Dst: d, A: a, B: bb})
+	return d
+}
+
+// OpI emits an immediate operation into a fresh register.
+func (b *BB) OpI(f *Func, op Op, a Reg, imm int64) Reg {
+	d := f.NewReg()
+	b.Emit(Inst{Op: op, Dst: d, A: a, Imm: imm})
+	return d
+}
+
+// Const emits a constant into a fresh register.
+func (b *BB) Const(f *Func, v int64) Reg {
+	d := f.NewReg()
+	b.Emit(Inst{Op: ConstI, Dst: d, Imm: v})
+	return d
+}
+
+// Load emits a load of the given width.
+func (b *BB) Load(f *Func, base Reg, off int64, width int, signed bool) Reg {
+	d := f.NewReg()
+	b.Emit(Inst{Op: Load, Dst: d, A: base, Imm: off, Width: width, Signed: signed})
+	return d
+}
+
+// Store emits a store of the given width.
+func (b *BB) Store(base Reg, off int64, data Reg, width int) {
+	b.Emit(Inst{Op: Store, A: base, Imm: off, B: data, Width: width})
+}
+
+// Jump, Branch and Ret set the terminator.
+func (b *BB) Jump(to *BB) { b.Term = Term{Kind: TermJump, Then: to} }
+func (b *BB) Branch(cond Reg, t, e *BB) {
+	b.Term = Term{Kind: TermBranch, Cond: cond, Then: t, Else: e}
+}
+func (b *BB) Ret() { b.Term = Term{Kind: TermRet} }
+
+// Succs returns the terminator's successors.
+func (b *BB) Succs() []*BB {
+	switch b.Term.Kind {
+	case TermJump:
+		return []*BB{b.Term.Then}
+	case TermBranch:
+		return []*BB{b.Term.Then, b.Term.Else}
+	}
+	return nil
+}
+
+// Validate checks structural invariants.
+func (f *Func) Validate() error {
+	if f.Entry == nil {
+		return fmt.Errorf("tir: %s has no entry block", f.Name)
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Insts {
+			if in.Op == Nop || in.Op >= numOps {
+				return fmt.Errorf("tir: %s/%s inst %d: bad op %v", f.Name, b.Label, i, in.Op)
+			}
+			if (in.Op == Load || in.Op == Store) && in.Width != 1 && in.Width != 2 && in.Width != 4 && in.Width != 8 {
+				return fmt.Errorf("tir: %s/%s inst %d: bad width %d", f.Name, b.Label, i, in.Width)
+			}
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			if b.Term.Then == nil {
+				return fmt.Errorf("tir: %s/%s: jump without target", f.Name, b.Label)
+			}
+		case TermBranch:
+			if b.Term.Then == nil || b.Term.Else == nil {
+				return fmt.Errorf("tir: %s/%s: branch without targets", f.Name, b.Label)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package tir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trips/internal/mem"
+)
+
+func TestInterpLoopAndMemory(t *testing.T) {
+	// for i in 0..9: mem[base+8i] = i*i; then sum them back.
+	f := NewFunc("t")
+	base := f.NewReg()
+	i := f.NewReg()
+	s := f.NewReg()
+	entry := f.NewBB("entry")
+	w := f.NewBB("w")
+	r := f.NewBB("r")
+	done := f.NewBB("done")
+	entry.Emit(Inst{Op: ConstI, Dst: i, Imm: 0})
+	entry.Emit(Inst{Op: ConstI, Dst: s, Imm: 0})
+	entry.Jump(w)
+	sq := w.Op(f, Mul, i, i)
+	off := w.OpI(f, ShlI, i, 3)
+	ad := w.Op(f, Add, base, off)
+	w.Store(ad, 0, sq, 8)
+	w.Emit(Inst{Op: AddI, Dst: i, A: i, Imm: 1})
+	c := w.OpI(f, SetLTI, i, 10)
+	w.Branch(c, w, r)
+	r.Emit(Inst{Op: ConstI, Dst: i, Imm: 0})
+	loop2 := f.NewBB("loop2")
+	r.Jump(loop2)
+	off2 := loop2.OpI(f, ShlI, i, 3)
+	ad2 := loop2.Op(f, Add, base, off2)
+	v := loop2.Load(f, ad2, 0, 8, false)
+	loop2.Emit(Inst{Op: Add, Dst: s, A: s, B: v})
+	loop2.Emit(Inst{Op: AddI, Dst: i, A: i, Imm: 1})
+	c2 := loop2.OpI(f, SetLTI, i, 10)
+	loop2.Branch(c2, loop2, done)
+	done.Ret()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	regs := make([]uint64, f.NumRegs())
+	regs[base] = 0x1000
+	res, err := Interp(f, m, regs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[s] != 285 {
+		t.Errorf("sum of squares = %d, want 285", regs[s])
+	}
+	if res.DynBlocks != 23 {
+		t.Errorf("dynamic blocks = %d, want 23", res.DynBlocks)
+	}
+	if res.Branches != 20 {
+		t.Errorf("branches = %d, want 20", res.Branches)
+	}
+}
+
+func TestInterpBoundsRunaway(t *testing.T) {
+	f := NewFunc("inf")
+	b := f.NewBB("b")
+	b.Jump(b)
+	regs := []uint64{}
+	if _, err := Interp(f, mem.New(), regs, 100); err == nil {
+		t.Fatal("runaway loop not caught")
+	}
+}
+
+func TestInterpRejectsInvalid(t *testing.T) {
+	f := NewFunc("bad")
+	b := f.NewBB("b")
+	b.Emit(Inst{Op: Load, Dst: 0, A: 0, Width: 3})
+	b.Ret()
+	if _, err := Interp(f, mem.New(), make([]uint64, 4), 10); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+}
+
+func TestQuickEvalOpMatchesISASemantics(t *testing.T) {
+	// The TIR evaluator and the TRIPS ALU must agree — both machines run
+	// the same workloads. Spot-check a few ops with shared semantics.
+	f := func(a, b uint64) bool {
+		return EvalOp(Add, a, b, 0) == a+b &&
+			EvalOp(Sub, a, b, 0) == a-b &&
+			EvalOp(Shl, a, b, 0) == a<<(b&63) &&
+			EvalOp(SetLTU, a, b, 0) == b2u(a < b) &&
+			EvalOp(Max, a, b, 0) == EvalOp(Sub, a+b, EvalOp(Min, a, b, 0), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if !Store.UsesB() || Store.WritesDst() {
+		t.Error("store metadata wrong")
+	}
+	if ConstI.UsesA() {
+		t.Error("const should not read A")
+	}
+	if !Load.HasImm() || !AddI.HasImm() || Add.HasImm() {
+		t.Error("imm metadata wrong")
+	}
+	if !FAdd.IsFloat() || Add.IsFloat() {
+		t.Error("float metadata wrong")
+	}
+}
+
+func TestEvalOpAllOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		imm  int64
+		want uint64
+	}{
+		{Add, 3, 4, 0, 7},
+		{Sub, 9, 4, 0, 5},
+		{Mul, 6, 7, 0, 42},
+		{Div, 42, 6, 0, 7},
+		{Div, 42, 0, 0, 0},
+		{Mod, 43, 6, 0, 1},
+		{Mod, 43, 0, 0, 0},
+		{And, 0b1100, 0b1010, 0, 0b1000},
+		{Or, 0b1100, 0b1010, 0, 0b1110},
+		{Xor, 0b1100, 0b1010, 0, 0b0110},
+		{Shl, 1, 8, 0, 256},
+		{Shr, 256, 8, 0, 1},
+		{Sra, ^uint64(15), 2, 0, ^uint64(3)},
+		{Min, ^uint64(0), 5, 0, ^uint64(0)},
+		{Max, ^uint64(0), 5, 0, 5},
+		{SetEQ, 5, 5, 0, 1},
+		{SetNE, 5, 5, 0, 0},
+		{SetLT, ^uint64(0), 0, 0, 1},
+		{SetLE, 5, 5, 0, 1},
+		{SetGT, 6, 5, 0, 1},
+		{SetGE, 5, 5, 0, 1},
+		{SetLTU, ^uint64(0), 0, 0, 0},
+		{SetGEU, ^uint64(0), 0, 0, 1},
+		{AddI, 10, 0, -3, 7},
+		{MulI, 10, 0, 4, 40},
+		{AndI, 0b1111, 0, 0b1010, 0b1010},
+		{OrI, 0b0101, 0, 0b1010, 0b1111},
+		{XorI, 0b1111, 0, 0b1010, 0b0101},
+		{ShlI, 1, 0, 4, 16},
+		{ShrI, 16, 0, 4, 1},
+		{SraI, ^uint64(15), 0, 2, ^uint64(3)},
+		{SetEQI, 7, 0, 7, 1},
+		{SetLTI, 3, 0, 4, 1},
+		{SetGEI, 4, 0, 4, 1},
+		{ConstI, 0, 0, -9, ^uint64(8)},
+		{Mov, 99, 0, 0, 99},
+	}
+	for _, c := range cases {
+		if got := EvalOp(c.op, c.a, c.b, c.imm); got != c.want {
+			t.Errorf("EvalOp(%v, %#x, %#x, %d) = %#x, want %#x", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+	// Floating point.
+	fb := func(v float64) uint64 { return f2u(v) }
+	if got := EvalOp(FAdd, fb(1.5), fb(2.25), 0); got != fb(3.75) {
+		t.Errorf("fadd = %v", u2f(got))
+	}
+	if got := EvalOp(FSub, fb(3), fb(1), 0); got != fb(2) {
+		t.Errorf("fsub = %v", u2f(got))
+	}
+	if got := EvalOp(FMul, fb(3), fb(-2), 0); got != fb(-6) {
+		t.Errorf("fmul = %v", u2f(got))
+	}
+	if got := EvalOp(FDiv, fb(1), fb(4), 0); got != fb(0.25) {
+		t.Errorf("fdiv = %v", u2f(got))
+	}
+	if EvalOp(FSetEQ, fb(2), fb(2), 0) != 1 || EvalOp(FSetLT, fb(1), fb(2), 0) != 1 || EvalOp(FSetLE, fb(2), fb(2), 0) != 1 {
+		t.Error("fp compares wrong")
+	}
+	if got := EvalOp(IToF, ^uint64(6), 0, 0); got != fb(-7) {
+		t.Errorf("itof = %v", u2f(got))
+	}
+	if got := EvalOp(FToI, fb(-7.9), 0, 0); got != ^uint64(6) {
+		t.Errorf("ftoi = %d", int64(got))
+	}
+	if got := EvalOp(FToI, f2u(nan()), 0, 0); got != 0 {
+		t.Errorf("ftoi(nan) = %d", got)
+	}
+}
+
+func nan() float64 { return u2f(0x7ff8000000000001) }
+
+func TestStringsAndHelpers(t *testing.T) {
+	f := NewFunc("s")
+	b := f.NewBB("b")
+	c := b.Const(f, 42)
+	v := b.Load(f, c, 8, 4, true)
+	b.Store(c, 0, v, 8)
+	d := b.Op(f, Add, c, v)
+	e := b.OpI(f, AddI, d, 3)
+	b2 := f.NewBB("b2")
+	b.Branch(e, b, b2)
+	b2.Ret()
+	f.Keep(e)
+	for _, in := range b.Insts {
+		if in.String() == "" {
+			t.Errorf("empty String for %+v", in)
+		}
+	}
+	if Add.String() != "add" || Op(200).String() == "" {
+		t.Error("op String wrong")
+	}
+	if got := len(b.Succs()); got != 2 {
+		t.Errorf("branch Succs = %d", got)
+	}
+	if got := len(b2.Succs()); got != 0 {
+		t.Errorf("ret Succs = %d", got)
+	}
+	b2.Jump(b)
+	if got := len(b2.Succs()); got != 1 {
+		t.Errorf("jump Succs = %d", got)
+	}
+	if len(f.Keeps) != 1 {
+		t.Error("Keep not recorded")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	// Jump without target.
+	f := NewFunc("v1")
+	b := f.NewBB("b")
+	b.Term = Term{Kind: TermJump}
+	if err := f.Validate(); err == nil {
+		t.Error("jump without target accepted")
+	}
+	// Branch without targets.
+	f2 := NewFunc("v2")
+	b2 := f2.NewBB("b")
+	b2.Term = Term{Kind: TermBranch}
+	if err := f2.Validate(); err == nil {
+		t.Error("branch without targets accepted")
+	}
+	// Bad op.
+	f3 := NewFunc("v3")
+	b3 := f3.NewBB("b")
+	b3.Emit(Inst{Op: Nop})
+	if err := f3.Validate(); err == nil {
+		t.Error("nop accepted")
+	}
+	// No entry.
+	f4 := NewFunc("v4")
+	if err := f4.Validate(); err == nil {
+		t.Error("empty function accepted")
+	}
+}

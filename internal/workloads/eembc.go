@@ -1,0 +1,298 @@
+package workloads
+
+import (
+	"math"
+
+	"trips/internal/mem"
+	"trips/internal/tir"
+)
+
+// A2Time01 models the EEMBC automotive angle-to-time kernel: per-sample
+// table indexing, scaling arithmetic and range conditionals.
+func A2Time01(hand bool) *Spec {
+	const n = 512
+	f := tir.NewFunc("a2time01")
+	samples := f.NewReg()
+	table := f.NewReg()
+	outSum := f.NewReg()
+	alarms := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: outSum, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: alarms, Imm: 0})
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	loop := f.NewBB("loop")
+	entry.Jump(loop)
+	off := loop.OpI(f, tir.ShlI, iReg, 3)
+	ps := loop.Op(f, tir.Add, samples, off)
+	angle := loop.Load(f, ps, 0, 8, false)
+	// tooth = angle / 60 (via multiply-shift), index the timing table
+	scaled := loop.OpI(f, tir.MulI, angle, 17476) // ~2^20/60
+	tooth := loop.OpI(f, tir.ShrI, scaled, 20)
+	ti := loop.OpI(f, tir.AndI, tooth, 63)
+	toff := loop.OpI(f, tir.ShlI, ti, 3)
+	pt := loop.Op(f, tir.Add, table, toff)
+	base := loop.Load(f, pt, 0, 8, false)
+	rem := loop.OpI(f, tir.AndI, angle, 59)
+	adj := loop.OpI(f, tir.MulI, rem, 7)
+	t := loop.Op(f, tir.Add, base, adj)
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: outSum, A: outSum, B: t})
+	// Alarm when the computed time exceeds a bound.
+	c := loop.OpI(f, tir.SetGEI, t, 6000)
+	alarm := f.NewBB("alarm")
+	join := f.NewBB("join")
+	loop.Branch(c, alarm, join)
+	alarm.Emit(tir.Inst{Op: tir.AddI, Dst: alarms, A: alarms, Imm: 1})
+	alarm.Jump(join)
+	join.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: 1})
+	cc := join.OpI(f, tir.SetLTI, iReg, n)
+	done := f.NewBB("done")
+	join.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(outSum, alarms)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{samples: baseA, table: baseB},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(41)
+			for i := 0; i < n; i++ {
+				m.Write(baseA+uint64(i)*8, 8, uint64(l.intn(3600)))
+			}
+			for i := 0; i < 64; i++ {
+				m.Write(baseB+uint64(i)*8, 8, uint64(i*90))
+			}
+		},
+		Outputs: []tir.Reg{outSum, alarms},
+	}
+}
+
+// Bezier02 evaluates cubic Bezier curve points: dense FP polynomial
+// arithmetic per parameter step.
+func Bezier02(hand bool) *Spec {
+	const steps = 256
+	f := tir.NewFunc("bezier02")
+	ctrl := f.NewReg()
+	out := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	one := entry.Const(f, fbits(1.0))
+	dt := entry.Const(f, fbits(1.0/steps))
+	tReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: tReg, Imm: fbits(0)})
+	done := counted(f, "step", entry, steps, 1, func(bb *tir.BB, i tir.Reg) {
+		p0 := bb.Load(f, ctrl, 0, 8, false)
+		p1 := bb.Load(f, ctrl, 8, 8, false)
+		p2 := bb.Load(f, ctrl, 16, 8, false)
+		p3 := bb.Load(f, ctrl, 24, 8, false)
+		u := bb.Op(f, tir.FSub, one, tReg)
+		uu := bb.Op(f, tir.FMul, u, u)
+		uuu := bb.Op(f, tir.FMul, uu, u)
+		tt := bb.Op(f, tir.FMul, tReg, tReg)
+		ttt := bb.Op(f, tir.FMul, tt, tReg)
+		a := bb.Op(f, tir.FMul, uuu, p0)
+		b3 := bb.Op(f, tir.FMul, uu, tReg)
+		b := bb.Op(f, tir.FMul, b3, p1)
+		c3 := bb.Op(f, tir.FMul, u, tt)
+		c := bb.Op(f, tir.FMul, c3, p2)
+		d := bb.Op(f, tir.FMul, ttt, p3)
+		ab := bb.Op(f, tir.FAdd, a, b)
+		abc := bb.Op(f, tir.FAdd, ab, b)
+		abc2 := bb.Op(f, tir.FAdd, abc, c)
+		abcd := bb.Op(f, tir.FAdd, abc2, c)
+		pt := bb.Op(f, tir.FAdd, abcd, d)
+		ooff := bb.OpI(f, tir.ShlI, i, 3)
+		po := bb.Op(f, tir.Add, out, ooff)
+		bb.Store(po, 0, pt, 8)
+		pi := bb.Op(f, tir.FToI, pt, 0)
+		bb.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: pi})
+		bb.Emit(tir.Inst{Op: tir.FAdd, Dst: tReg, A: tReg, B: dt})
+	})
+	done.Ret()
+	f.Keep(chk)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{ctrl: baseA, out: baseB},
+		SetupMem: func(m *mem.Memory) {
+			for i, v := range []float64{10, 200, 50, 300} {
+				m.Write(baseA+uint64(i)*8, 8, math.Float64bits(v))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// BaseFP01 is the EEMBC basic floating point mix: alternating adds,
+// multiplies and accumulations over an array.
+func BaseFP01(hand bool) *Spec {
+	const n = 512
+	f := tir.NewFunc("basefp01")
+	x := f.NewReg()
+	accA := f.NewReg()
+	accM := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: accA, Imm: fbits(0)})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: accM, Imm: fbits(1.0)})
+	half := entry.Const(f, fbits(0.5))
+	unroll := int64(1)
+	if hand {
+		unroll = 4
+	}
+	done := counted(f, "i", entry, n, unroll, func(bb *tir.BB, i tir.Reg) {
+		off := bb.OpI(f, tir.ShlI, i, 3)
+		p := bb.Op(f, tir.Add, x, off)
+		for u := int64(0); u < unroll; u++ {
+			v := bb.Load(f, p, u*8, 8, false)
+			s := bb.Op(f, tir.FMul, v, half)
+			bb.Emit(tir.Inst{Op: tir.FAdd, Dst: accA, A: accA, B: s})
+			m1 := bb.Op(f, tir.FAdd, s, half)
+			bb.Emit(tir.Inst{Op: tir.FMul, Dst: accM, A: accM, B: m1})
+		}
+	})
+	chkA := done.Op(f, tir.FToI, accA, 0)
+	chk := f.NewReg()
+	done.Emit(tir.Inst{Op: tir.Mov, Dst: chk, A: chkA})
+	done.Ret()
+	f.Keep(chk)
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{x: baseA},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(47)
+			for i := 0; i < n; i++ {
+				m.Write(baseA+uint64(i)*8, 8, math.Float64bits(float64(l.intn(100))/64+0.5))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// RSpeed01 models the EEMBC road speed calculation: pulse-interval deltas,
+// integer division, and hysteresis conditionals.
+func RSpeed01(hand bool) *Spec {
+	const n = 256
+	f := tir.NewFunc("rspeed01")
+	pulses := f.NewReg()
+	speedSum := f.NewReg()
+	shifts := f.NewReg()
+	prevSpeed := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: speedSum, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: shifts, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: prevSpeed, Imm: 0})
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	loop := f.NewBB("loop")
+	entry.Jump(loop)
+	off := loop.OpI(f, tir.ShlI, iReg, 3)
+	p := loop.Op(f, tir.Add, pulses, off)
+	t0 := loop.Load(f, p, 0, 8, false)
+	t1 := loop.Load(f, p, 8, 8, false)
+	dt := loop.Op(f, tir.Sub, t1, t0)
+	k := loop.Const(f, 360000)
+	speed := loop.Op(f, tir.Div, k, dt)
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: speedSum, A: speedSum, B: speed})
+	// Gear-shift hysteresis: count threshold crossings.
+	dlt := loop.Op(f, tir.Sub, speed, prevSpeed)
+	zero := loop.Const(f, 0)
+	neg := loop.Op(f, tir.Sub, zero, dlt)
+	mag := loop.Op(f, tir.Max, dlt, neg)
+	c := loop.OpI(f, tir.SetGEI, mag, 50)
+	shift := f.NewBB("shift")
+	join := f.NewBB("join")
+	loop.Branch(c, shift, join)
+	shift.Emit(tir.Inst{Op: tir.AddI, Dst: shifts, A: shifts, Imm: 1})
+	shift.Jump(join)
+	join.Emit(tir.Inst{Op: tir.Mov, Dst: prevSpeed, A: speed})
+	join.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: 1})
+	cc := join.OpI(f, tir.SetLTI, iReg, n)
+	done := f.NewBB("done")
+	join.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(speedSum, shifts)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{pulses: baseA},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(53)
+			t := uint64(1000)
+			for i := 0; i < n+1; i++ {
+				m.Write(baseA+uint64(i)*8, 8, t)
+				t += uint64(100 + l.intn(900))
+			}
+		},
+		Outputs: []tir.Reg{speedSum, shifts},
+	}
+}
+
+// TBLook01 is the EEMBC table-lookup-and-interpolation kernel: a short
+// binary search followed by linear interpolation — branchy with
+// data-dependent control.
+func TBLook01(hand bool) *Spec {
+	const n, tsize = 384, 64
+	f := tir.NewFunc("tblook01")
+	keysR := f.NewReg()
+	tkeys := f.NewReg()
+	tvals := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	loop := f.NewBB("loop")
+	entry.Jump(loop)
+	off := loop.OpI(f, tir.ShlI, iReg, 3)
+	pk := loop.Op(f, tir.Add, keysR, off)
+	key := loop.Load(f, pk, 0, 8, false)
+	// Six binary-search refinement steps (unrolled, branch-free compare:
+	// idx = idx + step * (tkeys[idx+step] <= key)).
+	idx := loop.Const(f, 0)
+	for step := int64(tsize / 2); step >= 1; step /= 2 {
+		probe := loop.OpI(f, tir.AddI, idx, step)
+		pOff := loop.OpI(f, tir.ShlI, probe, 3)
+		pp := loop.Op(f, tir.Add, tkeys, pOff)
+		tv := loop.Load(f, pp, 0, 8, false)
+		le := loop.Op(f, tir.SetGEU, key, tv)
+		stepv := loop.OpI(f, tir.MulI, le, step)
+		idx = loop.Op(f, tir.Add, idx, stepv)
+	}
+	// Interpolate between idx and idx+1.
+	iOff := loop.OpI(f, tir.ShlI, idx, 3)
+	pv := loop.Op(f, tir.Add, tvals, iOff)
+	v0 := loop.Load(f, pv, 0, 8, false)
+	v1 := loop.Load(f, pv, 8, 8, false)
+	pk2 := loop.Op(f, tir.Add, tkeys, iOff)
+	k0 := loop.Load(f, pk2, 0, 8, false)
+	frac := loop.Op(f, tir.Sub, key, k0)
+	fr := loop.OpI(f, tir.AndI, frac, 63)
+	dv := loop.Op(f, tir.Sub, v1, v0)
+	adj := loop.Op(f, tir.Mul, dv, fr)
+	adj2 := loop.OpI(f, tir.SraI, adj, 6)
+	val := loop.Op(f, tir.Add, v0, adj2)
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: val})
+	loop.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: 1})
+	cc := loop.OpI(f, tir.SetLTI, iReg, n)
+	done := f.NewBB("done")
+	loop.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(chk)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{keysR: baseA, tkeys: baseB, tvals: baseC},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(59)
+			for i := 0; i < n; i++ {
+				m.Write(baseA+uint64(i)*8, 8, uint64(l.intn(4000)))
+			}
+			for i := 0; i < tsize+1; i++ {
+				m.Write(baseB+uint64(i)*8, 8, uint64(i*64))
+				m.Write(baseC+uint64(i)*8, 8, uint64(i*i+7))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}

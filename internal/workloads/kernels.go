@@ -1,0 +1,376 @@
+package workloads
+
+import (
+	"math"
+
+	"trips/internal/mem"
+	"trips/internal/tir"
+)
+
+// Conv is a 1-D FIR convolution: y[i] = Σ_t h[t] * x[i+t], 16 taps. Like
+// vadd, it streams the L1 and benefits from TRIPS's four DT ports.
+func Conv(hand bool) *Spec {
+	const n, taps = 512, 12
+	f := tir.NewFunc("conv")
+	x := f.NewReg()
+	h := f.NewReg()
+	y := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	unroll := 4
+	if hand {
+		unroll = 8
+	}
+	done := counted(f, "i", entry, n, 1, func(bb *tir.BB, i tir.Reg) {
+		off := bb.OpI(f, tir.ShlI, i, 3)
+		px := bb.Op(f, tir.Add, x, off)
+		acc := bb.Const(f, 0)
+		for t0 := 0; t0 < taps; t0 += unroll {
+			for u := 0; u < unroll && t0+u < taps; u++ {
+				t := int64(t0 + u)
+				vx := bb.Load(f, px, t*8, 8, false)
+				vh := bb.Load(f, h, t*8, 8, false)
+				p := bb.Op(f, tir.Mul, vx, vh)
+				acc = bb.Op(f, tir.Add, acc, p)
+			}
+		}
+		py := bb.Op(f, tir.Add, y, off)
+		bb.Store(py, 0, acc, 8)
+		bb.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: acc})
+	})
+	done.Ret()
+	f.Keep(chk)
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{x: baseA, h: baseB, y: baseC},
+		SetupMem: func(m *mem.Memory) {
+			fillWords(m, baseA, n+taps, 5)
+			l := lcg(6)
+			for i := 0; i < taps; i++ {
+				m.Write(baseB+uint64(i)*8, 8, uint64(l.intn(16)))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// CFAR is a constant-false-alarm-rate detector: a sliding noise-window sum
+// with a threshold compare per cell — data-dependent branching that the
+// hand-optimized mode predicates away.
+func CFAR(hand bool) *Spec {
+	const n, guard, win = 768, 2, 8
+	f := tir.NewFunc("cfar")
+	x := f.NewReg()
+	hits := f.NewReg()
+	sumR := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: hits, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: sumR, Imm: 0})
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	loop := f.NewBB("cell")
+	entry.Jump(loop)
+	off := loop.OpI(f, tir.ShlI, iReg, 3)
+	p := loop.Op(f, tir.Add, x, off)
+	cell := loop.Load(f, p, 0, 8, false)
+	acc := loop.Const(f, 0)
+	for k := 0; k < win; k++ {
+		v := loop.Load(f, p, int64((guard+1+k)*8), 8, false)
+		acc = loop.Op(f, tir.Add, acc, v)
+	}
+	// threshold = (windowSum / win) * 4
+	avg := loop.OpI(f, tir.ShrI, acc, 3)
+	thr := loop.OpI(f, tir.ShlI, avg, 2)
+	c := loop.Op(f, tir.SetGT, cell, thr)
+	det := f.NewBB("det")
+	join := f.NewBB("join")
+	loop.Branch(c, det, join)
+	det.Emit(tir.Inst{Op: tir.AddI, Dst: hits, A: hits, Imm: 1})
+	det.Emit(tir.Inst{Op: tir.Add, Dst: sumR, A: sumR, B: cell})
+	det.Jump(join)
+	join.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: 1})
+	cc := join.OpI(f, tir.SetLTI, iReg, n)
+	done := f.NewBB("done")
+	join.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(hits, sumR)
+	_ = hand // if-conversion of the detect triangle is the hand-mode win
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{x: baseA},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(9)
+			for i := 0; i < n+guard+win+2; i++ {
+				v := uint64(l.intn(100))
+				if l.intn(16) == 0 {
+					v += 4000 // sparse targets
+				}
+				m.Write(baseA+uint64(i)*8, 8, v)
+			}
+		},
+		Outputs: []tir.Reg{hits, sumR},
+	}
+}
+
+// CT is the corner turn: a blocked matrix transpose — pure memory system
+// exercise with no arithmetic reuse.
+func CT(hand bool) *Spec {
+	const n = 48 // n x n words
+	f := tir.NewFunc("ct")
+	src := f.NewReg()
+	dst := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	blk := int64(2)
+	if hand {
+		blk = 4
+	}
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	iLoop := f.NewBB("i")
+	entry.Jump(iLoop)
+	jReg := f.NewReg()
+	iLoop.Emit(tir.Inst{Op: tir.ConstI, Dst: jReg, Imm: 0})
+	jLoop := f.NewBB("j")
+	iLoop.Jump(jLoop)
+	// Transpose a blk x blk tile at (i, j).
+	rowOff := jLoop.OpI(f, tir.MulI, iReg, n*8)
+	jOff := jLoop.OpI(f, tir.ShlI, jReg, 3)
+	sBase := jLoop.Op(f, tir.Add, src, rowOff)
+	sTile := jLoop.Op(f, tir.Add, sBase, jOff)
+	colOff := jLoop.OpI(f, tir.MulI, jReg, n*8)
+	iOff := jLoop.OpI(f, tir.ShlI, iReg, 3)
+	dBase := jLoop.Op(f, tir.Add, dst, colOff)
+	dTile := jLoop.Op(f, tir.Add, dBase, iOff)
+	var last tir.Reg
+	for a := int64(0); a < blk; a++ {
+		for b := int64(0); b < blk; b++ {
+			v := jLoop.Load(f, sTile, (a*n+b)*8, 8, false)
+			jLoop.Store(dTile, (b*n+a)*8, v, 8)
+			last = v
+		}
+	}
+	jLoop.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: last})
+	jLoop.Emit(tir.Inst{Op: tir.AddI, Dst: jReg, A: jReg, Imm: blk})
+	jc := jLoop.OpI(f, tir.SetLTI, jReg, n)
+	iTail := f.NewBB("itail")
+	jLoop.Branch(jc, jLoop, iTail)
+	iTail.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: blk})
+	ic := iTail.OpI(f, tir.SetLTI, iReg, n)
+	end := f.NewBB("end")
+	iTail.Branch(ic, iLoop, end)
+	end.Ret()
+	f.Keep(chk)
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{src: baseA, dst: baseB},
+		SetupMem: func(m *mem.Memory) {
+			fillWords(m, baseA, n*n, 13)
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// GenAlg runs one tournament-selection generation of a genetic algorithm:
+// fitness evaluation plus conditional winner copying (branchy, with an LCG
+// onboard).
+func GenAlg(hand bool) *Spec {
+	const pop = 256
+	f := tir.NewFunc("genalg")
+	genes := f.NewReg()
+	out := f.NewReg()
+	seed := f.NewReg()
+	best := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: best, Imm: 0})
+	lcgA := entry.Const(f, 1103515245)
+	done := counted(f, "ind", entry, pop, 1, func(bb *tir.BB, i tir.Reg) {
+		// seed = seed*A + 12345 (data-dependent "randomness")
+		t := bb.Op(f, tir.Mul, seed, lcgA)
+		bb.Emit(tir.Inst{Op: tir.AddI, Dst: seed, A: t, Imm: 12345})
+		r1 := bb.OpI(f, tir.ShrI, seed, 16)
+		idx1 := bb.OpI(f, tir.AndI, r1, pop-1)
+		r2 := bb.OpI(f, tir.ShrI, seed, 32)
+		idx2 := bb.OpI(f, tir.AndI, r2, pop-1)
+		o1 := bb.OpI(f, tir.ShlI, idx1, 3)
+		o2 := bb.OpI(f, tir.ShlI, idx2, 3)
+		p1 := bb.Op(f, tir.Add, genes, o1)
+		p2 := bb.Op(f, tir.Add, genes, o2)
+		g1 := bb.Load(f, p1, 0, 8, false)
+		g2 := bb.Load(f, p2, 0, 8, false)
+		// fitness = popcount-ish: g & 0xff + (g>>8) & 0xff
+		f1a := bb.OpI(f, tir.AndI, g1, 255)
+		f1b := bb.OpI(f, tir.ShrI, g1, 8)
+		f1c := bb.OpI(f, tir.AndI, f1b, 255)
+		fit1 := bb.Op(f, tir.Add, f1a, f1c)
+		f2a := bb.OpI(f, tir.AndI, g2, 255)
+		f2b := bb.OpI(f, tir.ShrI, g2, 8)
+		f2c := bb.OpI(f, tir.AndI, f2b, 255)
+		fit2 := bb.Op(f, tir.Add, f2a, f2c)
+		// winner = fit1 > fit2 ? g1 : g2 (Min/Max keeps it block-friendly)
+		cGT := bb.Op(f, tir.SetGT, fit1, fit2)
+		nGT := bb.OpI(f, tir.XorI, cGT, 1)
+		w1 := bb.Op(f, tir.Mul, g1, cGT)
+		w2 := bb.Op(f, tir.Mul, g2, nGT)
+		win := bb.Op(f, tir.Or, w1, w2)
+		oOut := bb.OpI(f, tir.ShlI, i, 3)
+		pOut := bb.Op(f, tir.Add, out, oOut)
+		bb.Store(pOut, 0, win, 8)
+		fw := bb.Op(f, tir.Max, fit1, fit2)
+		bb.Emit(tir.Inst{Op: tir.Add, Dst: best, A: best, B: fw})
+	})
+	done.Ret()
+	f.Keep(best, seed)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{genes: baseA, out: baseB, seed: 42},
+		SetupMem: func(m *mem.Memory) {
+			fillWords(m, baseA, pop, 17)
+		},
+		Outputs: []tir.Reg{best, seed},
+	}
+}
+
+// PM is pattern match: slide a 16-word template over a stream counting
+// near-matches (absolute-difference sum under threshold).
+func PM(hand bool) *Spec {
+	const n, tlen = 512, 8
+	f := tir.NewFunc("pm")
+	x := f.NewReg()
+	tpl := f.NewReg()
+	matches := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: matches, Imm: 0})
+	done := counted(f, "pos", entry, n, 1, func(bb *tir.BB, i tir.Reg) {
+		off := bb.OpI(f, tir.ShlI, i, 3)
+		px := bb.Op(f, tir.Add, x, off)
+		acc := bb.Const(f, 0)
+		for t := int64(0); t < tlen; t++ {
+			vx := bb.Load(f, px, t*8, 8, false)
+			vt := bb.Load(f, tpl, t*8, 8, false)
+			d := bb.Op(f, tir.Sub, vx, vt)
+			mx := bb.Op(f, tir.Max, d, bb.Op(f, tir.Sub, vt, vx))
+			acc = bb.Op(f, tir.Add, acc, mx)
+		}
+		hit := bb.OpI(f, tir.SetLTI, acc, 2000)
+		bb.Emit(tir.Inst{Op: tir.Add, Dst: matches, A: matches, B: hit})
+	})
+	done.Ret()
+	f.Keep(matches)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{x: baseA, tpl: baseB},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(21)
+			for i := 0; i < n+tlen; i++ {
+				m.Write(baseA+uint64(i)*8, 8, uint64(l.intn(200)))
+			}
+			for i := 0; i < tlen; i++ {
+				m.Write(baseB+uint64(i)*8, 8, uint64(100))
+			}
+		},
+		Outputs: []tir.Reg{matches},
+	}
+}
+
+// QR applies Givens-style plane rotations down the first column of a small
+// matrix — floating-point multiply/add chains with moderate parallelism.
+func QR(hand bool) *Spec {
+	const n = 24 // rows; 5 columns of rotation work per block
+	const cols = 5
+	f := tir.NewFunc("qr")
+	a := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	cosv := entry.Const(f, fbits(0.8))
+	sinv := entry.Const(f, fbits(0.6))
+	done := counted(f, "row", entry, n-1, 1, func(bb *tir.BB, i tir.Reg) {
+		// Rotate rows i and i+1 with a fixed rotation (cos, sin).
+		stride := bb.OpI(f, tir.MulI, i, cols*8)
+		r0 := bb.Op(f, tir.Add, a, stride)
+		var first tir.Reg
+		for c := int64(0); c < cols; c++ {
+			x := bb.Load(f, r0, c*8, 8, false)
+			y := bb.Load(f, r0, (cols+c)*8, 8, false)
+			cx := bb.Op(f, tir.FMul, cosv, x)
+			sy := bb.Op(f, tir.FMul, sinv, y)
+			nx := bb.Op(f, tir.FAdd, cx, sy)
+			sx := bb.Op(f, tir.FMul, sinv, x)
+			cy := bb.Op(f, tir.FMul, cosv, y)
+			ny := bb.Op(f, tir.FSub, cy, sx)
+			bb.Store(r0, c*8, nx, 8)
+			bb.Store(r0, (cols+c)*8, ny, 8)
+			if c == 0 {
+				first = nx
+			}
+		}
+		asInt := bb.Op(f, tir.FToI, first, 0)
+		bb.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: asInt})
+	})
+	done.Ret()
+	f.Keep(chk)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{a: baseA},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(31)
+			for i := 0; i < n*cols; i++ {
+				m.Write(baseA+uint64(i)*8, 8, math.Float64bits(float64(l.intn(100))))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// SVD runs Jacobi-style 2x2 sweeps over column pairs — FP-heavy with
+// longer dependence chains than QR.
+func SVD(hand bool) *Spec {
+	const n = 16 // n x n
+	f := tir.NewFunc("svd")
+	a := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	cosv := entry.Const(f, fbits(0.96))
+	sinv := entry.Const(f, fbits(0.28))
+	done := counted(f, "pair", entry, n-1, 1, func(bb *tir.BB, p tir.Reg) {
+		// Rotate column pair (p, p+1) across a strided row subset.
+		cOff := bb.OpI(f, tir.ShlI, p, 3)
+		base := bb.Op(f, tir.Add, a, cOff)
+		for r := int64(0); r < n; r += 4 {
+			x := bb.Load(f, base, r*n*8, 8, false)
+			y := bb.Load(f, base, r*n*8+8, 8, false)
+			cx := bb.Op(f, tir.FMul, cosv, x)
+			sy := bb.Op(f, tir.FMul, sinv, y)
+			nx := bb.Op(f, tir.FAdd, cx, sy)
+			sx := bb.Op(f, tir.FMul, sinv, x)
+			cy := bb.Op(f, tir.FMul, cosv, y)
+			ny := bb.Op(f, tir.FSub, cy, sx)
+			d := bb.Op(f, tir.FMul, nx, ny)
+			di := bb.Op(f, tir.FToI, d, 0)
+			bb.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: di})
+			bb.Store(base, r*n*8, nx, 8)
+			bb.Store(base, r*n*8+8, ny, 8)
+		}
+	})
+	done.Ret()
+	f.Keep(chk)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{a: baseA},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(37)
+			for i := 0; i < n*n; i++ {
+				m.Write(baseA+uint64(i)*8, 8, math.Float64bits(float64(l.intn(50))+1))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}

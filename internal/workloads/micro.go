@@ -1,0 +1,277 @@
+package workloads
+
+import (
+	"math"
+
+	"trips/internal/mem"
+	"trips/internal/tir"
+)
+
+// VAdd is the streaming microbenchmark: c[i] = a[i] + b[i]. It is L1
+// bandwidth bound, which is why the paper reports a speedup near two for
+// TRIPS (four DT ports against the Alpha's two, Section 5.4).
+func VAdd(hand bool) *Spec {
+	const n = 2048
+	f := tir.NewFunc("vadd")
+	a := f.NewReg()
+	b := f.NewReg()
+	c := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	unroll := int64(1)
+	if hand {
+		unroll = 8
+	}
+	done := counted(f, "loop", entry, n, unroll, func(bb *tir.BB, i tir.Reg) {
+		off := bb.OpI(f, tir.ShlI, i, 3)
+		pa := bb.Op(f, tir.Add, a, off)
+		pb := bb.Op(f, tir.Add, b, off)
+		pc := bb.Op(f, tir.Add, c, off)
+		for u := int64(0); u < unroll; u++ {
+			va := bb.Load(f, pa, u*8, 8, false)
+			vb := bb.Load(f, pb, u*8, 8, false)
+			vc := bb.Op(f, tir.Add, va, vb)
+			bb.Store(pc, u*8, vc, 8)
+			if u == unroll-1 {
+				bb.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: vc})
+			}
+		}
+	})
+	done.Ret()
+	f.Keep(chk)
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{a: baseA, b: baseB, c: baseC},
+		SetupMem: func(m *mem.Memory) {
+			fillWords(m, baseA, n, 1)
+			fillWords(m, baseB, n, 2)
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// Matrix multiplies two 16x16 integer matrices (row-major, 8-byte
+// elements): blocked arithmetic with reuse.
+func Matrix(hand bool) *Spec {
+	const n = 16
+	f := tir.NewFunc("matrix")
+	a := f.NewReg()
+	b := f.NewReg()
+	c := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	// for i: for j: c[i][j] = sum_k a[i][k]*b[k][j]
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	iLoop := f.NewBB("i")
+	entry.Jump(iLoop)
+	jReg := f.NewReg()
+	iLoop.Emit(tir.Inst{Op: tir.ConstI, Dst: jReg, Imm: 0})
+	jLoop := f.NewBB("j")
+	iLoop.Jump(jLoop)
+	acc := f.NewReg()
+	jLoop.Emit(tir.Inst{Op: tir.ConstI, Dst: acc, Imm: 0})
+	kReg := f.NewReg()
+	jLoop.Emit(tir.Inst{Op: tir.ConstI, Dst: kReg, Imm: 0})
+	kLoop := f.NewBB("k")
+	jLoop.Jump(kLoop)
+	unroll := int64(1)
+	if hand {
+		unroll = 4
+	}
+	// a[i][k]: a + (i*16+k)*8 ; b[k][j]: b + (k*16+j)*8
+	rowOff := kLoop.OpI(f, tir.ShlI, iReg, 7) // i*16*8
+	aRow := kLoop.Op(f, tir.Add, a, rowOff)
+	jOff := kLoop.OpI(f, tir.ShlI, jReg, 3)
+	bCol := kLoop.Op(f, tir.Add, b, jOff)
+	for u := int64(0); u < unroll; u++ {
+		ku := kLoop.OpI(f, tir.AddI, kReg, u)
+		kOff := kLoop.OpI(f, tir.ShlI, ku, 3)
+		pa := kLoop.Op(f, tir.Add, aRow, kOff)
+		va := kLoop.Load(f, pa, 0, 8, false)
+		kRow := kLoop.OpI(f, tir.ShlI, ku, 7)
+		pb := kLoop.Op(f, tir.Add, bCol, kRow)
+		vb := kLoop.Load(f, pb, 0, 8, false)
+		prod := kLoop.Op(f, tir.Mul, va, vb)
+		kLoop.Emit(tir.Inst{Op: tir.Add, Dst: acc, A: acc, B: prod})
+	}
+	kLoop.Emit(tir.Inst{Op: tir.AddI, Dst: kReg, A: kReg, Imm: unroll})
+	kc := kLoop.OpI(f, tir.SetLTI, kReg, n)
+	jTail := f.NewBB("jtail")
+	kLoop.Branch(kc, kLoop, jTail)
+	// c[i][j] = acc
+	rowOff2 := jTail.OpI(f, tir.ShlI, iReg, 7)
+	cRow := jTail.Op(f, tir.Add, c, rowOff2)
+	jOff2 := jTail.OpI(f, tir.ShlI, jReg, 3)
+	pc := jTail.Op(f, tir.Add, cRow, jOff2)
+	jTail.Store(pc, 0, acc, 8)
+	jTail.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: acc})
+	jTail.Emit(tir.Inst{Op: tir.AddI, Dst: jReg, A: jReg, Imm: 1})
+	jc := jTail.OpI(f, tir.SetLTI, jReg, n)
+	iTail := f.NewBB("itail")
+	jTail.Branch(jc, jLoop, iTail)
+	iTail.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: 1})
+	ic := iTail.OpI(f, tir.SetLTI, iReg, n)
+	end := f.NewBB("end")
+	iTail.Branch(ic, iLoop, end)
+	end.Ret()
+	f.Keep(chk)
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{a: baseA, b: baseB, c: baseC},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(7)
+			for i := 0; i < n*n; i++ {
+				m.Write(baseA+uint64(i)*8, 8, l.next()%1000)
+				m.Write(baseB+uint64(i)*8, 8, l.next()%1000)
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// SHA is the serial microbenchmark: a strict dependence chain of rotates,
+// xors and adds over message words. The paper reports a TRIPS slowdown on
+// sha — "an almost entirely serial benchmark" whose tiny concurrency the
+// Alpha already mines (Section 5.4).
+func SHA(hand bool) *Spec {
+	const rounds = 1024
+	f := tir.NewFunc("sha")
+	msg := f.NewReg()
+	h0 := f.NewReg()
+	h1 := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: h0, Imm: 0x67452301})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: h1, Imm: int64(0xefcdab89)})
+	unroll := int64(1)
+	if hand {
+		unroll = 4
+	}
+	done := counted(f, "rounds", entry, rounds, unroll, func(bb *tir.BB, i tir.Reg) {
+		off := bb.OpI(f, tir.AndI, i, 63)
+		woff := bb.OpI(f, tir.ShlI, off, 3)
+		p := bb.Op(f, tir.Add, msg, woff)
+		w := bb.Load(f, p, 0, 8, false)
+		for u := int64(0); u < unroll; u++ {
+			// h0 = rotl(h0,5) ^ h1 + w ; h1 = rotl(h1,13) + (h0 & w)
+			hi := bb.OpI(f, tir.ShlI, h0, 5)
+			lo := bb.OpI(f, tir.ShrI, h0, 59)
+			rot := bb.Op(f, tir.Or, hi, lo)
+			x := bb.Op(f, tir.Xor, rot, h1)
+			nh0 := bb.Op(f, tir.Add, x, w)
+			hi2 := bb.OpI(f, tir.ShlI, h1, 13)
+			lo2 := bb.OpI(f, tir.ShrI, h1, 51)
+			rot2 := bb.Op(f, tir.Or, hi2, lo2)
+			msk := bb.Op(f, tir.And, nh0, w)
+			nh1 := bb.Op(f, tir.Add, rot2, msk)
+			bb.Emit(tir.Inst{Op: tir.Mov, Dst: h0, A: nh0})
+			bb.Emit(tir.Inst{Op: tir.Mov, Dst: h1, A: nh1})
+		}
+	})
+	done.Ret()
+	f.Keep(h0, h1)
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{msg: baseA},
+		SetupMem: func(m *mem.Memory) {
+			fillWords(m, baseA, 64, 3)
+		},
+		Outputs: []tir.Reg{h0, h1},
+	}
+}
+
+// DCT8x8 runs an 8x8 integer DCT-style butterfly transform over a sequence
+// of blocks: row pass then column pass with fixed-point coefficient
+// multiplies — wide per-block parallelism.
+func DCT8x8(hand bool) *Spec {
+	const blocks = 24
+	f := tir.NewFunc("dct8x8")
+	src := f.NewReg()
+	dst := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	// Coefficients (scaled cos values).
+	c1 := entry.Const(f, 251) // cos(pi/16)*256
+	c2 := entry.Const(f, 237)
+	c3 := entry.Const(f, 213)
+
+	pass := func(bb *tir.BB, base tir.Reg, out tir.Reg, stride, elem int64) {
+		// One 8-point butterfly along a row/column.
+		var v [8]tir.Reg
+		for k := int64(0); k < 8; k++ {
+			v[k] = bb.Load(f, base, k*stride, 8, true)
+		}
+		s07 := bb.Op(f, tir.Add, v[0], v[7])
+		d07 := bb.Op(f, tir.Sub, v[0], v[7])
+		s16 := bb.Op(f, tir.Add, v[1], v[6])
+		d16 := bb.Op(f, tir.Sub, v[1], v[6])
+		s25 := bb.Op(f, tir.Add, v[2], v[5])
+		d25 := bb.Op(f, tir.Sub, v[2], v[5])
+		s34 := bb.Op(f, tir.Add, v[3], v[4])
+		d34 := bb.Op(f, tir.Sub, v[3], v[4])
+		e0 := bb.Op(f, tir.Add, s07, s34)
+		e1 := bb.Op(f, tir.Add, s16, s25)
+		o0 := bb.Op(f, tir.Mul, d07, c1)
+		o1 := bb.Op(f, tir.Mul, d16, c2)
+		o2 := bb.Op(f, tir.Mul, d25, c3)
+		o3 := bb.OpI(f, tir.ShlI, d34, 7)
+		r0 := bb.Op(f, tir.Add, e0, e1)
+		r1 := bb.Op(f, tir.Sub, e0, e1)
+		r2 := bb.Op(f, tir.Add, o0, o1)
+		r3 := bb.Op(f, tir.Sub, o2, o3)
+		r2s := bb.OpI(f, tir.SraI, r2, 8)
+		r3s := bb.OpI(f, tir.SraI, r3, 8)
+		outs := []tir.Reg{r0, r2s, r1, r3s, r0, r2s, r1, r3s}
+		for k := int64(0); k < 8; k++ {
+			bb.Store(out, k*elem, outs[k], 8)
+		}
+	}
+	// Explicit loop: each butterfly pass gets its own TIR block so no
+	// block exceeds the 32-memory-op TRIPS budget.
+	i := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: i, Imm: 0})
+	p1 := f.NewBB("pass1")
+	p2 := f.NewBB("pass2")
+	p3 := f.NewBB("pass3")
+	tail := f.NewBB("tail")
+	done := f.NewBB("done")
+	entry.Jump(p1)
+	sb := f.NewReg()
+	db := f.NewReg()
+	boff := p1.OpI(f, tir.ShlI, i, 9) // 64 words * 8B per block
+	p1.Emit(tir.Inst{Op: tir.Add, Dst: sb, A: src, B: boff})
+	p1.Emit(tir.Inst{Op: tir.Add, Dst: db, A: dst, B: boff})
+	pass(p1, sb, db, 8, 8)
+	p1.Jump(p2)
+	sb2 := p2.OpI(f, tir.AddI, sb, 64)
+	db2 := p2.OpI(f, tir.AddI, db, 64)
+	pass(p2, sb2, db2, 8, 8)
+	p2.Jump(p3)
+	pass(p3, sb, db, 64, 64)
+	p3.Jump(tail)
+	v := tail.Load(f, db, 0, 8, false)
+	tail.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: v})
+	tail.Emit(tir.Inst{Op: tir.AddI, Dst: i, A: i, Imm: 1})
+	c := tail.OpI(f, tir.SetLTI, i, blocks)
+	tail.Branch(c, p1, done)
+	done.Ret()
+	f.Keep(chk)
+	_ = hand // the butterfly is already fully unrolled in both modes
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{src: baseA, dst: baseB},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(11)
+			for i := 0; i < blocks*64; i++ {
+				m.Write(baseA+uint64(i)*8, 8, uint64(l.intn(255)))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// fbits converts a float constant for TIR immediates.
+func fbits(v float64) int64 { return int64(math.Float64bits(v)) }

@@ -1,0 +1,321 @@
+package workloads
+
+import (
+	"math"
+
+	"trips/internal/mem"
+	"trips/internal/tir"
+)
+
+// MCF models 181.mcf's network-simplex inner loop: pointer chasing through
+// arc lists with cost comparisons — latency-bound, cache-unfriendly, low
+// ILP.
+func MCF(hand bool) *Spec {
+	const nodes = 1024
+	const hops = 4096
+	f := tir.NewFunc("mcf")
+	heap := f.NewReg()
+	cur := f.NewReg()
+	costSum := f.NewReg()
+	improved := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: costSum, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: improved, Imm: 0})
+	// Node record: [next(8) cost(8)] = 16 bytes.
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	loop := f.NewBB("chase")
+	entry.Jump(loop)
+	rec := loop.OpI(f, tir.ShlI, cur, 4)
+	p := loop.Op(f, tir.Add, heap, rec)
+	next := loop.Load(f, p, 0, 8, false)
+	cost := loop.Load(f, p, 8, 8, false)
+	loop.Emit(tir.Inst{Op: tir.Add, Dst: costSum, A: costSum, B: cost})
+	c := loop.OpI(f, tir.SetLTI, cost, 100)
+	imp := f.NewBB("improve")
+	join := f.NewBB("join")
+	loop.Branch(c, imp, join)
+	imp.Emit(tir.Inst{Op: tir.AddI, Dst: improved, A: improved, Imm: 1})
+	imp.Jump(join)
+	join.Emit(tir.Inst{Op: tir.Mov, Dst: cur, A: next})
+	join.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: 1})
+	cc := join.OpI(f, tir.SetLTI, iReg, hops)
+	done := f.NewBB("done")
+	join.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(costSum, improved, cur)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{heap: baseA, cur: 0},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(61)
+			for i := 0; i < nodes; i++ {
+				m.Write(baseA+uint64(i)*16, 8, uint64(l.intn(nodes)))
+				m.Write(baseA+uint64(i)*16+8, 8, uint64(l.intn(300)))
+			}
+		},
+		Outputs: []tir.Reg{costSum, improved, cur},
+	}
+}
+
+// Parser models 197.parser's dictionary matching: nested scan loops with
+// early exits over variable-length byte strings — very branchy, irregular.
+func Parser(hand bool) *Spec {
+	const words = 128
+	const wlen = 16
+	const queries = 96
+	f := tir.NewFunc("parser")
+	dict := f.NewReg()
+	qs := f.NewReg()
+	found := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: found, Imm: 0})
+	qReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: qReg, Imm: 0})
+	qLoop := f.NewBB("q")
+	entry.Jump(qLoop)
+	qOff := qLoop.OpI(f, tir.MulI, qReg, wlen)
+	pq := qLoop.Op(f, tir.Add, qs, qOff)
+	wReg := f.NewReg()
+	qLoop.Emit(tir.Inst{Op: tir.ConstI, Dst: wReg, Imm: 0})
+	wLoop := f.NewBB("w")
+	qLoop.Jump(wLoop)
+	// Compare 16 bytes as two 8-byte words; mismatch -> next word.
+	wOff := wLoop.OpI(f, tir.MulI, wReg, wlen)
+	pw := wLoop.Op(f, tir.Add, dict, wOff)
+	q0 := wLoop.Load(f, pq, 0, 8, false)
+	q1 := wLoop.Load(f, pq, 8, 8, false)
+	d0 := wLoop.Load(f, pw, 0, 8, false)
+	d1 := wLoop.Load(f, pw, 8, 8, false)
+	x0 := wLoop.Op(f, tir.Xor, q0, d0)
+	x1 := wLoop.Op(f, tir.Xor, q1, d1)
+	diff := wLoop.Op(f, tir.Or, x0, x1)
+	isMatch := wLoop.OpI(f, tir.SetEQI, diff, 0)
+	hit := f.NewBB("hit")
+	miss := f.NewBB("miss")
+	wLoop.Branch(isMatch, hit, miss)
+	hit.Emit(tir.Inst{Op: tir.AddI, Dst: found, A: found, Imm: 1})
+	qTail := f.NewBB("qtail")
+	hit.Jump(qTail)
+	miss.Emit(tir.Inst{Op: tir.AddI, Dst: wReg, A: wReg, Imm: 1})
+	mc := miss.OpI(f, tir.SetLTI, wReg, words)
+	miss.Branch(mc, wLoop, qTail)
+	qTail.Emit(tir.Inst{Op: tir.AddI, Dst: qReg, A: qReg, Imm: 1})
+	qc := qTail.OpI(f, tir.SetLTI, qReg, queries)
+	done := f.NewBB("done")
+	qTail.Branch(qc, qLoop, done)
+	done.Ret()
+	f.Keep(found)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{dict: baseA, qs: baseB},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(67)
+			for i := 0; i < words; i++ {
+				m.Write(baseA+uint64(i*wlen), 8, l.next())
+				m.Write(baseA+uint64(i*wlen)+8, 8, l.next())
+			}
+			// Queries: half present in the dictionary, half absent.
+			l2 := lcg(67)
+			vals := make([][2]uint64, words)
+			for i := 0; i < words; i++ {
+				vals[i] = [2]uint64{l2.next(), l2.next()}
+			}
+			l3 := lcg(71)
+			for i := 0; i < queries; i++ {
+				if i%2 == 0 {
+					w := vals[l3.intn(words)]
+					m.Write(baseB+uint64(i*wlen), 8, w[0])
+					m.Write(baseB+uint64(i*wlen)+8, 8, w[1])
+				} else {
+					m.Write(baseB+uint64(i*wlen), 8, l3.next())
+					m.Write(baseB+uint64(i*wlen)+8, 8, l3.next())
+				}
+			}
+		},
+		Outputs: []tir.Reg{found},
+	}
+}
+
+// BZip2 models 256.bzip2's entropy-front-end: a byte histogram plus a
+// move-to-front pass — byte loads and data-dependent updates.
+func BZip2(hand bool) *Spec {
+	const n = 3072
+	f := tir.NewFunc("bzip2")
+	data := f.NewReg()
+	hist := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	h1 := counted(f, "hist", entry, n, 1, func(bb *tir.BB, i tir.Reg) {
+		p := bb.Op(f, tir.Add, data, i)
+		b := bb.Load(f, p, 0, 1, false)
+		hOff := bb.OpI(f, tir.ShlI, b, 3)
+		ph := bb.Op(f, tir.Add, hist, hOff)
+		cnt := bb.Load(f, ph, 0, 8, false)
+		inc := bb.OpI(f, tir.AddI, cnt, 1)
+		bb.Store(ph, 0, inc, 8)
+	})
+	// Weighted checksum over the histogram.
+	done := counted(f, "sum", h1, 256, 1, func(bb *tir.BB, i tir.Reg) {
+		hOff := bb.OpI(f, tir.ShlI, i, 3)
+		ph := bb.Op(f, tir.Add, hist, hOff)
+		cnt := bb.Load(f, ph, 0, 8, false)
+		w := bb.Op(f, tir.Mul, cnt, i)
+		bb.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: w})
+	})
+	done.Ret()
+	f.Keep(chk)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{data: baseA, hist: baseB},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(73)
+			for i := 0; i < n; i++ {
+				m.Write(baseA+uint64(i), 1, uint64(l.intn(200)))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}
+
+// Twolf models 300.twolf's placement-swap evaluation: load two cells'
+// coordinates, compute the wire-length delta, and conditionally accept.
+func Twolf(hand bool) *Spec {
+	const cells = 512
+	const swaps = 1024
+	f := tir.NewFunc("twolf")
+	cellsR := f.NewReg()
+	seed := f.NewReg()
+	accepted := f.NewReg()
+	wire := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: accepted, Imm: 0})
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: wire, Imm: 100000})
+	lcgA := entry.Const(f, 1103515245)
+	iReg := f.NewReg()
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: iReg, Imm: 0})
+	loop := f.NewBB("swap")
+	entry.Jump(loop)
+	t := loop.Op(f, tir.Mul, seed, lcgA)
+	loop.Emit(tir.Inst{Op: tir.AddI, Dst: seed, A: t, Imm: 12345})
+	r1 := loop.OpI(f, tir.ShrI, seed, 16)
+	i1 := loop.OpI(f, tir.AndI, r1, cells-1)
+	r2 := loop.OpI(f, tir.ShrI, seed, 32)
+	i2 := loop.OpI(f, tir.AndI, r2, cells-1)
+	o1 := loop.OpI(f, tir.ShlI, i1, 4)
+	o2 := loop.OpI(f, tir.ShlI, i2, 4)
+	p1 := loop.Op(f, tir.Add, cellsR, o1)
+	p2 := loop.Op(f, tir.Add, cellsR, o2)
+	x1 := loop.Load(f, p1, 0, 8, false)
+	y1 := loop.Load(f, p1, 8, 8, false)
+	x2 := loop.Load(f, p2, 0, 8, false)
+	y2 := loop.Load(f, p2, 8, 8, false)
+	dx := loop.Op(f, tir.Sub, x1, x2)
+	dy := loop.Op(f, tir.Sub, y1, y2)
+	zero := loop.Const(f, 0)
+	ndx := loop.Op(f, tir.Sub, zero, dx)
+	ady := loop.Op(f, tir.Sub, zero, dy)
+	adx := loop.Op(f, tir.Max, dx, ndx)
+	ady2 := loop.Op(f, tir.Max, dy, ady)
+	delta := loop.Op(f, tir.Add, adx, ady2)
+	c := loop.OpI(f, tir.SetLTI, delta, 200)
+	acc := f.NewBB("accept")
+	join := f.NewBB("join")
+	loop.Branch(c, acc, join)
+	// Accept: swap the two cells' x coordinates and shorten the wire.
+	acc.Store(p1, 0, x2, 8)
+	acc.Store(p2, 0, x1, 8)
+	acc.Emit(tir.Inst{Op: tir.AddI, Dst: accepted, A: accepted, Imm: 1})
+	acc.Emit(tir.Inst{Op: tir.Sub, Dst: wire, A: wire, B: delta})
+	acc.Jump(join)
+	join.Emit(tir.Inst{Op: tir.AddI, Dst: iReg, A: iReg, Imm: 1})
+	cc := join.OpI(f, tir.SetLTI, iReg, swaps)
+	done := f.NewBB("done")
+	join.Branch(cc, loop, done)
+	done.Ret()
+	f.Keep(accepted, wire)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{cellsR: baseA, seed: 7},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(79)
+			for i := 0; i < cells; i++ {
+				m.Write(baseA+uint64(i)*16, 8, uint64(l.intn(1000)))
+				m.Write(baseA+uint64(i)*16+8, 8, uint64(l.intn(1000)))
+			}
+		},
+		Outputs: []tir.Reg{accepted, wire},
+	}
+}
+
+// MGrid models 172.mgrid's smoother: a 7-point 3-D stencil sweep over a
+// grid — FP streaming with high spatial locality.
+func MGrid(hand bool) *Spec {
+	const dim = 12 // dim^3 grid
+	f := tir.NewFunc("mgrid")
+	grid := f.NewReg()
+	out := f.NewReg()
+	chk := f.NewReg()
+	entry := f.NewBB("entry")
+	entry.Emit(tir.Inst{Op: tir.ConstI, Dst: chk, Imm: 0})
+	w0 := entry.Const(f, fbits(0.5))
+	w1 := entry.Const(f, fbits(1.0/12))
+	const plane = dim * dim
+	// Iterate interior points linearly; neighbors at +-1, +-dim, +-plane.
+	total := int64((dim - 2) * (dim - 2) * (dim - 2))
+	innerDim := int64(dim - 2)
+	done := counted(f, "pt", entry, total, 1, func(bb *tir.BB, i tir.Reg) {
+		// Decompose i -> (x, y, z) over the interior.
+		z := bb.Op(f, tir.Div, i, bb.Const(f, innerDim*innerDim))
+		rem := bb.Op(f, tir.Mod, i, bb.Const(f, innerDim*innerDim))
+		y := bb.Op(f, tir.Div, rem, bb.Const(f, innerDim))
+		x := bb.Op(f, tir.Mod, rem, bb.Const(f, innerDim))
+		x1 := bb.OpI(f, tir.AddI, x, 1)
+		y1 := bb.OpI(f, tir.AddI, y, 1)
+		z1 := bb.OpI(f, tir.AddI, z, 1)
+		zp := bb.OpI(f, tir.MulI, z1, plane)
+		yp := bb.OpI(f, tir.MulI, y1, dim)
+		idx := bb.Op(f, tir.Add, zp, yp)
+		idx2 := bb.Op(f, tir.Add, idx, x1)
+		off := bb.OpI(f, tir.ShlI, idx2, 3)
+		p := bb.Op(f, tir.Add, grid, off)
+		cv := bb.Load(f, p, 0, 8, false)
+		n1 := bb.Load(f, p, 8, 8, false)
+		n2 := bb.Load(f, p, -8, 8, false)
+		n3 := bb.Load(f, p, dim*8, 8, false)
+		n4 := bb.Load(f, p, -dim*8, 8, false)
+		n5 := bb.Load(f, p, plane*8, 8, false)
+		n6 := bb.Load(f, p, -plane*8, 8, false)
+		s1 := bb.Op(f, tir.FAdd, n1, n2)
+		s2 := bb.Op(f, tir.FAdd, n3, n4)
+		s3 := bb.Op(f, tir.FAdd, n5, n6)
+		s12 := bb.Op(f, tir.FAdd, s1, s2)
+		sn := bb.Op(f, tir.FAdd, s12, s3)
+		wc := bb.Op(f, tir.FMul, cv, w0)
+		wn := bb.Op(f, tir.FMul, sn, w1)
+		res := bb.Op(f, tir.FAdd, wc, wn)
+		po := bb.Op(f, tir.Add, out, off)
+		bb.Store(po, 0, res, 8)
+		ri := bb.Op(f, tir.FToI, res, 0)
+		bb.Emit(tir.Inst{Op: tir.Add, Dst: chk, A: chk, B: ri})
+	})
+	done.Ret()
+	f.Keep(chk)
+	_ = hand
+	return &Spec{
+		F:    f,
+		Init: map[tir.Reg]uint64{grid: baseA, out: baseB},
+		SetupMem: func(m *mem.Memory) {
+			l := lcg(83)
+			for i := 0; i < dim*dim*dim; i++ {
+				m.Write(baseA+uint64(i)*8, 8, math.Float64bits(float64(l.intn(64))))
+			}
+		},
+		Outputs: []tir.Reg{chk},
+	}
+}

@@ -1,0 +1,84 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"trips/internal/eval"
+	"trips/internal/workloads"
+)
+
+// TestAllWorkloadsVerify cross-checks every benchmark on the golden
+// interpreter, the TRIPS core (both compilation modes) and the Alpha
+// baseline. This is the repository's heaviest integration test.
+func TestAllWorkloadsVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload verification is slow")
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := eval.Verify(w); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	all := workloads.All()
+	if len(all) != 21 {
+		t.Fatalf("suite has %d benchmarks, want the paper's 21", len(all))
+	}
+	classes := map[string]int{}
+	for _, w := range all {
+		classes[w.Class]++
+		if _, err := workloads.ByName(w.Name); err != nil {
+			t.Errorf("ByName(%q): %v", w.Name, err)
+		}
+	}
+	want := map[string]int{"micro": 4, "kernel": 7, "eembc": 5, "spec": 5}
+	for c, n := range want {
+		if classes[c] != n {
+			t.Errorf("class %s has %d benchmarks, want %d", c, classes[c], n)
+		}
+	}
+	if _, err := workloads.ByName("nonesuch"); err == nil {
+		t.Error("ByName accepted an unknown benchmark")
+	}
+}
+
+func TestSpecsBuildAndValidate(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, hand := range []bool{false, true} {
+			spec := w.Build(hand)
+			if err := spec.F.Validate(); err != nil {
+				t.Errorf("%s (hand=%v): %v", w.Name, hand, err)
+			}
+			if len(spec.Outputs) == 0 {
+				t.Errorf("%s: no declared outputs", w.Name)
+			}
+		}
+	}
+}
+
+// TestGoldenDeterminism: the same spec built twice interprets identically.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, w := range workloads.All() {
+		s1 := w.Build(false)
+		s2 := w.Build(false)
+		r1, _, _, err := eval.RunGolden(s1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		r2, _, _, err := eval.RunGolden(s2)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, out := range s1.Outputs {
+			if r1[out] != r2[out] {
+				t.Errorf("%s: nondeterministic golden output r%d", w.Name, out)
+			}
+		}
+	}
+}
