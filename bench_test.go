@@ -11,7 +11,10 @@
 package trips
 
 import (
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"trips/internal/area"
 	"trips/internal/chip"
@@ -23,33 +26,30 @@ import (
 	"trips/internal/workloads"
 )
 
-// BenchmarkTable3 regenerates the paper's Table 3: for each benchmark it
-// runs TRIPS compiled, TRIPS hand-optimized (with critical-path
-// accounting), and the Alpha baseline.
+// BenchmarkTable3 regenerates the paper's full Table 3 — for each of the 21
+// benchmarks it runs TRIPS compiled, TRIPS hand-optimized (with
+// critical-path accounting), and the Alpha baseline — through the parallel
+// evaluation harness, and reports host throughput. Run with -benchtime=1x
+// for the CI smoke; set BENCH_TABLE3_JSON to a path to emit the
+// machine-readable per-row report (the checked-in BENCH_table3.json).
 func BenchmarkTable3(b *testing.B) {
-	for _, w := range workloads.All() {
-		w := w
-		b.Run(w.Name, func(b *testing.B) {
-			var row eval.Table3Row
-			var err error
-			for i := 0; i < b.N; i++ {
-				row, err = eval.Table3(w)
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(row.SpeedupTCC, "speedup-tcc")
-			b.ReportMetric(row.SpeedupHand, "speedup-hand")
-			b.ReportMetric(row.IPCTCC, "ipc-tcc")
-			b.ReportMetric(row.IPCHand, "ipc-hand")
-			b.ReportMetric(row.IPCAlpha, "ipc-alpha")
-			b.ReportMetric(row.OPNHops, "opn-hops-%")
-			b.ReportMetric(row.OPNCont, "opn-cont-%")
-			b.ReportMetric(row.IFetch, "ifetch-%")
-			b.ReportMetric(row.Fanout, "fanout-%")
-			b.ReportMetric(row.Complete, "complete-%")
-			b.ReportMetric(row.Commit, "commit-%")
-		})
+	var rep *eval.Table3Report
+	for i := 0; i < b.N; i++ {
+		r, err := eval.Table3All(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.ReportMetric(rep.SimCyclesPerSec, "sim-cycles/sec")
+	if rep.TotalSimCycles > 0 {
+		b.ReportMetric(float64(rep.TotalWallNS)/float64(rep.TotalSimCycles), "host-ns/sim-cycle")
+	}
+	b.ReportMetric(float64(rep.TotalSimCycles), "sim-cycles")
+	if path := os.Getenv("BENCH_TABLE3_JSON"); path != "" {
+		if err := eval.WriteBenchJSON(path, rep); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -186,6 +186,10 @@ func BenchmarkFigure5bCommitPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	var perBlock float64
+	var simCycles int64
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		m := mem.New()
 		if err := prog.Image(m); err != nil {
@@ -200,8 +204,19 @@ func BenchmarkFigure5bCommitPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 		perBlock = float64(res.Cycles) / float64(res.CommittedBlocks)
+		simCycles += res.Cycles
 	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	b.ReportAllocs()
 	b.ReportMetric(perBlock, "cycles/block")
+	if simCycles > 0 {
+		// The alloc regression gate for the event wheel, pooled operand
+		// messages and pooled memory requests, normalized per simulated cycle.
+		b.ReportMetric(float64(wall.Nanoseconds())/float64(simCycles), "host-ns/sim-cycle")
+		b.ReportMetric(float64(simCycles)/wall.Seconds(), "sim-cycles/sec")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(simCycles), "allocs/sim-cycle")
+	}
 }
 
 // BenchmarkTable1 and BenchmarkTable2 regenerate the static tables

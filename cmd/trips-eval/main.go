@@ -16,13 +16,16 @@
 //
 // Table 3 runs the full 21-benchmark suite on the TRIPS core (compiled and
 // hand-optimized) and the Alpha-class baseline; restrict it with
-// -bench name.
+// -bench name. Rows fan out across a worker pool (-workers, default
+// GOMAXPROCS); simulated results are identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"trips/internal/area"
@@ -31,29 +34,59 @@ import (
 	"trips/internal/mem"
 	"trips/internal/micronet"
 	"trips/internal/proc"
-	"trips/internal/tcc"
-	"trips/internal/workloads"
 )
 
 func main() {
 	var (
-		t1     = flag.Bool("table1", false, "print Table 1 (tile specifications)")
-		t2     = flag.Bool("table2", false, "print Table 2 (control and data networks)")
-		t3     = flag.Bool("table3", false, "run and print Table 3 (overheads and performance)")
-		f1     = flag.Bool("fig1", false, "print Figure 1 (instruction formats)")
-		f2     = flag.Bool("fig2", false, "print Figure 2 (chip block diagram)")
-		f3     = flag.Bool("fig3", false, "print Figure 3 (micronetworks)")
-		f4     = flag.Bool("fig4", false, "print Figure 4 (tile-level diagrams)")
-		f5b    = flag.Bool("fig5b", false, "run and print Figure 5b (commit pipeline)")
-		f6     = flag.Bool("fig6", false, "print Figure 6 (floorplan)")
-		ablate = flag.Bool("ablate", false, "run the design-choice ablations")
-		all    = flag.Bool("all", false, "everything")
-		bench  = flag.String("bench", "", "restrict -table3/-ablate to one benchmark")
+		t1         = flag.Bool("table1", false, "print Table 1 (tile specifications)")
+		t2         = flag.Bool("table2", false, "print Table 2 (control and data networks)")
+		t3         = flag.Bool("table3", false, "run and print Table 3 (overheads and performance)")
+		f1         = flag.Bool("fig1", false, "print Figure 1 (instruction formats)")
+		f2         = flag.Bool("fig2", false, "print Figure 2 (chip block diagram)")
+		f3         = flag.Bool("fig3", false, "print Figure 3 (micronetworks)")
+		f4         = flag.Bool("fig4", false, "print Figure 4 (tile-level diagrams)")
+		f5b        = flag.Bool("fig5b", false, "run and print Figure 5b (commit pipeline)")
+		f6         = flag.Bool("fig6", false, "print Figure 6 (floorplan)")
+		ablate     = flag.Bool("ablate", false, "run the design-choice ablations")
+		all        = flag.Bool("all", false, "everything")
+		bench      = flag.String("bench", "", "restrict -table3/-ablate to one benchmark")
+		workers    = flag.Int("workers", 0, "worker pool size for -table3/-ablate (0 = GOMAXPROCS)")
+		jsonOut    = flag.String("json", "", "write the -table3 report (rows + host throughput) to this file")
+		hostStats  = flag.Bool("host", false, "print host throughput after -table3 (nondeterministic)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !(*t1 || *t2 || *t3 || *f1 || *f2 || *f3 || *f4 || *f5b || *f6 || *ablate || *all) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 	if *all {
 		*t1, *t2, *t3, *f1, *f2, *f3, *f4, *f5b, *f6, *ablate = true, true, true, true, true, true, true, true, true, true
@@ -88,10 +121,10 @@ func main() {
 		fig5b()
 	}
 	if *t3 {
-		table3(*bench)
+		table3(*bench, *workers, *jsonOut, *hostStats)
 	}
 	if *ablate {
-		runAblations(*bench)
+		runAblations(*bench, *workers)
 	}
 }
 
@@ -273,28 +306,42 @@ func fig5b() {
 	fmt.Println()
 }
 
-func table3(only string) {
+func table3(only string, workers int, jsonOut string, hostStats bool) {
 	fmt.Println("== Table 3: network overheads and preliminary performance ==")
 	fmt.Printf("%-12s | %7s %8s %8s %7s %9s %7s %6s | %7s %7s | %6s %6s %6s\n",
 		"Benchmark", "IFetch", "OPNHops", "OPNCont", "Fanout", "BlkCompl", "Commit", "Other",
 		"Spd-TCC", "SpdHand", "IPCtcc", "IPChnd", "IPCa")
-	for _, w := range workloads.All() {
-		if only != "" && w.Name != only {
-			continue
-		}
-		row, err := eval.Table3(w)
-		if err != nil {
-			fmt.Printf("%-12s | error: %v\n", w.Name, err)
-			continue
-		}
+	var rep *eval.Table3Report
+	var err error
+	if only != "" {
+		rep, err = eval.Table3Rows([]string{only}, workers)
+	} else {
+		rep, err = eval.Table3All(workers)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, row := range rep.Rows {
 		fmt.Printf("%-12s | %6.2f%% %7.2f%% %7.2f%% %6.2f%% %8.2f%% %6.2f%% %5.1f%% | %7.2f %7.2f | %6.2f %6.2f %6.2f\n",
 			row.Name, row.IFetch, row.OPNHops, row.OPNCont, row.Fanout, row.Complete, row.Commit, row.Other,
 			row.SpeedupTCC, row.SpeedupHand, row.IPCTCC, row.IPCHand, row.IPCAlpha)
 	}
+	if hostStats {
+		fmt.Printf("host: %d workers, %d sim-cycles in %.1f s, %.0f sim-cycles/sec, %.0f ns/sim-cycle\n",
+			rep.Workers, rep.TotalSimCycles, float64(rep.TotalWallNS)/1e9,
+			rep.SimCyclesPerSec, float64(rep.TotalWallNS)/float64(rep.TotalSimCycles))
+	}
+	if jsonOut != "" {
+		if err := eval.WriteBenchJSON(jsonOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	fmt.Println()
 }
 
-func runAblations(only string) {
+func runAblations(only string, workers int) {
 	fmt.Println("== Ablations (paper Sections 5.3 and 7) ==")
 	names := []string{"vadd", "conv", "dct8x8", "matrix"}
 	if only != "" {
@@ -302,27 +349,14 @@ func runAblations(only string) {
 	}
 	fmt.Printf("%-10s | %10s %10s | %10s %10s | %10s %10s\n", "bench",
 		"naive", "greedy", "1xOPN", "2xOPN", "aggr-ld", "conserv")
-	for _, name := range names {
-		w, err := workloads.ByName(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			continue
-		}
-		cyc := func(opt eval.TRIPSOptions) int64 {
-			r, err := eval.RunTRIPS(w.Build(true), opt)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				return -1
-			}
-			return r.Cycles
-		}
-		naive := cyc(eval.TRIPSOptions{Mode: tcc.Hand, Placement: tcc.PlaceNaive})
-		greedy := cyc(eval.TRIPSOptions{Mode: tcc.Hand, Placement: tcc.PlaceGreedy})
-		one := cyc(eval.TRIPSOptions{Mode: tcc.Hand, OPNChannels: 1})
-		two := cyc(eval.TRIPSOptions{Mode: tcc.Hand, OPNChannels: 2})
-		aggr := cyc(eval.TRIPSOptions{Mode: tcc.Hand})
-		cons := cyc(eval.TRIPSOptions{Mode: tcc.Hand, ConservativeLoads: true})
-		fmt.Printf("%-10s | %10d %10d | %10d %10d | %10d %10d\n", name, naive, greedy, one, two, aggr, cons)
+	rows, err := eval.Ablations(names, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-10s | %10d %10d | %10d %10d | %10d %10d\n", r.Name,
+			r.Naive, r.Greedy, r.OPN1, r.OPN2, r.Aggressive, r.Conservative)
 	}
 	fmt.Println(strings.TrimSpace(`
   naive/greedy:   instruction placement (Section 7: scheduling to reduce hops)

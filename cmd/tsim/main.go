@@ -6,12 +6,16 @@
 //	tsim -list
 //	tsim -bench vadd [-mode hand|tcc] [-placement naive|greedy]
 //	     [-opn 1|2] [-conservative] [-alpha] [-golden]
+//	     [-host] [-nofastpath] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"trips/internal/critpath"
 	"trips/internal/eval"
@@ -21,17 +25,49 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list available benchmarks")
-		bench     = flag.String("bench", "", "benchmark to run")
-		mode      = flag.String("mode", "hand", "compilation mode: hand or tcc")
-		placement = flag.String("placement", "", "instruction placement: naive or greedy (default per mode)")
-		opn       = flag.Int("opn", 1, "operand network channels (1 or 2)")
-		conserv   = flag.Bool("conservative", false, "disable aggressive load issue")
-		alphaRun  = flag.Bool("alpha", false, "also run the Alpha-class baseline")
-		goldenRun = flag.Bool("golden", false, "also run the golden interpreter")
-		stats     = flag.Bool("stats", false, "print per-tile statistics")
+		list       = flag.Bool("list", false, "list available benchmarks")
+		bench      = flag.String("bench", "", "benchmark to run")
+		mode       = flag.String("mode", "hand", "compilation mode: hand or tcc")
+		placement  = flag.String("placement", "", "instruction placement: naive or greedy (default per mode)")
+		opn        = flag.Int("opn", 1, "operand network channels (1 or 2)")
+		conserv    = flag.Bool("conservative", false, "disable aggressive load issue")
+		alphaRun   = flag.Bool("alpha", false, "also run the Alpha-class baseline")
+		goldenRun  = flag.Bool("golden", false, "also run the golden interpreter")
+		stats      = flag.Bool("stats", false, "print per-tile statistics")
+		host       = flag.Bool("host", false, "print host throughput (sim-cycles/sec; nondeterministic)")
+		noFast     = flag.Bool("nofastpath", false, "disable quiescence-aware stepping (results must not change)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Printf("%-12s %s\n", "benchmark", "class")
@@ -50,7 +86,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv}
+	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, NoFastPath: *noFast}
 	hand := true
 	switch *mode {
 	case "hand":
@@ -74,7 +110,9 @@ func main() {
 	}
 
 	spec := w.Build(hand)
+	t0 := time.Now()
 	r, err := eval.RunTRIPS(spec, opt)
+	wall := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -94,6 +132,12 @@ func main() {
 	}
 	if *stats {
 		fmt.Print(r.Stats.String())
+	}
+	if *host {
+		fmt.Printf("  host: %.1f ms wall, %.0f sim-cycles/sec, %.0f ns/sim-cycle\n",
+			float64(wall.Nanoseconds())/1e6,
+			float64(r.Cycles)/wall.Seconds(),
+			float64(wall.Nanoseconds())/float64(r.Cycles))
 	}
 
 	if *goldenRun {

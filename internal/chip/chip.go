@@ -152,12 +152,35 @@ type DMA struct {
 	buf      []byte
 	phase    int // 0 idle, 1 reading, 2 writing
 	Moved    uint64
+
+	// rdReq/wrReq are persistent request records: the Done closures are
+	// bound once, so a long transfer issues thousands of transactions
+	// without allocating per line.
+	rdReq, wrReq *proc.MemRequest
 }
 
 // Program arms the DMA to copy n bytes (line-aligned) from src to dst.
 func (d *DMA) Program(src, dst uint64, n int) {
 	if d.port == nil {
 		d.port = d.chip.Mem.Port(fmt.Sprintf("dma%d", d.id))
+	}
+	if d.rdReq == nil {
+		d.rdReq = &proc.MemRequest{Done: func(data []byte) {
+			d.buf = data
+			d.inFlight = false
+			d.phase = 2
+		}}
+		d.wrReq = &proc.MemRequest{IsWrite: true, Done: func([]byte) {
+			d.inFlight = false
+			d.phase = 1
+			d.Moved += uint64(len(d.buf))
+			d.src += uint64(len(d.buf))
+			d.dst += uint64(len(d.buf))
+			d.left -= len(d.buf)
+			if d.left <= 0 {
+				d.phase = 0
+			}
+		}}
 	}
 	d.src, d.dst, d.left = src, dst, n
 	d.phase = 0
@@ -179,27 +202,15 @@ func (d *DMA) tick() {
 		if d.left < n {
 			n = d.left
 		}
-		req := &proc.MemRequest{Addr: d.src, N: n, Done: func(data []byte) {
-			d.buf = data
-			d.inFlight = false
-			d.phase = 2
-		}}
-		if d.port.Submit(req) {
+		d.rdReq.Addr = d.src
+		d.rdReq.N = n
+		if d.port.Submit(d.rdReq) {
 			d.inFlight = true
 		}
 	case 2:
-		req := &proc.MemRequest{Addr: d.dst, Data: d.buf, IsWrite: true, Done: func([]byte) {
-			d.inFlight = false
-			d.phase = 1
-			d.Moved += uint64(len(d.buf))
-			d.src += uint64(len(d.buf))
-			d.dst += uint64(len(d.buf))
-			d.left -= len(d.buf)
-			if d.left <= 0 {
-				d.phase = 0
-			}
-		}}
-		if d.port.Submit(req) {
+		d.wrReq.Addr = d.dst
+		d.wrReq.Data = d.buf
+		if d.port.Submit(d.wrReq) {
 			d.inFlight = true
 		}
 	}

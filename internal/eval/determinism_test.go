@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"testing"
+
+	"trips/internal/chip"
+	"trips/internal/critpath"
+	"trips/internal/mem"
+	"trips/internal/proc"
+	"trips/internal/tcc"
+	"trips/internal/workloads"
+)
+
+// microNames are the paper's four microbenchmarks — small enough to run
+// repeatedly in a unit test.
+var microNames = []string{"dct8x8", "matrix", "sha", "vadd"}
+
+// summarize flattens the result fields that must be bit-identical across
+// replays and across the fast-path ablation.
+type runSummary struct {
+	Cycles  int64
+	Blocks  uint64
+	Insts   uint64
+	Flushes uint64
+	IPC     float64
+	Crit    critpath.Report
+	Stats   proc.TileStats
+}
+
+func summarize(r *TRIPSResult) runSummary {
+	return runSummary{
+		Cycles:  r.Cycles,
+		Blocks:  r.Blocks,
+		Insts:   r.Insts,
+		Flushes: r.Flushes,
+		IPC:     r.IPC,
+		Crit:    r.Crit,
+		Stats:   r.Stats,
+	}
+}
+
+// TestDeterministicReplay runs each microbenchmark twice with identical
+// options and requires every simulated statistic — cycles, committed
+// blocks/instructions, flushes, the critical-path breakdown, and all tile
+// stats — to match exactly. The simulator holds no hidden host-dependent
+// state (maps iterated for side effects, pointers compared for order, ...),
+// so a replay must be a bit-identical re-execution.
+func TestDeterministicReplay(t *testing.T) {
+	for _, name := range microNames {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true}
+		first, err := RunTRIPS(w.Build(true), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		second, err := RunTRIPS(w.Build(true), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a, b := summarize(first), summarize(second); a != b {
+			t.Errorf("%s: replay diverged:\n  first:  %+v\n  second: %+v", name, a, b)
+		}
+	}
+}
+
+// TestFastPathBitIdentical is the tentpole invariant: the quiescence-aware
+// stepping fast paths (skipping idle-tile ticks, routing and delivery scans)
+// may change host time only. Running with NoFastPath — every tile ticked
+// every cycle, as the original stepping loop did — must produce exactly the
+// same cycles, stats and critical path as the gated loop.
+func TestFastPathBitIdentical(t *testing.T) {
+	for _, name := range microNames {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []tcc.Mode{tcc.Hand, tcc.Compiled} {
+			hand := mode == tcc.Hand
+			fast, err := RunTRIPS(w.Build(hand), TRIPSOptions{Mode: mode, TrackCritPath: true})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			slow, err := RunTRIPS(w.Build(hand), TRIPSOptions{Mode: mode, TrackCritPath: true, NoFastPath: true})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if a, b := summarize(fast), summarize(slow); a != b {
+				t.Errorf("%s (mode %v): fast path diverged from full stepping:\n  fast: %+v\n  full: %+v",
+					name, mode, a, b)
+			}
+			for v, val := range fast.Regs {
+				if slow.Regs[v] != val {
+					t.Errorf("%s (mode %v): r%d = %d fast, %d full", name, mode, v, val, slow.Regs[v])
+				}
+			}
+		}
+	}
+}
+
+// chipRun executes one workload under the full chip loop (core behind the
+// NUCA secondary memory system, chip ticking the OCN and memory) and
+// returns the chip cycle count plus the core's result snapshot.
+func chipRun(t *testing.T, w workloads.Workload) (int64, proc.Result) {
+	t.Helper()
+	spec := w.Build(true)
+	prog, meta, err := tcc.Compile(spec.F, tcc.Options{Mode: tcc.Hand, BaseAddr: 0x10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := mem.New()
+	if spec.SetupMem != nil {
+		spec.SetupMem(backing)
+	}
+	c, err := chip.New(chip.Config{
+		Programs:  [2]*proc.Program{prog, nil},
+		Backing:   backing,
+		MaxCycles: 50_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, val := range spec.Init {
+		if gr, ok := meta.RegOf[v]; ok {
+			c.Cores[0].SetRegister(0, gr, val)
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c.Cycle(), c.Cores[0].Snapshot()
+}
+
+// TestChipLoopDeterministic replays one microbenchmark under the chip loop
+// (the externally-ticked memory configuration, which exercises the fast
+// paths with deliveries arriving from outside Core.Step) and requires the
+// chip cycle count and all core statistics to match across runs.
+func TestChipLoopDeterministic(t *testing.T) {
+	w, err := workloads.ByName("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc1, res1 := chipRun(t, w)
+	cyc2, res2 := chipRun(t, w)
+	if cyc1 != cyc2 {
+		t.Errorf("chip cycles diverged: %d vs %d", cyc1, cyc2)
+	}
+	if res1 != res2 {
+		t.Errorf("chip core result diverged:\n  first:  %+v\n  second: %+v", res1, res2)
+	}
+	if res1.CommittedBlocks == 0 {
+		t.Error("chip run committed no blocks")
+	}
+}

@@ -31,6 +31,10 @@ type TRIPSOptions struct {
 	// secondary memory system: the 16-bank NUCA array on the 4x10 OCN with
 	// SDRAM behind it.
 	UseNUCA bool
+	// NoFastPath disables the quiescence-aware stepping fast paths and
+	// ticks every tile every cycle. Results must be bit-identical either
+	// way; the flag exists for regression tests and debugging.
+	NoFastPath bool
 }
 
 // TRIPSResult is one TRIPS run's outcome.
@@ -79,6 +83,7 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		OPNChannels:       opt.OPNChannels,
 		ConservativeLoads: opt.ConservativeLoads,
 		SlowOPNRouter:     opt.SlowOPNRouter,
+		NoFastPath:        opt.NoFastPath,
 	})
 	if err != nil {
 		return nil, err
@@ -216,6 +221,12 @@ type Table3Row struct {
 	IPCTCC      float64
 	IPCHand     float64
 	IPCAlpha    float64
+	// Raw cycle counts behind the ratios, kept for the machine-readable
+	// baseline and for host-throughput accounting (total simulated cycles
+	// per row = CyclesHand + CyclesTCC + CyclesAlpha).
+	CyclesHand  int64
+	CyclesTCC   int64
+	CyclesAlpha int64
 }
 
 // Table3 computes one benchmark's row.
@@ -254,5 +265,8 @@ func Table3(w workloads.Workload) (Table3Row, error) {
 	row.IPCTCC = comp.IPC
 	row.IPCHand = hand.IPC
 	row.IPCAlpha = al.IPC
+	row.CyclesHand = hand.Cycles
+	row.CyclesTCC = comp.Cycles
+	row.CyclesAlpha = al.Cycles
 	return row, nil
 }

@@ -14,12 +14,14 @@ import "fmt"
 // only the origin injects (at most one message per cycle), no arbitration
 // is needed and delivery order equals injection order at every node.
 type Broadcast[T any] struct {
-	Name       string
-	Rows, Cols int
-	east       []*Link[T]   // east[c]: (0,c) -> (0,c+1)
-	south      [][]*Link[T] // south[r][c]: (r,c) -> (r+1,c)
-	outQ       [][][]T      // delivered, per node
-	injected   uint64
+	Name         string
+	Rows, Cols   int
+	east         []*Link[T]   // east[c]: (0,c) -> (0,c+1)
+	south        [][]*Link[T] // south[r][c]: (r,c) -> (r+1,c)
+	outQ         [][]Queue[T] // delivered, per node
+	injected     uint64
+	linkBusy     int // messages resident on tree links (O(1) Quiet)
+	pendingDeliv int // delivered messages awaiting Pop
 }
 
 // NewBroadcast builds the wave network for a rows x cols grid with the
@@ -37,9 +39,9 @@ func NewBroadcast[T any](name string, rows, cols int) *Broadcast[T] {
 			b.south[r][c] = NewLink[T](fmt.Sprintf("%s south %d,%d", name, r, c))
 		}
 	}
-	b.outQ = make([][][]T, rows)
+	b.outQ = make([][]Queue[T], rows)
 	for r := range b.outQ {
-		b.outQ[r] = make([][]T, cols)
+		b.outQ[r] = make([]Queue[T], cols)
 	}
 	return b
 }
@@ -63,12 +65,15 @@ func (b *Broadcast[T]) Inject(msg T) bool {
 	if !b.CanInject() {
 		return false
 	}
-	b.outQ[0][0] = append(b.outQ[0][0], msg)
+	b.outQ[0][0].Push(msg)
+	b.pendingDeliv++
 	if b.Cols > 1 {
 		b.east[0].Send(msg)
+		b.linkBusy++
 	}
 	if b.Rows > 1 {
 		b.south[0][0].Send(msg)
+		b.linkBusy++
 	}
 	b.injected++
 	return true
@@ -76,25 +81,29 @@ func (b *Broadcast[T]) Inject(msg T) bool {
 
 // Deliver peeks at the oldest command delivered to node at.
 func (b *Broadcast[T]) Deliver(at Coord) (T, bool) {
-	q := b.outQ[at.Row][at.Col]
-	if len(q) == 0 {
+	q := &b.outQ[at.Row][at.Col]
+	if q.Empty() {
 		var zero T
 		return zero, false
 	}
-	return q[0], true
+	return q.Front(), true
 }
 
 // Pop consumes the oldest delivered command at node at.
 func (b *Broadcast[T]) Pop(at Coord) {
-	q := b.outQ[at.Row][at.Col]
-	if len(q) > 0 {
-		b.outQ[at.Row][at.Col] = q[1:]
+	q := &b.outQ[at.Row][at.Col]
+	if !q.Empty() {
+		q.Pop()
+		b.pendingDeliv--
 	}
 }
 
 // Tick forwards arriving messages down the tree. Call once per cycle before
-// Propagate.
+// Propagate. A no-op when no message is on any tree link.
 func (b *Broadcast[T]) Tick() {
+	if b.linkBusy == 0 {
+		return
+	}
 	// Row 0 eastward wave: a message arriving at (0,c) forwards east and
 	// south, and is delivered locally.
 	for c := 1; c < b.Cols; c++ {
@@ -106,12 +115,16 @@ func (b *Broadcast[T]) Tick() {
 		// the origin injects, at most one message per cycle.
 		if c < b.Cols-1 {
 			b.east[c].Send(msg)
+			b.linkBusy++
 		}
 		if b.Rows > 1 {
 			b.south[0][c].Send(msg)
+			b.linkBusy++
 		}
-		b.outQ[0][c] = append(b.outQ[0][c], msg)
+		b.outQ[0][c].Push(msg)
+		b.pendingDeliv++
 		b.east[c-1].Pop()
+		b.linkBusy--
 	}
 	// Southward waves in every column.
 	for r := 1; r < b.Rows; r++ {
@@ -122,15 +135,22 @@ func (b *Broadcast[T]) Tick() {
 			}
 			if r < b.Rows-1 {
 				b.south[r][c].Send(msg)
+				b.linkBusy++
 			}
-			b.outQ[r][c] = append(b.outQ[r][c], msg)
+			b.outQ[r][c].Push(msg)
+			b.pendingDeliv++
 			b.south[r-1][c].Pop()
+			b.linkBusy--
 		}
 	}
 }
 
 // Propagate advances all links one cycle. Call once per cycle after Tick.
+// A no-op when no message is on any tree link.
 func (b *Broadcast[T]) Propagate() {
+	if b.linkBusy == 0 {
+		return
+	}
 	for _, l := range b.east {
 		l.Propagate()
 	}
@@ -142,19 +162,8 @@ func (b *Broadcast[T]) Propagate() {
 }
 
 // Quiet reports whether no commands are in flight (delivered-but-unpopped
-// commands do not count).
-func (b *Broadcast[T]) Quiet() bool {
-	for _, l := range b.east {
-		if l.Busy() {
-			return false
-		}
-	}
-	for _, row := range b.south {
-		for _, l := range row {
-			if l.Busy() {
-				return false
-			}
-		}
-	}
-	return true
-}
+// commands do not count). O(1) via the link-residency counter.
+func (b *Broadcast[T]) Quiet() bool { return b.linkBusy == 0 }
+
+// Pending returns the number of delivered commands awaiting Pop.
+func (b *Broadcast[T]) Pending() int { return b.pendingDeliv }

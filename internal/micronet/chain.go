@@ -11,6 +11,7 @@ type Chain[T any] struct {
 	Name  string
 	N     int
 	links []*Link[T] // links[i]: node i+1 -> node i
+	busy  int        // messages resident on links (O(1) Quiet)
 }
 
 // NewChain builds a chain of n nodes (node 0 is the head).
@@ -26,30 +27,38 @@ func NewChain[T any](name string, n int) *Chain[T] {
 func (c *Chain[T]) CanSend(from int) bool { return c.links[from-1].CanSend() }
 
 // Send sends msg from node from (1..n-1) one hop toward the head.
-func (c *Chain[T]) Send(from int, msg T) bool { return c.links[from-1].Send(msg) }
+func (c *Chain[T]) Send(from int, msg T) bool {
+	if c.links[from-1].Send(msg) {
+		c.busy++
+		return true
+	}
+	return false
+}
 
 // Recv peeks at the message arriving at node at (0..n-2) this cycle.
 func (c *Chain[T]) Recv(at int) (T, bool) { return c.links[at].Recv() }
 
 // Pop consumes the message arriving at node at.
-func (c *Chain[T]) Pop(at int) { c.links[at].Pop() }
+func (c *Chain[T]) Pop(at int) {
+	if _, ok := c.links[at].Recv(); ok {
+		c.links[at].Pop()
+		c.busy--
+	}
+}
 
-// Propagate advances the chain one cycle.
+// Propagate advances the chain one cycle. A no-op when the chain is idle.
 func (c *Chain[T]) Propagate() {
+	if c.busy == 0 {
+		return
+	}
 	for _, l := range c.links {
 		l.Propagate()
 	}
 }
 
-// Quiet reports whether no messages are in flight.
-func (c *Chain[T]) Quiet() bool {
-	for _, l := range c.links {
-		if l.Busy() {
-			return false
-		}
-	}
-	return true
-}
+// Quiet reports whether no messages are in flight. O(1) via the residency
+// counter.
+func (c *Chain[T]) Quiet() bool { return c.busy == 0 }
 
 // BiChain is a bidirectional chain of n nodes in which a message injected
 // at node i is delivered to every other node, propagating one hop per cycle
@@ -58,16 +67,18 @@ func (c *Chain[T]) Quiet() bool {
 // are sent to the other DTs so each can track store completion (paper
 // Section 4.4).
 type BiChain[T any] struct {
-	Name string
-	N    int
-	up   []*Link[T] // up[i]: node i+1 -> node i
-	down []*Link[T] // down[i]: node i -> node i+1
-	outQ [][]T
+	Name         string
+	N            int
+	up           []*Link[T] // up[i]: node i+1 -> node i
+	down         []*Link[T] // down[i]: node i -> node i+1
+	outQ         []Queue[T]
+	busy         int // messages resident on links (O(1) Quiet)
+	pendingDeliv int // delivered messages awaiting Pop
 }
 
 // NewBiChain builds a bidirectional chain of n nodes.
 func NewBiChain[T any](name string, n int) *BiChain[T] {
-	b := &BiChain[T]{Name: name, N: n, outQ: make([][]T, n)}
+	b := &BiChain[T]{Name: name, N: n, outQ: make([]Queue[T], n)}
 	b.up = make([]*Link[T], n-1)
 	b.down = make([]*Link[T], n-1)
 	for i := 0; i < n-1; i++ {
@@ -96,26 +107,29 @@ func (b *BiChain[T]) Inject(i int, msg T) bool {
 	}
 	if i > 0 {
 		b.up[i-1].Send(msg)
+		b.busy++
 	}
 	if i < b.N-1 {
 		b.down[i].Send(msg)
+		b.busy++
 	}
 	return true
 }
 
 // Deliver peeks at the oldest message delivered to node i.
 func (b *BiChain[T]) Deliver(i int) (T, bool) {
-	if len(b.outQ[i]) == 0 {
+	if b.outQ[i].Empty() {
 		var zero T
 		return zero, false
 	}
-	return b.outQ[i][0], true
+	return b.outQ[i].Front(), true
 }
 
 // Pop consumes the oldest message delivered to node i.
 func (b *BiChain[T]) Pop(i int) {
-	if len(b.outQ[i]) > 0 {
-		b.outQ[i] = b.outQ[i][1:]
+	if !b.outQ[i].Empty() {
+		b.outQ[i].Pop()
+		b.pendingDeliv--
 	}
 }
 
@@ -123,6 +137,9 @@ func (b *BiChain[T]) Pop(i int) {
 // message blocked by a busy forwarding link stays on its incoming link
 // (backpressure), so nothing is lost under contention.
 func (b *BiChain[T]) Tick() {
+	if b.busy == 0 {
+		return
+	}
 	// Upward-moving messages arrive at node i from link up[i].
 	for i := 0; i < b.N-1; i++ {
 		msg, ok := b.up[i].Recv()
@@ -134,9 +151,12 @@ func (b *BiChain[T]) Tick() {
 		}
 		if i > 0 {
 			b.up[i-1].Send(msg)
+			b.busy++
 		}
-		b.outQ[i] = append(b.outQ[i], msg)
+		b.outQ[i].Push(msg)
+		b.pendingDeliv++
 		b.up[i].Pop()
+		b.busy--
 	}
 	// Downward-moving messages arrive at node i+1 from link down[i].
 	for i := b.N - 2; i >= 0; i-- {
@@ -150,14 +170,20 @@ func (b *BiChain[T]) Tick() {
 		}
 		if at < b.N-1 {
 			b.down[at].Send(msg)
+			b.busy++
 		}
-		b.outQ[at] = append(b.outQ[at], msg)
+		b.outQ[at].Push(msg)
+		b.pendingDeliv++
 		b.down[i].Pop()
+		b.busy--
 	}
 }
 
-// Propagate advances all links one cycle.
+// Propagate advances all links one cycle. A no-op when the chain is idle.
 func (b *BiChain[T]) Propagate() {
+	if b.busy == 0 {
+		return
+	}
 	for _, l := range b.up {
 		l.Propagate()
 	}
@@ -166,17 +192,9 @@ func (b *BiChain[T]) Propagate() {
 	}
 }
 
-// Quiet reports whether no messages are in flight.
-func (b *BiChain[T]) Quiet() bool {
-	for _, l := range b.up {
-		if l.Busy() {
-			return false
-		}
-	}
-	for _, l := range b.down {
-		if l.Busy() {
-			return false
-		}
-	}
-	return true
-}
+// Quiet reports whether no messages are in flight. O(1) via the residency
+// counter.
+func (b *BiChain[T]) Quiet() bool { return b.busy == 0 }
+
+// Pending returns the number of delivered messages awaiting Pop.
+func (b *BiChain[T]) Pending() int { return b.pendingDeliv }

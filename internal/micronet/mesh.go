@@ -55,11 +55,11 @@ type Tracked interface {
 // router is one mesh node: per-input-port single-entry buffers plus a local
 // injection register and a local delivery queue.
 type router[T Routable] struct {
-	at       Coord
-	inBuf    [numDirs]T
-	inFull   [numDirs]bool
-	outQ     []T // delivered messages awaiting the tile
-	rrOffset int // round-robin arbitration state
+	at     Coord
+	inBuf  [numDirs]T
+	inFull [numDirs]bool
+	occ    int8     // occupied entries of inBuf (fast skip for idle routers)
+	outQ   Queue[T] // delivered messages awaiting the tile
 }
 
 // Mesh is a dimension-ordered (X then Y) wormhole mesh of single-flit
@@ -73,12 +73,34 @@ type Mesh[T Routable] struct {
 	routers    [][]router[T]
 	// links[d][r][c] is the link leaving node (r,c) in direction d.
 	links [numDirs][][]*Link[T]
+	// edges flattens the existing links in (direction, row, column) order —
+	// the exact order the nested Propagate scan visited them — so the
+	// per-cycle link walk touches only real links, with the destination
+	// router and input port precomputed.
+	edges []meshEdge[T]
 	// DeliveryCap bounds messages delivered to one tile per cycle
 	// (default 1).
 	DeliveryCap int
 
 	delivered uint64
 	injected  uint64
+
+	// Quiescence accounting: together these make Quiet() O(1) so the core
+	// can skip routing and delivery scans on idle cycles. tickCount replaces
+	// the per-router round-robin offset — every router used to advance its
+	// offset once per Tick in lockstep, so a single mesh-wide counter
+	// (advanced even on skipped idle ticks) yields bit-identical arbitration.
+	tickCount    int
+	bufOcc       int // occupied router input buffers
+	linkBusy     int // messages resident on links (sent, not yet latched)
+	pendingDeliv int // delivered messages awaiting Pop
+}
+
+// meshEdge is one physical link plus its latch target.
+type meshEdge[T Routable] struct {
+	link *Link[T]
+	dst  *router[T] // receiving router
+	in   Dir        // input port at the receiver (opposite of the link's direction)
 }
 
 // NewMesh builds a Rows x Cols mesh.
@@ -97,7 +119,9 @@ func NewMesh[T Routable](name string, rows, cols int) *Mesh[T] {
 			m.links[d][r] = make([]*Link[T], cols)
 			for c := 0; c < cols; c++ {
 				if nr, nc, ok := step(r, c, d, rows, cols); ok {
-					m.links[d][r][c] = NewLink[T](fmt.Sprintf("%s %v->%v", name, Coord{r, c}, Coord{nr, nc}))
+					l := NewLink[T](fmt.Sprintf("%s %v->%v", name, Coord{r, c}, Coord{nr, nc}))
+					m.links[d][r][c] = l
+					m.edges = append(m.edges, meshEdge[T]{link: l, dst: &m.routers[nr][nc], in: opposite(d)})
 				}
 			}
 		}
@@ -156,6 +180,8 @@ func (m *Mesh[T]) Inject(at Coord, msg T) bool {
 	}
 	rt.inBuf[Local] = msg
 	rt.inFull[Local] = true
+	rt.occ++
+	m.bufOcc++
 	m.injected++
 	return true
 }
@@ -163,41 +189,48 @@ func (m *Mesh[T]) Inject(at Coord, msg T) bool {
 // Deliver peeks at the oldest message delivered to the given node.
 func (m *Mesh[T]) Deliver(at Coord) (T, bool) {
 	rt := &m.routers[at.Row][at.Col]
-	if len(rt.outQ) == 0 {
+	if rt.outQ.Empty() {
 		var zero T
 		return zero, false
 	}
-	return rt.outQ[0], true
+	return rt.outQ.Front(), true
 }
 
 // Pop consumes the oldest delivered message at the node.
 func (m *Mesh[T]) Pop(at Coord) {
 	rt := &m.routers[at.Row][at.Col]
-	if len(rt.outQ) > 0 {
-		var zero T
-		rt.outQ[0] = zero
-		rt.outQ = rt.outQ[1:]
+	if !rt.outQ.Empty() {
+		rt.outQ.Pop()
+		m.pendingDeliv--
 	}
 }
 
 // Tick runs one routing cycle: every router arbitrates its buffered
 // messages onto output links (or local delivery), round-robin per output
-// port. Call once per cycle before Propagate.
+// port. Call once per cycle before Propagate. An idle mesh (no buffered
+// messages) advances only the arbitration counter.
 func (m *Mesh[T]) Tick() {
+	off := m.tickCount
+	m.tickCount++
+	if m.bufOcc == 0 {
+		return
+	}
 	for r := 0; r < m.Rows; r++ {
 		for c := 0; c < m.Cols; c++ {
-			m.tickRouter(&m.routers[r][c])
+			if rt := &m.routers[r][c]; rt.occ > 0 {
+				m.tickRouter(rt, off)
+			}
 		}
 	}
 }
 
-func (m *Mesh[T]) tickRouter(rt *router[T]) {
+func (m *Mesh[T]) tickRouter(rt *router[T], off int) {
 	// Collect claims: for each output direction, the input ports wanting it.
 	var claimed [numDirs]bool
 	delivered := 0
 	for k := 0; k < int(numDirs); k++ {
 		// Rotate the starting input port each cycle for fairness.
-		in := Dir((k + rt.rrOffset) % int(numDirs))
+		in := Dir((k + off) % int(numDirs))
 		if !rt.inFull[in] {
 			continue
 		}
@@ -205,10 +238,13 @@ func (m *Mesh[T]) tickRouter(rt *router[T]) {
 		out := route(rt.at, msg.Dest())
 		if out == Local {
 			if delivered < m.DeliveryCap {
-				rt.outQ = append(rt.outQ, msg)
+				rt.outQ.Push(msg)
 				var zero T
 				rt.inBuf[in] = zero
 				rt.inFull[in] = false
+				rt.occ--
+				m.bufOcc--
+				m.pendingDeliv++
 				delivered++
 				m.delivered++
 			} else if tr, ok := any(msg).(Tracked); ok {
@@ -230,54 +266,58 @@ func (m *Mesh[T]) tickRouter(rt *router[T]) {
 		}
 		link.Send(msg)
 		claimed[out] = true
+		m.linkBusy++
 		if tr, ok := any(msg).(Tracked); ok {
 			tr.NoteHop()
 		}
 		var zero T
 		rt.inBuf[in] = zero
 		rt.inFull[in] = false
+		rt.occ--
+		m.bufOcc--
 	}
-	rt.rrOffset = (rt.rrOffset + 1) % int(numDirs)
 }
 
 // Propagate advances all links one cycle and latches arriving messages into
-// router input buffers. Call once per cycle after Tick.
+// router input buffers. Call once per cycle after Tick. A no-op when no
+// message is resident on any link.
 func (m *Mesh[T]) Propagate() {
-	for d := North; d < Local; d++ {
-		for r := 0; r < m.Rows; r++ {
-			for c := 0; c < m.Cols; c++ {
-				if l := m.links[d][r][c]; l != nil {
-					l.Propagate()
-				}
-			}
-		}
+	if m.linkBusy == 0 {
+		return
+	}
+	for _, e := range m.edges {
+		e.link.Propagate()
 	}
 	// Latch link outputs into the receiving router's input buffer for the
-	// opposite direction, if that buffer is free.
-	for d := North; d < Local; d++ {
-		for r := 0; r < m.Rows; r++ {
-			for c := 0; c < m.Cols; c++ {
-				l := m.links[d][r][c]
-				if l == nil {
-					continue
-				}
-				msg, ok := l.Recv()
-				if !ok {
-					continue
-				}
-				nr, nc, _ := step(r, c, d, m.Rows, m.Cols)
-				in := opposite(d)
-				rt := &m.routers[nr][nc]
-				if rt.inFull[in] {
-					if tr, okt := any(msg).(Tracked); okt {
-						tr.NoteWait()
-					}
-					continue // backpressure: stays on the link
-				}
-				rt.inBuf[in] = msg
-				rt.inFull[in] = true
-				l.Pop()
+	// opposite direction, if that buffer is free. Every message resident on
+	// a link is visible on its output register after the propagate pass, so
+	// once linkBusy messages have been seen the rest of the walk is idle.
+	todo := m.linkBusy
+	for i := range m.edges {
+		e := &m.edges[i]
+		msg, ok := e.link.Recv()
+		if !ok {
+			continue
+		}
+		todo--
+		rt := e.dst
+		if rt.inFull[e.in] {
+			if tr, okt := any(msg).(Tracked); okt {
+				tr.NoteWait()
 			}
+			if todo == 0 {
+				break
+			}
+			continue // backpressure: stays on the link
+		}
+		rt.inBuf[e.in] = msg
+		rt.inFull[e.in] = true
+		rt.occ++
+		m.bufOcc++
+		m.linkBusy--
+		e.link.Pop()
+		if todo == 0 {
+			break
 		}
 	}
 }
@@ -296,32 +336,16 @@ func opposite(d Dir) Dir {
 	return Local
 }
 
-// Quiet reports whether no messages are anywhere in the network.
+// Quiet reports whether no messages are anywhere in the network: no occupied
+// router buffers, nothing resident on a link, and no delivered messages
+// awaiting Pop. O(1) via the quiescence counters.
 func (m *Mesh[T]) Quiet() bool {
-	for r := 0; r < m.Rows; r++ {
-		for c := 0; c < m.Cols; c++ {
-			rt := &m.routers[r][c]
-			if len(rt.outQ) > 0 {
-				return false
-			}
-			for d := Dir(0); d < numDirs; d++ {
-				if rt.inFull[d] {
-					return false
-				}
-			}
-		}
-	}
-	for d := North; d < Local; d++ {
-		for r := 0; r < m.Rows; r++ {
-			for c := 0; c < m.Cols; c++ {
-				if l := m.links[d][r][c]; l != nil && l.Busy() {
-					return false
-				}
-			}
-		}
-	}
-	return true
+	return m.bufOcc == 0 && m.linkBusy == 0 && m.pendingDeliv == 0
 }
+
+// PendingDeliveries returns the number of delivered messages that tiles have
+// not yet popped. The core's delivery pump skips its grid scan when zero.
+func (m *Mesh[T]) PendingDeliveries() int { return m.pendingDeliv }
 
 // Injected and Delivered return lifetime message counts.
 func (m *Mesh[T]) Injected() uint64  { return m.injected }

@@ -1,0 +1,87 @@
+package micronet
+
+// Queue is a FIFO over a reusable backing slice. Popping advances a head
+// index instead of re-slicing the buffer (`q = q[1:]` pins the backing array
+// and forces append to grow a fresh one), and the buffer rewinds to its full
+// capacity whenever the queue drains, so steady-state push/pop traffic does
+// not allocate. The simulator's hot paths (router delivery queues, tile
+// output queues, commit/drain queues) all sit on this type.
+type Queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether the queue has no elements.
+func (q *Queue[T]) Empty() bool { return q.head == len(q.buf) }
+
+// Push appends v at the tail.
+func (q *Queue[T]) Push(v T) { q.buf = append(q.buf, v) }
+
+// PushFront re-inserts v at the head (retry-next-cycle paths).
+func (q *Queue[T]) PushFront(v T) {
+	if q.head > 0 {
+		q.head--
+		q.buf[q.head] = v
+		return
+	}
+	var zero T
+	q.buf = append(q.buf, zero)
+	copy(q.buf[1:], q.buf)
+	q.buf[0] = v
+}
+
+// Front returns the oldest element without consuming it.
+func (q *Queue[T]) Front() T { return q.buf[q.head] }
+
+// At returns the i-th element from the head (0 = Front).
+func (q *Queue[T]) At(i int) T { return q.buf[q.head+i] }
+
+// Pop consumes and returns the oldest element.
+func (q *Queue[T]) Pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		// Drained: rewind so the next pushes reuse the buffer from the start.
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 64 && q.head*2 >= len(q.buf) {
+		// Mostly-consumed long-lived queue: compact to bound growth.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}
+
+// Filter keeps only elements for which keep returns true, preserving order.
+func (q *Queue[T]) Filter(keep func(T) bool) {
+	kept := q.buf[:q.head]
+	for i := q.head; i < len(q.buf); i++ {
+		if keep(q.buf[i]) {
+			kept = append(kept, q.buf[i])
+		}
+	}
+	var zero T
+	for i := len(kept); i < len(q.buf); i++ {
+		q.buf[i] = zero
+	}
+	q.buf = kept
+}
+
+// Reset drops all elements.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = zero
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}

@@ -113,7 +113,7 @@ type ntPort struct {
 	sys  *System
 	name string
 	at   micronet.Coord
-	outQ []*ocnMsg
+	outQ micronet.Queue[*ocnMsg]
 	// half selects the MT partition this port may address (when the
 	// system is partitioned).
 	half int
@@ -123,7 +123,7 @@ type ntPort struct {
 // split into per-line OCN transactions, since consecutive lines live on
 // different MTs; the port reassembles read data before completing.
 func (p *ntPort) Submit(req *proc.MemRequest) bool {
-	if len(p.outQ) >= 8 {
+	if p.outQ.Len() >= 8 {
 		return false
 	}
 	n := req.N
@@ -177,7 +177,7 @@ func (p *ntPort) submitPart(req *proc.MemRequest, pd *pending, addr uint64, n, o
 	if req.IsWrite {
 		msg.data = req.Data[off : off+n]
 	}
-	p.outQ = append(p.outQ, msg)
+	p.outQ.Push(msg)
 }
 
 // mtState is one memory tile.
@@ -189,7 +189,7 @@ type mtState struct {
 	busy     bool
 	waiters  []*ocnMsg
 	waitLine uint64
-	outQ     []*ocnMsg
+	outQ     micronet.Queue[*ocnMsg]
 	// Stats.
 	Hits, Misses uint64
 }
@@ -377,20 +377,20 @@ func (s *System) Tick() {
 	}
 	// MT output queues.
 	for _, mt := range s.mts {
-		for len(mt.outQ) > 0 {
-			if !s.mesh.Inject(mt.at, mt.outQ[0]) {
+		for !mt.outQ.Empty() {
+			if !s.mesh.Inject(mt.at, mt.outQ.Front()) {
 				break
 			}
-			mt.outQ = mt.outQ[1:]
+			mt.outQ.Pop()
 		}
 	}
 	// Port output queues.
 	for _, p := range s.order {
-		for len(p.outQ) > 0 {
-			if !s.mesh.Inject(p.at, p.outQ[0]) {
+		for !p.outQ.Empty() {
+			if !s.mesh.Inject(p.at, p.outQ.Front()) {
 				break
 			}
-			p.outQ = p.outQ[1:]
+			p.outQ.Pop()
 			s.Requests++
 		}
 	}
@@ -455,12 +455,12 @@ func (s *System) mtRequest(msg *ocnMsg) {
 	if msg.write {
 		if mt.bank.Write(msg.addr, msg.data) {
 			mt.Hits++
-			mt.outQ = append(mt.outQ, &ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
+			mt.outQ.Push(&ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
 			return
 		}
 	} else if data, ok := s.bankRead(mt, msg.addr, msg.n); ok {
 		mt.Hits++
-		mt.outQ = append(mt.outQ, &ocnMsg{
+		mt.outQ.Push(&ocnMsg{
 			dst: msg.origin, kind: mkResp, id: msg.id, data: data,
 			flits: 1 + (msg.n+FlitBytes-1)/FlitBytes,
 		})
@@ -483,7 +483,7 @@ func (s *System) mtRequest(msg *ocnMsg) {
 	mt.waitLine = line
 	mt.waiters = append(mt.waiters, msg)
 	sdc := s.nearestSDC(mt.at)
-	mt.outQ = append(mt.outQ, &ocnMsg{
+	mt.outQ.Push(&ocnMsg{
 		dst: sdc, kind: mkSDCReq, addr: line, n: LineBytes,
 		id: msg.id, origin: msg.origin, mt: mt.at, flits: 1,
 	})
@@ -512,7 +512,7 @@ func (s *System) mtFill(msg *ocnMsg) {
 	mt := s.mtAt[msg.mt]
 	if v := mt.bank.Fill(msg.addr, msg.data); v.Valid {
 		sdc := s.nearestSDC(mt.at)
-		mt.outQ = append(mt.outQ, &ocnMsg{dst: sdc, kind: mkSDCReq, addr: v.Addr, data: v.Data, write: true, flits: 1 + LineBytes/FlitBytes})
+		mt.outQ.Push(&ocnMsg{dst: sdc, kind: mkSDCReq, addr: v.Addr, data: v.Data, write: true, flits: 1 + LineBytes/FlitBytes})
 	}
 	s.LineTransfers++
 	mt.busy = false
@@ -536,11 +536,11 @@ func (s *System) scratchAccess(mt *mtState, msg *ocnMsg) {
 	}
 	if msg.write {
 		mt.bank.Write(msg.addr, msg.data)
-		mt.outQ = append(mt.outQ, &ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
+		mt.outQ.Push(&ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
 		return
 	}
 	data, _ := s.bankRead(mt, msg.addr, msg.n)
-	mt.outQ = append(mt.outQ, &ocnMsg{
+	mt.outQ.Push(&ocnMsg{
 		dst: msg.origin, kind: mkResp, id: msg.id, data: data,
 		flits: 1 + (msg.n+FlitBytes-1)/FlitBytes,
 	})

@@ -44,6 +44,11 @@ type Config struct {
 	// completion, commit command, commit acknowledgment) — the data behind
 	// paper Figure 5b.
 	RecordTimeline bool
+	// NoFastPath disables the quiescence-aware stepping fast paths and
+	// ticks every tile every cycle, the original full-scan discipline. The
+	// fast paths are bit-identical by construction; this flag exists so the
+	// determinism regression tests can prove it on every workload.
+	NoFastPath bool
 }
 
 // BlockTime is one block's protocol timeline (Figure 5b's phases).
@@ -72,10 +77,21 @@ type Core struct {
 	gsnIT *micronet.Chain[gsnMsg]
 	dsn   *micronet.BiChain[dsnMsg]
 
-	gcnQueue []gcnMsg
+	gcnQueue micronet.Queue[gcnMsg]
 
-	cycle     int64
-	scheduled map[int64][]func()
+	cycle int64
+	// wheel is the delta-cycle event wheel behind scheduleEv: slot
+	// cycle&wheelMask holds the events for that cycle. Every dispatch/refill
+	// delay is far below wheelSize, so schedOverflow is a never-hit safety
+	// net. Wheel slices are reused across revolutions, so steady-state
+	// scheduling does not allocate.
+	wheel         [wheelSize][]schedEvent
+	schedOverflow map[int64][]schedEvent
+
+	// msgFree pools operand-network messages: the OPN moves one message per
+	// dependent instruction pair, making opnMsg the hottest allocation in
+	// the simulator. Messages are recycled at their final consumer.
+	msgFree []*opnMsg
 
 	// Store-arrival critical-path events per frame (tracked at DT0's view).
 	storeEvs [NumSlots]*critpath.Event
@@ -113,7 +129,6 @@ func NewCore(cfg Config) (*Core, error) {
 		cfg:         cfg,
 		program:     cfg.Program,
 		mem:         cfg.Mem,
-		scheduled:   make(map[int64][]func()),
 		nonNopCount: make(map[uint64]uint64),
 		timelineI:   make(map[uint64]int),
 	}
@@ -176,12 +191,130 @@ func (c *Core) newEvent(cycle int64, parent *critpath.Event, split critpath.Spli
 	return critpath.New(cycle, parent, split, rem)
 }
 
-// schedule registers fn to run at the start of the given cycle.
-func (c *Core) schedule(cycle int64, fn func()) {
+// The event wheel replaces a map[int64][]func() of closures: GDN/GRN
+// delivery delays are all bounded by a couple dozen cycles, so a
+// power-of-two ring indexed by cycle&wheelMask covers every real schedule
+// without hashing or per-event closure allocation.
+const (
+	wheelSize = 64
+	wheelMask = wheelSize - 1
+)
+
+// evKind discriminates wheel events.
+type evKind uint8
+
+const (
+	evBodyInst   evKind = iota // GDN body beat -> ET reservation station
+	evHeaderBeat               // GDN header beat -> RT read/write queues
+	evStoreMask                // store mask arrival at a DT
+	evRefill                   // GRN refill command at an IT
+	evSlowOPN                  // delayed OPN delivery (SlowOPNRouter ablation)
+)
+
+// schedEvent is one future delivery. Payloads are copied at schedule time
+// (matching the old closures' captured values) and interpreted by kind.
+type schedEvent struct {
+	kind evKind
+	slot int
+	seq  uint64 // block seq; evRefill reuses it for the block address
+	idx  int    // body: instruction index; header: beat number
+
+	et *etTile
+	rt *rtTile
+	dt *dtTile
+	it *itTile
+
+	inst isa.Inst
+	rd   isa.ReadInst
+	wr   isa.WriteInst
+	mask uint32
+
+	at  micronet.Coord
+	msg *opnMsg
+
+	ev *critpath.Event
+}
+
+// scheduleEv registers an event to run at the start of the given cycle.
+func (c *Core) scheduleEv(cycle int64, e schedEvent) {
 	if cycle <= c.cycle {
 		cycle = c.cycle + 1
 	}
-	c.scheduled[cycle] = append(c.scheduled[cycle], fn)
+	if cycle-c.cycle >= wheelSize {
+		if c.schedOverflow == nil {
+			c.schedOverflow = make(map[int64][]schedEvent)
+		}
+		c.schedOverflow[cycle] = append(c.schedOverflow[cycle], e)
+		return
+	}
+	c.wheel[cycle&wheelMask] = append(c.wheel[cycle&wheelMask], e)
+}
+
+// runEvents fires the events scheduled for this cycle, in schedule order.
+// Handlers never schedule for the current cycle (scheduleEv clamps to
+// cycle+1) and never reach delta wheelSize, so the slot cannot grow while
+// it runs.
+func (c *Core) runEvents(now int64) {
+	slot := &c.wheel[now&wheelMask]
+	if evs := *slot; len(evs) > 0 {
+		*slot = evs[:0]
+		for i := range evs {
+			c.runEvent(now, &evs[i])
+			evs[i] = schedEvent{}
+		}
+	}
+	if len(c.schedOverflow) > 0 {
+		if evs, ok := c.schedOverflow[now]; ok {
+			delete(c.schedOverflow, now)
+			for i := range evs {
+				c.runEvent(now, &evs[i])
+			}
+		}
+	}
+}
+
+func (c *Core) runEvent(now int64, e *schedEvent) {
+	switch e.kind {
+	case evBodyInst:
+		ev := c.newEvent(now, e.ev, critpath.Split{}, critpath.CatIFetch)
+		e.et.deliverInst(e.slot, e.seq, e.idx, e.inst, ev)
+	case evHeaderBeat:
+		ev := c.newEvent(now, e.ev, critpath.Split{}, critpath.CatIFetch)
+		e.rt.deliverHeaderBeat(e.slot, e.seq, e.idx, e.rd, e.wr, ev)
+	case evStoreMask:
+		d := e.dt
+		d.active = true
+		if d.slotSeq[e.slot] == e.seq {
+			d.storeMask[e.slot] = e.mask
+			d.maskKnown[e.slot] = true
+			d.bindEv[e.slot] = c.newEvent(now, e.ev, critpath.Split{}, critpath.CatIFetch)
+		}
+	case evRefill:
+		e.it.active = true
+		e.it.onRefill(e.seq)
+	case evSlowOPN:
+		c.routeDelivered(now, e.at, e.msg)
+	}
+}
+
+// newOPNMsg takes a message from the pool (or allocates one).
+func (c *Core) newOPNMsg() *opnMsg {
+	if n := len(c.msgFree); n > 0 {
+		m := c.msgFree[n-1]
+		c.msgFree = c.msgFree[:n-1]
+		return m
+	}
+	return &opnMsg{}
+}
+
+// freeOPNMsg recycles a message whose final consumer has fully read it.
+// Messages dropped on staleness/flush paths are deliberately NOT freed (the
+// GC reclaims them): a flushed load's message can still be referenced from
+// an MSHR waiter list, and leaking the rare flushed message is cheaper than
+// proving every such path free of aliases.
+func (c *Core) freeOPNMsg(m *opnMsg) {
+	*m = opnMsg{}
+	c.msgFree = append(c.msgFree, m)
 }
 
 // opnChannel selects the channel for a message (bandwidth ablation).
@@ -219,7 +352,7 @@ func (c *Core) deliverOPN(at micronet.Coord) (*opnMsg, bool) {
 
 // issueGCN queues a control command for broadcast (one launches per cycle;
 // the queue is how commit commands pipeline, paper Section 4.4).
-func (c *Core) issueGCN(msg gcnMsg) { c.gcnQueue = append(c.gcnQueue, msg) }
+func (c *Core) issueGCN(msg gcnMsg) { c.gcnQueue.Push(msg) }
 
 func (c *Core) canIssueGCN() bool { return true }
 
@@ -227,8 +360,7 @@ func (c *Core) canIssueGCN() bool { return true }
 // IT k after 1+k cycles (paper Section 4.1).
 func (c *Core) issueGRN(addr uint64) {
 	for k := range c.its {
-		it := c.its[k]
-		c.schedule(c.cycle+1+int64(k), func() { it.onRefill(addr) })
+		c.scheduleEv(c.cycle+1+int64(k), schedEvent{kind: evRefill, it: c.its[k], seq: addr})
 	}
 }
 
@@ -317,15 +449,8 @@ func (c *Core) scheduleDispatch(now int64, slot int, seq uint64, thread int, add
 	// The store mask reaches each DT a few cycles into dispatch.
 	mask := hdr.StoreMask
 	for i, d := range c.dts {
-		dt := d
-		di := i
-		arrive := now + 3 + int64(di)
-		c.schedule(arrive, func() {
-			if dt.slotSeq[slot] == seq {
-				dt.storeMask[slot] = mask
-				dt.maskKnown[slot] = true
-				dt.bindEv[slot] = c.newEvent(arrive, dispEv, critpath.Split{}, critpath.CatIFetch)
-			}
+		c.scheduleEv(now+3+int64(i), schedEvent{
+			kind: evStoreMask, dt: d, slot: slot, seq: seq, mask: mask, ev: dispEv,
 		})
 	}
 
@@ -335,14 +460,10 @@ func (c *Core) scheduleDispatch(now int64, slot int, seq uint64, thread int, add
 	for b := 0; b < dispatchBeats; b++ {
 		for rt := 0; rt < isa.NumRTs; rt++ {
 			j := b*4 + rt
-			rd := hdr.Reads[j]
-			wr := hdr.Writes[j]
 			arrive := now + int64(it0+b+(rt+1)+1)
-			rtt := c.rts[rt]
-			beat := b
-			c.schedule(arrive, func() {
-				ev := c.newEvent(arrive, dispEv, critpath.Split{}, critpath.CatIFetch)
-				rtt.deliverHeaderBeat(slot, seq, beat, rd, wr, ev)
+			c.scheduleEv(arrive, schedEvent{
+				kind: evHeaderBeat, rt: c.rts[rt], slot: slot, seq: seq,
+				idx: b, rd: hdr.Reads[j], wr: hdr.Writes[j], ev: dispEv,
 			})
 		}
 	}
@@ -357,13 +478,10 @@ func (c *Core) scheduleDispatch(now int64, slot int, seq uint64, thread int, add
 				if idx >= hdr.NumInsts {
 					continue
 				}
-				in := bodies[chunk][idx%isa.BodyChunkInsts]
-				et := c.ets[isa.ETOf(idx)]
 				arrive := now + int64(itk+b+(col+1)+1)
-				i := idx
-				c.schedule(arrive, func() {
-					ev := c.newEvent(arrive, dispEv, critpath.Split{}, critpath.CatIFetch)
-					et.deliverInst(slot, seq, i, in, ev)
+				c.scheduleEv(arrive, schedEvent{
+					kind: evBodyInst, et: c.ets[isa.ETOf(idx)], slot: slot, seq: seq,
+					idx: idx, inst: bodies[chunk][idx%isa.BodyChunkInsts], ev: dispEv,
 				})
 			}
 		}
@@ -371,15 +489,19 @@ func (c *Core) scheduleDispatch(now int64, slot int, seq uint64, thread int, add
 }
 
 // Step advances the core (and its memory system) by one cycle.
+//
+// The fast-path discipline: a tile ticks only when it has registered work
+// (its active flag, set by every delivery/wake path and cleared by the tile
+// itself once provably idle) or when its status chain carries traffic the
+// tile must forward. Skipped ticks are exactly the ticks that would have
+// been no-ops under the original tick-everything loop, so simulated cycle
+// counts and all stats are bit-identical; cfg.NoFastPath restores the full
+// scan for the determinism regression tests.
 func (c *Core) Step() {
 	now := c.cycle
+	full := c.cfg.NoFastPath
 	// Scheduled GDN/GRN deliveries land first.
-	if fns, ok := c.scheduled[now]; ok {
-		for _, fn := range fns {
-			fn()
-		}
-		delete(c.scheduled, now)
-	}
+	c.runEvents(now)
 	// Route the operand network, then hand deliveries to the tiles.
 	for _, m := range c.opns {
 		m.Tick()
@@ -389,24 +511,37 @@ func (c *Core) Step() {
 	c.gcn.Tick()
 	c.pumpGCNDeliveries(now)
 	c.dsn.Tick()
+	// A tile must tick while its chain carries traffic: chain clients
+	// forward and consume chain messages inside their own ticks.
+	itBusy := full || !c.gsnIT.Quiet()
+	rtBusy := full || !c.gsnRT.Quiet()
+	dtBusy := full || !c.gsnDT.Quiet() || !c.dsn.Quiet() || c.dsn.Pending() > 0
 	// Tiles.
 	c.gt.tick(now)
 	for _, it := range c.its {
-		it.tick(now)
+		if it.active || itBusy {
+			it.tick(now)
+		}
 	}
 	for _, r := range c.rts {
-		r.tick(now)
+		if r.active || rtBusy {
+			r.tick(now)
+		}
 	}
 	for _, e := range c.ets {
-		e.tick(now)
+		if e.active || full {
+			e.tick(now)
+		}
 	}
 	for _, d := range c.dts {
-		d.tick(now)
+		if d.active || dtBusy {
+			d.tick(now)
+		}
 	}
 	// Launch at most one queued GCN command per cycle.
-	if len(c.gcnQueue) > 0 && c.gcn.CanInject() {
-		if c.gcn.Inject(c.gcnQueue[0]) {
-			c.gcnQueue = c.gcnQueue[1:]
+	if !c.gcnQueue.Empty() && c.gcn.CanInject() {
+		if c.gcn.Inject(c.gcnQueue.Front()) {
+			c.gcnQueue.Pop()
 		}
 	}
 	// Advance all transports.
@@ -428,6 +563,9 @@ func (c *Core) Step() {
 // RT state (the GT and DTs pull from their own queues).
 func (c *Core) pumpOPNDeliveries(now int64) {
 	for _, m := range c.opns {
+		if m.PendingDeliveries() == 0 {
+			continue
+		}
 		for row := 0; row < 5; row++ {
 			for col := 0; col < 5; col++ {
 				at := micronet.Coord{Row: row, Col: col}
@@ -441,8 +579,7 @@ func (c *Core) pumpOPNDeliveries(now int64) {
 					}
 					m.Pop(at)
 					if c.cfg.SlowOPNRouter {
-						at, msg := at, msg
-						c.schedule(now+1, func() { c.routeDelivered(now+1, at, msg) })
+						c.scheduleEv(now+1, schedEvent{kind: evSlowOPN, at: at, msg: msg})
 						continue
 					}
 					c.routeDelivered(now, at, msg)
@@ -468,6 +605,7 @@ func (c *Core) routeDelivered(now int64, at micronet.Coord, msg *opnMsg) {
 		}, critpath.CatOPNHop)
 		// Write entry j lives at local queue slot j/4 of RT j%4.
 		c.rts[at.Col-1].deliverWrite(now, msg.slot, msg.seq, isa.RTSlotOf(msg.target.Index), msg.val, ev)
+		c.freeOPNMsg(msg)
 	default:
 		// ET array: operand deliveries.
 		if msg.kind != opnOperand {
@@ -479,11 +617,15 @@ func (c *Core) routeDelivered(now int64, at micronet.Coord, msg *opnMsg) {
 		}, critpath.CatOPNHop)
 		et := (at.Row-1)*4 + (at.Col - 1)
 		c.ets[et].deliverOperand(msg.slot, msg.seq, msg.target, msg.val, ev)
+		c.freeOPNMsg(msg)
 	}
 }
 
 // pumpGCNDeliveries hands arriving control commands to every tile.
 func (c *Core) pumpGCNDeliveries(now int64) {
+	if c.gcn.Pending() == 0 {
+		return
+	}
 	for row := 0; row < 5; row++ {
 		for col := 0; col < 5; col++ {
 			at := micronet.Coord{Row: row, Col: col}
@@ -548,7 +690,7 @@ type Result struct {
 // stores into its bank (the background tail of the commit protocol).
 func (c *Core) drainsIdle() bool {
 	for _, d := range c.dts {
-		if len(d.drainOrder) > 0 || d.wb.valid || len(d.uncachedSt) > 0 {
+		if d.drainOrder.Len() > 0 || d.wb.valid || len(d.uncachedSt) > 0 {
 			return false
 		}
 	}
@@ -606,7 +748,7 @@ func (c *Core) DebugState() string {
 			s, bc.seq, bc.addr, bc.branchSeen, bc.writesDone, bc.storesDone, bc.commitSent, bc.ackR, bc.ackS)
 		for i, d := range c.dts {
 			app("  dt%d seen=%x mask=%x known=%v inQ=%d stalled=%d conflict=%d loads=%d stores=%d\n",
-				i, d.storeSeen[s], d.storeMask[s], d.maskKnown[s], len(d.inQ), len(d.stalled), len(d.conflictLoads), d.Loads, d.Stores)
+				i, d.storeSeen[s], d.storeMask[s], d.maskKnown[s], d.inQ.Len(), len(d.stalled), len(d.conflictLoads), d.Loads, d.Stores)
 		}
 		for i, e := range c.ets {
 			live := 0
@@ -617,7 +759,7 @@ func (c *Core) DebugState() string {
 				}
 			}
 			if live > 0 {
-				app("  et%d unfired=%d outQ=%d pipe=%d\n", i, live, len(e.outQ), len(e.pipe))
+				app("  et%d unfired=%d outQ=%d pipe=%d\n", i, live, e.outQ.Len(), len(e.pipe))
 			}
 		}
 	}
@@ -666,7 +808,7 @@ func (c *Core) FlushCaches() {
 	for i := 0; i < 1_000_000; i++ {
 		busy := false
 		for _, d := range c.dts {
-			if len(d.drainOrder) > 0 || d.wb.valid {
+			if d.drainOrder.Len() > 0 || d.wb.valid {
 				busy = true
 				d.pumpDrain(c.cycle)
 				d.pumpFetch()

@@ -54,19 +54,19 @@ type dtTile struct {
 
 	// Inbound memory operations: the LSQ accepts one load or store per
 	// cycle (paper Section 3.5).
-	inQ []*opnMsg
+	inQ micronet.Queue[*opnMsg]
 
-	stalled       []*pendingLoad // loads held back by the dependence predictor
-	uncachedQ     []*pendingLoad // uncacheable loads awaiting a port slot
-	hitQ          []*pendingLoad // cache accesses completing after dtCacheCycles
-	conflictLoads []*pendingLoad // loads buffered in the LSQ behind partial overlaps
-	cacheRetry    []*pendingLoad // loads refused by a full MSHR
-	pendingFetch  []uint64       // line fetches awaiting a free port
-	gsnOut        []gsnMsg       // status messages awaiting a free GSN link
+	stalled       []*pendingLoad               // loads held back by the dependence predictor
+	uncachedQ     micronet.Queue[*pendingLoad] // uncacheable loads awaiting a port slot
+	hitQ          []*pendingLoad               // cache accesses completing after dtCacheCycles
+	conflictLoads []*pendingLoad               // loads buffered in the LSQ behind partial overlaps
+	cacheRetry    []*pendingLoad               // loads refused by a full MSHR
+	pendingFetch  micronet.Queue[uint64]       // line fetches awaiting a free port
+	gsnOut        micronet.Queue[gsnMsg]       // status messages awaiting a free GSN link
 
 	// Commit drains: stores flowing to the cache bank, one per cycle.
 	drains     map[uint64][]*lsq.Entry // seq -> remaining stores
-	drainOrder []uint64
+	drainOrder micronet.Queue[uint64]
 	drainEvs   map[uint64]*critpath.Event
 	uncachedSt map[*lsq.Entry]int // uncached store commit state (1 in flight, 2 done)
 	// wb is the one-entry back-side coalescing write buffer (paper 3.5):
@@ -88,8 +88,19 @@ type dtTile struct {
 	committing [NumSlots]bool
 	commitEv   [NumSlots]*critpath.Event
 
-	outQ []*opnMsg
-	dsnQ []dsnMsg
+	outQ micronet.Queue[*opnMsg]
+	dsnQ micronet.Queue[dsnMsg]
+
+	// active registers pending work with the core's stepping fast path: set
+	// by every wake (OPN arrival, dispatch binding, store-mask delivery,
+	// commit command, flush, line-fill and uncached completions), cleared by
+	// tick when every queue is empty and no slot has in-progress protocol
+	// work.
+	active bool
+
+	// fetchFree pools line-fetch requests so the hot fill path neither
+	// allocates a MemRequest nor a Done closure per miss.
+	fetchFree []*dtFetch
 
 	// Stats.
 	Loads, Stores, NullStores, Hits, MissesStat, StallsDep, ViolationsStat uint64
@@ -111,7 +122,36 @@ func newDT(core *Core, id int) *dtTile {
 	return d
 }
 
+// dtFetch is a pooled line fetch: the MemRequest and its Done closure are
+// built once and rebound to new lines on reuse, so steady-state misses do
+// not allocate.
+type dtFetch struct {
+	d    *dtTile
+	line uint64
+	req  MemRequest
+}
+
+func (d *dtTile) newFetch(line uint64) *dtFetch {
+	var f *dtFetch
+	if n := len(d.fetchFree); n > 0 {
+		f = d.fetchFree[n-1]
+		d.fetchFree = d.fetchFree[:n-1]
+	} else {
+		f = &dtFetch{d: d}
+		f.req.Done = func(data []byte) {
+			f.d.active = true
+			f.d.fillLine(f.line, data)
+			f.d.fetchFree = append(f.d.fetchFree, f)
+		}
+	}
+	f.line = line
+	f.req.Addr = line
+	f.req.N = d.bank.LineBytes
+	return f
+}
+
 func (d *dtTile) bindSlot(slot int, seq uint64, thread int, mask uint32) {
+	d.active = true
 	d.slotSeq[slot] = seq
 	d.slotThread[slot] = thread
 	d.storeMask[slot] = mask
@@ -129,7 +169,8 @@ func (d *dtTile) bindSlot(slot int, seq uint64, thread int, mask uint32) {
 
 // enqueue accepts an arriving OPN memory operation.
 func (d *dtTile) enqueue(msg *opnMsg) {
-	d.inQ = append(d.inQ, msg)
+	d.active = true
+	d.inQ.Push(msg)
 }
 
 func (d *dtTile) tick(now int64) {
@@ -151,6 +192,37 @@ func (d *dtTile) tick(now int64) {
 	d.pumpFetch()
 	d.drainDSNQ()
 	d.drainOutQ()
+	d.active = !d.idleNow()
+}
+
+// idleNow reports whether another tick with no intervening wake would be a
+// no-op: every queue empty, no write-buffered or uncached store in flight,
+// no commit awaiting its ack send, and (at DT0) no completed store set
+// awaiting its finish-S send. Everything else a tick inspects changes only
+// on deliveries, which re-set active.
+func (d *dtTile) idleNow() bool {
+	if d.wb.valid || len(d.uncachedSt) > 0 {
+		return false
+	}
+	if !d.inQ.Empty() || len(d.stalled) > 0 || !d.uncachedQ.Empty() ||
+		len(d.hitQ) > 0 || len(d.conflictLoads) > 0 || len(d.cacheRetry) > 0 ||
+		!d.pendingFetch.Empty() || !d.gsnOut.Empty() || d.drainOrder.Len() > 0 ||
+		!d.dsnQ.Empty() || !d.outQ.Empty() {
+		return false
+	}
+	for s := 0; s < NumSlots; s++ {
+		if d.slotSeq[s] == 0 {
+			continue
+		}
+		if d.committing[s] && !d.ackSent[s] {
+			return false
+		}
+		if d.id == 0 && !d.finishSent[s] && d.maskKnown[s] &&
+			d.storeSeen[s]&d.storeMask[s] == d.storeMask[s] {
+			return false // finish-S ready but not yet sent
+		}
+	}
+	return true
 }
 
 // pumpCacheRetry retries loads previously refused by a full MSHR.
@@ -166,16 +238,19 @@ func (d *dtTile) pumpCacheRetry(now int64) {
 }
 
 // pumpUncached submits uncacheable loads directly to the OCN port.
+// Uncacheable traffic is rare (I/O and cross-core pages), so its per-request
+// closures stay unpooled.
 func (d *dtTile) pumpUncached(now int64) {
-	for len(d.uncachedQ) > 0 {
-		pl := d.uncachedQ[0]
+	for !d.uncachedQ.Empty() {
+		pl := d.uncachedQ.Front()
 		msg := pl.msg
 		if d.slotSeq[msg.slot] != msg.seq {
-			d.uncachedQ = d.uncachedQ[1:]
+			d.uncachedQ.Pop()
 			continue
 		}
 		width := isa.MemWidth(msg.memOp)
 		req := &MemRequest{Addr: physical(msg.addr), N: width, Done: func(data []byte) {
+			d.active = true
 			if d.slotSeq[msg.slot] != msg.seq {
 				return
 			}
@@ -189,44 +264,42 @@ func (d *dtTile) pumpUncached(now int64) {
 		if !d.port.Submit(req) {
 			return
 		}
-		d.uncachedQ = d.uncachedQ[1:]
+		d.uncachedQ.Pop()
 	}
 	_ = now
 }
 
 // pumpFetch submits queued line fetches to the private memory port.
 func (d *dtTile) pumpFetch() {
-	for len(d.pendingFetch) > 0 {
-		line := d.pendingFetch[0]
-		req := &MemRequest{Addr: line, N: d.bank.LineBytes, Done: func(lineData []byte) {
-			d.fillLine(line, lineData)
-		}}
-		if !d.port.Submit(req) {
+	for !d.pendingFetch.Empty() {
+		f := d.newFetch(d.pendingFetch.Front())
+		if !d.port.Submit(&f.req) {
+			d.fetchFree = append(d.fetchFree, f)
 			return
 		}
-		d.pendingFetch = d.pendingFetch[1:]
+		d.pendingFetch.Pop()
 	}
 }
 
 func (d *dtTile) drainGSNOut() {
-	for len(d.gsnOut) > 0 {
+	for !d.gsnOut.Empty() {
 		if !d.core.gsnDT.CanSend(d.id + 1) {
 			return
 		}
-		d.core.gsnDT.Send(d.id+1, d.gsnOut[0])
-		d.gsnOut = d.gsnOut[1:]
+		d.core.gsnDT.Send(d.id+1, d.gsnOut.Front())
+		d.gsnOut.Pop()
 	}
 }
 
 // acceptOne processes at most one load or store from the OPN per cycle.
 func (d *dtTile) acceptOne(now int64) {
-	for len(d.inQ) > 0 {
-		msg := d.inQ[0]
+	for !d.inQ.Empty() {
+		msg := d.inQ.Front()
 		if d.slotSeq[msg.slot] != msg.seq {
-			d.inQ = d.inQ[1:]
+			d.inQ.Pop()
 			continue // stale (flushed)
 		}
-		d.inQ = d.inQ[1:]
+		d.inQ.Pop()
 		arriveEv := d.core.newEvent(now, msg.ev, critpath.Split{
 			critpath.CatOPNHop:        int64(msg.hops),
 			critpath.CatOPNContention: int64(msg.waits),
@@ -264,7 +337,7 @@ func (d *dtTile) issueLoad(now int64, pl *pendingLoad) {
 	res, data, err := d.lsqs[msg.thread].InsertLoad(key, msg.seq, msg.addr, width)
 	if err != nil {
 		// LSQ full: retry next cycle by re-queueing at the head.
-		d.inQ = append([]*opnMsg{msg}, d.inQ...)
+		d.inQ.PushFront(msg)
 		return
 	}
 	switch res {
@@ -303,7 +376,7 @@ func (d *dtTile) accessCache(now int64, pl *pendingLoad) {
 	msg := pl.msg
 	width := isa.MemWidth(msg.memOp)
 	if isUncached(msg.addr) {
-		d.uncachedQ = append(d.uncachedQ, pl)
+		d.uncachedQ.Push(pl)
 		return
 	}
 	if raw, ok := d.bank.Read(msg.addr, width); ok {
@@ -327,7 +400,7 @@ func (d *dtTile) accessCache(now int64, pl *pendingLoad) {
 		return
 	}
 	if primary {
-		d.pendingFetch = append(d.pendingFetch, line)
+		d.pendingFetch.Push(line)
 	}
 }
 
@@ -382,7 +455,8 @@ func (d *dtTile) completeHits(now int64) {
 	d.hitQ = kept
 }
 
-// replyLoad routes the loaded value to the load's target instructions.
+// replyLoad routes the loaded value to the load's target instructions. The
+// request message is fully consumed here, so it returns to the pool.
 func (d *dtTile) replyLoad(_ int64, msg *opnMsg, v Value, ev *critpath.Event) {
 	for _, tgt := range []isa.Target{msg.ldT0, msg.ldT1} {
 		if !tgt.Valid() {
@@ -394,11 +468,14 @@ func (d *dtTile) replyLoad(_ int64, msg *opnMsg, v Value, ev *critpath.Event) {
 		} else {
 			dst = etCoord(isa.ETOf(tgt.Index))
 		}
-		d.outQ = append(d.outQ, &opnMsg{
+		m := d.core.newOPNMsg()
+		*m = opnMsg{
 			dst: dst, kind: opnOperand, slot: msg.slot, seq: msg.seq,
 			thread: msg.thread, target: tgt, val: v, ev: ev,
-		})
+		}
+		d.outQ.Push(m)
 	}
+	d.core.freeOPNMsg(msg)
 }
 
 func (d *dtTile) handleStore(now int64, msg *opnMsg, ev *critpath.Event) {
@@ -410,7 +487,7 @@ func (d *dtTile) handleStore(now int64, msg *opnMsg, ev *critpath.Event) {
 	width := isa.MemWidth(msg.memOp)
 	violated, err := d.lsqs[msg.thread].InsertStore(key, msg.seq, msg.addr, width, msg.data.Bits, msg.data.Null)
 	if err != nil {
-		d.inQ = append([]*opnMsg{msg}, d.inQ...)
+		d.inQ.PushFront(msg)
 		return
 	}
 	if len(violated) > 0 {
@@ -419,7 +496,7 @@ func (d *dtTile) handleStore(now int64, msg *opnMsg, ev *critpath.Event) {
 		d.ViolationsStat++
 		v := violated[0]
 		d.dep.Mispredicted(v.Addr)
-		d.gsnOut = append(d.gsnOut, gsnMsg{
+		d.gsnOut.Push(gsnMsg{
 			kind: gsnViolation, seq: msg.seq, violSeq: v.BlockSeq, violAddr: v.Addr,
 			ev: d.core.newEvent(now, ev, critpath.Split{}, critpath.CatOther),
 		})
@@ -429,7 +506,9 @@ func (d *dtTile) handleStore(now int64, msg *opnMsg, ev *critpath.Event) {
 	if d.id == 0 {
 		d.core.noteStoreEv(msg.slot, msg.seq, ev)
 	}
-	d.dsnQ = append(d.dsnQ, dsnMsg{slot: msg.slot, seq: msg.seq, thread: msg.thread, lsid: msg.lsid, ev: ev})
+	d.dsnQ.Push(dsnMsg{slot: msg.slot, seq: msg.seq, thread: msg.thread, lsid: msg.lsid, ev: ev})
+	// The store request is fully consumed (the LSQ copied its payload).
+	d.core.freeOPNMsg(msg)
 }
 
 // noteStore marks a store LSID as received for a frame.
@@ -459,11 +538,11 @@ func (d *dtTile) pumpDSN(now int64) {
 }
 
 func (d *dtTile) drainDSNQ() {
-	for len(d.dsnQ) > 0 {
-		if !d.core.dsn.Inject(d.id, d.dsnQ[0]) {
+	for !d.dsnQ.Empty() {
+		if !d.core.dsn.Inject(d.id, d.dsnQ.Front()) {
 			return
 		}
-		d.dsnQ = d.dsnQ[1:]
+		d.dsnQ.Pop()
 	}
 }
 
@@ -517,8 +596,13 @@ func (d *dtTile) retryStalled(now int64) {
 }
 
 // replayConflicts re-issues LSQ-buffered loads whose overlapping earlier
-// stores have drained.
+// stores have drained. Conflicted LSQ entries and conflictLoads are 1:1
+// (flushes clear both), so an empty list means no pending conflicts and the
+// LSQ scan can be skipped.
 func (d *dtTile) replayConflicts(now int64) {
+	if len(d.conflictLoads) == 0 {
+		return
+	}
 	for t := 0; t < NumThreads; t++ {
 		for _, e := range d.lsqs[t].PendingConflicts() {
 			d.lsqs[t].MarkIssued(e.Key)
@@ -566,7 +650,7 @@ func (d *dtTile) checkFinish(now int64) {
 	if d.id != 0 {
 		return
 	}
-	if len(d.gsnOut) > 0 {
+	if !d.gsnOut.Empty() {
 		return // a violation report must reach the GT first
 	}
 	for s := 0; s < NumSlots; s++ {
@@ -592,6 +676,7 @@ func (d *dtTile) checkFinish(now int64) {
 // acknowledgment does not wait for slow line fills; those complete in the
 // background through the write buffer.
 func (d *dtTile) onCommitCommand(now int64, slot int, seq uint64, ev *critpath.Event) {
+	d.active = true
 	if d.slotSeq[slot] != seq {
 		return
 	}
@@ -600,7 +685,7 @@ func (d *dtTile) onCommitCommand(now int64, slot int, seq uint64, ev *critpath.E
 	thread := d.slotThread[slot]
 	stores := d.lsqs[thread].CommitBlock(seq)
 	d.drains[seq] = stores
-	d.drainOrder = append(d.drainOrder, seq)
+	d.drainOrder.Push(seq)
 	d.drainEvs[seq] = d.commitEv[slot]
 	d.ackOwn[slot] = true
 	d.ackOwnEv[slot] = d.commitEv[slot]
@@ -612,12 +697,12 @@ func (d *dtTile) onCommitCommand(now int64, slot int, seq uint64, ev *critpath.E
 // the GSN daisy chain.
 func (d *dtTile) pumpDrain(now int64) {
 	_ = dtDrainPerCycle // the head-of-queue discipline below enforces it
-	if len(d.drainOrder) > 0 {
-		seq := d.drainOrder[0]
+	if d.drainOrder.Len() > 0 {
+		seq := d.drainOrder.Front()
 		stores := d.drains[seq]
 		if len(stores) == 0 {
 			delete(d.drains, seq)
-			d.drainOrder = d.drainOrder[1:]
+			d.drainOrder.Pop()
 			delete(d.drainEvs, seq)
 		} else {
 			st := stores[0]
@@ -648,10 +733,6 @@ func (d *dtTile) pumpDrain(now int64) {
 // first (write-allocate). Uncacheable stores go straight to the OCN.
 // Returns true when the store retired.
 func (d *dtTile) commitStore(st *lsq.Entry) bool {
-	data := make([]byte, st.Width)
-	for i := 0; i < st.Width; i++ {
-		data[i] = byte(st.Data >> (8 * i))
-	}
 	if isUncached(st.Addr) {
 		switch d.uncachedSt[st] {
 		case 2:
@@ -660,13 +741,25 @@ func (d *dtTile) commitStore(st *lsq.Entry) bool {
 		case 1:
 			return false // in flight
 		}
+		// The backend retains Data, so the uncached path must heap-allocate.
+		data := make([]byte, st.Width)
+		for i := 0; i < st.Width; i++ {
+			data[i] = byte(st.Data >> (8 * i))
+		}
 		req := &MemRequest{Addr: physical(st.Addr), Data: data, IsWrite: true, Done: func([]byte) {
+			d.active = true
 			d.uncachedSt[st] = 2
 		}}
 		if d.port.Submit(req) {
 			d.uncachedSt[st] = 1
 		}
 		return false
+	}
+	// The bank copies on Write, so a stack scratch buffer suffices.
+	var scratch [8]byte
+	data := scratch[:st.Width]
+	for i := 0; i < st.Width; i++ {
+		data[i] = byte(st.Data >> (8 * i))
 	}
 	if d.bank.Write(st.Addr, data) {
 		return true
@@ -696,7 +789,7 @@ func (d *dtTile) tryWBFetch() {
 	if primary, ok := d.mshr.Allocate(line, nil); ok {
 		d.wb.fetched = true
 		if primary {
-			d.pendingFetch = append(d.pendingFetch, line)
+			d.pendingFetch.Push(line)
 		}
 	}
 }
@@ -709,7 +802,8 @@ func (d *dtTile) drainWriteBuffer() {
 	}
 	d.tryWBFetch()
 	st := d.wb.st
-	data := make([]byte, st.Width)
+	var scratch [8]byte
+	data := scratch[:st.Width]
 	for i := 0; i < st.Width; i++ {
 		data[i] = byte(st.Data >> (8 * i))
 	}
@@ -739,7 +833,8 @@ func (d *dtTile) wbValue(addr uint64, width int) (uint64, bool) {
 // match (youngest wins).
 func (d *dtTile) drainQueueValue(addr uint64, width int) (uint64, bool) {
 	var best *lsq.Entry
-	for _, seq := range d.drainOrder {
+	for i := 0; i < d.drainOrder.Len(); i++ {
+		seq := d.drainOrder.At(i)
 		for _, st := range d.drains[seq] {
 			if st.Addr <= addr && addr+uint64(width) <= st.Addr+uint64(st.Width) {
 				best = st // later drains are younger
@@ -790,6 +885,7 @@ func (d *dtTile) flush(slot int, seq uint64) {
 	if d.slotSeq[slot] != seq {
 		return
 	}
+	d.active = true
 	thread := d.slotThread[slot]
 	d.lsqs[thread].FlushBlock(seq)
 	d.slotSeq[slot] = 0
@@ -805,22 +901,16 @@ func (d *dtTile) flush(slot int, seq uint64) {
 	d.stalled = filt(d.stalled)
 	d.hitQ = filt(d.hitQ)
 	d.conflictLoads = filt(d.conflictLoads)
-	d.uncachedQ = filt(d.uncachedQ)
 	d.cacheRetry = filt(d.cacheRetry)
-	keptQ := d.outQ[:0]
-	for _, m := range d.outQ {
-		if !(m.slot == slot && m.seq == seq) {
-			keptQ = append(keptQ, m)
-		}
-	}
-	d.outQ = keptQ
-	keptIn := d.inQ[:0]
-	for _, m := range d.inQ {
-		if !(m.slot == slot && m.seq == seq) {
-			keptIn = append(keptIn, m)
-		}
-	}
-	d.inQ = keptIn
+	d.uncachedQ.Filter(func(pl *pendingLoad) bool {
+		return !(pl.msg.slot == slot && pl.msg.seq == seq)
+	})
+	d.outQ.Filter(func(m *opnMsg) bool {
+		return !(m.slot == slot && m.seq == seq)
+	})
+	d.inQ.Filter(func(m *opnMsg) bool {
+		return !(m.slot == slot && m.seq == seq)
+	})
 }
 
 // extendValue sign- or zero-extends a loaded value per the load opcode.
@@ -838,15 +928,15 @@ func extendValue(v uint64, op isa.Opcode) uint64 {
 }
 
 func (d *dtTile) drainOutQ() {
-	for len(d.outQ) > 0 {
-		msg := d.outQ[0]
+	for !d.outQ.Empty() {
+		msg := d.outQ.Front()
 		if d.slotSeq[msg.slot] != msg.seq {
-			d.outQ = d.outQ[1:]
+			d.outQ.Pop()
 			continue
 		}
 		if !d.core.injectOPN(d.at, msg) {
 			return
 		}
-		d.outQ = d.outQ[1:]
+		d.outQ.Pop()
 	}
 }

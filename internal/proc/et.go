@@ -49,10 +49,22 @@ type etTile struct {
 	stations   [NumSlots][isa.SlotsPerET]station
 	slotSeq    [NumSlots]uint64 // 0 = frame unbound
 	slotThread [NumSlots]int
+	// pending[slot] counts stations that are present and not yet fired —
+	// the only stations the select scan can act on. A slot at zero is
+	// skipped entirely, which is a pure no-op: ready() returns false with
+	// no side effects for every absent or fired station.
+	pending [NumSlots]int8
 
 	divBusyUntil int64
 	pipe         []inflight
-	outQ         []*opnMsg // results awaiting OPN injection
+	outQ         micronet.Queue[*opnMsg] // results awaiting OPN injection
+
+	// active registers pending work with the core's stepping fast path:
+	// set by every wake (dispatch, operand delivery, commit/flush), cleared
+	// by tick once the tile is provably at a fixed point (nothing in flight,
+	// nothing issuable, nothing queued). A cleared tile's tick would be a
+	// no-op, so skipping it cannot change simulated state.
+	active bool
 
 	// Stats.
 	Issued, LocalBypass, Remote, DeadPred, DroppedStale uint64
@@ -66,31 +78,38 @@ func newET(core *Core, id int) *etTile {
 // occupying a frame at this tile.
 func (e *etTile) bindSlot(slot int, seq uint64, thread int) {
 	e.stations[slot] = [isa.SlotsPerET]station{}
+	e.pending[slot] = 0
 	e.slotSeq[slot] = seq
 	e.slotThread[slot] = thread
+	e.active = true
 }
 
 // deliverInst installs a dispatched instruction into its reservation
 // station ("written into ... the reservation stations in the ETs when they
 // arrive, and are available to execute as soon as they arrive", paper 4.1).
 func (e *etTile) deliverInst(slot int, seq uint64, index int, in isa.Inst, ev *critpath.Event) {
+	e.active = true
 	if e.slotSeq[slot] != seq {
 		return // stale dispatch (frame was flushed and rebound)
 	}
 	s := &e.stations[slot][isa.SlotOf(index)]
 	// Operands routed by early-dispatched producers may already be waiting
 	// in the station; instruction arrival must not clear them.
+	wasPending := s.present && !s.fired
 	s.present = true
 	s.inst = in
 	s.index = index
 	s.arrEv = ev
 	if in.Op == isa.NOP {
 		s.fired = true
+	} else if !wasPending {
+		e.pending[slot]++
 	}
 }
 
 // deliverOperand fills an operand field from the OPN or the local bypass.
 func (e *etTile) deliverOperand(slot int, seq uint64, tgt isa.Target, v Value, ev *critpath.Event) {
+	e.active = true
 	if e.slotSeq[slot] != seq {
 		e.DroppedStale++
 		return
@@ -155,8 +174,13 @@ func (e *etTile) ready(s *station) (ok, dead bool) {
 // blocked OPN injections.
 func (e *etTile) tick(now int64) {
 	e.completeFinished(now)
-	e.selectAndIssue(now)
+	issued, blocked := e.selectAndIssue(now)
 	e.drainOutQ(now)
+	// Fixed point: nothing executing, nothing queued, nothing issued and
+	// nothing issuable-but-blocked. A no-issue select scan visited every
+	// station, so all currently provably-dead predicates are already marked;
+	// re-scanning before the next external delivery cannot change any state.
+	e.active = len(e.pipe) > 0 || !e.outQ.Empty() || issued || blocked
 }
 
 func (e *etTile) completeFinished(now int64) {
@@ -173,7 +197,10 @@ func (e *etTile) completeFinished(now int64) {
 	e.pipe = kept
 }
 
-func (e *etTile) selectAndIssue(now int64) {
+// selectAndIssue reports whether it issued an instruction, and whether a
+// ready instruction was blocked (unpipelined divider busy) — either keeps
+// the tile active.
+func (e *etTile) selectAndIssue(now int64) (issued, blocked bool) {
 	// Select the ready instruction from the oldest block first (then by
 	// station order) — the age-ordered select of Section 3.4.
 	var best *station
@@ -181,7 +208,7 @@ func (e *etTile) selectAndIssue(now int64) {
 	var bestSeq uint64
 	for slot := 0; slot < NumSlots; slot++ {
 		seq := e.slotSeq[slot]
-		if seq == 0 {
+		if seq == 0 || e.pending[slot] == 0 {
 			continue
 		}
 		for i := range e.stations[slot] {
@@ -189,6 +216,7 @@ func (e *etTile) selectAndIssue(now int64) {
 			ok, dead := e.ready(s)
 			if dead {
 				s.fired = true
+				e.pending[slot]--
 				e.DeadPred++
 				continue
 			}
@@ -202,15 +230,16 @@ func (e *etTile) selectAndIssue(now int64) {
 		}
 	}
 	if best == nil {
-		return
+		return false, false
 	}
 	in := &best.inst
 	// The unpipelined integer divider blocks issue of a new divide (ALU
 	// contention, charged to Other on the critical path).
 	if !in.Op.Pipelined() && e.divBusyUntil > now {
-		return
+		return false, true
 	}
 	best.fired = true
+	e.pending[bestSlot]--
 	e.Issued++
 
 	// The issue time was determined by the last-arriving dependency.
@@ -276,6 +305,7 @@ func (e *etTile) selectAndIssue(now int64) {
 		result: result,
 		ev:     doneEv,
 	})
+	return true, false
 }
 
 // route delivers a completed operation's outputs: locally bypassed operands
@@ -293,12 +323,14 @@ func (e *etTile) route(now int64, f inflight) {
 			return
 		}
 		addr := f.result.Bits
-		e.outQ = append(e.outQ, &opnMsg{
+		m := e.core.newOPNMsg()
+		*m = opnMsg{
 			dst: dtCoord(isa.DTOfAddr(addr)), kind: opnLoadReq,
 			slot: f.slot, seq: f.seq, thread: f.thread,
 			lsid: in.LSID, memOp: in.Op, addr: addr,
 			ldT0: in.T0, ldT1: in.T1, ev: f.ev,
-		})
+		}
+		e.outQ.Push(m)
 	case in.Op.IsStore():
 		addr := f.result.Bits
 		data := f.st.right.v
@@ -306,19 +338,23 @@ func (e *etTile) route(now int64, f inflight) {
 		if null {
 			addr = 0
 		}
-		e.outQ = append(e.outQ, &opnMsg{
+		m := e.core.newOPNMsg()
+		*m = opnMsg{
 			dst: dtCoord(isa.DTOfAddr(addr)), kind: opnStoreReq,
 			slot: f.slot, seq: f.seq, thread: f.thread,
 			lsid: in.LSID, memOp: in.Op, addr: addr,
 			data: Value{Bits: data.Bits, Null: null}, ev: f.ev,
-		})
+		}
+		e.outQ.Push(m)
 	case in.Op.IsBranch():
-		e.outQ = append(e.outQ, &opnMsg{
+		m := e.core.newOPNMsg()
+		*m = opnMsg{
 			dst: gtCoord(), kind: opnBranch,
 			slot: f.slot, seq: f.seq, thread: f.thread,
 			brOp: in.Op, brExit: in.Exit, brOffset: in.Offset,
 			val: f.result, ev: f.ev,
-		})
+		}
+		e.outQ.Push(m)
 	default:
 		e.emitValue(now, f, in.T0, f.result, f.ev)
 		e.emitValue(now, f, in.T1, f.result, f.ev)
@@ -332,11 +368,13 @@ func (e *etTile) emitValue(now int64, f inflight, tgt isa.Target, v Value, ev *c
 		return
 	}
 	if tgt.IsWrite() {
-		e.outQ = append(e.outQ, &opnMsg{
+		m := e.core.newOPNMsg()
+		*m = opnMsg{
 			dst: rtCoord(isa.RTOf(tgt.Index)), kind: opnOperand,
 			slot: f.slot, seq: f.seq, thread: f.thread,
 			target: tgt, val: v, ev: ev,
-		})
+		}
+		e.outQ.Push(m)
 		return
 	}
 	if isa.ETOf(tgt.Index) == e.id {
@@ -345,26 +383,28 @@ func (e *etTile) emitValue(now int64, f inflight, tgt isa.Target, v Value, ev *c
 		return
 	}
 	e.Remote++
-	e.outQ = append(e.outQ, &opnMsg{
+	m := e.core.newOPNMsg()
+	*m = opnMsg{
 		dst: etCoord(isa.ETOf(tgt.Index)), kind: opnOperand,
 		slot: f.slot, seq: f.seq, thread: f.thread,
 		target: tgt, val: v, ev: ev,
-	})
+	}
+	e.outQ.Push(m)
 }
 
 // drainOutQ injects pending OPN messages, respecting the single injection
 // register per node (injection stalls are OPN contention).
 func (e *etTile) drainOutQ(now int64) {
-	for len(e.outQ) > 0 {
-		msg := e.outQ[0]
+	for !e.outQ.Empty() {
+		msg := e.outQ.Front()
 		if e.slotSeq[msg.slot] != msg.seq {
-			e.outQ = e.outQ[1:]
+			e.outQ.Pop()
 			continue // flushed while waiting
 		}
 		if !e.core.injectOPN(e.at, msg) {
 			return // retry next cycle; waits accumulate on the message
 		}
-		e.outQ = e.outQ[1:]
+		e.outQ.Pop()
 	}
 }
 
@@ -373,15 +413,13 @@ func (e *etTile) flush(slot int, seq uint64) {
 	if e.slotSeq[slot] != seq {
 		return
 	}
+	e.active = true
 	e.stations[slot] = [isa.SlotsPerET]station{}
+	e.pending[slot] = 0
 	e.slotSeq[slot] = 0
-	kept := e.outQ[:0]
-	for _, m := range e.outQ {
-		if !(m.slot == slot && m.seq == seq) {
-			kept = append(kept, m)
-		}
-	}
-	e.outQ = kept
+	e.outQ.Filter(func(m *opnMsg) bool {
+		return !(m.slot == slot && m.seq == seq)
+	})
 	keptPipe := e.pipe[:0]
 	for _, f := range e.pipe {
 		if !(f.slot == slot && f.seq == seq) {

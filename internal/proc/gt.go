@@ -159,7 +159,9 @@ func (g *gtTile) tick(now int64) {
 	g.reapCommitted(now)
 }
 
-// pumpOPN consumes branch messages delivered to the GT.
+// pumpOPN consumes branch messages delivered to the GT. Every popped
+// message is fully read here, so it returns to the pool (stale ones too:
+// nothing else can hold a reference to a GT-delivered branch).
 func (g *gtTile) pumpOPN(now int64) {
 	for {
 		msg, ok := g.core.deliverOPN(gtCoord())
@@ -169,34 +171,39 @@ func (g *gtTile) pumpOPN(now int64) {
 		if msg.kind != opnBranch {
 			panic(fmt.Sprintf("proc: GT received OPN kind %d", msg.kind))
 		}
-		b := &g.slots[msg.slot]
-		if !b.valid || b.seq != msg.seq {
-			continue // stale branch from a flushed block
-		}
-		if b.branchSeen {
-			panic(fmt.Sprintf("proc: block %#x produced two exit branches", b.addr))
-		}
-		b.branchSeen = true
-		b.branchExit = msg.brExit
-		arriveEv := g.core.newEvent(now, msg.ev, critpath.Split{
-			critpath.CatOPNHop:        int64(msg.hops),
-			critpath.CatOPNContention: int64(msg.waits),
-		}, critpath.CatOPNHop)
-		b.branchEv = arriveEv
-		switch msg.brOp {
-		case isa.BRO:
-			b.branchKind = predictor.KindBranch
-			b.branchNext = uint64(int64(b.addr) + int64(msg.brOffset)*isa.ChunkBytes)
-		case isa.CALLO:
-			b.branchKind = predictor.KindCall
-			b.branchNext = uint64(int64(b.addr) + int64(msg.brOffset)*isa.ChunkBytes)
-		case isa.RET:
-			b.branchKind = predictor.KindReturn
-			b.branchNext = msg.val.Bits
-		case isa.BR:
-			b.branchKind = predictor.KindBranch
-			b.branchNext = msg.val.Bits
-		}
+		g.handleBranch(now, msg)
+		g.core.freeOPNMsg(msg)
+	}
+}
+
+func (g *gtTile) handleBranch(now int64, msg *opnMsg) {
+	b := &g.slots[msg.slot]
+	if !b.valid || b.seq != msg.seq {
+		return // stale branch from a flushed block
+	}
+	if b.branchSeen {
+		panic(fmt.Sprintf("proc: block %#x produced two exit branches", b.addr))
+	}
+	b.branchSeen = true
+	b.branchExit = msg.brExit
+	arriveEv := g.core.newEvent(now, msg.ev, critpath.Split{
+		critpath.CatOPNHop:        int64(msg.hops),
+		critpath.CatOPNContention: int64(msg.waits),
+	}, critpath.CatOPNHop)
+	b.branchEv = arriveEv
+	switch msg.brOp {
+	case isa.BRO:
+		b.branchKind = predictor.KindBranch
+		b.branchNext = uint64(int64(b.addr) + int64(msg.brOffset)*isa.ChunkBytes)
+	case isa.CALLO:
+		b.branchKind = predictor.KindCall
+		b.branchNext = uint64(int64(b.addr) + int64(msg.brOffset)*isa.ChunkBytes)
+	case isa.RET:
+		b.branchKind = predictor.KindReturn
+		b.branchNext = msg.val.Bits
+	case isa.BR:
+		b.branchKind = predictor.KindBranch
+		b.branchNext = msg.val.Bits
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trips/internal/isa"
+	"trips/internal/micronet"
 )
 
 // itChunk is one cached 128-byte chunk plus its lazily decoded form.
@@ -31,7 +32,12 @@ type itTile struct {
 	refills     map[uint64]*itRefill
 	refillOrder []uint64
 	port        MemPort
-	pending     []uint64 // refill reads awaiting a free port
+	pending     micronet.Queue[uint64] // refill reads awaiting a free port
+
+	// active registers pending work with the core's stepping fast path: set
+	// when a refill command or bank-read completion arrives, cleared by tick
+	// once no refill is outstanding.
+	active bool
 
 	// Stats.
 	Refills uint64
@@ -60,14 +66,15 @@ func (it *itTile) onRefill(blockAddr uint64) {
 		st.ownDone = true // chunk already resident
 		return
 	}
-	it.pending = append(it.pending, blockAddr)
+	it.pending.Push(blockAddr)
 }
 
 func (it *itTile) tick(now int64) {
 	// Submit queued chunk reads.
-	for len(it.pending) > 0 {
-		blockAddr := it.pending[0]
+	for !it.pending.Empty() {
+		blockAddr := it.pending.Front()
 		req := &MemRequest{Addr: it.chunkAddr(blockAddr), N: isa.ChunkBytes, Done: func(data []byte) {
+			it.active = true
 			it.chunks[blockAddr] = &itChunk{raw: data}
 			if st := it.refills[blockAddr]; st != nil {
 				st.ownDone = true
@@ -76,7 +83,7 @@ func (it *itTile) tick(now int64) {
 		if !it.port.Submit(req) {
 			break
 		}
-		it.pending = it.pending[1:]
+		it.pending.Pop()
 	}
 	// South-neighbor refill completions arrive on the GSN chain.
 	node := it.id + 1
@@ -109,6 +116,9 @@ func (it *itTile) tick(now int64) {
 		kept = append(kept, addr)
 	}
 	it.refillOrder = kept
+	// Idle once nothing is queued for the port and no refill is outstanding;
+	// onRefill commands and bank-read completions re-set active.
+	it.active = !it.pending.Empty() || len(it.refillOrder) > 0
 	_ = now
 }
 

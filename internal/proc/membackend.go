@@ -1,6 +1,9 @@
 package proc
 
-import "trips/internal/mem"
+import (
+	"trips/internal/mem"
+	"trips/internal/micronet"
+)
 
 // MemRequest is one secondary-memory transaction issued by a DT (L1 miss,
 // writeback) or IT (I-cache refill) through its private port into the
@@ -43,6 +46,7 @@ type FixedLatencyMem struct {
 	ports   map[string]*fixedPort
 	order   []*fixedPort // deterministic tick order
 	cycle   int64
+	pending int // outstanding transactions across all ports (fast idle tick)
 }
 
 // NewFixedLatencyMem builds the backend over m with the given latency.
@@ -53,7 +57,7 @@ func NewFixedLatencyMem(m *mem.Memory, latency int) *FixedLatencyMem {
 type fixedPort struct {
 	parent  *FixedLatencyMem
 	lastSub int64
-	queue   []pendingReq
+	queue   micronet.Queue[pendingReq]
 }
 
 type pendingReq struct {
@@ -78,17 +82,21 @@ func (p *fixedPort) Submit(req *MemRequest) bool {
 		return false
 	}
 	p.lastSub = p.parent.cycle
-	p.queue = append(p.queue, pendingReq{req: req, when: p.parent.cycle + int64(p.parent.Latency)})
+	p.queue.Push(pendingReq{req: req, when: p.parent.cycle + int64(p.parent.Latency)})
+	p.parent.pending++
 	return true
 }
 
 // Tick implements MemBackend.
 func (f *FixedLatencyMem) Tick() {
 	f.cycle++
+	if f.pending == 0 {
+		return
+	}
 	for _, p := range f.order {
-		for len(p.queue) > 0 && p.queue[0].when <= f.cycle {
-			pr := p.queue[0]
-			p.queue = p.queue[1:]
+		for p.queue.Len() > 0 && p.queue.Front().when <= f.cycle {
+			pr := p.queue.Pop()
+			f.pending--
 			if pr.req.IsWrite {
 				f.Mem.WriteBytes(pr.req.Addr, pr.req.Data)
 				if pr.req.Done != nil {

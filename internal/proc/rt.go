@@ -67,7 +67,22 @@ type rtTile struct {
 	ackEastEv  [NumSlots]*critpath.Event
 	ackSent    [NumSlots]bool
 
-	outQ []*opnMsg
+	outQ micronet.Queue[*opnMsg]
+
+	// unresolved counts read-queue entries in bound frames that are valid,
+	// not done and awaiting resolution — the only entries the per-tick
+	// resolve scan can act on. Zero lets tick and idleNow skip the 8x8
+	// read-queue walk; the counter is adjusted at every transition
+	// (header arrival, resolution, nullified-write re-open, flush re-open)
+	// and purged when a frame is unbound.
+	unresolved int
+
+	// active registers pending work with the core's stepping fast path: set
+	// by every wake (dispatch binding, header/write delivery, commit command,
+	// flush), cleared by tick when no slot has resolvable or sendable work.
+	// Waiting reads and incomplete write sets only change on deliveries, so
+	// an idle tile's tick would be a no-op.
+	active bool
 
 	// Stats.
 	ReadsForwarded, ReadsFromFile, ReadsBuffered, NullWrites uint64
@@ -77,7 +92,23 @@ func newRT(core *Core, id int) *rtTile {
 	return &rtTile{core: core, id: id, at: rtCoord(id)}
 }
 
+// slotUnresolved counts slot s's read entries awaiting resolution.
+func (r *rtTile) slotUnresolved(s int) int {
+	n := 0
+	for i := range r.readQ[s] {
+		e := &r.readQ[s][i]
+		if e.valid && !e.done && e.unresolved {
+			n++
+		}
+	}
+	return n
+}
+
 func (r *rtTile) bindSlot(slot int, seq uint64, thread int) {
+	r.active = true
+	if r.slotSeq[slot] != 0 {
+		r.unresolved -= r.slotUnresolved(slot)
+	}
 	r.readQ[slot] = [8]readEntry{}
 	r.writeQ[slot] = [8]writeEntry{}
 	r.slotSeq[slot] = seq
@@ -103,6 +134,7 @@ func (r *rtTile) bindSlot(slot int, seq uint64, thread int) {
 // carries queue index b of each) and marks beat progress. A block with no
 // valid entry at an index still counts the beat.
 func (r *rtTile) deliverHeaderBeat(slot int, seq uint64, beat int, rd isa.ReadInst, wr isa.WriteInst, ev *critpath.Event) {
+	r.active = true
 	if r.slotSeq[slot] != seq {
 		return
 	}
@@ -111,6 +143,7 @@ func (r *rtTile) deliverHeaderBeat(slot int, seq uint64, beat int, rd isa.ReadIn
 			valid: true, gr: rd.GR, rt0: rd.RT0, rt1: rd.RT1,
 			arrEv: ev, unresolved: true,
 		}
+		r.unresolved++
 	}
 	if wr.Valid {
 		r.writeQ[slot][beat] = writeEntry{valid: true, gr: wr.GR}
@@ -145,6 +178,7 @@ func (r *rtTile) resolveRead(now int64, slot int, e *readEntry) {
 		return // retry next cycle
 	}
 	e.unresolved = false
+	r.unresolved--
 	// Youngest older matching write wins. Writes that arrived nullified do
 	// not modify the register, so the search continues past them.
 	var bestSlot, bestIdx int
@@ -204,15 +238,18 @@ func (r *rtTile) sendReadValue(slot int, seq uint64, thread int, e *readEntry, v
 		} else {
 			dst = etCoord(isa.ETOf(tgt.Index))
 		}
-		r.outQ = append(r.outQ, &opnMsg{
+		m := r.core.newOPNMsg()
+		*m = opnMsg{
 			dst: dst, kind: opnOperand, slot: slot, seq: seq, thread: thread,
 			target: tgt, val: v, ev: ev,
-		})
+		}
+		r.outQ.Push(m)
 	}
 }
 
 // deliverWrite receives a block output value for write-queue entry j.
 func (r *rtTile) deliverWrite(now int64, slot int, seq uint64, idx int, v Value, ev *critpath.Event) {
+	r.active = true
 	if r.slotSeq[slot] != seq {
 		return
 	}
@@ -241,6 +278,7 @@ func (r *rtTile) deliverWrite(now int64, slot int, seq uint64, idx int, v Value,
 				// unchanged by that block; re-resolve against older state.
 				e.waiting = false
 				e.unresolved = true
+				r.unresolved++
 				continue
 			}
 			readerSeq := r.slotSeq[s]
@@ -273,14 +311,16 @@ func (r *rtTile) writesComplete(slot int) (bool, *critpath.Event) {
 // tick runs one RT cycle.
 func (r *rtTile) tick(now int64) {
 	// Resolve newly arrived or re-opened reads.
-	for s := 0; s < NumSlots; s++ {
-		if r.slotSeq[s] == 0 {
-			continue
-		}
-		for i := range r.readQ[s] {
-			e := &r.readQ[s][i]
-			if e.valid && !e.done && e.unresolved {
-				r.resolveRead(now, s, e)
+	if r.unresolved > 0 {
+		for s := 0; s < NumSlots; s++ {
+			if r.slotSeq[s] == 0 || r.slotUnresolved(s) == 0 {
+				continue
+			}
+			for i := range r.readQ[s] {
+				e := &r.readQ[s][i]
+				if e.valid && !e.done && e.unresolved {
+					r.resolveRead(now, s, e)
+				}
 			}
 		}
 	}
@@ -329,6 +369,7 @@ func (r *rtTile) tick(now int64) {
 				r.core.gsnRT.Send(r.id+1, gsnMsg{kind: gsnAckR, slot: s, seq: r.slotSeq[s], ev: ev})
 				r.ackSent[s] = true
 				// Frame released at this tile.
+				r.unresolved -= r.slotUnresolved(s)
 				r.slotSeq[s] = 0
 			}
 		}
@@ -336,6 +377,30 @@ func (r *rtTile) tick(now int64) {
 	// Forward GSN messages from the east neighbor.
 	r.pumpGSN(now)
 	r.drainOutQ()
+	r.active = !r.idleNow()
+}
+
+// idleNow reports whether another tick with no intervening delivery would be
+// a no-op: nothing queued for the OPN, no unresolved reads to retry, no
+// pending finish forward and no in-progress commit drain. Buffered reads and
+// incomplete header/write sets advance only on deliveries, which re-set
+// active.
+func (r *rtTile) idleNow() bool {
+	if !r.outQ.Empty() || r.unresolved > 0 {
+		return false
+	}
+	for s := 0; s < NumSlots; s++ {
+		if r.slotSeq[s] == 0 {
+			continue
+		}
+		if r.committing[s] && !r.ackSent[s] {
+			return false
+		}
+		if r.finishOwn[s] && !r.finishSent[s] {
+			return false
+		}
+	}
+	return true
 }
 
 // drainCommit writes one pending register per call; returns true when the
@@ -392,6 +457,7 @@ func (r *rtTile) pumpGSN(now int64) {
 
 // onCommitCommand begins architectural commit for a frame.
 func (r *rtTile) onCommitCommand(now int64, slot int, seq uint64, ev *critpath.Event) {
+	r.active = true
 	if r.slotSeq[slot] != seq {
 		return
 	}
@@ -405,14 +471,12 @@ func (r *rtTile) flush(slot int, seq uint64) {
 	if r.slotSeq[slot] != seq {
 		return
 	}
+	r.active = true
+	r.unresolved -= r.slotUnresolved(slot)
 	r.slotSeq[slot] = 0
-	kept := r.outQ[:0]
-	for _, m := range r.outQ {
-		if !(m.slot == slot && m.seq == seq) {
-			kept = append(kept, m)
-		}
-	}
-	r.outQ = kept
+	r.outQ.Filter(func(m *opnMsg) bool {
+		return !(m.slot == slot && m.seq == seq)
+	})
 	// Buffered reads of younger blocks waiting on this frame's writes must
 	// re-resolve.
 	for s := 0; s < NumSlots; s++ {
@@ -424,21 +488,22 @@ func (r *rtTile) flush(slot int, seq uint64) {
 			if e.valid && !e.done && e.waiting && e.waitSeq == seq {
 				e.waiting = false
 				e.unresolved = true
+				r.unresolved++
 			}
 		}
 	}
 }
 
 func (r *rtTile) drainOutQ() {
-	for len(r.outQ) > 0 {
-		msg := r.outQ[0]
+	for !r.outQ.Empty() {
+		msg := r.outQ.Front()
 		if r.slotSeq[msg.slot] != msg.seq {
-			r.outQ = r.outQ[1:]
+			r.outQ.Pop()
 			continue
 		}
 		if !r.core.injectOPN(r.at, msg) {
 			return
 		}
-		r.outQ = r.outQ[1:]
+		r.outQ.Pop()
 	}
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench.sh — simulator performance harness.
+#
+# Runs the checked-in benchmark suite and refreshes the machine-readable
+# Table 3 baseline (BENCH_table3.json: per-row results + host throughput).
+#
+#   scripts/bench.sh            quick smoke: Table 3 once + Figure 5b, JSON refresh
+#   scripts/bench.sh full       adds multi-iteration Figure 5b and the ablations
+#
+# The simulated results in BENCH_table3.json are deterministic; only the
+# host-throughput fields (wall_ns, sim_cycles_per_sec, ...) vary by machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-smoke}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== build =="
+go build ./...
+
+echo "== race: proc + micronet =="
+go test -race ./internal/proc/ ./internal/micronet/
+
+echo "== Table 3 (once) + Figure 5b, emitting BENCH_table3.json =="
+BENCH_TABLE3_JSON="$PWD/BENCH_table3.json" \
+  go test -run 'XXX' -bench 'Table3$|Figure5bCommitPipeline' -benchtime=1x -benchmem
+
+if [ "$mode" = "full" ]; then
+  echo "== Figure 5b (timed, multi-iteration) =="
+  go test -run 'XXX' -bench 'Figure5bCommitPipeline' -benchtime=2s -benchmem
+  echo "== ablations =="
+  go test -run 'XXX' -bench 'Ablation' -benchtime=1x
+fi
+
+echo "done; baseline written to BENCH_table3.json"
