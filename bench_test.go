@@ -261,8 +261,25 @@ func BenchmarkAlphaBaseline(b *testing.B) {
 
 // BenchmarkChipDualCore runs a workload on both processor cores
 // simultaneously through the partitioned NUCA memory system — the full
-// Figure 2 chip.
+// Figure 2 chip. The default variant uses the two-phase parallel step and
+// clock-warping; serial-nowarp is the one-thread, tick-every-cycle
+// baseline. Simulated cycle counts must be identical across variants.
 func BenchmarkChipDualCore(b *testing.B) {
+	for _, cfg := range []struct {
+		name               string
+		noWarp, noParallel bool
+	}{
+		{"parallel-warp", false, false},
+		{"serial-nowarp", true, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportMetric(float64(runDualCoreChip(b, cfg.noWarp, cfg.noParallel)), "cycles")
+		})
+	}
+}
+
+func runDualCoreChip(b *testing.B, noWarp, noParallel bool) int64 {
+	b.Helper()
 	w, err := workloads.ByName("vadd")
 	if err != nil {
 		b.Fatal(err)
@@ -282,9 +299,11 @@ func BenchmarkChipDualCore(b *testing.B) {
 		backing := mem.New()
 		spec0.SetupMem(backing)
 		c, err := chip.New(chip.Config{
-			Programs:  [2]*proc.Program{prog0, prog1},
-			Backing:   backing,
-			Partition: true,
+			Programs:   [2]*proc.Program{prog0, prog1},
+			Backing:    backing,
+			Partition:  true,
+			NoWarp:     noWarp,
+			NoParallel: noParallel,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -304,18 +323,32 @@ func BenchmarkChipDualCore(b *testing.B) {
 		}
 		cyc = c.Cycle()
 	}
-	b.ReportMetric(float64(cyc), "cycles")
+	return cyc
 }
 
 // BenchmarkNUCAvsPerfectL2 contrasts the paper's perfect-L2 normalization
-// with the full secondary memory system behind one core.
+// with the full secondary memory system behind one core. The nowarp
+// variants re-run each configuration with clock-warping disabled — the
+// simulated cycle counts must match, and the host-time gap is the win from
+// fast-forwarding SDRAM-latency stalls. vadd keeps eight blocks of
+// speculative work in flight, so it rarely quiesces; mcf's pointer chase
+// serializes its misses and spends most of its cycles in warpable waits.
 func BenchmarkNUCAvsPerfectL2(b *testing.B) {
 	for _, cfg := range []struct {
-		name string
-		nuca bool
-	}{{"perfect-l2", false}, {"nuca", true}} {
+		name     string
+		workload string
+		nuca     bool
+		nowarp   bool
+	}{
+		{"perfect-l2", "vadd", false, false},
+		{"perfect-l2-nowarp", "vadd", false, true},
+		{"nuca", "vadd", true, false},
+		{"nuca-nowarp", "vadd", true, true},
+		{"mcf-nuca", "181.mcf", true, false},
+		{"mcf-nuca-nowarp", "181.mcf", true, true},
+	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			b.ReportMetric(runCycles(b, "vadd", eval.TRIPSOptions{Mode: tcc.Hand, UseNUCA: cfg.nuca}, true), "cycles")
+			b.ReportMetric(runCycles(b, cfg.workload, eval.TRIPSOptions{Mode: tcc.Hand, UseNUCA: cfg.nuca, NoWarp: cfg.nowarp}, true), "cycles")
 		})
 	}
 }

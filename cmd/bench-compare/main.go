@@ -1,0 +1,133 @@
+// bench-compare diffs two BENCH_table3.json baselines (see scripts/bench.sh).
+//
+//	bench-compare baseline.json fresh.json
+//
+// Simulated cycle counts (CyclesHand, CyclesTCC, CyclesAlpha per workload)
+// are deterministic: any drift between the two files — including a workload
+// appearing or disappearing — is a regression and exits nonzero. Host
+// throughput (wall time, ns per simulated cycle) varies by machine and load,
+// so those deltas are reported but never fail the run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type row struct {
+	Name        string
+	CyclesHand  int64
+	CyclesTCC   int64
+	CyclesAlpha int64
+}
+
+type host struct {
+	Workload         string  `json:"workload"`
+	SimCycles        int64   `json:"sim_cycles"`
+	WallNS           int64   `json:"wall_ns"`
+	HostNSPerSimCyc  float64 `json:"host_ns_per_sim_cycle"`
+	SimCyclesPerSec_ float64 `json:"sim_cycles_per_sec"`
+}
+
+type baseline struct {
+	Rows            []row   `json:"rows"`
+	Host            []host  `json:"host"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+func load(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: %s baseline.json fresh.json\n", os.Args[0])
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(2)
+	}
+
+	baseRows := make(map[string]row, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[r.Name] = r
+	}
+	freshRows := make(map[string]row, len(fresh.Rows))
+	for _, r := range fresh.Rows {
+		freshRows[r.Name] = r
+	}
+
+	var names []string
+	for n := range baseRows {
+		names = append(names, n)
+	}
+	for n := range freshRows {
+		if _, ok := baseRows[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	drift := 0
+	for _, n := range names {
+		b, inBase := baseRows[n]
+		f, inFresh := freshRows[n]
+		switch {
+		case !inBase:
+			fmt.Printf("DRIFT %-12s only in fresh run\n", n)
+			drift++
+		case !inFresh:
+			fmt.Printf("DRIFT %-12s missing from fresh run\n", n)
+			drift++
+		case b != f:
+			fmt.Printf("DRIFT %-12s cycles hand %d->%d tcc %d->%d alpha %d->%d\n",
+				n, b.CyclesHand, f.CyclesHand, b.CyclesTCC, f.CyclesTCC, b.CyclesAlpha, f.CyclesAlpha)
+			drift++
+		}
+	}
+	if drift == 0 {
+		fmt.Printf("simulated cycles: %d workloads identical\n", len(names))
+	}
+
+	// Host throughput: informational only.
+	baseHost := make(map[string]host, len(base.Host))
+	for _, h := range base.Host {
+		baseHost[h.Workload] = h
+	}
+	for _, f := range fresh.Host {
+		b, ok := baseHost[f.Workload]
+		if !ok || b.HostNSPerSimCyc == 0 {
+			continue
+		}
+		delta := (f.HostNSPerSimCyc - b.HostNSPerSimCyc) / b.HostNSPerSimCyc * 100
+		fmt.Printf("host  %-12s %8.0f -> %8.0f ns/sim-cycle (%+.1f%%)\n",
+			f.Workload, b.HostNSPerSimCyc, f.HostNSPerSimCyc, delta)
+	}
+	if base.SimCyclesPerSec > 0 && fresh.SimCyclesPerSec > 0 {
+		delta := (fresh.SimCyclesPerSec - base.SimCyclesPerSec) / base.SimCyclesPerSec * 100
+		fmt.Printf("host  %-12s %8.0f -> %8.0f sim-cycles/sec (%+.1f%%)\n",
+			"TOTAL", base.SimCyclesPerSec, fresh.SimCyclesPerSec, delta)
+	}
+
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d workload(s) drifted in simulated cycles\n", drift)
+		os.Exit(1)
+	}
+}

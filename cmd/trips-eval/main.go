@@ -53,6 +53,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size for -table3/-ablate (0 = GOMAXPROCS)")
 		jsonOut    = flag.String("json", "", "write the -table3 report (rows + host throughput) to this file")
 		hostStats  = flag.Bool("host", false, "print host throughput after -table3 (nondeterministic)")
+		noFast     = flag.Bool("nofastpath", false, "run -table3 without quiescence-aware stepping (results must not change)")
+		noWarp     = flag.Bool("nowarp", false, "run -table3 without clock-warping (results must not change)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -121,7 +123,7 @@ func main() {
 		fig5b()
 	}
 	if *t3 {
-		table3(*bench, *workers, *jsonOut, *hostStats)
+		table3(*bench, *workers, *jsonOut, *hostStats, eval.Stepping{NoFastPath: *noFast, NoWarp: *noWarp})
 	}
 	if *ablate {
 		runAblations(*bench, *workers)
@@ -306,7 +308,7 @@ func fig5b() {
 	fmt.Println()
 }
 
-func table3(only string, workers int, jsonOut string, hostStats bool) {
+func table3(only string, workers int, jsonOut string, hostStats bool, step eval.Stepping) {
 	fmt.Println("== Table 3: network overheads and preliminary performance ==")
 	fmt.Printf("%-12s | %7s %8s %8s %7s %9s %7s %6s | %7s %7s | %6s %6s %6s\n",
 		"Benchmark", "IFetch", "OPNHops", "OPNCont", "Fanout", "BlkCompl", "Commit", "Other",
@@ -314,9 +316,9 @@ func table3(only string, workers int, jsonOut string, hostStats bool) {
 	var rep *eval.Table3Report
 	var err error
 	if only != "" {
-		rep, err = eval.Table3Rows([]string{only}, workers)
+		rep, err = eval.Table3Rows([]string{only}, workers, step)
 	} else {
-		rep, err = eval.Table3All(workers)
+		rep, err = eval.Table3All(workers, step)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -6,7 +6,7 @@
 //	tsim -list
 //	tsim -bench vadd [-mode hand|tcc] [-placement naive|greedy]
 //	     [-opn 1|2] [-conservative] [-alpha] [-golden]
-//	     [-host] [-nofastpath] [-cpuprofile f] [-memprofile f]
+//	     [-host] [-nofastpath] [-nowarp] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -36,6 +36,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "print per-tile statistics")
 		host       = flag.Bool("host", false, "print host throughput (sim-cycles/sec; nondeterministic)")
 		noFast     = flag.Bool("nofastpath", false, "disable quiescence-aware stepping (results must not change)")
+		noWarp     = flag.Bool("nowarp", false, "disable clock-warping over quiescent stretches (results must not change)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -86,7 +87,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, NoFastPath: *noFast}
+	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, NoFastPath: *noFast, NoWarp: *noWarp}
 	hand := true
 	switch *mode {
 	case "hand":

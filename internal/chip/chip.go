@@ -8,11 +8,17 @@ package chip
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 
 	"trips/internal/mem"
 	"trips/internal/nuca"
 	"trips/internal/proc"
 )
+
+// horizonNever means no deadline-held event is outstanding (matches the
+// sentinel convention of proc.EventHorizon).
+const horizonNever = int64(math.MaxInt64)
 
 // Config parameterizes a chip instance.
 type Config struct {
@@ -26,6 +32,12 @@ type Config struct {
 	// Scratchpad configures the MTs as on-chip memory.
 	Scratchpad bool
 	MaxCycles  int64
+	// NoWarp disables clock-warping over chip-wide quiescent stretches
+	// (for A/B bit-identity checks, mirroring proc.Config.NoWarp).
+	NoWarp bool
+	// NoParallel forces the two cores to step sequentially on one host
+	// thread instead of the deterministic two-phase parallel step.
+	NoParallel bool
 }
 
 // Chip is one TRIPS prototype chip.
@@ -36,6 +48,35 @@ type Chip struct {
 	C2C   *C2C
 	cfg   Config
 	cycle int64
+
+	// step1/done1 drive a persistent worker goroutine for core 1 during
+	// parallel stepping: spawning a goroutine per cycle costs ~2µs, a
+	// channel ping-pong a few hundred ns. The worker is started lazily on
+	// the first parallel step and stopped as soon as either core finishes.
+	step1, done1 chan struct{}
+}
+
+// startWorker launches the core-1 step worker.
+func (c *Chip) startWorker() {
+	c.step1 = make(chan struct{})
+	c.done1 = make(chan struct{})
+	go func() {
+		for range c.step1 {
+			c.Cores[1].Step()
+			c.done1 <- struct{}{}
+		}
+		close(c.done1)
+	}()
+}
+
+// stopWorker tears down the core-1 step worker, if running.
+func (c *Chip) stopWorker() {
+	if c.step1 == nil {
+		return
+	}
+	close(c.step1)
+	<-c.done1
+	c.step1, c.done1 = nil, nil
 }
 
 // New builds and boots a chip: the external bus controller's PowerPC host
@@ -90,11 +131,32 @@ type coreBackend struct {
 func (b *coreBackend) Port(name string) proc.MemPort { return b.sys.Port(b.prefix + name) }
 func (b *coreBackend) Tick()                         {} // the chip ticks the OCN once per cycle
 
-// Step advances the whole chip one cycle.
+// Step advances the whole chip one cycle as a deterministic two-phase
+// step. Compute phase: the two cores step concurrently — they share only
+// the OCN, whose port Submit paths touch port-local state only. Exchange
+// phase: DMA ticks and the OCN tick (which drains port queues and assigns
+// transaction ids in fixed order) run serialized, so every cross-core
+// interaction happens in the same order as a sequential step.
 func (c *Chip) Step() {
-	for _, core := range c.Cores {
-		if core != nil && !core.Done() {
-			core.Step()
+	run0 := c.Cores[0] != nil && !c.Cores[0].Done()
+	run1 := c.Cores[1] != nil && !c.Cores[1].Done()
+	// On a single-thread host the worker goroutine can only add ping-pong
+	// overhead, so fall back to sequential stepping (the two orders are
+	// outcome-identical: the compute phase has no cross-core interaction).
+	if run0 && run1 && !c.cfg.NoParallel && runtime.GOMAXPROCS(0) > 1 {
+		if c.step1 == nil {
+			c.startWorker()
+		}
+		c.step1 <- struct{}{}
+		c.Cores[0].Step()
+		<-c.done1
+	} else {
+		c.stopWorker()
+		if run0 {
+			c.Cores[0].Step()
+		}
+		if run1 {
+			c.Cores[1].Step()
 		}
 	}
 	for _, d := range c.DMA {
@@ -119,19 +181,71 @@ func (c *Chip) Done() bool {
 	return true
 }
 
-// Run executes until completion.
+// Run executes until completion, warping the clock over chip-wide
+// quiescent stretches.
 func (c *Chip) Run() error {
 	limit := c.cfg.MaxCycles
 	if limit == 0 {
 		limit = 200_000_000
 	}
+	defer c.stopWorker()
 	for !c.Done() {
+		if !c.cfg.NoWarp {
+			c.tryWarp(limit)
+		}
 		if c.cycle >= limit {
 			return fmt.Errorf("chip: cycle limit %d exceeded", limit)
 		}
 		c.Step()
 	}
 	return nil
+}
+
+// tryWarp jumps the chip clock to the next event horizon when every
+// component is provably idle: the OCN quiet, each running core quiescent,
+// and no DMA needing a per-cycle tick (a DMA with a transaction in flight
+// is a pure waiter — its Done closure fires from the serial OCN tick). The
+// horizon is the minimum of the cores' scheduled events and the memory
+// system's deadlines (backend events at cycle R are serviced during the
+// chip step at R-1); clamping to limit keeps the cycle-limit error of a
+// warped run identical to an unwarped one.
+func (c *Chip) tryWarp(limit int64) {
+	if !c.Mem.Quiet() {
+		return
+	}
+	for _, d := range c.DMA {
+		if d.Busy() && !d.inFlight {
+			return
+		}
+	}
+	h := horizonNever
+	for _, core := range c.Cores {
+		if core == nil || core.Done() {
+			continue
+		}
+		if !core.Quiescent() {
+			return
+		}
+		if ch := core.NextEventCycle(); ch < h {
+			h = ch
+		}
+	}
+	if mh := c.Mem.NextEventCycle(); mh != horizonNever && mh-1 < h {
+		h = mh - 1
+	}
+	if h > limit {
+		h = limit
+	}
+	if h <= c.cycle || h == horizonNever {
+		return
+	}
+	for _, core := range c.Cores {
+		if core != nil && !core.Done() {
+			core.WarpTo(h)
+		}
+	}
+	c.Mem.Warp(h - c.cycle)
+	c.cycle = h
 }
 
 // Cycle returns the chip cycle count.

@@ -66,12 +66,21 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
-// TestFastPathBitIdentical is the tentpole invariant: the quiescence-aware
-// stepping fast paths (skipping idle-tile ticks, routing and delivery scans)
-// may change host time only. Running with NoFastPath — every tile ticked
-// every cycle, as the original stepping loop did — must produce exactly the
-// same cycles, stats and critical path as the gated loop.
+// TestFastPathBitIdentical is the tentpole invariant, checked three ways:
+// full stepping (NoFastPath — every tile ticked every cycle, as the
+// original loop did), the quiescence-aware fast paths with warping disabled
+// (NoWarp), and the fast paths plus clock-warping over quiescent stretches.
+// All three may change host time only: cycles, stats, critical path and
+// architectural registers must match exactly.
 func TestFastPathBitIdentical(t *testing.T) {
+	variants := []struct {
+		name string
+		opt  TRIPSOptions
+	}{
+		{"full", TRIPSOptions{NoFastPath: true}},
+		{"fastpath", TRIPSOptions{NoWarp: true}},
+		{"fastpath+warp", TRIPSOptions{}},
+	}
 	for _, name := range microNames {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -79,23 +88,64 @@ func TestFastPathBitIdentical(t *testing.T) {
 		}
 		for _, mode := range []tcc.Mode{tcc.Hand, tcc.Compiled} {
 			hand := mode == tcc.Hand
-			fast, err := RunTRIPS(w.Build(hand), TRIPSOptions{Mode: mode, TrackCritPath: true})
-			if err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			slow, err := RunTRIPS(w.Build(hand), TRIPSOptions{Mode: mode, TrackCritPath: true, NoFastPath: true})
-			if err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			if a, b := summarize(fast), summarize(slow); a != b {
-				t.Errorf("%s (mode %v): fast path diverged from full stepping:\n  fast: %+v\n  full: %+v",
-					name, mode, a, b)
-			}
-			for v, val := range fast.Regs {
-				if slow.Regs[v] != val {
-					t.Errorf("%s (mode %v): r%d = %d fast, %d full", name, mode, v, val, slow.Regs[v])
+			var ref *TRIPSResult
+			for _, v := range variants {
+				opt := v.opt
+				opt.Mode = mode
+				opt.TrackCritPath = true
+				res, err := RunTRIPS(w.Build(hand), opt)
+				if err != nil {
+					t.Fatalf("%s (%s): %v", name, v.name, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if a, b := summarize(ref), summarize(res); a != b {
+					t.Errorf("%s (mode %v): %s diverged from full stepping:\n  full: %+v\n  %s: %+v",
+						name, mode, v.name, a, v.name, b)
+				}
+				for reg, val := range ref.Regs {
+					if res.Regs[reg] != val {
+						t.Errorf("%s (mode %v): r%d = %d full, %d %s", name, mode, reg, val, res.Regs[reg], v.name)
+					}
 				}
 			}
+		}
+	}
+}
+
+// TestNUCAFastPathBitIdentical repeats the three-way check behind the full
+// NUCA secondary memory system, where the core's warp decisions must also
+// respect OCN deadlines delivered from outside Core.Step.
+func TestNUCAFastPathBitIdentical(t *testing.T) {
+	w, err := workloads.ByName("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *TRIPSResult
+	for _, v := range []struct {
+		name string
+		opt  TRIPSOptions
+	}{
+		{"full", TRIPSOptions{NoFastPath: true}},
+		{"fastpath", TRIPSOptions{NoWarp: true}},
+		{"fastpath+warp", TRIPSOptions{}},
+	} {
+		opt := v.opt
+		opt.Mode = tcc.Hand
+		opt.UseNUCA = true
+		opt.TrackCritPath = true
+		res, err := RunTRIPS(w.Build(true), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if a, b := summarize(ref), summarize(res); a != b {
+			t.Errorf("NUCA %s diverged:\n  full: %+v\n  %s: %+v", v.name, a, v.name, b)
 		}
 	}
 }

@@ -35,6 +35,9 @@ type TRIPSOptions struct {
 	// ticks every tile every cycle. Results must be bit-identical either
 	// way; the flag exists for regression tests and debugging.
 	NoFastPath bool
+	// NoWarp disables clock-warping over quiescent stretches while keeping
+	// the stepping fast paths. Results must be bit-identical either way.
+	NoWarp bool
 }
 
 // TRIPSResult is one TRIPS run's outcome.
@@ -84,6 +87,7 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		ConservativeLoads: opt.ConservativeLoads,
 		SlowOPNRouter:     opt.SlowOPNRouter,
 		NoFastPath:        opt.NoFastPath,
+		NoWarp:            opt.NoWarp,
 	})
 	if err != nil {
 		return nil, err
@@ -229,17 +233,31 @@ type Table3Row struct {
 	CyclesAlpha int64
 }
 
-// Table3 computes one benchmark's row.
-func Table3(w workloads.Workload) (Table3Row, error) {
+// Stepping selects a simulator stepping discipline for a Table 3 run.
+// The zero value is the default (fast paths and clock-warping on); every
+// discipline must produce bit-identical simulated results, so the knobs
+// exist for A/B verification and host-throughput measurement.
+type Stepping struct {
+	NoFastPath bool
+	NoWarp     bool
+}
+
+// Table3 computes one benchmark's row. An optional Stepping overrides the
+// simulator discipline for the two TRIPS runs.
+func Table3(w workloads.Workload, step ...Stepping) (Table3Row, error) {
 	row := Table3Row{Name: w.Name}
+	var st Stepping
+	if len(step) > 0 {
+		st = step[0]
+	}
 
 	handSpec := w.Build(true)
-	hand, err := RunTRIPS(handSpec, TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true})
+	hand, err := RunTRIPS(handSpec, TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp})
 	if err != nil {
 		return row, err
 	}
 	compSpec := w.Build(false)
-	comp, err := RunTRIPS(compSpec, TRIPSOptions{Mode: tcc.Compiled})
+	comp, err := RunTRIPS(compSpec, TRIPSOptions{Mode: tcc.Compiled, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp})
 	if err != nil {
 		return row, err
 	}

@@ -54,12 +54,12 @@ type Table3Report struct {
 // Row order and all simulated results are independent of the worker count:
 // each row is a self-contained trio of runs (no shared mutable state), so
 // parallelism changes host time only.
-func Table3All(workers int) (*Table3Report, error) {
-	return table3Subset(workloads.All(), workers)
+func Table3All(workers int, step ...Stepping) (*Table3Report, error) {
+	return table3Subset(workloads.All(), workers, step...)
 }
 
 // Table3Rows computes rows for a named subset, with the same pooling.
-func Table3Rows(names []string, workers int) (*Table3Report, error) {
+func Table3Rows(names []string, workers int, step ...Stepping) (*Table3Report, error) {
 	var ws []workloads.Workload
 	for _, n := range names {
 		w, err := workloads.ByName(n)
@@ -68,10 +68,10 @@ func Table3Rows(names []string, workers int) (*Table3Report, error) {
 		}
 		ws = append(ws, w)
 	}
-	return table3Subset(ws, workers)
+	return table3Subset(ws, workers, step...)
 }
 
-func table3Subset(ws []workloads.Workload, workers int) (*Table3Report, error) {
+func table3Subset(ws []workloads.Workload, workers int, step ...Stepping) (*Table3Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -94,7 +94,7 @@ func table3Subset(ws []workloads.Workload, workers int) (*Table3Report, error) {
 			defer wg.Done()
 			for i := range idx {
 				t0 := time.Now()
-				row, err := Table3(ws[i])
+				row, err := Table3(ws[i], step...)
 				if err != nil {
 					errs[i] = err
 					continue

@@ -12,10 +12,50 @@
 // block (up to 8 blocks x 32 operations = 256 in flight, paper 3.5).
 package lsq
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
+
+// entryList keeps LSQ entries sorted by Key. Keys embed the block sequence
+// number in the high bits, so one block's operations occupy a contiguous
+// span: age-ordered scans run oldest-to-youngest with early exit, and
+// commit/flush are range deletions instead of whole-queue sweeps.
+type entryList []*Entry
+
+// search returns the index of the first entry with Key >= key.
+func (l entryList) search(key uint64) int {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid].Key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insert places e at its sorted position and reports whether the key was
+// already present.
+func (l *entryList) insert(e *Entry) bool {
+	i := l.search(e.Key)
+	if i < len(*l) && (*l)[i].Key == e.Key {
+		return false
+	}
+	*l = append(*l, nil)
+	copy((*l)[i+1:], (*l)[i:])
+	(*l)[i] = e
+	return true
+}
+
+// cut removes the half-open index range [i, j).
+func (l *entryList) cut(i, j int) {
+	n := copy((*l)[i:], (*l)[j:])
+	tail := (*l)[i+n:]
+	for k := range tail {
+		tail[k] = nil
+	}
+	*l = (*l)[:i+n]
+}
 
 // Capacity is the number of LSQ entries (paper Section 3.5).
 const Capacity = 256
@@ -62,7 +102,7 @@ const (
 
 // LSQ is one DT's replica of the load/store queue.
 type LSQ struct {
-	entries map[uint64]*Entry
+	entries entryList
 
 	// Stats.
 	Forwards, Violations, Conflicts uint64
@@ -70,7 +110,7 @@ type LSQ struct {
 
 // New returns an empty LSQ.
 func New() *LSQ {
-	return &LSQ{entries: make(map[uint64]*Entry)}
+	return &LSQ{}
 }
 
 // Len returns the number of buffered operations.
@@ -86,23 +126,19 @@ func (q *LSQ) InsertLoad(key, blockSeq uint64, addr uint64, width int) (LoadResu
 	if q.Full() {
 		return 0, 0, fmt.Errorf("lsq: full")
 	}
-	if _, dup := q.entries[key]; dup {
+	e := &Entry{Key: key, BlockSeq: blockSeq, Addr: addr, Width: width, Issued: true}
+	if !q.entries.insert(e) {
 		return 0, 0, fmt.Errorf("lsq: duplicate key %#x", key)
 	}
-	e := &Entry{Key: key, BlockSeq: blockSeq, Addr: addr, Width: width, Issued: true}
-	q.entries[key] = e
 
-	// Find the youngest earlier store overlapping the load.
+	// Find the youngest earlier store overlapping the load: walk down from
+	// the load's position and stop at the first match.
 	var best *Entry
-	for _, s := range q.entries {
-		if !s.IsStore || s.Null || s.Key >= key {
-			continue
-		}
-		if !s.overlaps(addr, width) {
-			continue
-		}
-		if best == nil || s.Key > best.Key {
+	for i := q.entries.search(key) - 1; i >= 0; i-- {
+		s := q.entries[i]
+		if s.IsStore && !s.Null && s.overlaps(addr, width) {
 			best = s
+			break
 		}
 	}
 	if best == nil {
@@ -131,25 +167,23 @@ func (q *LSQ) InsertStore(key, blockSeq uint64, addr uint64, width int, data uin
 	if q.Full() {
 		return nil, fmt.Errorf("lsq: full")
 	}
-	if _, dup := q.entries[key]; dup {
+	e := &Entry{Key: key, BlockSeq: blockSeq, IsStore: true, Addr: addr, Width: width, Data: data, Null: null}
+	if !q.entries.insert(e) {
 		return nil, fmt.Errorf("lsq: duplicate key %#x", key)
 	}
-	q.entries[key] = &Entry{Key: key, BlockSeq: blockSeq, IsStore: true, Addr: addr, Width: width, Data: data, Null: null}
 	if null {
 		return nil, nil
 	}
+	// Later entries sit above the store's position, already oldest-first.
 	var violated []*Entry
-	for _, l := range q.entries {
-		if l.IsStore || l.Key <= key || !l.Issued {
-			continue
-		}
-		if l.overlaps(addr, width) {
+	for i := q.entries.search(key) + 1; i < len(q.entries); i++ {
+		l := q.entries[i]
+		if !l.IsStore && l.Issued && l.overlaps(addr, width) {
 			violated = append(violated, l)
 		}
 	}
 	if len(violated) > 0 {
 		q.Violations++
-		sort.Slice(violated, func(i, j int) bool { return violated[i].Key < violated[j].Key })
 	}
 	return violated, nil
 }
@@ -159,13 +193,13 @@ func (q *LSQ) InsertStore(key, blockSeq uint64, addr uint64, width int, data uin
 // stores have drained — so the DT can replay them from the cache.
 func (q *LSQ) PendingConflicts() []*Entry {
 	var out []*Entry
-	for _, l := range q.entries {
+	for i, l := range q.entries {
 		if l.IsStore || l.Issued {
 			continue
 		}
 		blocked := false
-		for _, s := range q.entries {
-			if s.IsStore && !s.Null && s.Key < l.Key && s.overlaps(l.Addr, l.Width) {
+		for _, s := range q.entries[:i] {
+			if s.IsStore && !s.Null && s.overlaps(l.Addr, l.Width) {
 				blocked = true
 				break
 			}
@@ -174,31 +208,32 @@ func (q *LSQ) PendingConflicts() []*Entry {
 			out = append(out, l)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
 // MarkIssued marks a replayed load as issued.
 func (q *LSQ) MarkIssued(key uint64) {
-	if e := q.entries[key]; e != nil {
-		e.Issued = true
+	if i := q.entries.search(key); i < len(q.entries) && q.entries[i].Key == key {
+		q.entries[i].Issued = true
 	}
+}
+
+// blockSpan returns the index range [i, j) holding blockSeq's entries.
+func (q *LSQ) blockSpan(blockSeq uint64) (int, int) {
+	return q.entries.search(OrderKey(blockSeq, 0)), q.entries.search(OrderKey(blockSeq+1, 0))
 }
 
 // CommitBlock removes all of blockSeq's entries and returns its
 // non-nullified stores in LSID order for the DT to drain into the cache.
 func (q *LSQ) CommitBlock(blockSeq uint64) []*Entry {
+	i, j := q.blockSpan(blockSeq)
 	var stores []*Entry
-	for k, e := range q.entries {
-		if e.BlockSeq != blockSeq {
-			continue
-		}
+	for _, e := range q.entries[i:j] {
 		if e.IsStore && !e.Null {
 			stores = append(stores, e)
 		}
-		delete(q.entries, k)
 	}
-	sort.Slice(stores, func(i, j int) bool { return stores[i].Key < stores[j].Key })
+	q.entries.cut(i, j)
 	return stores
 }
 
@@ -206,21 +241,14 @@ func (q *LSQ) CommitBlock(blockSeq uint64) []*Entry {
 // (the flush protocol discards the mis-speculated block and everything
 // after it, paper Section 4.3).
 func (q *LSQ) FlushFrom(blockSeq uint64) {
-	for k, e := range q.entries {
-		if e.BlockSeq >= blockSeq {
-			delete(q.entries, k)
-		}
-	}
+	q.entries.cut(q.entries.search(OrderKey(blockSeq, 0)), len(q.entries))
 }
 
 // FlushBlock removes exactly one block's entries (used when the GCN flush
 // mask names specific frames).
 func (q *LSQ) FlushBlock(blockSeq uint64) {
-	for k, e := range q.entries {
-		if e.BlockSeq == blockSeq {
-			delete(q.entries, k)
-		}
-	}
+	i, j := q.blockSpan(blockSeq)
+	q.entries.cut(i, j)
 }
 
 // MaxOccupancy is exported for the area/utilization ablation: the paper

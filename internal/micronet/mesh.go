@@ -78,6 +78,12 @@ type Mesh[T Routable] struct {
 	// per-cycle link walk touches only real links, with the destination
 	// router and input port precomputed.
 	edges []meshEdge[T]
+	// busyEdges tracks edges whose link currently holds a message, so
+	// Propagate walks only those. Each edge latches into its own dedicated
+	// (router, input-port) buffer, so the walk order cannot affect state.
+	busyEdges []*meshEdge[T]
+	// edgeOf[d][r][c] locates the edge record for links[d][r][c].
+	edgeOf [numDirs][][]*meshEdge[T]
 	// DeliveryCap bounds messages delivered to one tile per cycle
 	// (default 1).
 	DeliveryCap int
@@ -122,6 +128,25 @@ func NewMesh[T Routable](name string, rows, cols int) *Mesh[T] {
 					l := NewLink[T](fmt.Sprintf("%s %v->%v", name, Coord{r, c}, Coord{nr, nc}))
 					m.links[d][r][c] = l
 					m.edges = append(m.edges, meshEdge[T]{link: l, dst: &m.routers[nr][nc], in: opposite(d)})
+				}
+			}
+		}
+	}
+	// Second pass (edges is fully grown, pointers are stable): index the
+	// edge records by (direction, row, column) for the busy-edge tracking.
+	for d := North; d < Local; d++ {
+		m.edgeOf[d] = make([][]*meshEdge[T], rows)
+		for r := 0; r < rows; r++ {
+			m.edgeOf[d][r] = make([]*meshEdge[T], cols)
+		}
+	}
+	i := 0
+	for d := North; d < Local; d++ {
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if m.links[d][r][c] != nil {
+					m.edgeOf[d][r][c] = &m.edges[i]
+					i++
 				}
 			}
 		}
@@ -264,6 +289,9 @@ func (m *Mesh[T]) tickRouter(rt *router[T], off int) {
 			}
 			continue
 		}
+		if !link.Busy() {
+			m.busyEdges = append(m.busyEdges, m.edgeOf[out][rt.at.Row][rt.at.Col])
+		}
 		link.Send(msg)
 		claimed[out] = true
 		m.linkBusy++
@@ -278,48 +306,43 @@ func (m *Mesh[T]) tickRouter(rt *router[T], off int) {
 	}
 }
 
-// Propagate advances all links one cycle and latches arriving messages into
-// router input buffers. Call once per cycle after Tick. A no-op when no
-// message is resident on any link.
+// Propagate advances all busy links one cycle and latches arriving messages
+// into router input buffers. Call once per cycle after Tick. Only edges
+// whose link holds a message are visited; since every edge latches into its
+// own dedicated (router, input-port) buffer, the visit order cannot change
+// any outcome.
 func (m *Mesh[T]) Propagate() {
-	if m.linkBusy == 0 {
+	if len(m.busyEdges) == 0 {
 		return
 	}
-	for _, e := range m.edges {
+	kept := m.busyEdges[:0]
+	for _, e := range m.busyEdges {
 		e.link.Propagate()
-	}
-	// Latch link outputs into the receiving router's input buffer for the
-	// opposite direction, if that buffer is free. Every message resident on
-	// a link is visible on its output register after the propagate pass, so
-	// once linkBusy messages have been seen the rest of the walk is idle.
-	todo := m.linkBusy
-	for i := range m.edges {
-		e := &m.edges[i]
-		msg, ok := e.link.Recv()
-		if !ok {
-			continue
-		}
-		todo--
-		rt := e.dst
-		if rt.inFull[e.in] {
-			if tr, okt := any(msg).(Tracked); okt {
-				tr.NoteWait()
+		if msg, ok := e.link.Recv(); ok {
+			rt := e.dst
+			if rt.inFull[e.in] {
+				// Backpressure: the message stays on the link.
+				if tr, okt := any(msg).(Tracked); okt {
+					tr.NoteWait()
+				}
+			} else {
+				rt.inBuf[e.in] = msg
+				rt.inFull[e.in] = true
+				rt.occ++
+				m.bufOcc++
+				m.linkBusy--
+				e.link.Pop()
 			}
-			if todo == 0 {
-				break
-			}
-			continue // backpressure: stays on the link
 		}
-		rt.inBuf[e.in] = msg
-		rt.inFull[e.in] = true
-		rt.occ++
-		m.bufOcc++
-		m.linkBusy--
-		e.link.Pop()
-		if todo == 0 {
-			break
+		if e.link.Busy() {
+			kept = append(kept, e)
 		}
 	}
+	tail := m.busyEdges[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	m.busyEdges = kept
 }
 
 func opposite(d Dir) Dir {
@@ -334,6 +357,14 @@ func opposite(d Dir) Dir {
 		return East
 	}
 	return Local
+}
+
+// SkipTicks advances the arbitration counter by n cycles without routing —
+// exactly the state change n Ticks of a quiet mesh would make. Clock-warping
+// callers use it so post-warp round-robin arbitration decisions are
+// bit-identical to a run that ticked through every skipped cycle.
+func (m *Mesh[T]) SkipTicks(n int64) {
+	m.tickCount += int(n)
 }
 
 // Quiet reports whether no messages are anywhere in the network: no occupied

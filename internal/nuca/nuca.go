@@ -14,12 +14,17 @@ package nuca
 
 import (
 	"fmt"
+	"math"
 
 	"trips/internal/cache"
 	"trips/internal/mem"
 	"trips/internal/micronet"
 	"trips/internal/proc"
 )
+
+// horizonNever means no deadline-held event is outstanding (matches the
+// sentinel convention of proc.EventHorizon).
+const horizonNever = int64(math.MaxInt64)
 
 // Mesh geometry (paper Section 3.6, Figure 2): 4 columns x 10 rows. The
 // sixteen MTs occupy columns 0-1 of rows 1-8's even positions — concretely
@@ -113,10 +118,23 @@ type ntPort struct {
 	sys  *System
 	name string
 	at   micronet.Coord
-	outQ micronet.Queue[*ocnMsg]
+	outQ micronet.Queue[outItem]
 	// half selects the MT partition this port may address (when the
 	// system is partitioned).
 	half int
+}
+
+// outItem is a staged transaction awaiting injection. Submit builds the
+// message but leaves the transaction id unassigned and the system-wide
+// pending tables untouched: ports are driven from per-core step code, which
+// the chip may run in parallel goroutines, so Submit must touch only
+// port-local state. Ids are assigned and pending entries registered when the
+// serial Tick drains the queue, in fixed port order.
+type outItem struct {
+	msg    *ocnMsg
+	req    *proc.MemRequest
+	pd     *pending // nil for unsplit requests
+	off, n int
 }
 
 // Submit implements proc.MemPort. Requests that cross line boundaries are
@@ -157,27 +175,20 @@ func (p *ntPort) Submit(req *proc.MemRequest) bool {
 	return true
 }
 
-// submitPart issues one line-contained transaction. pd is nil for unsplit
-// requests.
+// submitPart stages one line-contained transaction. pd is nil for unsplit
+// requests. route() reads only construction-time state, so this is safe
+// from a parallel core step.
 func (p *ntPort) submitPart(req *proc.MemRequest, pd *pending, addr uint64, n, off int) {
-	id := p.sys.nextID
-	p.sys.nextID++
-	if pd == nil {
-		p.sys.pending[id] = pending{req: req, port: p}
-	} else {
-		pd.parts[id] = part{off: off, n: n}
-		p.sys.pendSplit[id] = pd
-	}
 	mt := p.sys.route(p.half, addr)
 	msg := &ocnMsg{
 		dst: mt, kind: mkReq, addr: addr, n: n,
-		write: req.IsWrite, id: id, origin: p.at,
+		write: req.IsWrite, origin: p.at,
 		flits: 1 + (n+FlitBytes-1)/FlitBytes,
 	}
 	if req.IsWrite {
 		msg.data = req.Data[off : off+n]
 	}
-	p.outQ.Push(msg)
+	p.outQ.Push(outItem{msg: msg, req: req, pd: pd, off: off, n: n})
 }
 
 // mtState is one memory tile.
@@ -331,20 +342,23 @@ func (s *System) Tick() {
 	s.delayed = kept
 
 	s.mesh.Tick()
-	// Drain deliveries at every node.
-	for r := 0; r < Rows; r++ {
-		for c := 0; c < Cols; c++ {
-			at := micronet.Coord{Row: r, Col: c}
-			for {
-				msg, ok := s.mesh.Deliver(at)
-				if !ok {
-					break
-				}
-				s.mesh.Pop(at)
-				if msg.flits > 1 {
-					s.delayed = append(s.delayed, delayedMsg{msg: msg, readyAt: s.cycle + int64(msg.flits-1)})
-				} else {
-					s.dispatch(msg)
+	// Drain deliveries at every node (skipped outright on cycles where the
+	// mesh delivered nothing — the common case on a memory-idle OCN).
+	if s.mesh.PendingDeliveries() > 0 {
+		for r := 0; r < Rows; r++ {
+			for c := 0; c < Cols; c++ {
+				at := micronet.Coord{Row: r, Col: c}
+				for {
+					msg, ok := s.mesh.Deliver(at)
+					if !ok {
+						break
+					}
+					s.mesh.Pop(at)
+					if msg.flits > 1 {
+						s.delayed = append(s.delayed, delayedMsg{msg: msg, readyAt: s.cycle + int64(msg.flits-1)})
+					} else {
+						s.dispatch(msg)
+					}
 				}
 			}
 		}
@@ -384,17 +398,79 @@ func (s *System) Tick() {
 			mt.outQ.Pop()
 		}
 	}
-	// Port output queues.
+	// Port output queues: transaction ids are assigned here, at the serial
+	// drain in fixed port order, so Submit stays safe from parallel core
+	// steps. Ids are correlation keys only (map lookups, echoed in
+	// responses), so the assignment point does not affect simulated timing.
 	for _, p := range s.order {
 		for !p.outQ.Empty() {
-			if !s.mesh.Inject(p.at, p.outQ.Front()) {
+			if !s.mesh.CanInject(p.at) {
 				break
 			}
-			p.outQ.Pop()
+			it := p.outQ.Pop()
+			id := s.nextID
+			s.nextID++
+			it.msg.id = id
+			if it.pd == nil {
+				s.pending[id] = pending{req: it.req, port: p}
+			} else {
+				it.pd.parts[id] = part{off: it.off, n: it.n}
+				s.pendSplit[id] = it.pd
+			}
+			s.mesh.Inject(p.at, it.msg)
 			s.Requests++
 		}
 	}
 	s.mesh.Propagate()
+}
+
+// Quiet implements proc.EventHorizon: no message anywhere on the OCN and no
+// staged injection awaiting a retry. Deadline-held work (multi-flit
+// serialization, SDRAM accesses) does not block quiescence — it is covered
+// by NextEventCycle.
+func (s *System) Quiet() bool {
+	if !s.mesh.Quiet() {
+		return false
+	}
+	for _, mt := range s.mts {
+		if !mt.outQ.Empty() {
+			return false
+		}
+	}
+	for _, p := range s.order {
+		if !p.outQ.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEventCycle implements proc.EventHorizon: the earliest readyAt across
+// delayed multi-flit deliveries and in-flight SDRAM jobs, in the backend
+// cycle domain (serviced during the owner's step one cycle earlier).
+func (s *System) NextEventCycle() int64 {
+	h := horizonNever
+	for _, d := range s.delayed {
+		if d.readyAt < h {
+			h = d.readyAt
+		}
+	}
+	for sdc := 0; sdc < 2; sdc++ {
+		for _, j := range s.sdcQ[sdc] {
+			if j.readyAt < h {
+				h = j.readyAt
+			}
+		}
+	}
+	return h
+}
+
+// Warp implements proc.EventHorizon: a quiet tick only advances the clock
+// and the mesh arbitration counter, so replaying those two state changes
+// delta times keeps a post-warp run bit-identical.
+func (s *System) Warp(delta int64) {
+	s.cycle += delta
+	s.mesh.SkipTicks(delta)
 }
 
 // dispatch handles a message arriving at its destination node.

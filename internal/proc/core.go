@@ -2,11 +2,15 @@ package proc
 
 import (
 	"fmt"
+	"math"
 
 	"trips/internal/critpath"
 	"trips/internal/isa"
 	"trips/internal/micronet"
 )
+
+// horizonNever marks "no scheduled event" in NextEventCycle results.
+const horizonNever = int64(math.MaxInt64)
 
 // haltAddr is the conventional halt target: a block whose committed exit
 // branches to address 0 halts its thread.
@@ -49,6 +53,13 @@ type Config struct {
 	// fast paths are bit-identical by construction; this flag exists so the
 	// determinism regression tests can prove it on every workload.
 	NoFastPath bool
+	// NoWarp disables clock warping: Run visits every cycle even when the
+	// core is provably quiescent until a scheduled event. Warped runs are
+	// bit-identical by construction (only no-op cycles are skipped, and the
+	// skipped ticks' counter effects are replayed exactly); the flag exists
+	// for the three-way A/B determinism tests, mirroring NoFastPath.
+	// NoFastPath implies NoWarp: the full-scan baseline never warps.
+	NoWarp bool
 }
 
 // BlockTime is one block's protocol timeline (Figure 5b's phases).
@@ -101,6 +112,9 @@ type Core struct {
 	CommittedBlocks uint64
 	CommittedInsts  uint64
 	FlushedBlocks   uint64
+	// Warps counts clock-warp jumps; WarpedCycles the dead cycles skipped.
+	Warps        uint64
+	WarpedCycles int64
 	nonNopCount     map[uint64]uint64 // block addr -> useful instruction count
 
 	// Timeline holds per-block protocol phases when RecordTimeline is set.
@@ -686,6 +700,108 @@ type Result struct {
 	CritPath        critpath.Report
 }
 
+// EventHorizon is optionally implemented by memory backends that can
+// fast-forward through idle time. Quiet reports that the backend's next tick
+// would do no per-cycle work beyond checking deadline-held completions;
+// NextEventCycle returns the earliest backend cycle holding such a
+// completion (horizonNever when none is outstanding) — note the backend
+// clock runs one ahead of its owner's, so the owner services a backend event
+// at cycle R during its own step at cycle R-1; Warp advances the backend
+// clock by delta cycles, every one of which the caller has proven to be a
+// no-op tick.
+type EventHorizon interface {
+	Quiet() bool
+	NextEventCycle() int64
+	Warp(delta int64)
+}
+
+// Quiescent reports whether the core's next Step would be a pure no-op
+// absent scheduled events: every micronet quiet with nothing awaiting
+// delivery, no queued GCN command, every tile idle, and the GT in a
+// pure-wait state. When the core is quiescent its entire future is a
+// function of deadline-held events — the wheel, the GT's fetch-stage
+// deadlines, and memory-system completions — so the clock may warp to the
+// earliest such horizon (NextEventCycle) without changing any simulated
+// outcome.
+func (c *Core) Quiescent() bool {
+	for _, m := range c.opns {
+		if !m.Quiet() {
+			return false
+		}
+	}
+	if !c.gcn.Quiet() || c.gcn.Pending() > 0 || !c.gcnQueue.Empty() {
+		return false
+	}
+	if !c.gsnRT.Quiet() || !c.gsnDT.Quiet() || !c.gsnIT.Quiet() {
+		return false
+	}
+	if !c.dsn.Quiet() || c.dsn.Pending() > 0 {
+		return false
+	}
+	for _, it := range c.its {
+		if it.active {
+			return false
+		}
+	}
+	for _, r := range c.rts {
+		if r.active {
+			return false
+		}
+	}
+	for _, e := range c.ets {
+		if e.active {
+			return false
+		}
+	}
+	for _, d := range c.dts {
+		if d.active {
+			return false
+		}
+	}
+	_, ok := c.gt.warpIdle(c.cycle)
+	return ok
+}
+
+// NextEventCycle returns the earliest future cycle at which a core-internal
+// scheduled event fires: the event wheel, its overflow safety map, and the
+// GT's deadline-held fetch stages. horizonNever when nothing is scheduled.
+// Only meaningful on a Quiescent core (otherwise per-cycle work exists that
+// no deadline describes).
+func (c *Core) NextEventCycle() int64 {
+	h := horizonNever
+	for delta := int64(0); delta < wheelSize; delta++ {
+		if len(c.wheel[(c.cycle+delta)&wheelMask]) > 0 {
+			h = c.cycle + delta
+			break
+		}
+	}
+	for cyc := range c.schedOverflow {
+		if cyc < h {
+			h = cyc
+		}
+	}
+	if gh, ok := c.gt.warpIdle(c.cycle); ok && gh < h {
+		h = gh
+	}
+	return h
+}
+
+// WarpTo jumps the core clock to target. The caller must have established
+// quiescence and that no event fires before target: every skipped cycle is
+// then exactly a no-op Step, whose only state change — the operand meshes'
+// arbitration counters — is replayed here so post-warp arbitration matches
+// an unwarped run bit for bit.
+func (c *Core) WarpTo(target int64) {
+	delta := target - c.cycle
+	if delta <= 0 {
+		return
+	}
+	for _, m := range c.opns {
+		m.SkipTicks(delta)
+	}
+	c.cycle = target
+}
+
 // drainsIdle reports whether every DT has finished pushing committed
 // stores into its bank (the background tail of the commit protocol).
 func (c *Core) drainsIdle() bool {
@@ -706,7 +822,34 @@ func (c *Core) Run() (Result, error) {
 	}
 	lastCommit := c.cycle
 	lastCount := c.CommittedBlocks
+	eh, hasEH := c.mem.(EventHorizon)
+	warp := hasEH && !c.cfg.NoFastPath && !c.cfg.NoWarp && !c.cfg.ExternalMemTick
 	for !(c.gt.allRetired() && c.drainsIdle()) {
+		// Quiescent() is checked first: it fails O(1) on the first busy
+		// operand mesh, which is the common case on a loaded core, while
+		// the backend's Quiet() walks its banks and ports.
+		if warp && c.Quiescent() && eh.Quiet() {
+			h := c.NextEventCycle()
+			// The backend clock runs one ahead: its event at cycle R is
+			// serviced during our step at R-1.
+			if mh := eh.NextEventCycle(); mh != horizonNever && mh-1 < h {
+				h = mh - 1
+			}
+			// Clamp so the limit check and commit watchdog below fire at
+			// exactly the cycles an unwarped run would report.
+			if h > limit {
+				h = limit
+			}
+			if wl := lastCommit + 200_000; h > wl {
+				h = wl
+			}
+			if h > c.cycle && h != horizonNever {
+				c.Warps++
+				c.WarpedCycles += h - c.cycle
+				eh.Warp(h - c.cycle)
+				c.WarpTo(h)
+			}
+		}
 		if c.cycle >= limit {
 			return Result{}, fmt.Errorf("proc: cycle limit %d exceeded (%d blocks committed)", limit, c.CommittedBlocks)
 		}

@@ -61,6 +61,7 @@ type dtTile struct {
 	hitQ          []*pendingLoad               // cache accesses completing after dtCacheCycles
 	conflictLoads []*pendingLoad               // loads buffered in the LSQ behind partial overlaps
 	cacheRetry    []*pendingLoad               // loads refused by a full MSHR
+	mshrFreed     bool                         // a line fill since the last retry pass
 	pendingFetch  micronet.Queue[uint64]       // line fetches awaiting a free port
 	gsnOut        micronet.Queue[gsnMsg]       // status messages awaiting a free GSN link
 
@@ -204,8 +205,11 @@ func (d *dtTile) idleNow() bool {
 	if d.wb.valid || len(d.uncachedSt) > 0 {
 		return false
 	}
+	// cacheRetry loads are NOT busy-work: a retry pass is gated on the next
+	// line fill, whose Done closure re-sets active, and the fill's fetch is
+	// an outstanding port request covered by the memory backend's horizon.
 	if !d.inQ.Empty() || len(d.stalled) > 0 || !d.uncachedQ.Empty() ||
-		len(d.hitQ) > 0 || len(d.conflictLoads) > 0 || len(d.cacheRetry) > 0 ||
+		len(d.hitQ) > 0 || len(d.conflictLoads) > 0 ||
 		!d.pendingFetch.Empty() || !d.gsnOut.Empty() || d.drainOrder.Len() > 0 ||
 		!d.dsnQ.Empty() || !d.outQ.Empty() {
 		return false
@@ -225,8 +229,15 @@ func (d *dtTile) idleNow() bool {
 	return true
 }
 
-// pumpCacheRetry retries loads previously refused by a full MSHR.
+// pumpCacheRetry retries loads previously refused by a full MSHR. A refusal
+// can only stop recurring after a line fill (which frees MSHR capacity or
+// turns the access into a bank hit), so retry passes are gated on fills
+// instead of burning a full re-access per waiting load every cycle.
 func (d *dtTile) pumpCacheRetry(now int64) {
+	if len(d.cacheRetry) == 0 || !d.mshrFreed {
+		return
+	}
+	d.mshrFreed = false
 	retry := d.cacheRetry
 	d.cacheRetry = nil
 	for _, pl := range retry {
@@ -406,6 +417,7 @@ func (d *dtTile) accessCache(now int64, pl *pendingLoad) {
 
 // fillLine installs a refilled line and services its waiting loads.
 func (d *dtTile) fillLine(line uint64, data []byte) {
+	d.mshrFreed = true
 	if v := d.bank.Fill(line, data); v.Valid {
 		d.writeback(v)
 	}

@@ -1,6 +1,8 @@
 package proc
 
 import (
+	"math/bits"
+
 	"trips/internal/critpath"
 	"trips/internal/isa"
 	"trips/internal/micronet"
@@ -49,11 +51,14 @@ type etTile struct {
 	stations   [NumSlots][isa.SlotsPerET]station
 	slotSeq    [NumSlots]uint64 // 0 = frame unbound
 	slotThread [NumSlots]int
-	// pending[slot] counts stations that are present and not yet fired —
-	// the only stations the select scan can act on. A slot at zero is
-	// skipped entirely, which is a pure no-op: ready() returns false with
-	// no side effects for every absent or fired station.
+	// pending[slot] counts stations that are present and not yet fired.
 	pending [NumSlots]int8
+	// readyMask[slot] has bit i set when station i is issuable. Readiness
+	// is monotonic — operands only accumulate and a mismatched predicate
+	// permanently fires the station — so it is evaluated once per delivery
+	// instead of by rescanning every station every cycle; the select scan
+	// reduces to a bitmask walk.
+	readyMask [NumSlots]uint8
 
 	divBusyUntil int64
 	pipe         []inflight
@@ -79,6 +84,7 @@ func newET(core *Core, id int) *etTile {
 func (e *etTile) bindSlot(slot int, seq uint64, thread int) {
 	e.stations[slot] = [isa.SlotsPerET]station{}
 	e.pending[slot] = 0
+	e.readyMask[slot] = 0
 	e.slotSeq[slot] = seq
 	e.slotThread[slot] = thread
 	e.active = true
@@ -102,8 +108,28 @@ func (e *etTile) deliverInst(slot int, seq uint64, index int, in isa.Inst, ev *c
 	s.arrEv = ev
 	if in.Op == isa.NOP {
 		s.fired = true
-	} else if !wasPending {
+		return
+	}
+	if !wasPending {
 		e.pending[slot]++
+	}
+	e.reeval(slot, isa.SlotOf(index))
+}
+
+// reeval refreshes one station's readiness after a delivery. A mismatched
+// predicate fires the station on the spot (the old select scan did the same
+// one tick later, with no observable difference: a fired station never
+// issues and drops all further arrivals).
+func (e *etTile) reeval(slot, i int) {
+	s := &e.stations[slot][i]
+	ok, dead := e.ready(s)
+	switch {
+	case dead:
+		s.fired = true
+		e.pending[slot]--
+		e.DeadPred++
+	case ok:
+		e.readyMask[slot] |= 1 << uint(i)
 	}
 }
 
@@ -138,6 +164,9 @@ func (e *etTile) deliverOperand(slot int, seq uint64, tgt isa.Target, v Value, e
 		return // keep the first arrival (complementary-path duplicate)
 	}
 	*op = operand{have: true, v: v, ev: ev}
+	if s.present {
+		e.reeval(slot, isa.SlotOf(tgt.Index))
+	}
 }
 
 // ready reports whether station s can issue, and whether its predicate
@@ -177,9 +206,9 @@ func (e *etTile) tick(now int64) {
 	issued, blocked := e.selectAndIssue(now)
 	e.drainOutQ(now)
 	// Fixed point: nothing executing, nothing queued, nothing issued and
-	// nothing issuable-but-blocked. A no-issue select scan visited every
-	// station, so all currently provably-dead predicates are already marked;
-	// re-scanning before the next external delivery cannot change any state.
+	// nothing issuable-but-blocked. Readiness and dead-predicate marking
+	// happen at delivery time, so with readyMask empty nothing can change
+	// until the next external delivery.
 	e.active = len(e.pipe) > 0 || !e.outQ.Empty() || issued || blocked
 }
 
@@ -202,31 +231,20 @@ func (e *etTile) completeFinished(now int64) {
 // the tile active.
 func (e *etTile) selectAndIssue(now int64) (issued, blocked bool) {
 	// Select the ready instruction from the oldest block first (then by
-	// station order) — the age-ordered select of Section 3.4.
+	// station order) — the age-ordered select of Section 3.4. readyMask is
+	// maintained at delivery time, so the scan touches only issuable
+	// stations: the lowest set bit is the first ready station in slot order.
 	var best *station
-	bestSlot := -1
+	bestSlot, bestIdx := -1, -1
 	var bestSeq uint64
 	for slot := 0; slot < NumSlots; slot++ {
 		seq := e.slotSeq[slot]
-		if seq == 0 || e.pending[slot] == 0 {
+		if seq == 0 || e.readyMask[slot] == 0 {
 			continue
 		}
-		for i := range e.stations[slot] {
-			s := &e.stations[slot][i]
-			ok, dead := e.ready(s)
-			if dead {
-				s.fired = true
-				e.pending[slot]--
-				e.DeadPred++
-				continue
-			}
-			if !ok {
-				continue
-			}
-			if best == nil || seq < bestSeq {
-				best, bestSlot, bestSeq = s, slot, seq
-			}
-			break // stations scan in slot order; first ready in this frame
+		if best == nil || seq < bestSeq {
+			i := bits.TrailingZeros8(e.readyMask[slot])
+			best, bestSlot, bestIdx, bestSeq = &e.stations[slot][i], slot, i, seq
 		}
 	}
 	if best == nil {
@@ -240,6 +258,7 @@ func (e *etTile) selectAndIssue(now int64) (issued, blocked bool) {
 	}
 	best.fired = true
 	e.pending[bestSlot]--
+	e.readyMask[bestSlot] &^= 1 << uint(bestIdx)
 	e.Issued++
 
 	// The issue time was determined by the last-arriving dependency.
@@ -416,6 +435,7 @@ func (e *etTile) flush(slot int, seq uint64) {
 	e.active = true
 	e.stations[slot] = [isa.SlotsPerET]station{}
 	e.pending[slot] = 0
+	e.readyMask[slot] = 0
 	e.slotSeq[slot] = 0
 	e.outQ.Filter(func(m *opnMsg) bool {
 		return !(m.slot == slot && m.seq == seq)

@@ -82,9 +82,11 @@ type threadCtx struct {
 	// dispatched (the previous block's successor prediction).
 	pendingPred predictor.Prediction
 
-	// Fetch pipeline state.
+	// Fetch pipeline state. stageUntil is the absolute cycle at which the
+	// current timed stage (predict/tag/hit-miss) completes — a deadline, not
+	// a countdown, so a warping clock can jump straight to it.
 	stage      fetchStage
-	stageLeft  int
+	stageUntil int64
 	fetchAddr  uint64
 	fetchSlot  int
 	refillWait bool
@@ -492,25 +494,22 @@ func (g *gtTile) stepThreadFetch(now int64, ti int) bool {
 		}
 		t.fetchAddr = t.nextFetch
 		t.stage = fetchPredict
-		t.stageLeft = predictCycles
+		t.stageUntil = now + predictCycles
 		return true
 	case fetchPredict:
-		t.stageLeft--
-		if t.stageLeft == 0 {
+		if now >= t.stageUntil {
 			t.stage = fetchTag
-			t.stageLeft = tagCycles
+			t.stageUntil = now + tagCycles
 		}
 		return true
 	case fetchTag:
-		t.stageLeft--
-		if t.stageLeft == 0 {
+		if now >= t.stageUntil {
 			t.stage = fetchHitMiss
-			t.stageLeft = hitMissCycles
+			t.stageUntil = now + hitMissCycles
 		}
 		return true
 	case fetchHitMiss:
-		t.stageLeft--
-		if t.stageLeft != 0 {
+		if now < t.stageUntil {
 			return true
 		}
 		if _, ok := g.core.program.Block(t.fetchAddr); !ok {
@@ -615,6 +614,88 @@ func (g *gtTile) evictTags() {
 			it.evict(victim)
 		}
 	}
+}
+
+// warpIdle reports whether the GT's next tick would do no work beyond
+// waiting on deadline-held fetch stages, and if so the earliest cycle at
+// which such a deadline fires (horizonNever when the GT waits purely on
+// external wakeups — refill completions, commit acks, branch deliveries —
+// all of which arrive via micronet traffic that separately defeats
+// quiescence). Callers must already have established that every micronet is
+// quiet: with no deliveries possible, pumpGSN and pumpOPN are no-ops, and
+// the checks below cover the remaining tick phases (mispredict checks,
+// commit issue, fetch advance, block reap).
+func (g *gtTile) warpIdle(now int64) (int64, bool) {
+	for s := range g.slots {
+		b := &g.slots[s]
+		if !b.valid {
+			continue
+		}
+		if b.branchSeen && !b.mispChecked {
+			return 0, false // checkMispredicts would act
+		}
+		if b.commitSent && b.ackR && b.ackS {
+			return 0, false // reapCommitted would act
+		}
+	}
+	n := g.core.activeThreads()
+	for t := 0; t < n; t++ {
+		if !g.threads[t].active {
+			continue
+		}
+		if b := g.oldestUncommitted(t); b != nil && b.complete() {
+			return 0, false // tryCommit would act
+		}
+	}
+	horizon := horizonNever
+	single := n == 1
+	for ti := 0; ti < n; ti++ {
+		t := &g.threads[ti]
+		if !t.active || t.halted {
+			continue
+		}
+		switch t.stage {
+		case fetchIdle:
+			if t.nextFetch == haltAddr {
+				return 0, false // tick would halt the thread
+			}
+			if t.badFetch != 0 && t.nextFetch == t.badFetch {
+				continue // stalled until a branch redirects; pure wait
+			}
+			if _, ok := g.freeSlot(ti); ok {
+				return 0, false // tick would start a fetch
+			}
+			// No free frame; a commit ack (chain traffic) frees one.
+		case fetchPredict, fetchTag, fetchHitMiss:
+			// Timed stages consume the one-thread-per-cycle fetch slot
+			// (stepThreadFetch reports them as work), so their wait cycles
+			// advance the round-robin pointer — skippable only when a single
+			// thread makes the rotation degenerate.
+			if !single {
+				return 0, false
+			}
+			if t.stageUntil < horizon {
+				horizon = t.stageUntil
+			}
+		case fetchRefill:
+			if e, ok := g.tags[t.fetchAddr]; ok && e.present {
+				return 0, false // refill landed; tick would move to dispatch
+			}
+			// Waiting on the GSN-IT refill chain; pure wait.
+		case fetchDispatch:
+			if g.dispatchBusyUntil > now {
+				if g.dispatchBusyUntil < horizon {
+					horizon = g.dispatchBusyUntil
+				}
+				continue
+			}
+			if _, ok := g.freeSlot(ti); ok {
+				return 0, false // tick would begin dispatch
+			}
+			// No free frame; pure wait on commit acks.
+		}
+	}
+	return horizon, true
 }
 
 // allRetired reports whether every thread has halted with no blocks in

@@ -116,9 +116,22 @@ func (it *itTile) tick(now int64) {
 		kept = append(kept, addr)
 	}
 	it.refillOrder = kept
-	// Idle once nothing is queued for the port and no refill is outstanding;
-	// onRefill commands and bank-read completions re-set active.
-	it.active = !it.pending.Empty() || len(it.refillOrder) > 0
+	// Idle unless a tick can make progress: a queued port submit to retry, or
+	// a completed refill whose northward send lost chain arbitration. A refill
+	// merely *waiting* — own bank read in flight, or south neighbor not done —
+	// needs no ticks: the port's Done closure re-sets active, and an incoming
+	// south completion forces ticks through the chain-busy gate until consumed.
+	// Clearing active during pure waits lets a quiescent core clock-warp
+	// across long refill latencies.
+	ready := false
+	for _, addr := range it.refillOrder {
+		st := it.refills[addr]
+		if st != nil && st.ownDone && (it.id == isa.NumITs-1 || st.southDone) {
+			ready = true
+			break
+		}
+	}
+	it.active = !it.pending.Empty() || ready
 	_ = now
 }
 

@@ -87,6 +87,30 @@ func (p *fixedPort) Submit(req *MemRequest) bool {
 	return true
 }
 
+// Quiet implements EventHorizon: a FixedLatencyMem tick does no per-cycle
+// work beyond draining deadline-held completions, so it is always warpable.
+func (f *FixedLatencyMem) Quiet() bool { return true }
+
+// NextEventCycle implements EventHorizon: the earliest completion deadline
+// across all ports, or horizonNever when nothing is outstanding.
+func (f *FixedLatencyMem) NextEventCycle() int64 {
+	if f.pending == 0 {
+		return horizonNever
+	}
+	h := horizonNever
+	for _, p := range f.order {
+		if p.queue.Len() > 0 && p.queue.Front().when < h {
+			h = p.queue.Front().when
+		}
+	}
+	return h
+}
+
+// Warp implements EventHorizon: every skipped tick would only have
+// incremented the clock (no deadline within delta), so advancing the clock
+// is the complete state change.
+func (f *FixedLatencyMem) Warp(delta int64) { f.cycle += delta }
+
 // Tick implements MemBackend.
 func (f *FixedLatencyMem) Tick() {
 	f.cycle++

@@ -69,6 +69,14 @@ type rtTile struct {
 
 	outQ micronet.Queue[*opnMsg]
 
+	// missingWrites counts, per frame, expected writes whose values have not
+	// arrived: incremented as header beats announce write-queue entries,
+	// decremented on delivery. Zero (with a complete header) is exactly the
+	// writesComplete condition, so the per-tick completion scan reduces to a
+	// counter compare; the event-chain walk runs once, at the completion
+	// instant.
+	missingWrites [NumSlots]int
+
 	// unresolved counts read-queue entries in bound frames that are valid,
 	// not done and awaiting resolution — the only entries the per-tick
 	// resolve scan can act on. Zero lets tick and idleNow skip the 8x8
@@ -113,6 +121,7 @@ func (r *rtTile) bindSlot(slot int, seq uint64, thread int) {
 	r.writeQ[slot] = [8]writeEntry{}
 	r.slotSeq[slot] = seq
 	r.slotThread[slot] = thread
+	r.missingWrites[slot] = 0
 	r.hdrBeats[slot] = 0
 	r.hdrEv[slot] = nil
 	r.finishOwn[slot] = false
@@ -147,6 +156,7 @@ func (r *rtTile) deliverHeaderBeat(slot int, seq uint64, beat int, rd isa.ReadIn
 	}
 	if wr.Valid {
 		r.writeQ[slot][beat] = writeEntry{valid: true, gr: wr.GR}
+		r.missingWrites[slot]++
 	}
 	r.hdrBeats[slot]++
 	r.hdrEv[slot] = critpath.Latest(r.hdrEv[slot], ev)
@@ -260,6 +270,7 @@ func (r *rtTile) deliverWrite(now int64, slot int, seq uint64, idx int, v Value,
 	w.have = true
 	w.val = v
 	w.ev = ev
+	r.missingWrites[slot]--
 	if v.Null {
 		r.NullWrites++
 	}
@@ -329,11 +340,10 @@ func (r *rtTile) tick(now int64) {
 		if r.slotSeq[s] == 0 || r.finishSent[s] || r.hdrBeats[s] < 8 {
 			continue
 		}
-		if !r.finishOwn[s] {
-			if done, ev := r.writesComplete(s); done {
-				r.finishOwn[s] = true
-				r.finishOwnEv[s] = r.core.newEvent(now, critpath.Latest(ev, r.hdrEv[s]), critpath.Split{}, critpath.CatComplete)
-			}
+		if !r.finishOwn[s] && r.missingWrites[s] == 0 {
+			_, ev := r.writesComplete(s)
+			r.finishOwn[s] = true
+			r.finishOwnEv[s] = r.core.newEvent(now, critpath.Latest(ev, r.hdrEv[s]), critpath.Split{}, critpath.CatComplete)
 		}
 		// Daisy chain: forward when own writes are done and the east
 		// neighbor (RT id+1) has reported; RT3 is the chain tail.

@@ -6,6 +6,10 @@
 #
 #   scripts/bench.sh            quick smoke: Table 3 once + Figure 5b, JSON refresh
 #   scripts/bench.sh full       adds multi-iteration Figure 5b and the ablations
+#   scripts/bench.sh compare    fresh run into a temp file, diffed against the
+#                               checked-in baseline: exits nonzero if any
+#                               simulated cycle count drifted (host-throughput
+#                               deltas are informational)
 #
 # The simulated results in BENCH_table3.json are deterministic; only the
 # host-throughput fields (wall_ns, sim_cycles_per_sec, ...) vary by machine.
@@ -20,18 +24,30 @@ go vet ./...
 echo "== build =="
 go build ./...
 
-echo "== race: proc + micronet =="
-go test -race ./internal/proc/ ./internal/micronet/
+echo "== race: proc + micronet + chip + nuca =="
+go test -race ./internal/proc/ ./internal/micronet/ ./internal/chip/ ./internal/nuca/
+
+if [ "$mode" = "compare" ]; then
+  fresh="$(mktemp /tmp/bench_table3.XXXXXX.json)"
+  trap 'rm -f "$fresh"' EXIT
+  echo "== Table 3 (once) + Figure 5b, fresh baseline -> $fresh =="
+  BENCH_TABLE3_JSON="$fresh" \
+    go test -run '^$' -bench 'Table3$|Figure5bCommitPipeline' -benchtime=1x -benchmem
+  echo "== compare against checked-in BENCH_table3.json =="
+  go run ./cmd/bench-compare BENCH_table3.json "$fresh"
+  echo "compare OK: simulated cycles match the baseline"
+  exit 0
+fi
 
 echo "== Table 3 (once) + Figure 5b, emitting BENCH_table3.json =="
 BENCH_TABLE3_JSON="$PWD/BENCH_table3.json" \
-  go test -run 'XXX' -bench 'Table3$|Figure5bCommitPipeline' -benchtime=1x -benchmem
+  go test -run '^$' -bench 'Table3$|Figure5bCommitPipeline' -benchtime=1x -benchmem
 
 if [ "$mode" = "full" ]; then
   echo "== Figure 5b (timed, multi-iteration) =="
-  go test -run 'XXX' -bench 'Figure5bCommitPipeline' -benchtime=2s -benchmem
+  go test -run '^$' -bench 'Figure5bCommitPipeline' -benchtime=2s -benchmem
   echo "== ablations =="
-  go test -run 'XXX' -bench 'Ablation' -benchtime=1x
+  go test -run '^$' -bench 'Ablation' -benchtime=1x
 fi
 
 echo "done; baseline written to BENCH_table3.json"
