@@ -326,6 +326,78 @@ func runDualCoreChip(b *testing.B, noWarp, noParallel bool) int64 {
 	return cyc
 }
 
+// BenchmarkChipDMAStream measures the drain-deadline warping win on a
+// DMA/idle-heavy phase: a short program retires on core 0, then a DMA
+// controller streams 64KB line-by-line through the OCN (port -> MT -> SDC
+// round trips) while both cores sit idle. With warping, the chip clock
+// jumps across every solo-transit leg and SDRAM access; the nowarp variant
+// ticks all of them. Simulated cycles must be identical; the host-time gap
+// is the win. The warp-coverage metric reports the fraction of simulated
+// cycles skipped.
+func BenchmarkChipDMAStream(b *testing.B) {
+	const bytes = 64 << 10
+	mkBlocks := func(base uint64, iters int) *proc.Program {
+		var blocks []*isa.Block
+		for i := 0; i < iters; i++ {
+			addr := base + uint64(i)*0x100
+			blk := &isa.Block{Addr: addr, Name: "count"}
+			blk.Reads[0] = isa.ReadInst{Valid: true, GR: 8, RT0: isa.ToLeft(0)}
+			blk.Writes[0] = isa.WriteInst{Valid: true, GR: 8}
+			off := int32(2)
+			if i == iters-1 {
+				off = int32(-(int64(addr) / isa.ChunkBytes))
+			}
+			blk.Insts = []isa.Inst{
+				{Op: isa.ADDI, Imm: 1, T0: isa.ToWrite(0)},
+				{Op: isa.BRO, Exit: 0, Offset: off},
+			}
+			blocks = append(blocks, blk)
+		}
+		p, err := proc.NewProgram(base, blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	for _, cfg := range []struct {
+		name   string
+		noWarp bool
+	}{
+		{"warp", false},
+		{"nowarp", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cyc, warped int64
+			for i := 0; i < b.N; i++ {
+				backing := mem.New()
+				for j := 0; j < bytes/8; j++ {
+					backing.Write(0x700000+uint64(j)*8, 8, uint64(j+1))
+				}
+				c, err := chip.New(chip.Config{
+					Programs:  [2]*proc.Program{mkBlocks(0x100000, 2), nil},
+					Backing:   backing,
+					MaxCycles: 50_000_000,
+					NoWarp:    cfg.noWarp,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.DMA[0].Program(0x700000, 0x760000, bytes)
+				if err := c.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if c.DMA[0].Moved != bytes {
+					b.Fatalf("dma moved %d bytes", c.DMA[0].Moved)
+				}
+				cyc = c.Cycle()
+				warped = c.WarpedCycles
+			}
+			b.ReportMetric(float64(cyc), "cycles")
+			b.ReportMetric(100*float64(warped)/float64(cyc), "warp-coverage-%")
+		})
+	}
+}
+
 // BenchmarkNUCAvsPerfectL2 contrasts the paper's perfect-L2 normalization
 // with the full secondary memory system behind one core. The nowarp
 // variants re-run each configuration with clock-warping disabled — the

@@ -139,6 +139,8 @@ func main() {
 			float64(wall.Nanoseconds())/1e6,
 			float64(r.Cycles)/wall.Seconds(),
 			float64(wall.Nanoseconds())/float64(r.Cycles))
+		fmt.Printf("  warp: %d jumps covering %d of %d sim-cycles (%.2f%%)\n",
+			r.Warps, r.WarpedCycles, r.Cycles, 100*float64(r.WarpedCycles)/float64(r.Cycles))
 	}
 
 	if *goldenRun {

@@ -49,6 +49,12 @@ type Chip struct {
 	cfg   Config
 	cycle int64
 
+	// Warps counts successful chip-wide clock warps; WarpedCycles the
+	// simulated cycles they skipped. Together with the per-core counters
+	// they make warp engagement observable without a trace.
+	Warps        uint64
+	WarpedCycles int64
+
 	// step1/done1 drive a persistent worker goroutine for core 1 during
 	// parallel stepping: spawning a goroutine per cycle costs ~2µs, a
 	// channel ping-pong a few hundred ns. The worker is started lazily on
@@ -182,7 +188,13 @@ func (c *Chip) Done() bool {
 }
 
 // Run executes until completion, warping the clock over chip-wide
-// quiescent stretches.
+// quiescent stretches. The check order at the cycle-limit boundary matters:
+// the step at cycle == limit is still executed (a chip completing during
+// that very cycle succeeds rather than reporting a spurious limit error),
+// and the error fires only once the clock has passed the limit with work
+// still outstanding. tryWarp clamps its horizon to limit, so a warped run
+// lands on exactly the boundary cycle an unwarped run steps to, executes
+// the same final step, and reports the limit error at the same cycle.
 func (c *Chip) Run() error {
 	limit := c.cfg.MaxCycles
 	if limit == 0 {
@@ -193,7 +205,7 @@ func (c *Chip) Run() error {
 		if !c.cfg.NoWarp {
 			c.tryWarp(limit)
 		}
-		if c.cycle >= limit {
+		if c.cycle > limit {
 			return fmt.Errorf("chip: cycle limit %d exceeded", limit)
 		}
 		c.Step()
@@ -202,18 +214,30 @@ func (c *Chip) Run() error {
 }
 
 // tryWarp jumps the chip clock to the next event horizon when every
-// component is provably idle: the OCN quiet, each running core quiescent,
-// and no DMA needing a per-cycle tick (a DMA with a transaction in flight
-// is a pure waiter — its Done closure fires from the serial OCN tick). The
-// horizon is the minimum of the cores' scheduled events and the memory
-// system's deadlines (backend events at cycle R are serviced during the
-// chip step at R-1); clamping to limit keeps the cycle-limit error of a
-// warped run identical to an unwarped one.
+// component's future is deadline-describable: each running core quiescent,
+// the memory system quiet (fully drained, or holding only deadline-bounded
+// work — a solo in-transit OCN message, staged injections, multi-flit
+// serializations, SDRAM jobs), and every busy DMA a pure waiter on an OCN
+// round-trip. The horizon is the minimum of the cores' scheduled events and
+// the memory system's drain deadlines (backend events at cycle R are
+// serviced during the chip step at R-1).
+//
+// Boundary handling: the horizon is clamped to limit after the minimum is
+// taken, which also converts a horizonNever result (nothing scheduled
+// anywhere — a deadlock) into a warp straight to the boundary; in both
+// cases a warped run then steps and errors at exactly the cycles an
+// unwarped run would, so the clamp must stay downstream of every other
+// horizon source (see the A/B limit-boundary tests).
 func (c *Chip) tryWarp(limit int64) {
 	if !c.Mem.Quiet() {
 		return
 	}
 	for _, d := range c.DMA {
+		// A DMA between OCN transactions (line boundary, or a Submit that
+		// was refused) issues its next request on the very next tick: its
+		// deadline is "now", so no warp is possible. In flight it is a pure
+		// waiter — its Done closure fires from the serial OCN tick, which
+		// the memory system's deadlines cover.
 		if d.Busy() && !d.inFlight {
 			return
 		}
@@ -236,7 +260,7 @@ func (c *Chip) tryWarp(limit int64) {
 	if h > limit {
 		h = limit
 	}
-	if h <= c.cycle || h == horizonNever {
+	if h <= c.cycle {
 		return
 	}
 	for _, core := range c.Cores {
@@ -244,6 +268,8 @@ func (c *Chip) tryWarp(limit int64) {
 			core.WarpTo(h)
 		}
 	}
+	c.Warps++
+	c.WarpedCycles += h - c.cycle
 	c.Mem.Warp(h - c.cycle)
 	c.cycle = h
 }

@@ -1,0 +1,141 @@
+package chip
+
+import (
+	"runtime"
+	"testing"
+
+	"trips/internal/mem"
+	"trips/internal/proc"
+)
+
+// dmaChip builds a chip whose dominant traffic is a DMA stream: two short
+// core programs retire almost immediately, after which the DMA streams n
+// bytes line-by-line through the OCN (port -> MT -> SDC round trips) while
+// both cores sit idle — the drain-deadline warping target.
+func dmaChip(t *testing.T, noWarp, noParallel bool, limit int64, n int) *Chip {
+	t.Helper()
+	backing := mem.New()
+	for i := 0; i < n/8; i++ {
+		backing.Write(0x700000+uint64(i)*8, 8, uint64(i+1))
+	}
+	p0 := countProgram(t, 0x100000, 3)
+	p1 := countProgram(t, 0x200000, 2)
+	c, err := New(Config{
+		Programs:   [2]*proc.Program{p0, p1},
+		Backing:    backing,
+		MaxCycles:  limit,
+		NoWarp:     noWarp,
+		NoParallel: noParallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DMA[0].Program(0x700000, 0x740000, n)
+	return c
+}
+
+// TestChipDMAWarpBitIdentical streams 16KB of DMA traffic through the OCN
+// under all four stepping modes — {parallel, sequential} x {warp, no-warp} —
+// and requires identical simulated outcomes: chip cycles, core snapshots,
+// and the copied bytes. The warped runs must actually engage: nearly all of
+// the DMA phase is solo-transit or SDRAM-deadline time, so the warp counter
+// has to cover the bulk of the run.
+func TestChipDMAWarpBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	const bytes = 16 << 10
+	run := func(noWarp, noParallel bool) (*Chip, proc.Result, proc.Result) {
+		c := dmaChip(t, noWarp, noParallel, 10_000_000, bytes)
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if c.DMA[0].Moved != bytes {
+			t.Fatalf("dma moved %d bytes, want %d", c.DMA[0].Moved, bytes)
+		}
+		return c, c.Cores[0].Snapshot(), c.Cores[1].Snapshot()
+	}
+	ref, ref0, ref1 := run(true, true)
+	for _, m := range []struct {
+		name               string
+		noWarp, noParallel bool
+	}{
+		{"parallel+warp", false, false},
+		{"parallel+nowarp", true, false},
+		{"sequential+warp", false, true},
+	} {
+		c, r0, r1 := run(m.noWarp, m.noParallel)
+		if c.Cycle() != ref.Cycle() {
+			t.Errorf("%s: chip cycles %d, want %d", m.name, c.Cycle(), ref.Cycle())
+		}
+		if r0 != ref0 {
+			t.Errorf("%s: core 0 diverged:\n  got:  %+v\n  want: %+v", m.name, r0, ref0)
+		}
+		if r1 != ref1 {
+			t.Errorf("%s: core 1 diverged:\n  got:  %+v\n  want: %+v", m.name, r1, ref1)
+		}
+		if m.noWarp {
+			if c.Warps != 0 {
+				t.Errorf("%s: %d warps recorded with warping disabled", m.name, c.Warps)
+			}
+		} else {
+			if c.Warps == 0 {
+				t.Errorf("%s: warp never engaged on a DMA-only phase", m.name)
+			}
+			if c.WarpedCycles*2 < c.Cycle() {
+				t.Errorf("%s: warp covered only %d of %d cycles — DMA transit legs are not warping",
+					m.name, c.WarpedCycles, c.Cycle())
+			}
+		}
+	}
+}
+
+// TestChipLimitBoundaryWarpParity sweeps MaxCycles across the exact
+// completion boundary and requires a warped and an unwarped run to agree on
+// the outcome and the final cycle at every limit. A chip finishing its last
+// step during cycle `limit` (final Cycle() == limit+1) must succeed; one
+// needing more must report the limit error from both modes at the same
+// cycle. Regression for the warp-onto-the-clamped-horizon boundary: tryWarp
+// lands exactly on `limit`, and the step at that cycle must still run.
+func TestChipLimitBoundaryWarpParity(t *testing.T) {
+	scenarios := []struct {
+		name string
+		make func(noWarp bool, limit int64) *Chip
+	}{
+		{"dma", func(noWarp bool, limit int64) *Chip {
+			return dmaChip(t, noWarp, true, limit, 256)
+		}},
+		{"cores", func(noWarp bool, limit int64) *Chip {
+			p0 := countProgram(t, 0x100000, 40)
+			p1 := countProgram(t, 0x200000, 15)
+			c, err := New(Config{Programs: [2]*proc.Program{p0, p1}, MaxCycles: limit, NoWarp: noWarp, NoParallel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			c := sc.make(true, 5_000_000)
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			n := c.Cycle() // the final step ran at cycle n-1
+			for lim := n - 3; lim <= n+1; lim++ {
+				cw := sc.make(false, lim)
+				errW := cw.Run()
+				cn := sc.make(true, lim)
+				errN := cn.Run()
+				if (errW == nil) != (errN == nil) || cw.Cycle() != cn.Cycle() {
+					t.Errorf("limit=%d: warp cyc=%d err=%v | nowarp cyc=%d err=%v",
+						lim, cw.Cycle(), errW, cn.Cycle(), errN)
+					continue
+				}
+				if wantOK := lim >= n-1; (errN == nil) != wantOK {
+					t.Errorf("limit=%d (completion step at %d): err=%v, want success=%v",
+						lim, n-1, errN, wantOK)
+				}
+			}
+		})
+	}
+}

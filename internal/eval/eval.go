@@ -52,6 +52,12 @@ type TRIPSResult struct {
 	Mem       *mem.Memory
 	BlockSize float64
 	Stats     proc.TileStats
+	// Warps / WarpedCycles report clock-warp engagement: how many times the
+	// core jumped its clock and how many simulated cycles those jumps
+	// covered. Host-side observability only — never part of simulated-state
+	// comparisons (a warped and an unwarped run differ here by design).
+	Warps        uint64
+	WarpedCycles int64
 }
 
 // RunTRIPS compiles and executes a workload spec on the TRIPS core.
@@ -103,6 +109,13 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 	}
 	core.FlushCaches()
 	if sys != nil {
+		// Leak assertion: a completed run must have drained the OCN pending
+		// tables — every transaction (split or not) saw its response. A
+		// residue here means a response was dropped or a pending entry
+		// leaked, which would surface much later as an id collision.
+		if n := sys.Outstanding(); n != 0 {
+			return nil, fmt.Errorf("eval: %s: %d OCN transactions still pending after completion", spec.F.Name, n)
+		}
 		sys.Flush()
 	}
 	regs := make(map[tir.Reg]uint64, len(meta.RegOf))
@@ -120,6 +133,9 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		Mem:       m,
 		BlockSize: meta.AvgBlockSize,
 		Stats:     core.TileStats(),
+
+		Warps:        core.Warps,
+		WarpedCycles: core.WarpedCycles,
 	}, nil
 }
 

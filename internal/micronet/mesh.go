@@ -359,12 +359,92 @@ func opposite(d Dir) Dir {
 	return Local
 }
 
-// SkipTicks advances the arbitration counter by n cycles without routing —
-// exactly the state change n Ticks of a quiet mesh would make. Clock-warping
-// callers use it so post-warp round-robin arbitration decisions are
-// bit-identical to a run that ticked through every skipped cycle.
+// soloTransit locates the single in-transit message when the mesh holds
+// exactly one: one occupied input buffer, nothing resident on a link, and no
+// delivered messages awaiting Pop. Between Propagate and the next Tick a lone
+// message is always latched in some router's input buffer (backpressure needs
+// a second message), so this is the complete "exactly one message" state.
+func (m *Mesh[T]) soloTransit() (*router[T], Dir, bool) {
+	if m.bufOcc != 1 || m.linkBusy != 0 || m.pendingDeliv != 0 {
+		return nil, Local, false
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			rt := &m.routers[r][c]
+			if rt.occ == 0 {
+				continue
+			}
+			for d := North; d < numDirs; d++ {
+				if rt.inFull[d] {
+					return rt, d, true
+				}
+			}
+		}
+	}
+	return nil, Local, false
+}
+
+// TransitBound returns the exact number of future Ticks after which the
+// mesh's single in-transit message is delivered to its destination's output
+// queue (its drain deadline), and ok=false when no such bound is computable:
+// the mesh is empty, holds more than one message (future arbitration depends
+// on interleaving), or has an unpopped delivery. A solo message never loses
+// arbitration and never sees backpressure, so it moves exactly one hop per
+// Tick — remaining Manhattan distance plus one delivery Tick.
+func (m *Mesh[T]) TransitBound() (int64, bool) {
+	rt, in, ok := m.soloTransit()
+	if !ok {
+		return 0, false
+	}
+	return int64(rt.at.Manhattan(rt.inBuf[in].Dest())) + 1, true
+}
+
+// SkipTicks advances the mesh by n cycles without per-cycle routing, replaying
+// exactly the state n Ticks would have produced. On an empty mesh that is just
+// the round-robin arbitration counter. With a single message in transit the
+// message is teleported n hops along its dimension-ordered route (n must not
+// exceed its remaining hop count — callers bound the warp by TransitBound),
+// replaying the per-hop accounting a stepped run would have made: one NoteHop
+// and one link send per traversed link, and the latch into the next router's
+// opposite input port. A solo message can neither lose arbitration nor stall,
+// so no NoteWait and no link stall can occur on the skipped cycles.
+// Clock-warping callers rely on this replay being bit-exact.
 func (m *Mesh[T]) SkipTicks(n int64) {
 	m.tickCount += int(n)
+	if n <= 0 || m.bufOcc == 0 && m.linkBusy == 0 && m.pendingDeliv == 0 {
+		return
+	}
+	rt, in, ok := m.soloTransit()
+	if !ok {
+		panic(fmt.Sprintf("micronet: %s: SkipTicks(%d) on a non-quiet, non-solo mesh (bufOcc=%d linkBusy=%d pendingDeliv=%d)",
+			m.Name, n, m.bufOcc, m.linkBusy, m.pendingDeliv))
+	}
+	msg := rt.inBuf[in]
+	dest := msg.Dest()
+	if int64(rt.at.Manhattan(dest)) < n {
+		panic(fmt.Sprintf("micronet: %s: SkipTicks(%d) would warp past delivery (message at %v, dest %v)",
+			m.Name, n, rt.at, dest))
+	}
+	var zero T
+	rt.inBuf[in] = zero
+	rt.inFull[in] = false
+	rt.occ--
+	tr, tracked := any(msg).(Tracked)
+	pos := rt.at
+	for i := int64(0); i < n; i++ {
+		out := route(pos, dest)
+		m.links[out][pos.Row][pos.Col].sent++
+		if tracked {
+			tr.NoteHop()
+		}
+		nr, nc, _ := step(pos.Row, pos.Col, out, m.Rows, m.Cols)
+		pos = Coord{Row: nr, Col: nc}
+		in = opposite(out)
+	}
+	nrt := &m.routers[pos.Row][pos.Col]
+	nrt.inBuf[in] = msg
+	nrt.inFull[in] = true
+	nrt.occ++
 }
 
 // Quiet reports whether no messages are anywhere in the network: no occupied

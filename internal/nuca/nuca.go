@@ -424,30 +424,30 @@ func (s *System) Tick() {
 	s.mesh.Propagate()
 }
 
-// Quiet implements proc.EventHorizon: no message anywhere on the OCN and no
-// staged injection awaiting a retry. Deadline-held work (multi-flit
-// serialization, SDRAM accesses) does not block quiescence — it is covered
-// by NextEventCycle.
+// Quiet implements proc.EventHorizon. All outstanding OCN work is held
+// behind computable drain deadlines rather than boolean busy flags: a single
+// in-transit message drains at a known cycle (mesh.TransitBound — it can
+// neither lose arbitration nor stall), staged injections in MT/port output
+// queues drain on the very next tick, and multi-flit serializations and
+// SDRAM jobs carry explicit readyAt stamps. All of those are reported by
+// NextEventCycle instead of blocking quiescence. Only a mesh with two or
+// more resident messages — whose future arbitration interleaving per-cycle
+// routing must resolve — makes the system non-quiet.
 func (s *System) Quiet() bool {
-	if !s.mesh.Quiet() {
-		return false
+	if s.mesh.Quiet() {
+		return true
 	}
-	for _, mt := range s.mts {
-		if !mt.outQ.Empty() {
-			return false
-		}
-	}
-	for _, p := range s.order {
-		if !p.outQ.Empty() {
-			return false
-		}
-	}
-	return true
+	_, ok := s.mesh.TransitBound()
+	return ok
 }
 
-// NextEventCycle implements proc.EventHorizon: the earliest readyAt across
-// delayed multi-flit deliveries and in-flight SDRAM jobs, in the backend
-// cycle domain (serviced during the owner's step one cycle earlier).
+// NextEventCycle implements proc.EventHorizon: the earliest drain deadline
+// across delayed multi-flit deliveries, in-flight SDRAM jobs, the mesh's
+// solo in-transit message, and staged MT/port injections, in the backend
+// cycle domain (serviced during the owner's step one cycle earlier). A
+// staged injection drains on the next tick, so any non-empty output queue
+// pins the horizon to cycle+1 — the owner cannot warp past it, which keeps
+// the post-injection (no longer solo) mesh stepping cycle-by-cycle.
 func (s *System) NextEventCycle() int64 {
 	h := horizonNever
 	for _, d := range s.delayed {
@@ -462,15 +462,48 @@ func (s *System) NextEventCycle() int64 {
 			}
 		}
 	}
+	if t, ok := s.mesh.TransitBound(); ok {
+		if d := s.cycle + t; d < h {
+			h = d
+		}
+	}
+	staged := false
+	for _, mt := range s.mts {
+		if !mt.outQ.Empty() {
+			staged = true
+			break
+		}
+	}
+	if !staged {
+		for _, p := range s.order {
+			if !p.outQ.Empty() {
+				staged = true
+				break
+			}
+		}
+	}
+	if staged && s.cycle+1 < h {
+		h = s.cycle + 1
+	}
 	return h
 }
 
-// Warp implements proc.EventHorizon: a quiet tick only advances the clock
-// and the mesh arbitration counter, so replaying those two state changes
-// delta times keeps a post-warp run bit-identical.
+// Warp implements proc.EventHorizon: advance the clock and replay the mesh's
+// skipped-cycle state changes (arbitration counter, and — when a solo message
+// is in transit — its per-hop movement). The caller guarantees delta stays
+// below every deadline NextEventCycle reported, so the warp can never jump
+// a message past its delivery or an SDRAM job past its completion.
 func (s *System) Warp(delta int64) {
 	s.cycle += delta
 	s.mesh.SkipTicks(delta)
+}
+
+// Outstanding returns the number of client transactions still registered in
+// the pending tables (unsplit and split parts). A drained system — all
+// requests completed, nothing in flight — must report zero; a nonzero value
+// after a run means a response was lost or a pending entry leaked.
+func (s *System) Outstanding() int {
+	return len(s.pending) + len(s.pendSplit)
 }
 
 // dispatch handles a message arriving at its destination node.

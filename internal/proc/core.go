@@ -707,8 +707,16 @@ type Result struct {
 // completion (horizonNever when none is outstanding) — note the backend
 // clock runs one ahead of its owner's, so the owner services a backend event
 // at cycle R during its own step at cycle R-1; Warp advances the backend
-// clock by delta cycles, every one of which the caller has proven to be a
-// no-op tick.
+// clock by delta cycles, replaying whatever deterministic state changes the
+// skipped ticks would have made (the caller guarantees delta never crosses a
+// reported deadline).
+//
+// Quiet does not mean drained: a backend may report quiet with work in
+// flight, as long as every outstanding action resolves at a deadline
+// NextEventCycle accounts for — a drain deadline rather than a busy flag.
+// nuca.System uses this to let the clock warp across a memory round-trip
+// whose only traffic is a single OCN message in transit, whose per-hop
+// progress Warp replays exactly.
 type EventHorizon interface {
 	Quiet() bool
 	NextEventCycle() int64
@@ -836,21 +844,27 @@ func (c *Core) Run() (Result, error) {
 				h = mh - 1
 			}
 			// Clamp so the limit check and commit watchdog below fire at
-			// exactly the cycles an unwarped run would report.
+			// exactly the cycles an unwarped run would report. The clamps
+			// also convert a horizonNever result (deadlock: nothing
+			// scheduled anywhere) into a warp straight to the nearer
+			// boundary, where the same checks fire as in an unwarped run.
 			if h > limit {
 				h = limit
 			}
 			if wl := lastCommit + 200_000; h > wl {
 				h = wl
 			}
-			if h > c.cycle && h != horizonNever {
+			if h > c.cycle {
 				c.Warps++
 				c.WarpedCycles += h - c.cycle
 				eh.Warp(h - c.cycle)
 				c.WarpTo(h)
 			}
 		}
-		if c.cycle >= limit {
+		// The step at cycle == limit still runs (a core retiring during
+		// that very cycle succeeds); the error fires only once the clock
+		// has passed the limit with blocks outstanding.
+		if c.cycle > limit {
 			return Result{}, fmt.Errorf("proc: cycle limit %d exceeded (%d blocks committed)", limit, c.CommittedBlocks)
 		}
 		c.Step()

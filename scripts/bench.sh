@@ -21,6 +21,11 @@ mode="${1:-smoke}"
 echo "== go vet =="
 go vet ./...
 
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck =="
+  staticcheck ./...
+fi
+
 echo "== build =="
 go build ./...
 
@@ -28,8 +33,11 @@ echo "== race: proc + micronet + chip + nuca =="
 go test -race ./internal/proc/ ./internal/micronet/ ./internal/chip/ ./internal/nuca/
 
 if [ "$mode" = "compare" ]; then
+  # Install the cleanup handler before mktemp so an interrupt between the
+  # two can't leak the temp file; INT/TERM also go through it.
+  fresh=""
+  trap '[ -z "$fresh" ] || rm -f "$fresh"' EXIT INT TERM
   fresh="$(mktemp /tmp/bench_table3.XXXXXX.json)"
-  trap 'rm -f "$fresh"' EXIT
   echo "== Table 3 (once) + Figure 5b, fresh baseline -> $fresh =="
   BENCH_TABLE3_JSON="$fresh" \
     go test -run '^$' -bench 'Table3$|Figure5bCommitPipeline' -benchtime=1x -benchmem
