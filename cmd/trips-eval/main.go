@@ -28,11 +28,14 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"expvar"
+
 	"trips/internal/area"
 	"trips/internal/eval"
 	"trips/internal/isa"
 	"trips/internal/mem"
 	"trips/internal/micronet"
+	"trips/internal/obs"
 	"trips/internal/proc"
 )
 
@@ -55,6 +58,7 @@ func main() {
 		hostStats  = flag.Bool("host", false, "print host throughput after -table3 (nondeterministic)")
 		noFast     = flag.Bool("nofastpath", false, "run -table3 without quiescence-aware stepping (results must not change)")
 		noWarp     = flag.Bool("nowarp", false, "run -table3 without clock-warping (results must not change)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -89,6 +93,20 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+	if *debugAddr != "" {
+		expvar.Publish("eval_progress", expvar.Func(func() any {
+			return map[string]int64{
+				"rows_done":  eval.Progress.Rows.Load(),
+				"sim_cycles": eval.Progress.SimCycles.Load(),
+			}
+		}))
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trips-eval: debug endpoint on http://%s/debug/vars\n", addr)
 	}
 	if *all {
 		*t1, *t2, *t3, *f1, *f2, *f3, *f4, *f5b, *f6, *ablate = true, true, true, true, true, true, true, true, true, true

@@ -5,7 +5,8 @@
 //
 //	tsim -list
 //	tsim -bench vadd [-mode hand|tcc] [-placement naive|greedy]
-//	     [-opn 1|2] [-conservative] [-alpha] [-golden]
+//	     [-opn 1|2] [-conservative] [-nuca] [-alpha] [-golden]
+//	     [-trace out.json] [-debug-addr :6060]
 //	     [-host] [-nofastpath] [-nowarp] [-cpuprofile f] [-memprofile f]
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"trips/internal/critpath"
 	"trips/internal/eval"
+	"trips/internal/obs"
 	"trips/internal/tcc"
 	"trips/internal/workloads"
 )
@@ -31,6 +33,9 @@ func main() {
 		placement  = flag.String("placement", "", "instruction placement: naive or greedy (default per mode)")
 		opn        = flag.Int("opn", 1, "operand network channels (1 or 2)")
 		conserv    = flag.Bool("conservative", false, "disable aggressive load issue")
+		useNUCA    = flag.Bool("nuca", false, "use the NUCA secondary memory system instead of the perfect L2")
+		traceOut   = flag.String("trace", "", "record a protocol trace and write Chrome/Perfetto JSON to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		alphaRun   = flag.Bool("alpha", false, "also run the Alpha-class baseline")
 		goldenRun  = flag.Bool("golden", false, "also run the golden interpreter")
 		stats      = flag.Bool("stats", false, "print per-tile statistics")
@@ -87,7 +92,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, NoFastPath: *noFast, NoWarp: *noWarp}
+	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp}
+	var tracer *obs.Tracer
+	var sampler *obs.Sampler
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		sampler = obs.NewSampler(0)
+		opt.Trace = tracer
+		opt.Metrics = sampler
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tsim: debug endpoint on http://%s/debug/vars\n", addr)
+		if sampler != nil {
+			obs.PublishSampler("tsim", sampler)
+		}
+	}
 	hand := true
 	switch *mode {
 	case "hand":
@@ -133,6 +157,19 @@ func main() {
 	}
 	if *stats {
 		fmt.Print(r.Stats.String())
+		if r.NUCA != nil {
+			fmt.Println(r.NUCA.String())
+		}
+		if sampler != nil {
+			fmt.Print(sampler.Summary())
+		}
+	}
+	if tracer != nil {
+		if err := obs.WriteChromeFile(*traceOut, tracer, sampler); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace: %d events (%d dropped) -> %s\n", tracer.Total(), tracer.Dropped(), *traceOut)
 	}
 	if *host {
 		fmt.Printf("  host: %.1f ms wall, %.0f sim-cycles/sec, %.0f ns/sim-cycle\n",

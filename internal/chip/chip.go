@@ -13,6 +13,7 @@ import (
 
 	"trips/internal/mem"
 	"trips/internal/nuca"
+	"trips/internal/obs"
 	"trips/internal/proc"
 )
 
@@ -38,6 +39,18 @@ type Config struct {
 	// NoParallel forces the two cores to step sequentially on one host
 	// thread instead of the deterministic two-phase parallel step.
 	NoParallel bool
+	// Trace holds one optional tracer per core. The entries must be
+	// distinct objects: the compute phase steps the two cores on
+	// concurrent goroutines, and a Tracer is single-goroutine.
+	Trace [2]*obs.Tracer
+	// OCNTrace optionally records the shared OCN's per-message transport
+	// events (emitted from the serial exchange phase).
+	OCNTrace *obs.Tracer
+	// Metrics optionally samples chip-level series (OCN occupancy, MSHR
+	// and SDRAM queue depth, DMA progress, warp engagement). It is driven
+	// from the serial exchange phase only, never from a core's parallel
+	// compute step.
+	Metrics *obs.Sampler
 }
 
 // Chip is one TRIPS prototype chip.
@@ -98,6 +111,8 @@ func New(cfg Config) (*Chip, error) {
 		Backing:    cfg.Backing,
 		Partition:  cfg.Partition,
 		Scratchpad: cfg.Scratchpad,
+		Trace:      cfg.OCNTrace,
+		Metrics:    cfg.Metrics,
 	})
 	for i, prog := range cfg.Programs {
 		if prog == nil {
@@ -115,6 +130,7 @@ func New(cfg Config) (*Chip, error) {
 			Mem:             backend,
 			ExternalMemTick: true,
 			MaxCycles:       cfg.MaxCycles,
+			Trace:           cfg.Trace[i],
 		})
 		if err != nil {
 			return nil, err
@@ -124,6 +140,17 @@ func New(cfg Config) (*Chip, error) {
 	c.DMA[0] = &DMA{chip: c, id: 0}
 	c.DMA[1] = &DMA{chip: c, id: 1}
 	c.C2C = &C2C{}
+	if sm := cfg.Metrics; sm != nil {
+		// These closures read core and DMA state, which is safe because the
+		// sampler fires from the OCN tick in the serial exchange phase.
+		sm.Register("chip.warped_cycles", func() int64 { return c.WarpedCycles })
+		sm.Register("dma.moved", func() int64 {
+			return int64(c.DMA[0].Moved + c.DMA[1].Moved)
+		})
+		sm.Register("dma.completions", func() int64 {
+			return int64(c.DMA[0].Completions + c.DMA[1].Completions)
+		})
+	}
 	return c, nil
 }
 
@@ -292,6 +319,8 @@ type DMA struct {
 	buf      []byte
 	phase    int // 0 idle, 1 reading, 2 writing
 	Moved    uint64
+	// Completions counts finished line transfers (read + write round trips).
+	Completions uint64
 
 	// rdReq/wrReq are persistent request records: the Done closures are
 	// bound once, so a long transfer issues thousands of transactions
@@ -314,6 +343,7 @@ func (d *DMA) Program(src, dst uint64, n int) {
 			d.inFlight = false
 			d.phase = 1
 			d.Moved += uint64(len(d.buf))
+			d.Completions++
 			d.src += uint64(len(d.buf))
 			d.dst += uint64(len(d.buf))
 			d.left -= len(d.buf)

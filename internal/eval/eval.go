@@ -12,6 +12,7 @@ import (
 	"trips/internal/critpath"
 	"trips/internal/mem"
 	"trips/internal/nuca"
+	"trips/internal/obs"
 	"trips/internal/proc"
 	"trips/internal/tcc"
 	"trips/internal/tir"
@@ -38,6 +39,11 @@ type TRIPSOptions struct {
 	// NoWarp disables clock-warping over quiescent stretches while keeping
 	// the stepping fast paths. Results must be bit-identical either way.
 	NoWarp bool
+	// Trace, when non-nil, records block-protocol and micronet events for
+	// export as a Chrome/Perfetto timeline. Never changes simulated cycles.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, samples occupancy series during the run.
+	Metrics *obs.Sampler
 }
 
 // TRIPSResult is one TRIPS run's outcome.
@@ -58,6 +64,8 @@ type TRIPSResult struct {
 	// comparisons (a warped and an unwarped run differ here by design).
 	Warps        uint64
 	WarpedCycles int64
+	// NUCA carries the secondary memory system's counters when UseNUCA.
+	NUCA *nuca.StatsReport
 }
 
 // RunTRIPS compiles and executes a workload spec on the TRIPS core.
@@ -80,7 +88,7 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 	var backend proc.MemBackend
 	var sys *nuca.System
 	if opt.UseNUCA {
-		sys = nuca.New(nuca.Config{Backing: m})
+		sys = nuca.New(nuca.Config{Backing: m, Trace: opt.Trace, Metrics: opt.Metrics})
 		backend = sys
 	} else {
 		backend = proc.NewFixedLatencyMem(m, lat)
@@ -94,6 +102,8 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		SlowOPNRouter:     opt.SlowOPNRouter,
 		NoFastPath:        opt.NoFastPath,
 		NoWarp:            opt.NoWarp,
+		Trace:             opt.Trace,
+		Metrics:           opt.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -122,6 +132,11 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 	for v, gr := range meta.RegOf {
 		regs[v] = core.Register(0, gr)
 	}
+	var nucaRep *nuca.StatsReport
+	if sys != nil {
+		rep := sys.Report()
+		nucaRep = &rep
+	}
 	return &TRIPSResult{
 		Cycles:    res.Cycles,
 		Insts:     res.CommittedInsts,
@@ -136,6 +151,7 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 
 		Warps:        core.Warps,
 		WarpedCycles: core.WarpedCycles,
+		NUCA:         nucaRep,
 	}, nil
 }
 

@@ -165,5 +165,11 @@ func (b *Broadcast[T]) Propagate() {
 // commands do not count). O(1) via the link-residency counter.
 func (b *Broadcast[T]) Quiet() bool { return b.linkBusy == 0 }
 
+// Injected returns the total number of commands the origin has sent.
+func (b *Broadcast[T]) Injected() uint64 { return b.injected }
+
+// Busy returns the number of messages currently resident on tree links.
+func (b *Broadcast[T]) Busy() int { return b.linkBusy }
+
 // Pending returns the number of delivered commands awaiting Pop.
 func (b *Broadcast[T]) Pending() int { return b.pendingDeliv }

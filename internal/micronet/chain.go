@@ -12,6 +12,7 @@ type Chain[T any] struct {
 	N     int
 	links []*Link[T] // links[i]: node i+1 -> node i
 	busy  int        // messages resident on links (O(1) Quiet)
+	sent  uint64     // total messages ever sent
 }
 
 // NewChain builds a chain of n nodes (node 0 is the head).
@@ -30,6 +31,7 @@ func (c *Chain[T]) CanSend(from int) bool { return c.links[from-1].CanSend() }
 func (c *Chain[T]) Send(from int, msg T) bool {
 	if c.links[from-1].Send(msg) {
 		c.busy++
+		c.sent++
 		return true
 	}
 	return false
@@ -60,6 +62,12 @@ func (c *Chain[T]) Propagate() {
 // counter.
 func (c *Chain[T]) Quiet() bool { return c.busy == 0 }
 
+// Sent returns the total number of hop-sends on the chain.
+func (c *Chain[T]) Sent() uint64 { return c.sent }
+
+// Busy returns the number of messages currently resident on chain links.
+func (c *Chain[T]) Busy() int { return c.busy }
+
 // BiChain is a bidirectional chain of n nodes in which a message injected
 // at node i is delivered to every other node, propagating one hop per cycle
 // in both directions. The data status network (DSN) is a BiChain over the
@@ -72,8 +80,9 @@ type BiChain[T any] struct {
 	up           []*Link[T] // up[i]: node i+1 -> node i
 	down         []*Link[T] // down[i]: node i -> node i+1
 	outQ         []Queue[T]
-	busy         int // messages resident on links (O(1) Quiet)
-	pendingDeliv int // delivered messages awaiting Pop
+	busy         int    // messages resident on links (O(1) Quiet)
+	pendingDeliv int    // delivered messages awaiting Pop
+	sent         uint64 // total broadcasts ever injected
 }
 
 // NewBiChain builds a bidirectional chain of n nodes.
@@ -113,6 +122,7 @@ func (b *BiChain[T]) Inject(i int, msg T) bool {
 		b.down[i].Send(msg)
 		b.busy++
 	}
+	b.sent++
 	return true
 }
 
@@ -198,3 +208,9 @@ func (b *BiChain[T]) Quiet() bool { return b.busy == 0 }
 
 // Pending returns the number of delivered messages awaiting Pop.
 func (b *BiChain[T]) Pending() int { return b.pendingDeliv }
+
+// Sent returns the total number of broadcasts injected on the chain.
+func (b *BiChain[T]) Sent() uint64 { return b.sent }
+
+// Busy returns the number of messages currently resident on chain links.
+func (b *BiChain[T]) Busy() int { return b.busy }

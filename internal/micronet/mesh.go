@@ -1,6 +1,10 @@
 package micronet
 
-import "fmt"
+import (
+	"fmt"
+
+	"trips/internal/obs"
+)
 
 // Coord is a (row, column) position on a mesh.
 type Coord struct {
@@ -52,6 +56,21 @@ type Tracked interface {
 	NoteWait()
 }
 
+// TraceIdent is optionally implemented by messages that can carry a trace
+// identity: Attach-ed meshes stamp a fresh id at injection so the event
+// tracer can correlate a message's inject/hop/deliver events.
+type TraceIdent interface {
+	SetTraceID(uint64)
+	TraceID() uint64
+}
+
+func traceIDOf[T Routable](msg T) uint64 {
+	if ti, ok := any(msg).(TraceIdent); ok {
+		return ti.TraceID()
+	}
+	return 0
+}
+
 // router is one mesh node: per-input-port single-entry buffers plus a local
 // injection register and a local delivery queue.
 type router[T Routable] struct {
@@ -100,6 +119,12 @@ type Mesh[T Routable] struct {
 	bufOcc       int // occupied router input buffers
 	linkBusy     int // messages resident on links (sent, not yet latched)
 	pendingDeliv int // delivered messages awaiting Pop
+
+	// trace is the optional event tracer (nil = off; see Attach). Every
+	// hot-path emission site is gated on one nil check, and emission never
+	// mutates routing state, so a traced run is cycle-identical.
+	trace *obs.Tracer
+	netID uint8
 }
 
 // meshEdge is one physical link plus its latch target.
@@ -208,7 +233,33 @@ func (m *Mesh[T]) Inject(at Coord, msg T) bool {
 	rt.occ++
 	m.bufOcc++
 	m.injected++
+	if m.trace != nil {
+		m.traceInject(at, msg)
+	}
 	return true
+}
+
+// Attach connects an event tracer (nil detaches). net identifies the mesh
+// in trace output (obs.NetOPN0, obs.NetOCN, ...).
+func (m *Mesh[T]) Attach(tr *obs.Tracer, net uint8) {
+	m.trace = tr
+	m.netID = net
+}
+
+// traceInject stamps a fresh trace id on the message (when it can carry
+// one) and records the injection. Tick advances tickCount before tiles
+// inject, so the current cycle is tickCount-1.
+func (m *Mesh[T]) traceInject(at Coord, msg T) {
+	var id uint64
+	if ti, ok := any(msg).(TraceIdent); ok {
+		id = m.trace.NextID()
+		ti.SetTraceID(id)
+	}
+	m.trace.Emit(obs.Event{
+		Cycle: int64(m.tickCount) - 1, Kind: obs.KindNetInject, Net: m.netID,
+		Seq: id, Addr: obs.PackCoord(at.Row, at.Col),
+		Arg: obs.PackCoord(msg.Dest().Row, msg.Dest().Col),
+	})
 }
 
 // Deliver peeks at the oldest message delivered to the given node.
@@ -272,6 +323,12 @@ func (m *Mesh[T]) tickRouter(rt *router[T], off int) {
 				m.pendingDeliv++
 				delivered++
 				m.delivered++
+				if m.trace != nil {
+					m.trace.Emit(obs.Event{
+						Cycle: int64(off), Kind: obs.KindNetDeliver, Net: m.netID,
+						Seq: traceIDOf(msg), Addr: obs.PackCoord(rt.at.Row, rt.at.Col),
+					})
+				}
 			} else if tr, ok := any(msg).(Tracked); ok {
 				tr.NoteWait()
 			}
@@ -297,6 +354,12 @@ func (m *Mesh[T]) tickRouter(rt *router[T], off int) {
 		m.linkBusy++
 		if tr, ok := any(msg).(Tracked); ok {
 			tr.NoteHop()
+		}
+		if m.trace != nil {
+			m.trace.Emit(obs.Event{
+				Cycle: int64(off), Kind: obs.KindNetHop, Net: m.netID,
+				Seq: traceIDOf(msg), Addr: obs.PackCoord(rt.at.Row, rt.at.Col),
+			})
 		}
 		var zero T
 		rt.inBuf[in] = zero
@@ -410,6 +473,7 @@ func (m *Mesh[T]) TransitBound() (int64, bool) {
 // so no NoteWait and no link stall can occur on the skipped cycles.
 // Clock-warping callers rely on this replay being bit-exact.
 func (m *Mesh[T]) SkipTicks(n int64) {
+	start := int64(m.tickCount)
 	m.tickCount += int(n)
 	if n <= 0 || m.bufOcc == 0 && m.linkBusy == 0 && m.pendingDeliv == 0 {
 		return
@@ -437,6 +501,15 @@ func (m *Mesh[T]) SkipTicks(n int64) {
 		if tracked {
 			tr.NoteHop()
 		}
+		if m.trace != nil {
+			// Replay the hop trace a stepped run would have emitted: the
+			// i-th skipped tick would have stamped cycle start+i, keeping
+			// per-message hop timestamps monotone across warps.
+			m.trace.Emit(obs.Event{
+				Cycle: start + i, Kind: obs.KindNetHop, Net: m.netID,
+				Seq: traceIDOf(msg), Addr: obs.PackCoord(pos.Row, pos.Col),
+			})
+		}
 		nr, nc, _ := step(pos.Row, pos.Col, out, m.Rows, m.Cols)
 		pos = Coord{Row: nr, Col: nc}
 		in = opposite(out)
@@ -461,3 +534,13 @@ func (m *Mesh[T]) PendingDeliveries() int { return m.pendingDeliv }
 // Injected and Delivered return lifetime message counts.
 func (m *Mesh[T]) Injected() uint64  { return m.injected }
 func (m *Mesh[T]) Delivered() uint64 { return m.delivered }
+
+// Occupancy returns the number of messages currently resident in the mesh
+// (router buffers plus links), a cheap O(1) sampling source.
+func (m *Mesh[T]) Occupancy() int { return m.bufOcc + m.linkBusy }
+
+// LinksBusy returns the number of links currently carrying a message.
+func (m *Mesh[T]) LinksBusy() int { return m.linkBusy }
+
+// NumLinks returns the number of physical links in the mesh.
+func (m *Mesh[T]) NumLinks() int { return len(m.edges) }

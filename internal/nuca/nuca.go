@@ -19,6 +19,7 @@ import (
 	"trips/internal/cache"
 	"trips/internal/mem"
 	"trips/internal/micronet"
+	"trips/internal/obs"
 	"trips/internal/proc"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	Partition bool
 	// Scratchpad switches every MT to scratchpad mode.
 	Scratchpad bool
+	// Trace, when non-nil, records per-message OCN transport events.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, samples OCN occupancy and MSHR/SDRAM queue
+	// depth once per sample interval of ticked cycles.
+	Metrics *obs.Sampler
 }
 
 // msgKind discriminates OCN transactions.
@@ -90,11 +96,16 @@ type ocnMsg struct {
 	flits  int
 	hops   int
 	waits  int
+	tid    uint64 // trace id stamped by a traced mesh at Inject
 }
 
 func (m *ocnMsg) Dest() micronet.Coord { return m.dst }
 func (m *ocnMsg) NoteHop()             { m.hops++ }
 func (m *ocnMsg) NoteWait()            { m.waits++ }
+
+// SetTraceID / TraceID implement micronet.TraceIdent.
+func (m *ocnMsg) SetTraceID(id uint64) { m.tid = id }
+func (m *ocnMsg) TraceID() uint64      { return m.tid }
 
 // pending tracks an outstanding client request, possibly split across
 // several line-sized OCN transactions (a 128-byte I-cache chunk spans two
@@ -203,6 +214,10 @@ type mtState struct {
 	outQ     micronet.Queue[*ocnMsg]
 	// Stats.
 	Hits, Misses uint64
+	// MSHRCoalesced counts misses absorbed by the in-flight fetch for the
+	// same line; MSHRBlocked counts misses to a different line that had to
+	// wait behind the single-entry MSHR (Section 3.6).
+	MSHRCoalesced, MSHRBlocked uint64
 }
 
 // System is the full secondary memory system.
@@ -224,6 +239,11 @@ type System struct {
 
 	// Stats.
 	Requests, LineTransfers uint64
+	// SDRAMReads/Writes count jobs accepted by the two SDCs (counted at
+	// dispatch so a backpressured response retry is not double-counted).
+	SDRAMReads, SDRAMWrites uint64
+
+	metrics *obs.Sampler
 }
 
 type sdcJob struct {
@@ -265,6 +285,24 @@ func New(cfg Config) *System {
 		s.mtAt[at] = mt
 	}
 	s.sdcs = [2]micronet.Coord{{Row: 0, Col: 0}, {Row: Rows - 1, Col: 0}}
+	s.mesh.Attach(cfg.Trace, obs.NetOCN)
+	if sm := cfg.Metrics; sm != nil {
+		s.metrics = sm
+		sm.Register("ocn.occupancy", func() int64 { return int64(s.mesh.Occupancy()) })
+		sm.Register("ocn.links_busy", func() int64 { return int64(s.mesh.LinksBusy()) })
+		sm.Register("mshr.busy_mts", func() int64 {
+			n := 0
+			for _, mt := range s.mts {
+				if mt.busy {
+					n++
+				}
+			}
+			return int64(n)
+		})
+		sm.Register("sdram.queue", func() int64 {
+			return int64(len(s.sdcQ[0]) + len(s.sdcQ[1]))
+		})
+	}
 	return s
 }
 
@@ -421,6 +459,12 @@ func (s *System) Tick() {
 			s.Requests++
 		}
 	}
+	// Sample before the propagate pass latches links into router buffers:
+	// at this point linkBusy still counts the messages the routers sent
+	// this cycle, which is the OCN link-utilization signal.
+	if sm := s.metrics; sm != nil {
+		sm.Sample(s.cycle)
+	}
 	s.mesh.Propagate()
 }
 
@@ -518,6 +562,11 @@ func (s *System) dispatch(msg *ocnMsg) {
 		if msg.dst == s.sdcs[1] {
 			sdc = 1
 		}
+		if msg.write {
+			s.SDRAMWrites++
+		} else {
+			s.SDRAMReads++
+		}
 		s.sdcQ[sdc] = append(s.sdcQ[sdc], sdcJob{msg: msg, readyAt: s.cycle + int64(s.cfg.SDRAMLatency)})
 	case mkResp:
 		if pd, ok := s.pendSplit[msg.id]; ok {
@@ -581,9 +630,11 @@ func (s *System) mtRequest(msg *ocnMsg) {
 	line := mt.bank.LineAddr(msg.addr)
 	if mt.busy {
 		if line == mt.waitLine {
+			mt.MSHRCoalesced++
 			mt.waiters = append(mt.waiters, msg)
 		} else {
 			// Retry by self-requeueing into the MT next cycle.
+			mt.MSHRBlocked++
 			mt.waiters = append(mt.waiters, msg)
 		}
 		return
@@ -675,4 +726,48 @@ func (s *System) Stats() (hits, misses uint64) {
 		misses += mt.Misses
 	}
 	return
+}
+
+// StatsReport aggregates the memory system's counters for reporting.
+type StatsReport struct {
+	Requests      uint64 // client transactions injected at the NT ports
+	LineTransfers uint64 // SDC line fills installed at MTs
+	OCNInjected   uint64 // messages entering the OCN mesh
+	OCNDelivered  uint64 // messages delivered by the OCN mesh
+	Hits, Misses  uint64 // MT bank hits/misses
+	MSHRCoalesced uint64 // misses absorbed by an in-flight fetch of the same line
+	MSHRBlocked   uint64 // misses stalled behind the single-entry MSHR
+	SDRAMReads    uint64 // read jobs accepted by the SDCs
+	SDRAMWrites   uint64 // write(-back) jobs accepted by the SDCs
+}
+
+// Report snapshots the system-wide counters.
+func (s *System) Report() StatsReport {
+	r := StatsReport{
+		Requests:      s.Requests,
+		LineTransfers: s.LineTransfers,
+		OCNInjected:   s.mesh.Injected(),
+		OCNDelivered:  s.mesh.Delivered(),
+		SDRAMReads:    s.SDRAMReads,
+		SDRAMWrites:   s.SDRAMWrites,
+	}
+	for _, mt := range s.mts {
+		r.Hits += mt.Hits
+		r.Misses += mt.Misses
+		r.MSHRCoalesced += mt.MSHRCoalesced
+		r.MSHRBlocked += mt.MSHRBlocked
+	}
+	return r
+}
+
+func (r StatsReport) String() string {
+	return fmt.Sprintf(
+		"NUCA: requests=%d hits=%d misses=%d line-fills=%d\n"+
+			"OCN:  injected=%d delivered=%d\n"+
+			"MSHR: coalesced=%d blocked=%d\n"+
+			"SDRAM: reads=%d writes=%d",
+		r.Requests, r.Hits, r.Misses, r.LineTransfers,
+		r.OCNInjected, r.OCNDelivered,
+		r.MSHRCoalesced, r.MSHRBlocked,
+		r.SDRAMReads, r.SDRAMWrites)
 }

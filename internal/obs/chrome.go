@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"trips/internal/critpath"
+)
+
+// TraceEvent is one Chrome trace-event JSON record (the subset the exporter
+// emits; loadable by Perfetto and chrome://tracing). Timestamps are in the
+// file's microsecond unit but carry simulated cycles directly: one trace
+// "µs" = one cycle.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the JSON object container ({"traceEvents": [...]}).
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Exporter track layout.
+const (
+	pidBlocks  = 1 // block protocol lifecycle; tid = frame slot
+	pidNetBase = 2 // one pid per traced network (pidNetBase + net id)
+	pidMetrics = 20
+	tidFetch   = 100 // fetch-pipeline instants (no frame yet)
+)
+
+func catName(c uint8) string {
+	if c == 0 {
+		return ""
+	}
+	return critpath.Cat(c - 1).String()
+}
+
+// blockState accumulates one block's lifecycle while scanning the ring.
+type blockState struct {
+	seq          uint64
+	addr         uint64
+	slot         int
+	first, last  int64
+	firstOperand int64
+	lastOperand  int64
+	flushed      bool
+}
+
+// BuildChrome converts the tracer ring (and optional sampled metrics) into
+// Chrome trace-event form.
+func BuildChrome(t *Tracer, s *Sampler) *TraceFile {
+	f := &TraceFile{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"clock": "1 trace us = 1 simulated cycle"},
+	}
+	meta := func(pid int, name string) {
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(pidBlocks, "block protocol (tid = frame slot)")
+	meta(pidMetrics, "sampled metrics")
+
+	blocks := map[uint64]*blockState{}
+	netsSeen := map[uint8]bool{}
+	events := t.Events()
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindNetInject, KindNetHop, KindNetDeliver:
+			f.TraceEvents = append(f.TraceEvents, netEvent(ev))
+			if !netsSeen[ev.Net] {
+				netsSeen[ev.Net] = true
+				meta(pidNetBase+int(ev.Net), "net "+NetName(ev.Net))
+			}
+			continue
+		case KindBlockFetch:
+			f.TraceEvents = append(f.TraceEvents, TraceEvent{
+				Name: ev.Kind.String(), Cat: catName(ev.Cat), Ph: "i", S: "t",
+				Ts: ev.Cycle, Pid: pidBlocks, Tid: tidFetch,
+				Args: map[string]any{"addr": hex(ev.Addr)},
+			})
+			continue
+		case KindFlushWave:
+			f.TraceEvents = append(f.TraceEvents, TraceEvent{
+				Name: ev.Kind.String(), Cat: catName(ev.Cat), Ph: "i", S: "p",
+				Ts: ev.Cycle, Pid: pidBlocks, Tid: tidFetch,
+				Args: map[string]any{"from_seq": ev.Seq, "slot_mask": ev.Arg},
+			})
+			continue
+		}
+		// Per-block lifecycle events.
+		b := blocks[ev.Seq]
+		if b == nil {
+			b = &blockState{seq: ev.Seq, slot: int(ev.Slot), first: ev.Cycle, firstOperand: -1}
+			blocks[ev.Seq] = b
+		}
+		if ev.Cycle > b.last {
+			b.last = ev.Cycle
+		}
+		switch ev.Kind {
+		case KindBlockDispatch:
+			b.addr = ev.Addr
+			b.slot = int(ev.Slot)
+			b.first = ev.Cycle
+		case KindOperand:
+			if b.firstOperand < 0 {
+				b.firstOperand = ev.Cycle
+			}
+			b.lastOperand = ev.Cycle
+			continue // rendered as first/last instants, not one per delivery
+		}
+		args := map[string]any{"seq": ev.Seq}
+		if ev.Kind == KindStoreMask {
+			args["dt"] = ev.Arg
+		} else if ev.Addr != 0 {
+			args["addr"] = hex(ev.Addr)
+		}
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: ev.Kind.String(), Cat: catName(ev.Cat), Ph: "i", S: "t",
+			Ts: ev.Cycle, Pid: pidBlocks, Tid: int(ev.Slot), Args: args,
+		})
+	}
+
+	// One "X" slice per block spanning dispatch..last-event, plus derived
+	// first/last operand instants.
+	seqs := make([]uint64, 0, len(blocks))
+	for seq := range blocks {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		b := blocks[seq]
+		dur := b.last - b.first
+		if dur < 1 {
+			dur = 1
+		}
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: fmt.Sprintf("block %s", hex(b.addr)), Ph: "X",
+			Ts: b.first, Dur: dur, Pid: pidBlocks, Tid: b.slot,
+			Args: map[string]any{"seq": b.seq, "addr": hex(b.addr)},
+		})
+		if b.firstOperand >= 0 {
+			for _, p := range []struct {
+				name string
+				ts   int64
+			}{{"first-operand", b.firstOperand}, {"last-operand", b.lastOperand}} {
+				f.TraceEvents = append(f.TraceEvents, TraceEvent{
+					Name: p.name, Ph: "i", S: "t", Ts: p.ts,
+					Pid: pidBlocks, Tid: b.slot,
+					Args: map[string]any{"seq": b.seq},
+				})
+			}
+		}
+	}
+
+	// Sampled metrics as counter tracks.
+	if s != nil {
+		for _, sr := range s.Series() {
+			for _, p := range sr.Points() {
+				f.TraceEvents = append(f.TraceEvents, TraceEvent{
+					Name: sr.Name, Ph: "C", Ts: p.Cycle, Pid: pidMetrics,
+					Args: map[string]any{"value": p.Value},
+				})
+			}
+		}
+	}
+
+	if d := t.Dropped(); d > 0 {
+		f.OtherData["dropped_events"] = d
+	}
+	f.OtherData["total_events"] = t.Total()
+	return f
+}
+
+// netEvent renders one micronet message event as an async ("b"/"n"/"e")
+// event: Perfetto groups the three phases of one message by (cat, id) into
+// a single flow, so each traced message becomes a row of hops.
+func netEvent(ev *Event) TraceEvent {
+	var ph string
+	switch ev.Kind {
+	case KindNetInject:
+		ph = "b"
+	case KindNetHop:
+		ph = "n"
+	default:
+		ph = "e"
+	}
+	row, col := UnpackCoord(ev.Addr)
+	args := map[string]any{"at": fmt.Sprintf("(%d,%d)", row, col)}
+	if ev.Kind == KindNetInject {
+		dr, dc := UnpackCoord(ev.Arg)
+		args["dest"] = fmt.Sprintf("(%d,%d)", dr, dc)
+	}
+	if ev.Kind == KindNetDeliver && ev.Arg != 0 {
+		hops, waits := UnpackPair(ev.Arg)
+		args["hops"], args["waits"] = hops, waits
+	}
+	return TraceEvent{
+		Name: "xfer", Cat: NetName(ev.Net), Ph: ph, Ts: ev.Cycle,
+		Pid: pidNetBase + int(ev.Net), Tid: 0,
+		ID:   fmt.Sprintf("%s-%d", NetName(ev.Net), ev.Seq),
+		Args: args,
+	}
+}
+
+func hex(v uint64) string { return fmt.Sprintf("%#x", v) }
+
+// WriteChrome writes the trace as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, t *Tracer, s *Sampler) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildChrome(t, s))
+}
+
+// WriteChromeFile writes the trace to a file.
+func WriteChromeFile(path string, t *Tracer, s *Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChrome(f, t, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts a debug HTTP server on addr (e.g. "localhost:6060")
+// serving expvar under /debug/vars and net/http/pprof under /debug/pprof/.
+// It returns the bound listener address (useful with ":0") and runs the
+// server on a background goroutine for the life of the process — intended
+// for watching long evaluation runs, so there is no shutdown plumbing.
+func ServeDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "trips debug endpoint: /debug/vars (expvar), /debug/pprof/ (pprof)")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// PublishSampler exposes a sampler's running aggregates as one expvar map.
+// Only the atomically-maintained aggregates are read (never the point
+// slices), so the HTTP goroutine can poll while the simulation samples.
+func PublishSampler(name string, s *Sampler) {
+	expvar.Publish(name, expvar.Func(func() any {
+		out := map[string]any{}
+		for _, sr := range s.Series() {
+			out[sr.Name] = map[string]any{
+				"last":  sr.Last(),
+				"max":   sr.Max(),
+				"mean":  sr.Mean(),
+				"count": sr.Count(),
+			}
+		}
+		return out
+	}))
+}

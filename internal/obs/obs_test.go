@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Cycle: int64(i), Seq: uint64(i), Kind: KindOperand})
+	}
+	if got := tr.Total(); got != 10 {
+		t.Errorf("Total() = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() returned %d events, want 4", len(evs))
+	}
+	// Oldest-first: the survivors are events 6..9.
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("Events()[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTracerNoWrap(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Seq: uint64(i)})
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() returned %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("Events()[%d].Seq = %d, want %d", i, ev.Seq, i)
+		}
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindBlockFetch}) // must not panic
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer should report zero events")
+	}
+}
+
+func TestTracerNextID(t *testing.T) {
+	tr := NewTracer(4)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id := tr.NextID()
+		if id == 0 {
+			t.Fatal("NextID returned 0; 0 is reserved for untagged messages")
+		}
+		if seen[id] {
+			t.Fatalf("NextID returned duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPackUnpackCoord(t *testing.T) {
+	for _, c := range []struct{ row, col int }{{0, 0}, {3, 9}, {4, 0}, {1, 2}} {
+		r, cc := UnpackCoord(PackCoord(c.row, c.col))
+		if r != c.row || cc != c.col {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", c.row, c.col, r, cc)
+		}
+	}
+}
+
+func TestPackUnpackPair(t *testing.T) {
+	hi, lo := UnpackPair(PackPair(7, 1234))
+	if hi != 7 || lo != 1234 {
+		t.Errorf("round trip (7,1234) -> (%d,%d)", hi, lo)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	// Every defined kind must have a distinct, non-"?" name: the Chrome
+	// exporter uses them as event names.
+	seen := map[string]Kind{}
+	for k := KindBlockFetch; k <= KindNetDeliver; k++ {
+		s := k.String()
+		if s == "?" {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("Kind(%d) and Kind(%d) share name %q", k, prev, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, -5} {
+		h.Add(v)
+	}
+	// bucket 0: {0, -5(clamped)}, bucket 1: {1}, bucket 2: {2,3},
+	// bucket 3: {4,7}, bucket 4: {8}
+	want := map[int]uint64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1}
+	for i, n := range h.Buckets {
+		if n != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if lo, hi := h.BucketRange(3); lo != 4 || hi != 7 {
+		t.Errorf("BucketRange(3) = [%d,%d], want [4,7]", lo, hi)
+	}
+}
+
+func TestSamplerIntervalAndAggregates(t *testing.T) {
+	s := NewSampler(10)
+	v := int64(0)
+	sr := s.Register("test", func() int64 { return v })
+	for cyc := int64(0); cyc < 100; cyc++ {
+		v = cyc
+		s.Sample(cyc)
+	}
+	if got := sr.Count(); got != 10 {
+		t.Errorf("Count() = %d, want 10 (one sample per interval)", got)
+	}
+	if got := sr.Last(); got != 90 {
+		t.Errorf("Last() = %d, want 90", got)
+	}
+	if got := sr.Max(); got != 90 {
+		t.Errorf("Max() = %d, want 90", got)
+	}
+	if got := sr.Mean(); got != 45 {
+		t.Errorf("Mean() = %v, want 45", got)
+	}
+	pts := sr.Points()
+	if len(pts) != 10 {
+		t.Fatalf("retained %d points, want 10", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cycle <= pts[i-1].Cycle {
+			t.Errorf("points not cycle-ordered: %v then %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestSamplerSkipsWarpedGaps(t *testing.T) {
+	// A warped run only calls Sample on stepped cycles; a jump past the due
+	// point must sample once at the next stepped cycle, not retroactively.
+	s := NewSampler(10)
+	sr := s.Register("test", func() int64 { return 1 })
+	s.Sample(0)
+	s.Sample(500) // warp jumped 0 -> 500
+	if got := sr.Count(); got != 2 {
+		t.Errorf("Count() = %d, want 2 (no retroactive fill across the warp)", got)
+	}
+}
+
+func TestBuildChromeRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	id := tr.NextID()
+	tr.Emit(Event{Cycle: 5, Kind: KindBlockDispatch, Seq: 1, Addr: 0x10000, Slot: 2})
+	tr.Emit(Event{Cycle: 6, Kind: KindNetInject, Seq: id, Net: NetOPN0,
+		Addr: PackCoord(0, 0), Arg: PackCoord(2, 3)})
+	tr.Emit(Event{Cycle: 7, Kind: KindNetHop, Seq: id, Net: NetOPN0, Addr: PackCoord(1, 0)})
+	tr.Emit(Event{Cycle: 9, Kind: KindNetDeliver, Seq: id, Net: NetOPN0,
+		Addr: PackCoord(2, 3), Arg: PackPair(5, 2)})
+	tr.Emit(Event{Cycle: 9, Kind: KindOperand, Seq: 1, Slot: 2})
+	tr.Emit(Event{Cycle: 12, Kind: KindBlockComplete, Seq: 1, Slot: 2})
+	tr.Emit(Event{Cycle: 14, Kind: KindBlockAcked, Seq: 1, Slot: 2})
+
+	s := NewSampler(1)
+	s.Register("occ", func() int64 { return 3 })
+	s.Sample(10)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr, s); err != nil {
+		t.Fatal(err)
+	}
+	var f TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+
+	phases := map[string]int{}
+	names := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		phases[ev.Ph]++
+		names[ev.Name]++
+	}
+	// One async begin/hop/end triple for the message, a block "X" slice,
+	// lifecycle instants, a counter sample, and process metadata.
+	for ph, want := range map[string]int{"b": 1, "n": 1, "e": 1, "X": 1, "C": 1} {
+		if phases[ph] != want {
+			t.Errorf("phase %q count = %d, want %d (events: %+v)", ph, phases[ph], want, names)
+		}
+	}
+	for _, name := range []string{"dispatch", "complete", "acked", "first-operand", "last-operand", "block 0x10000"} {
+		if names[name] == 0 {
+			t.Errorf("missing expected event name %q", name)
+		}
+	}
+	if f.OtherData["total_events"] == nil {
+		t.Error("OtherData missing total_events")
+	}
+}
+
+func TestBuildChromeReportsDropped(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Cycle: int64(i), Kind: KindBlockFetch, Addr: 0x100})
+	}
+	f := BuildChrome(tr, nil)
+	if d, ok := f.OtherData["dropped_events"].(uint64); !ok || d != 3 {
+		t.Errorf("dropped_events = %v, want 3", f.OtherData["dropped_events"])
+	}
+}

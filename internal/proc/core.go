@@ -7,6 +7,7 @@ import (
 	"trips/internal/critpath"
 	"trips/internal/isa"
 	"trips/internal/micronet"
+	"trips/internal/obs"
 )
 
 // horizonNever marks "no scheduled event" in NextEventCycle results.
@@ -60,6 +61,14 @@ type Config struct {
 	// for the three-way A/B determinism tests, mirroring NoFastPath.
 	// NoFastPath implies NoWarp: the full-scan baseline never warps.
 	NoWarp bool
+	// Trace, when non-nil, records block-protocol and operand-network
+	// events into the ring. Tracing never mutates simulated state, so a
+	// traced run's cycle counts are bit-identical to an untraced one.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, samples core occupancy series (OPN occupancy,
+	// LSQ depth, MSHR outstanding, in-flight blocks) once per sample
+	// interval of stepped cycles.
+	Metrics *obs.Sampler
 }
 
 // BlockTime is one block's protocol timeline (Figure 5b's phases).
@@ -120,6 +129,11 @@ type Core struct {
 	// Timeline holds per-block protocol phases when RecordTimeline is set.
 	Timeline  []BlockTime
 	timelineI map[uint64]int // seq -> Timeline index
+
+	// trace and metrics are nil when observability is off; every hot-path
+	// hook is a single pointer compare.
+	trace   *obs.Tracer
+	metrics *obs.Sampler
 }
 
 // NewCore builds a core over the given configuration.
@@ -145,9 +159,14 @@ func NewCore(cfg Config) (*Core, error) {
 		mem:         cfg.Mem,
 		nonNopCount: make(map[uint64]uint64),
 		timelineI:   make(map[uint64]int),
+		trace:       cfg.Trace,
+		metrics:     cfg.Metrics,
 	}
 	for i := 0; i < cfg.OPNChannels; i++ {
 		c.opns = append(c.opns, micronet.NewMesh[*opnMsg](fmt.Sprintf("opn%d", i), 5, 5))
+		if i < 2 {
+			c.opns[i].Attach(cfg.Trace, obs.NetOPN0+uint8(i))
+		}
 	}
 	c.gcn = micronet.NewBroadcast[gcnMsg]("gcn", 5, 5)
 	c.gsnRT = micronet.NewChain[gsnMsg]("gsn-rt", isa.NumRTs+1)
@@ -186,10 +205,71 @@ func NewCore(cfg Config) (*Core, error) {
 		}
 		c.nonNopCount[a] = n
 	}
+	if sm := cfg.Metrics; sm != nil {
+		c.registerMetrics(sm)
+	}
 	for t, entry := range cfg.Entries {
 		c.gt.startThread(t, entry)
 	}
 	return c, nil
+}
+
+// registerMetrics wires the core's occupancy series into a sampler. The
+// closures read plain core state, so they must be sampled from the core's
+// own stepping goroutine (Step calls Sample).
+func (c *Core) registerMetrics(sm *obs.Sampler) {
+	for i, m := range c.opns {
+		m := m
+		sm.Register(fmt.Sprintf("opn%d.occupancy", i), func() int64 { return int64(m.Occupancy()) })
+		sm.Register(fmt.Sprintf("opn%d.links_busy", i), func() int64 { return int64(m.LinksBusy()) })
+	}
+	sm.Register("gsn.busy", func() int64 {
+		return int64(c.gsnRT.Busy() + c.gsnDT.Busy() + c.gsnIT.Busy())
+	})
+	sm.Register("gcn.busy", func() int64 { return int64(c.gcn.Busy()) })
+	sm.Register("lsq.occupancy", func() int64 {
+		n := 0
+		for _, d := range c.dts {
+			for _, q := range d.lsqs {
+				n += q.Len()
+			}
+		}
+		return int64(n)
+	})
+	sm.Register("mshr.outstanding", func() int64 {
+		n := 0
+		for _, d := range c.dts {
+			n += d.mshr.Outstanding()
+		}
+		return int64(n)
+	})
+	sm.Register("blocks.inflight", func() int64 {
+		n := 0
+		for s := range c.gt.slots {
+			if c.gt.slots[s].valid {
+				n++
+			}
+		}
+		return int64(n)
+	})
+	sm.Register("warped.cycles", func() int64 { return c.WarpedCycles })
+}
+
+// traceBlock emits one block-protocol lifecycle event (nil-gated; callers
+// on the hot path should guard with c.trace != nil themselves when they
+// need to avoid computing arguments).
+func (c *Core) traceBlock(kind obs.Kind, slot int, seq, addr uint64, cat critpath.Cat) {
+	if c.trace == nil {
+		return
+	}
+	var tag uint8
+	if c.cfg.TrackCritPath {
+		tag = uint8(cat) + 1
+	}
+	c.trace.Emit(obs.Event{
+		Cycle: c.cycle, Seq: seq, Addr: addr,
+		Kind: kind, Cat: tag, Slot: int16(slot),
+	})
 }
 
 func (c *Core) activeThreads() int { return len(c.cfg.Entries) }
@@ -302,6 +382,12 @@ func (c *Core) runEvent(now int64, e *schedEvent) {
 			d.storeMask[e.slot] = e.mask
 			d.maskKnown[e.slot] = true
 			d.bindEv[e.slot] = c.newEvent(now, e.ev, critpath.Split{}, critpath.CatIFetch)
+			if c.trace != nil {
+				c.trace.Emit(obs.Event{
+					Cycle: now, Seq: e.seq, Arg: uint64(d.id),
+					Kind: obs.KindStoreMask, Slot: int16(e.slot),
+				})
+			}
 		}
 	case evRefill:
 		e.it.active = true
@@ -570,6 +656,9 @@ func (c *Core) Step() {
 	if !c.cfg.ExternalMemTick {
 		c.mem.Tick()
 	}
+	if sm := c.metrics; sm != nil {
+		sm.Sample(now)
+	}
 	c.cycle++
 }
 
@@ -619,6 +708,9 @@ func (c *Core) routeDelivered(now int64, at micronet.Coord, msg *opnMsg) {
 		}, critpath.CatOPNHop)
 		// Write entry j lives at local queue slot j/4 of RT j%4.
 		c.rts[at.Col-1].deliverWrite(now, msg.slot, msg.seq, isa.RTSlotOf(msg.target.Index), msg.val, ev)
+		if c.trace != nil {
+			c.traceOperand(now, at, msg)
+		}
 		c.freeOPNMsg(msg)
 	default:
 		// ET array: operand deliveries.
@@ -631,8 +723,25 @@ func (c *Core) routeDelivered(now int64, at micronet.Coord, msg *opnMsg) {
 		}, critpath.CatOPNHop)
 		et := (at.Row-1)*4 + (at.Col - 1)
 		c.ets[et].deliverOperand(msg.slot, msg.seq, msg.target, msg.val, ev)
+		if c.trace != nil {
+			c.traceOperand(now, at, msg)
+		}
 		c.freeOPNMsg(msg)
 	}
+}
+
+// traceOperand records one operand delivery with its transport cost (hops
+// and contention waits packed into Arg).
+func (c *Core) traceOperand(now int64, at micronet.Coord, msg *opnMsg) {
+	var tag uint8
+	if c.cfg.TrackCritPath {
+		tag = uint8(critpath.CatOPNHop) + 1
+	}
+	c.trace.Emit(obs.Event{
+		Cycle: now, Seq: msg.seq, Addr: obs.PackCoord(at.Row, at.Col),
+		Arg:  obs.PackPair(msg.hops, msg.waits),
+		Kind: obs.KindOperand, Cat: tag, Slot: int16(msg.slot),
+	})
 }
 
 // pumpGCNDeliveries hands arriving control commands to every tile.

@@ -5,6 +5,7 @@ import (
 
 	"trips/internal/critpath"
 	"trips/internal/isa"
+	"trips/internal/obs"
 	"trips/internal/predictor"
 )
 
@@ -219,9 +220,11 @@ func (g *gtTile) pumpGSN(now int64) {
 			case gsnFinishR:
 				b.writesDone = true
 				b.writesEv = g.core.newEvent(now, msg.ev, critpath.Split{}, critpath.CatComplete)
+				g.core.traceBlock(obs.KindWritesDone, msg.slot, msg.seq, b.addr, critpath.CatComplete)
 			case gsnAckR:
 				b.ackR = true
 				b.ackREv = g.core.newEvent(now, msg.ev, critpath.Split{}, critpath.CatCommit)
+				g.core.traceBlock(obs.KindCommitAckR, msg.slot, msg.seq, b.addr, critpath.CatCommit)
 			}
 		}
 	}
@@ -233,11 +236,13 @@ func (g *gtTile) pumpGSN(now int64) {
 			if b.valid && b.seq == msg.seq {
 				b.storesDone = true
 				b.storesEv = g.core.newEvent(now, msg.ev, critpath.Split{}, critpath.CatComplete)
+				g.core.traceBlock(obs.KindStoresDone, msg.slot, msg.seq, b.addr, critpath.CatComplete)
 			}
 		case gsnAckS:
 			if b.valid && b.seq == msg.seq {
 				b.ackS = true
 				b.ackSEv = g.core.newEvent(now, msg.ev, critpath.Split{}, critpath.CatCommit)
+				g.core.traceBlock(obs.KindCommitAckS, msg.slot, msg.seq, b.addr, critpath.CatCommit)
 			}
 		case gsnViolation:
 			g.onViolation(now, msg)
@@ -362,6 +367,12 @@ func (g *gtTile) flushFrom(now int64, from uint64, ev *critpath.Event) {
 	if g.core.cfg.TraceCommits {
 		fmt.Printf("[%d] flush from seq=%d mask=%x\n", now, from, mask)
 	}
+	if g.core.trace != nil {
+		g.core.trace.Emit(obs.Event{
+			Cycle: now, Seq: from, Addr: oldest.addr, Arg: uint64(mask),
+			Kind: obs.KindFlushWave, Slot: -1,
+		})
+	}
 	g.pred.Repair(oldest.selfPred)
 	g.core.issueGCN(gcnMsg{kind: gcnFlush, mask: mask, seqs: seqs, ev: ev})
 	t := &g.threads[thread]
@@ -401,11 +412,13 @@ func (g *gtTile) tryCommit(now int64) {
 				break
 			}
 			g.core.markTimeline(b.seq, b.addr, "complete")
+			g.core.traceBlock(obs.KindBlockComplete, g.slotOf(b), b.seq, b.addr, critpath.CatComplete)
 			doneEv := critpath.Latest(critpath.Latest(b.branchEv, b.writesEv), b.storesEv)
 			b.commitEv = g.core.newEvent(now, doneEv, critpath.Split{}, critpath.CatComplete)
 			g.core.issueGCN(gcnMsg{kind: gcnCommit, slot: g.slotOf(b), seq: b.seq, ev: b.commitEv})
 			b.commitSent = true
 			g.core.markTimeline(b.seq, b.addr, "commit")
+			g.core.traceBlock(obs.KindCommitCmd, g.slotOf(b), b.seq, b.addr, critpath.CatCommit)
 			g.Commits++
 			if g.core.cfg.TraceCommits {
 				fmt.Printf("[%d] commit cmd seq=%d addr=%#x exit=%d next=%#x\n", now, b.seq, b.addr, b.branchExit, b.branchNext)
@@ -449,6 +462,7 @@ func (g *gtTile) reapCommitted(now int64) {
 			continue
 		}
 		g.core.markTimeline(b.seq, b.addr, "acked")
+		g.core.traceBlock(obs.KindBlockAcked, s, b.seq, b.addr, critpath.CatCommit)
 		ev := g.core.newEvent(now, critpath.Latest(b.ackREv, b.ackSEv), critpath.Split{}, critpath.CatCommit)
 		g.lastCommitEv = ev
 		t := &g.threads[b.thread]
@@ -495,6 +509,7 @@ func (g *gtTile) stepThreadFetch(now int64, ti int) bool {
 		t.fetchAddr = t.nextFetch
 		t.stage = fetchPredict
 		t.stageUntil = now + predictCycles
+		g.core.traceBlock(obs.KindBlockFetch, -1, 0, t.fetchAddr, critpath.CatIFetch)
 		return true
 	case fetchPredict:
 		if now >= t.stageUntil {
@@ -585,6 +600,7 @@ func (g *gtTile) beginDispatch(now int64, ti, slot int, addr uint64) {
 	// degenerate empty header (never produced by the compiler).
 	g.dispatchBusyUntil = now + dispatchBeats
 	g.core.markTimeline(seq, addr, "dispatch")
+	g.core.traceBlock(obs.KindBlockDispatch, slot, seq, addr, critpath.CatIFetch)
 	b.dispatchEv = g.core.newEvent(now, g.lastCommitEv, critpath.Split{}, critpath.CatIFetch)
 	g.core.scheduleDispatch(now, slot, seq, ti, addr, hdr, b.dispatchEv)
 	t.nextFetch = succPred.Next

@@ -63,6 +63,10 @@ type opnMsg struct {
 	// Transport accounting (paper Table 3: OPN hops vs contention).
 	hops, waits int
 
+	// tid is the per-message trace id stamped by a traced mesh at Inject
+	// (0 when tracing is off; cleared by the pool reset in freeOPNMsg).
+	tid uint64
+
 	// Critical-path dependency carried with the message.
 	ev *critpath.Event
 }
@@ -70,6 +74,11 @@ type opnMsg struct {
 func (m *opnMsg) Dest() micronet.Coord { return m.dst }
 func (m *opnMsg) NoteHop()             { m.hops++ }
 func (m *opnMsg) NoteWait()            { m.waits++ }
+
+// SetTraceID / TraceID implement micronet.TraceIdent so a traced OPN can
+// stitch a message's inject/hop/deliver events into one flow.
+func (m *opnMsg) SetTraceID(id uint64) { m.tid = id }
+func (m *opnMsg) TraceID() uint64      { return m.tid }
 
 // gsnKind discriminates global status network messages.
 type gsnKind uint8

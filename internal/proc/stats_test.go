@@ -1,0 +1,96 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+
+	"trips/internal/mem"
+)
+
+func TestRatesZeroDenominator(t *testing.T) {
+	// A core that never ran (or a workload with no register reads / operand
+	// traffic) must report 0, not NaN.
+	var s TileStats
+	if got := s.RegisterForwardRate(); got != 0 {
+		t.Errorf("RegisterForwardRate() on zero stats = %v, want 0", got)
+	}
+	if got := s.LocalBypassRate(); got != 0 {
+		t.Errorf("LocalBypassRate() on zero stats = %v, want 0", got)
+	}
+	// String() must render cleanly (no NaN%) on the zero value too.
+	if out := s.String(); strings.Contains(out, "NaN") {
+		t.Errorf("String() on zero stats contains NaN:\n%s", out)
+	}
+}
+
+func TestRatesRatioMath(t *testing.T) {
+	s := TileStats{
+		RTReadsForwarded: 1, RTReadsFromFile: 3,
+		ETLocalBypass: 3, ETRemote: 1,
+	}
+	if got := s.RegisterForwardRate(); got != 0.25 {
+		t.Errorf("RegisterForwardRate() = %v, want 0.25", got)
+	}
+	if got := s.LocalBypassRate(); got != 0.75 {
+		t.Errorf("LocalBypassRate() = %v, want 0.75", got)
+	}
+}
+
+func TestTileStatsAggregation(t *testing.T) {
+	// Run the Figure 5a workload and check that TileStats sums the per-tile
+	// counters into a consistent whole.
+	p := figure5aProgram(t)
+	m := mem.New()
+	m.Write(4*4+8, 4, 0x1234)
+	c := newTestCore(t, p, m)
+	c.SetRegister(0, 4, 4)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.TileStats()
+
+	if s.Commits != res.CommittedBlocks {
+		t.Errorf("Commits = %d, want CommittedBlocks %d", s.Commits, res.CommittedBlocks)
+	}
+	if s.Commits == 0 {
+		t.Fatal("no committed blocks; workload did not run")
+	}
+	if s.ETIssued == 0 {
+		t.Error("ETIssued = 0 after a committed run")
+	}
+	// The run halted, so every injected operand message was also delivered.
+	if s.OPNInjected == 0 || s.OPNInjected != s.OPNDelivered {
+		t.Errorf("OPN injected %d / delivered %d, want equal and nonzero",
+			s.OPNInjected, s.OPNDelivered)
+	}
+	// Figure 5a performs one load and one store on the taken path.
+	if s.DTLoads == 0 {
+		t.Error("DTLoads = 0, want at least the Figure 5a load")
+	}
+	if s.DTStores == 0 {
+		t.Error("DTStores = 0, want at least the Figure 5a store")
+	}
+	// Register reads must be attributed somewhere: forwarded, from the
+	// architectural file, or buffered.
+	if s.RTReadsForwarded+s.RTReadsFromFile+s.RTReadsBuffered == 0 {
+		t.Error("no register reads counted; RT aggregation broken")
+	}
+	if s.Fetches == 0 || s.ITRefillFetches == 0 {
+		t.Errorf("instruction supply counters zero: fetches %d, IT refill fetches %d",
+			s.Fetches, s.ITRefillFetches)
+	}
+	if r := s.RegisterForwardRate(); r < 0 || r > 1 {
+		t.Errorf("RegisterForwardRate() = %v, want within [0,1]", r)
+	}
+	if r := s.LocalBypassRate(); r < 0 || r > 1 {
+		t.Errorf("LocalBypassRate() = %v, want within [0,1]", r)
+	}
+
+	out := s.String()
+	for _, want := range []string{"ET:", "RT:", "DT:", "OPN:", "GT:", "predictor:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q section:\n%s", want, out)
+		}
+	}
+}
