@@ -268,17 +268,20 @@ func BenchmarkChipDualCore(b *testing.B) {
 	for _, cfg := range []struct {
 		name               string
 		noWarp, noParallel bool
+		stepping           chip.Stepping
 	}{
-		{"parallel-warp", false, false},
-		{"serial-nowarp", true, true},
+		{"parallel-warp", false, false, chip.StepLag},
+		{"serial-nowarp", true, true, chip.StepLag},
+		{"seq-warp", false, false, chip.StepSeq},
+		{"seq-nowarp", true, true, chip.StepSeq},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			b.ReportMetric(float64(runDualCoreChip(b, cfg.noWarp, cfg.noParallel)), "cycles")
+			b.ReportMetric(float64(runDualCoreChip(b, cfg.noWarp, cfg.noParallel, cfg.stepping)), "cycles")
 		})
 	}
 }
 
-func runDualCoreChip(b *testing.B, noWarp, noParallel bool) int64 {
+func runDualCoreChip(b *testing.B, noWarp, noParallel bool, stepping chip.Stepping) int64 {
 	b.Helper()
 	w, err := workloads.ByName("vadd")
 	if err != nil {
@@ -304,6 +307,7 @@ func runDualCoreChip(b *testing.B, noWarp, noParallel bool) int64 {
 			Partition:  true,
 			NoWarp:     noWarp,
 			NoParallel: noParallel,
+			Stepping:   stepping,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -359,15 +363,20 @@ func BenchmarkChipDMAStream(b *testing.B) {
 		}
 		return p
 	}
+	var rows []eval.ChipBenchRow
 	for _, cfg := range []struct {
-		name   string
-		noWarp bool
+		name     string
+		noWarp   bool
+		stepping chip.Stepping
 	}{
-		{"warp", false},
-		{"nowarp", true},
+		{"warp", false, chip.StepLag},
+		{"nowarp", true, chip.StepLag},
+		{"seq-warp", false, chip.StepSeq},
+		{"seq-nowarp", true, chip.StepSeq},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			var cyc, warped int64
+			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				backing := mem.New()
 				for j := 0; j < bytes/8; j++ {
@@ -378,6 +387,7 @@ func BenchmarkChipDMAStream(b *testing.B) {
 					Backing:   backing,
 					MaxCycles: 50_000_000,
 					NoWarp:    cfg.noWarp,
+					Stepping:  cfg.stepping,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -392,9 +402,19 @@ func BenchmarkChipDMAStream(b *testing.B) {
 				cyc = c.Cycle()
 				warped = c.WarpedCycles
 			}
+			rows = append(rows, eval.ChipBenchRow{
+				Bench: "ChipDMAStream", Variant: cfg.name,
+				NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(b.N),
+				Cycles:  cyc,
+			})
 			b.ReportMetric(float64(cyc), "cycles")
 			b.ReportMetric(100*float64(warped)/float64(cyc), "warp-coverage-%")
 		})
+	}
+	if path := os.Getenv("BENCH_CHIP_JSON"); path != "" {
+		if err := eval.MergeChipBenchJSON(path, rows); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -406,21 +426,39 @@ func BenchmarkChipDMAStream(b *testing.B) {
 // speculative work in flight, so it rarely quiesces; mcf's pointer chase
 // serializes its misses and spends most of its cycles in warpable waits.
 func BenchmarkNUCAvsPerfectL2(b *testing.B) {
+	var rows []eval.ChipBenchRow
 	for _, cfg := range []struct {
 		name     string
 		workload string
 		nuca     bool
 		nowarp   bool
+		seq      bool
 	}{
-		{"perfect-l2", "vadd", false, false},
-		{"perfect-l2-nowarp", "vadd", false, true},
-		{"nuca", "vadd", true, false},
-		{"nuca-nowarp", "vadd", true, true},
-		{"mcf-nuca", "181.mcf", true, false},
-		{"mcf-nuca-nowarp", "181.mcf", true, true},
+		{"perfect-l2", "vadd", false, false, false},
+		{"perfect-l2-nowarp", "vadd", false, true, false},
+		{"nuca", "vadd", true, false, false},
+		{"nuca-nowarp", "vadd", true, true, false},
+		{"nuca-seq", "vadd", true, false, true},
+		{"mcf-nuca", "181.mcf", true, false, false},
+		{"mcf-nuca-nowarp", "181.mcf", true, true, false},
+		{"mcf-nuca-seq", "181.mcf", true, false, true},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			b.ReportMetric(runCycles(b, cfg.workload, eval.TRIPSOptions{Mode: tcc.Hand, UseNUCA: cfg.nuca, NoWarp: cfg.nowarp}, true), "cycles")
+			start := time.Now()
+			cyc := runCycles(b, cfg.workload, eval.TRIPSOptions{Mode: tcc.Hand, UseNUCA: cfg.nuca, NoWarp: cfg.nowarp, SeqStep: cfg.seq}, true)
+			if cfg.nuca {
+				rows = append(rows, eval.ChipBenchRow{
+					Bench: "NUCAvsPerfectL2", Variant: cfg.name,
+					NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(b.N),
+					Cycles:  int64(cyc),
+				})
+			}
+			b.ReportMetric(cyc, "cycles")
 		})
+	}
+	if path := os.Getenv("BENCH_CHIP_JSON"); path != "" {
+		if err := eval.MergeChipBenchJSON(path, rows); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,12 +1,14 @@
-// bench-compare diffs two BENCH_table3.json baselines (see scripts/bench.sh).
+// bench-compare diffs two benchmark baselines (see scripts/bench.sh).
 //
-//	bench-compare baseline.json fresh.json
+//	bench-compare baseline.json fresh.json        Table 3 baselines
+//	bench-compare -chip baseline.json fresh.json  chip-stepping baselines
 //
-// Simulated cycle counts (CyclesHand, CyclesTCC, CyclesAlpha per workload)
-// are deterministic: any drift between the two files — including a workload
-// appearing or disappearing — is a regression and exits nonzero. Host
-// throughput (wall time, ns per simulated cycle) varies by machine and load,
-// so those deltas are reported but never fail the run.
+// Simulated cycle counts (CyclesHand, CyclesTCC, CyclesAlpha per workload in
+// Table 3 mode; the per-variant cycle column in chip mode) are
+// deterministic: any drift between the two files — including a row appearing
+// or disappearing — is a regression and exits nonzero. Host throughput (wall
+// time, ns per op, speedup ratios) varies by machine and load, so those
+// deltas are reported but never fail the run.
 package main
 
 import (
@@ -14,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"trips/internal/eval"
 )
 
 type row struct {
@@ -37,32 +41,126 @@ type baseline struct {
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 }
 
-func load(path string) (*baseline, error) {
+func load(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var b baseline
-	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	return &b, nil
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-compare:", err)
+	os.Exit(2)
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: %s baseline.json fresh.json\n", os.Args[0])
+	args := os.Args[1:]
+	chipMode := false
+	if len(args) > 0 && args[0] == "-chip" {
+		chipMode = true
+		args = args[1:]
+	}
+	if len(args) != 2 {
+		fmt.Fprintf(os.Stderr, "usage: %s [-chip] baseline.json fresh.json\n", os.Args[0])
 		os.Exit(2)
 	}
-	base, err := load(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench-compare:", err)
-		os.Exit(2)
+	if chipMode {
+		compareChip(args[0], args[1])
+		return
 	}
-	fresh, err := load(os.Args[2])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench-compare:", err)
-		os.Exit(2)
+	compareTable3(args[0], args[1])
+}
+
+// compareChip diffs two ChipBenchReport files: cycle drift per
+// (bench, variant) cell fails, host ns/op and speedups are informational.
+func compareChip(basePath, freshPath string) {
+	var base, fresh eval.ChipBenchReport
+	if err := load(basePath, &base); err != nil {
+		fatal(err)
+	}
+	if err := load(freshPath, &fresh); err != nil {
+		fatal(err)
+	}
+	key := func(r eval.ChipBenchRow) string { return r.Bench + "/" + r.Variant }
+	baseRows := make(map[string]eval.ChipBenchRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[key(r)] = r
+	}
+	freshRows := make(map[string]eval.ChipBenchRow, len(fresh.Rows))
+	for _, r := range fresh.Rows {
+		freshRows[key(r)] = r
+	}
+	var names []string
+	for n := range baseRows {
+		names = append(names, n)
+	}
+	for n := range freshRows {
+		if _, ok := baseRows[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	drift := 0
+	for _, n := range names {
+		b, inBase := baseRows[n]
+		f, inFresh := freshRows[n]
+		switch {
+		case !inBase:
+			fmt.Printf("DRIFT %-32s only in fresh run\n", n)
+			drift++
+		case !inFresh:
+			fmt.Printf("DRIFT %-32s missing from fresh run\n", n)
+			drift++
+		case b.Cycles != f.Cycles:
+			fmt.Printf("DRIFT %-32s cycles %d -> %d\n", n, b.Cycles, f.Cycles)
+			drift++
+		}
+	}
+	if drift == 0 {
+		fmt.Printf("simulated cycles: %d chip-bench cells identical\n", len(names))
+	}
+
+	// Host time and stepping speedups: informational only.
+	for _, n := range names {
+		b, inBase := baseRows[n]
+		f, inFresh := freshRows[n]
+		if !inBase || !inFresh || b.NsPerOp == 0 {
+			continue
+		}
+		delta := (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		fmt.Printf("host  %-32s %11.0f -> %11.0f ns/op (%+.1f%%)\n", n, b.NsPerOp, f.NsPerOp, delta)
+	}
+	var speedKeys []string
+	for n := range fresh.Speedups {
+		speedKeys = append(speedKeys, n)
+	}
+	sort.Strings(speedKeys)
+	for _, n := range speedKeys {
+		line := fmt.Sprintf("speedup %-30s %.2fx", n, fresh.Speedups[n])
+		if b, ok := base.Speedups[n]; ok {
+			line += fmt.Sprintf(" (baseline %.2fx)", b)
+		}
+		fmt.Println(line)
+	}
+
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d chip-bench cell(s) drifted in simulated cycles\n", drift)
+		os.Exit(1)
+	}
+}
+
+func compareTable3(basePath, freshPath string) {
+	var base, fresh baseline
+	if err := load(basePath, &base); err != nil {
+		fatal(err)
+	}
+	if err := load(freshPath, &fresh); err != nil {
+		fatal(err)
 	}
 
 	baseRows := make(map[string]row, len(base.Rows))

@@ -58,6 +58,9 @@ func main() {
 		hostStats  = flag.Bool("host", false, "print host throughput after -table3 (nondeterministic)")
 		noFast     = flag.Bool("nofastpath", false, "run -table3 without quiescence-aware stepping (results must not change)")
 		noWarp     = flag.Bool("nowarp", false, "run -table3 without clock-warping (results must not change)")
+		useNUCA    = flag.Bool("nuca", false, "run -table3 TRIPS rows against the full secondary memory system instead of the perfect L2")
+		seqStep    = flag.Bool("seq", false, "force sequential core/memory interleave for -nuca runs instead of bounded-lag stepping (results must not change)")
+		parStride  = flag.Int64("par-stride", 0, "cap bounded-lag stride length in cycles (0 = auto horizon; results must not change)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -141,7 +144,7 @@ func main() {
 		fig5b()
 	}
 	if *t3 {
-		table3(*bench, *workers, *jsonOut, *hostStats, eval.Stepping{NoFastPath: *noFast, NoWarp: *noWarp})
+		table3(*bench, *workers, *jsonOut, *hostStats, eval.Stepping{NoFastPath: *noFast, NoWarp: *noWarp, UseNUCA: *useNUCA, SeqStep: *seqStep, ParStride: *parStride})
 	}
 	if *ablate {
 		runAblations(*bench, *workers)

@@ -7,6 +7,7 @@
 //	tsim -bench vadd [-mode hand|tcc] [-placement naive|greedy]
 //	     [-opn 1|2] [-conservative] [-nuca] [-alpha] [-golden]
 //	     [-trace out.json] [-debug-addr :6060]
+//	     [-seq] [-par-stride n]
 //	     [-host] [-nofastpath] [-nowarp] [-cpuprofile f] [-memprofile f]
 package main
 
@@ -42,6 +43,8 @@ func main() {
 		host       = flag.Bool("host", false, "print host throughput (sim-cycles/sec; nondeterministic)")
 		noFast     = flag.Bool("nofastpath", false, "disable quiescence-aware stepping (results must not change)")
 		noWarp     = flag.Bool("nowarp", false, "disable clock-warping over quiescent stretches (results must not change)")
+		seqStep    = flag.Bool("seq", false, "force sequential core/memory interleave for -nuca runs instead of bounded-lag stepping (results must not change)")
+		parStride  = flag.Int64("par-stride", 0, "cap bounded-lag stride length in cycles (0 = auto horizon; results must not change)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -92,7 +95,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp}
+	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp, SeqStep: *seqStep, ParStride: *parStride}
 	var tracer *obs.Tracer
 	var sampler *obs.Sampler
 	if *traceOut != "" {
@@ -178,6 +181,9 @@ func main() {
 			float64(wall.Nanoseconds())/float64(r.Cycles))
 		fmt.Printf("  warp: %d jumps covering %d of %d sim-cycles (%.2f%%)\n",
 			r.Warps, r.WarpedCycles, r.Cycles, 100*float64(r.WarpedCycles)/float64(r.Cycles))
+		if r.Lag != nil {
+			fmt.Print(r.Lag.Summary())
+		}
 	}
 
 	if *goldenRun {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 
 	"trips/internal/mem"
 	"trips/internal/nuca"
@@ -20,6 +21,20 @@ import (
 // horizonNever means no deadline-held event is outstanding (matches the
 // sentinel convention of proc.EventHorizon).
 const horizonNever = int64(math.MaxInt64)
+
+// Stepping selects the chip's run-loop scheduler.
+type Stepping int
+
+const (
+	// StepLag (the default) is the bounded-lag coordinator: each core runs
+	// ahead on its own local clock in strides bounded by the provable
+	// cross-core visibility horizon, with locally quiet cores warping even
+	// while others are busy. Bit-identical to StepSeq.
+	StepLag Stepping = iota
+	// StepSeq forces the legacy globally synchronous stepper (one chip
+	// cycle at a time, whole-machine warp gate).
+	StepSeq
+)
 
 // Config parameterizes a chip instance.
 type Config struct {
@@ -39,6 +54,12 @@ type Config struct {
 	// NoParallel forces the two cores to step sequentially on one host
 	// thread instead of the deterministic two-phase parallel step.
 	NoParallel bool
+	// Stepping selects the run-loop scheduler (default bounded-lag).
+	Stepping Stepping
+	// LagHorizonOverride is a test-only fault-injection hook: when
+	// positive, bounded-lag strides use G+n as their horizon instead of
+	// the provably safe bounds, making rollbacks reachable.
+	LagHorizonOverride int64
 	// Trace holds one optional tracer per core. The entries must be
 	// distinct objects: the compute phase steps the two cores on
 	// concurrent goroutines, and a Tracer is single-goroutine.
@@ -64,9 +85,15 @@ type Chip struct {
 
 	// Warps counts successful chip-wide clock warps; WarpedCycles the
 	// simulated cycles they skipped. Together with the per-core counters
-	// they make warp engagement observable without a trace.
+	// they make warp engagement observable without a trace. Under
+	// bounded-lag stepping these aggregate the coordinator's joint and
+	// memory-domain warps.
 	Warps        uint64
 	WarpedCycles int64
+
+	// Lag holds the bounded-lag coordinator's telemetry (stride lengths,
+	// stall reasons, rollbacks); zero after a StepSeq run.
+	Lag proc.LagStats
 
 	// step1/done1 drive a persistent worker goroutine for core 1 during
 	// parallel stepping: spawning a goroutine per cycle costs ~2µs, a
@@ -140,6 +167,21 @@ func New(cfg Config) (*Chip, error) {
 	c.DMA[0] = &DMA{chip: c, id: 0}
 	c.DMA[1] = &DMA{chip: c, id: 1}
 	c.C2C = &C2C{}
+	// Port owners map each port to the core whose steps may touch it. Both
+	// steppers rely on this: the parallel compute phase keeps each core's
+	// staging counters on per-owner cells (two cores incrementing one shared
+	// counter would race), and the bounded-lag coordinator additionally gates
+	// drains and strides per owner. The DMA controllers stay ownerless — they
+	// submit from the serial memory phase itself.
+	c.Mem.AssignOwners(func(name string) int {
+		if strings.HasPrefix(name, "p1:") {
+			return 1
+		}
+		if strings.HasPrefix(name, "dma") {
+			return -1
+		}
+		return 0
+	})
 	if sm := cfg.Metrics; sm != nil {
 		// These closures read core and DMA state, which is safe because the
 		// sampler fires from the OCN tick in the serial exchange phase.
@@ -150,6 +192,25 @@ func New(cfg Config) (*Chip, error) {
 		sm.Register("dma.completions", func() int64 {
 			return int64(c.DMA[0].Completions + c.DMA[1].Completions)
 		})
+		// Bounded-lag coordinator series: a bad horizon bound shows up here
+		// as a rollback storm instead of a silent slowdown.
+		sm.Register("lag.strides", func() int64 { return int64(c.Lag.TotalStrides()) })
+		sm.Register("lag.rollbacks", func() int64 { return int64(c.Lag.TotalRollbacks()) })
+		sm.Register("lag.horizon_stalls", func() int64 {
+			var n uint64
+			for i := range c.Lag.Core {
+				n += c.Lag.Core[i].HorizonLimited
+			}
+			return int64(n)
+		})
+		sm.Register("lag.quiesce_stalls", func() int64 {
+			var n uint64
+			for i := range c.Lag.Core {
+				n += c.Lag.Core[i].QuiesceLimited
+			}
+			return int64(n)
+		})
+		sm.Register("lag.mem_warped_cycles", func() int64 { return c.Lag.MemWarpedCycles })
 	}
 	return c, nil
 }
@@ -214,15 +275,27 @@ func (c *Chip) Done() bool {
 	return true
 }
 
-// Run executes until completion, warping the clock over chip-wide
-// quiescent stretches. The check order at the cycle-limit boundary matters:
-// the step at cycle == limit is still executed (a chip completing during
-// that very cycle succeeds rather than reporting a spurious limit error),
-// and the error fires only once the clock has passed the limit with work
-// still outstanding. tryWarp clamps its horizon to limit, so a warped run
-// lands on exactly the boundary cycle an unwarped run steps to, executes
-// the same final step, and reports the limit error at the same cycle.
+// Run executes until completion under the configured stepper. Both
+// steppers are bit-identical for every observable: identical cycle counts,
+// registers, stats, and identical errors at identical cycles on the limit
+// boundary.
 func (c *Chip) Run() error {
+	if c.cfg.Stepping == StepSeq {
+		return c.runSeq()
+	}
+	return c.runLag()
+}
+
+// runSeq executes until completion one globally synchronous cycle at a
+// time, warping the clock over chip-wide quiescent stretches. The check
+// order at the cycle-limit boundary matters: the step at cycle == limit is
+// still executed (a chip completing during that very cycle succeeds rather
+// than reporting a spurious limit error), and the error fires only once the
+// clock has passed the limit with work still outstanding. tryWarp clamps
+// its horizon to limit, so a warped run lands on exactly the boundary cycle
+// an unwarped run steps to, executes the same final step, and reports the
+// limit error at the same cycle.
+func (c *Chip) runSeq() error {
 	limit := c.cfg.MaxCycles
 	if limit == 0 {
 		limit = 200_000_000
@@ -238,6 +311,56 @@ func (c *Chip) Run() error {
 		c.Step()
 	}
 	return nil
+}
+
+// runLag executes until completion under the bounded-lag coordinator:
+// per-core local clocks, per-core warps on locally quiet cores, and a
+// serial memory catch-up that replays the sequential drain schedule. The
+// port owners assigned at construction gate each owned port's drains by its
+// core's clock.
+func (c *Chip) runLag() error {
+	limit := c.cfg.MaxCycles
+	if limit == 0 {
+		limit = 200_000_000
+	}
+	var cores []proc.LagCore
+	for i, core := range c.Cores {
+		if core != nil {
+			cores = append(cores, proc.LagCore{Core: core, Owner: i})
+		}
+	}
+	g, err := proc.RunBoundedLag(c.Mem, cores, proc.LagConfig{
+		Limit:           limit,
+		NoWarp:          c.cfg.NoWarp,
+		Parallel:        !c.cfg.NoParallel,
+		HorizonOverride: c.cfg.LagHorizonOverride,
+		PreTick: func(int64) {
+			for _, d := range c.DMA {
+				d.tick()
+			}
+		},
+		ExtraBusy: func() bool {
+			return c.DMA[0].Busy() || c.DMA[1].Busy()
+		},
+		CanWarpExtra: func() bool {
+			for _, d := range c.DMA {
+				// Same gate as tryWarp: a DMA between OCN transactions
+				// issues on the very next tick, so no warp is possible.
+				if d.Busy() && !d.inFlight {
+					return false
+				}
+			}
+			return true
+		},
+		Stats: &c.Lag,
+		LimitErr: func(l int64) error {
+			return fmt.Errorf("chip: cycle limit %d exceeded", l)
+		},
+	})
+	c.cycle = g
+	c.Warps += c.Lag.JointWarps + c.Lag.MemWarps
+	c.WarpedCycles += c.Lag.JointWarpedCycles + c.Lag.MemWarpedCycles
+	return err
 }
 
 // tryWarp jumps the chip clock to the next event horizon when every

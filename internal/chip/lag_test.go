@@ -1,0 +1,326 @@
+package chip
+
+import (
+	"runtime"
+	"testing"
+
+	"trips/internal/eval"
+	"trips/internal/isa"
+	"trips/internal/mem"
+	"trips/internal/proc"
+	"trips/internal/tcc"
+	"trips/internal/workloads"
+)
+
+// chaseProgram builds a pointer chase as a single self-looping block: load
+// the next pointer from uncached memory into r12, loop while it is nonzero.
+// Every hop is a full OCN round trip the core must block on before it can
+// issue the next, and the one-block footprint means the I-cache is warm
+// after the first iteration — so in steady state the core has exactly one
+// transaction outstanding at a time and is quiescent while it waits. That
+// blocking-wait shape is what makes warp-overshoot (and therefore rollback
+// under fault injection) reachable.
+func chaseProgram(t *testing.T, base uint64) *proc.Program {
+	t.Helper()
+	b := &isa.Block{Addr: base, Name: "chase"}
+	b.Reads[0] = isa.ReadInst{Valid: true, GR: 12, RT0: isa.ToLeft(0)}
+	b.Writes[0] = isa.WriteInst{Valid: true, GR: 12}
+	b.Insts = []isa.Inst{
+		{Op: isa.LD, Imm: 0, LSID: 0, T0: isa.ToLeft(1)},
+		{Op: isa.MOV, T0: isa.ToWrite(0), T1: isa.ToLeft(2)},
+		{Op: isa.TNEI, Imm: 0, T0: isa.ToLeft(3)},
+		{Op: isa.MOV, T0: isa.ToPred(4), T1: isa.ToPred(5)},
+		{Op: isa.BRO, Pred: isa.PredOnTrue, Exit: 0, Offset: 0},
+		{Op: isa.BRO, Pred: isa.PredOnFalse, Exit: 1, Offset: int32(-(int64(base) / isa.ChunkBytes))},
+	}
+	p, err := proc.NewProgram(base, []*isa.Block{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// chaseChain seeds backing memory with a linked chain of uncached pointers
+// ending in a 0 terminator and returns the head pointer to preload into r12.
+func chaseChain(backing *mem.Memory, head uint64, hops int) uint64 {
+	ptr := func(i int) uint64 { return proc.Uncached(head + uint64(i)*0x40) }
+	for i := 0; i < hops-1; i++ {
+		backing.Write(head+uint64(i)*0x40, 8, ptr(i+1))
+	}
+	backing.Write(head+uint64(hops-1)*0x40, 8, 0)
+	return ptr(0)
+}
+
+// chipScenario builds a chip for one of the parity workloads. The three
+// cover distinct traffic shapes: pure core compute (count), DMA-dominated
+// OCN streaming (dma), and a real benchmark on both cores with L1 misses,
+// dirty evictions and writebacks through the partitioned NUCA (vadd) — the
+// eviction path is the one where a response's Done callback submits new
+// OCN work from inside the serial tick, historically the subtlest drain
+// schedule to replay.
+func chipScenario(t *testing.T, name string, mut func(*Config)) *Chip {
+	t.Helper()
+	switch name {
+	case "count":
+		p0 := countProgram(t, 0x100000, 40)
+		p1 := countProgram(t, 0x200000, 15)
+		cfg := Config{Programs: [2]*proc.Program{p0, p1}, MaxCycles: 5_000_000}
+		mut(&cfg)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	case "dma":
+		const bytes = 4 << 10
+		backing := mem.New()
+		for i := 0; i < bytes/8; i++ {
+			backing.Write(0x700000+uint64(i)*8, 8, uint64(i+1))
+		}
+		p0 := countProgram(t, 0x100000, 3)
+		p1 := countProgram(t, 0x200000, 2)
+		cfg := Config{Programs: [2]*proc.Program{p0, p1}, Backing: backing, MaxCycles: 10_000_000}
+		mut(&cfg)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.DMA[0].Program(0x700000, 0x740000, bytes)
+		return c
+	case "chase":
+		const hops = 24
+		backing := mem.New()
+		head0 := chaseChain(backing, 0x600000, hops)
+		head1 := chaseChain(backing, 0x680000, hops)
+		p0 := chaseProgram(t, 0x100000)
+		p1 := chaseProgram(t, 0x200000)
+		cfg := Config{Programs: [2]*proc.Program{p0, p1}, Backing: backing, MaxCycles: 10_000_000}
+		mut(&cfg)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cores[0].SetRegister(0, 12, head0)
+		c.Cores[1].SetRegister(0, 12, head1)
+		return c
+	case "vadd":
+		w, err := workloads.ByName("vadd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec0, spec1 := w.Build(true), w.Build(true)
+		prog0, meta0, err := tcc.Compile(spec0.F, tcc.Options{Mode: tcc.Hand, BaseAddr: 0x10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog1, meta1, err := tcc.Compile(spec1.F, tcc.Options{Mode: tcc.Hand, BaseAddr: 0x40000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backing := mem.New()
+		spec0.SetupMem(backing)
+		cfg := Config{
+			Programs:  [2]*proc.Program{prog0, prog1},
+			Backing:   backing,
+			Partition: true,
+			MaxCycles: 50_000_000,
+		}
+		mut(&cfg)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, val := range spec0.Init {
+			if gr, ok := meta0.RegOf[v]; ok {
+				c.Cores[0].SetRegister(0, gr, val)
+			}
+		}
+		for v, val := range spec1.Init {
+			if gr, ok := meta1.RegOf[v]; ok {
+				c.Cores[1].SetRegister(0, gr, val)
+			}
+		}
+		return c
+	}
+	t.Fatalf("unknown scenario %q", name)
+	return nil
+}
+
+type chipOutcome struct {
+	cycles int64
+	r0, r1 proc.Result
+	moved  uint64
+}
+
+func runScenario(t *testing.T, scenario string, mut func(*Config)) chipOutcome {
+	t.Helper()
+	c := chipScenario(t, scenario, mut)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return chipOutcome{
+		cycles: c.Cycle(),
+		r0:     c.Cores[0].Snapshot(),
+		r1:     c.Cores[1].Snapshot(),
+		moved:  c.DMA[0].Moved + c.DMA[1].Moved,
+	}
+}
+
+// TestChipSteppingThreeWayBitIdentical is the tentpole's ground-truth sweep:
+// the globally synchronous stepper, the bounded-lag coordinator without
+// warps, and the bounded-lag coordinator with per-core warping must produce
+// identical simulated outcomes on every traffic shape — chip cycles, full
+// core snapshots, and DMA byte counts.
+func TestChipSteppingThreeWayBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	for _, scenario := range []string{"count", "dma", "chase", "vadd"} {
+		t.Run(scenario, func(t *testing.T) {
+			ref := runScenario(t, scenario, func(cfg *Config) {
+				cfg.Stepping = StepSeq
+				cfg.NoWarp = true
+				cfg.NoParallel = true
+			})
+			for _, m := range []struct {
+				name string
+				mut  func(*Config)
+			}{
+				{"seq+warp", func(cfg *Config) { cfg.Stepping = StepSeq }},
+				{"lag+nowarp", func(cfg *Config) { cfg.NoWarp = true }},
+				{"lag+warp", func(cfg *Config) {}},
+				{"lag+warp+serial", func(cfg *Config) { cfg.NoParallel = true }},
+			} {
+				got := runScenario(t, scenario, m.mut)
+				if got != ref {
+					t.Errorf("%s diverged:\n  got:  %+v\n  want: %+v", m.name, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestChipLagGOMAXPROCSParity proves host worker count never changes
+// simulated results: the same bounded-lag chip run at GOMAXPROCS 1 (which
+// collapses to serial striding), 2, and 4 must be bit-identical.
+func TestChipLagGOMAXPROCSParity(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	ref := runScenario(t, "vadd", func(cfg *Config) {})
+	for _, procs := range []int{2, 4} {
+		runtime.GOMAXPROCS(procs)
+		if got := runScenario(t, "vadd", func(cfg *Config) {}); got != ref {
+			t.Errorf("GOMAXPROCS=%d diverged:\n  got:  %+v\n  want: %+v", procs, got, ref)
+		}
+	}
+}
+
+// TestChipLagRollbackInjectionBitIdentical disables the provable horizon via
+// the fault-injection override, letting quiescent cores warp past their
+// visibility bound so early-arriving responses trigger real rollbacks — and
+// requires the rolled-back runs to remain bit-identical to the sequential
+// stepper. The chase workload is the one shape where this is reachable:
+// cores block on every hop, so the overshoot past a response's effect cycle
+// is pure warp, which the coordinator can cheaply rewind. With the derived
+// horizon rollbacks are structurally impossible, which the zero-rollback
+// assertion on the normal run cross-checks.
+func TestChipLagRollbackInjectionBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	ref := runScenario(t, "chase", func(cfg *Config) {
+		cfg.Stepping = StepSeq
+		cfg.NoWarp = true
+		cfg.NoParallel = true
+	})
+	normal := chipScenario(t, "chase", func(cfg *Config) {})
+	if err := normal.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := normal.Lag.TotalRollbacks(); n != 0 {
+		t.Fatalf("derived horizon produced %d rollbacks — the bound no longer proves safety", n)
+	}
+	faulted := chipScenario(t, "chase", func(cfg *Config) {
+		cfg.LagHorizonOverride = 64
+	})
+	if err := faulted.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := chipOutcome{
+		cycles: faulted.Cycle(),
+		r0:     faulted.Cores[0].Snapshot(),
+		r1:     faulted.Cores[1].Snapshot(),
+		moved:  faulted.DMA[0].Moved + faulted.DMA[1].Moved,
+	}
+	if got != ref {
+		t.Errorf("faulted run diverged:\n  got:  %+v\n  want: %+v", got, ref)
+	}
+	if faulted.Lag.TotalRollbacks() == 0 {
+		t.Errorf("horizon override 64 never triggered a rollback — fault injection is dead")
+	}
+}
+
+// TestChipLagLimitBoundaryParity sweeps MaxCycles across the completion
+// boundary and requires the sequential and bounded-lag steppers to agree on
+// outcome (success vs limit error) and final cycle at every limit.
+func TestChipLagLimitBoundaryParity(t *testing.T) {
+	base := chipScenario(t, "count", func(cfg *Config) {
+		cfg.Stepping = StepSeq
+		cfg.NoWarp = true
+		cfg.NoParallel = true
+	})
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := base.Cycle()
+	for lim := n - 3; lim <= n+1; lim++ {
+		lim := lim
+		cs := chipScenario(t, "count", func(cfg *Config) {
+			cfg.Stepping = StepSeq
+			cfg.MaxCycles = lim
+		})
+		errS := cs.Run()
+		cl := chipScenario(t, "count", func(cfg *Config) {
+			cfg.MaxCycles = lim
+		})
+		errL := cl.Run()
+		if (errS == nil) != (errL == nil) || cs.Cycle() != cl.Cycle() {
+			t.Errorf("limit=%d: seq cyc=%d err=%v | lag cyc=%d err=%v",
+				lim, cs.Cycle(), errS, cl.Cycle(), errL)
+			continue
+		}
+		if errS != nil && errL != nil && errS.Error() != errL.Error() {
+			t.Errorf("limit=%d: error wording differs: %q vs %q", lim, errS, errL)
+		}
+	}
+}
+
+// TestChipLagVaddMatchesGolden anchors the bounded-lag chip against the
+// golden interpreter directly: bit-identity between steppers proves nothing
+// if both drift from correct outputs together.
+func TestChipLagVaddMatchesGolden(t *testing.T) {
+	w, err := workloads.ByName("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, _, _, err := eval.RunGolden(w.Build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := w.Build(true)
+	_, meta, err := tcc.Compile(spec.F, tcc.Options{Mode: tcc.Hand, BaseAddr: 0x10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chipScenario(t, "vadd", func(cfg *Config) {})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range spec.Outputs {
+		gr, ok := meta.RegOf[out]
+		if !ok {
+			t.Fatalf("output r%d untracked", out)
+		}
+		if got := c.Cores[0].Register(0, gr); got != gold[out] {
+			t.Errorf("bounded-lag core 0: r%d = %d, golden %d", out, got, gold[out])
+		}
+	}
+}

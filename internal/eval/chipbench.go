@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// ChipBenchRow is one (benchmark, variant) cell of the chip-stepping
+// host-time baseline: the measured host time per op and the simulated cycle
+// count the run produced. Cycle counts are deterministic and any drift
+// against the checked-in baseline is a correctness failure; host time is
+// machine-dependent and compared informationally.
+type ChipBenchRow struct {
+	Bench   string  `json:"bench"`
+	Variant string  `json:"variant"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Cycles  int64   `json:"cycles"`
+}
+
+// ChipBenchReport is the machine-readable form written to BENCH_chip.json:
+// the bounded-lag vs sequential stepping A/B for the chip benchmarks, plus
+// the derived host-time speedups (sequential time / bounded-lag time at
+// identical simulated cycles).
+type ChipBenchReport struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Rows       []ChipBenchRow     `json:"rows"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+// seqCounterpart returns the row that measures the same configuration under
+// the sequential stepper, if the variant naming marks one: "x" pairs with
+// "seq-x" (chip benchmarks) or "x-seq" (eval benchmarks).
+func seqCounterpart(rows []ChipBenchRow, r ChipBenchRow) (ChipBenchRow, bool) {
+	for _, s := range rows {
+		if s.Bench == r.Bench && (s.Variant == "seq-"+r.Variant || s.Variant == r.Variant+"-seq") {
+			return s, true
+		}
+	}
+	return ChipBenchRow{}, false
+}
+
+// MergeChipBenchJSON folds rows into the report at path, replacing cells
+// with the same (bench, variant) key and recomputing the speedup table.
+// Merging (rather than overwriting) lets each benchmark family contribute
+// its rows independently of -bench filters and run order.
+func MergeChipBenchJSON(path string, rows []ChipBenchRow) error {
+	var rep ChipBenchReport
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &rep)
+	}
+	for _, r := range rows {
+		replaced := false
+		for i := range rep.Rows {
+			if rep.Rows[i].Bench == r.Bench && rep.Rows[i].Variant == r.Variant {
+				rep.Rows[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			rep.Rows = append(rep.Rows, r)
+		}
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Bench != rep.Rows[j].Bench {
+			return rep.Rows[i].Bench < rep.Rows[j].Bench
+		}
+		return rep.Rows[i].Variant < rep.Rows[j].Variant
+	})
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Speedups = map[string]float64{}
+	for _, r := range rep.Rows {
+		if s, ok := seqCounterpart(rep.Rows, r); ok && r.NsPerOp > 0 {
+			rep.Speedups[r.Bench+"/"+r.Variant] = s.NsPerOp / r.NsPerOp
+		}
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -39,6 +39,16 @@ type TRIPSOptions struct {
 	// NoWarp disables clock-warping over quiescent stretches while keeping
 	// the stepping fast paths. Results must be bit-identical either way.
 	NoWarp bool
+	// SeqStep forces the sequential core-drives-backend interleave for
+	// UseNUCA runs instead of the default bounded-lag coordinator (core and
+	// memory system as separate clock domains). Results must be bit-identical
+	// either way; the flag exists for A/B verification and host-time
+	// baselines. Without UseNUCA the run is always sequential.
+	SeqStep bool
+	// ParStride, when positive, caps bounded-lag stride length below the
+	// automatically derived visibility horizon (0 = auto). Always safe and
+	// always bit-identical; exists for A/B experiments on stride length.
+	ParStride int64
 	// Trace, when non-nil, records block-protocol and micronet events for
 	// export as a Chrome/Perfetto timeline. Never changes simulated cycles.
 	Trace *obs.Tracer
@@ -66,6 +76,9 @@ type TRIPSResult struct {
 	WarpedCycles int64
 	// NUCA carries the secondary memory system's counters when UseNUCA.
 	NUCA *nuca.StatsReport
+	// Lag carries bounded-lag coordinator telemetry (stride histogram,
+	// stall reasons, rollbacks) when the run used bounded-lag stepping.
+	Lag *proc.LagStats
 }
 
 // RunTRIPS compiles and executes a workload spec on the TRIPS core.
@@ -87,8 +100,15 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 	}
 	var backend proc.MemBackend
 	var sys *nuca.System
+	lag := opt.UseNUCA && !opt.SeqStep
 	if opt.UseNUCA {
 		sys = nuca.New(nuca.Config{Backing: m, Trace: opt.Trace, Metrics: opt.Metrics})
+		if lag {
+			// Bounded-lag stepping needs every port tagged with the single
+			// core's owner id so the staged-submission gate and the effect
+			// gate see its traffic.
+			sys.AssignOwners(func(string) int { return 0 })
+		}
 		backend = sys
 	} else {
 		backend = proc.NewFixedLatencyMem(m, lat)
@@ -102,6 +122,7 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		SlowOPNRouter:     opt.SlowOPNRouter,
 		NoFastPath:        opt.NoFastPath,
 		NoWarp:            opt.NoWarp,
+		ExternalMemTick:   lag,
 		Trace:             opt.Trace,
 		Metrics:           opt.Metrics,
 	})
@@ -113,7 +134,19 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 			core.SetRegister(0, gr, val)
 		}
 	}
-	res, err := core.Run()
+	var res proc.Result
+	var lagStats *proc.LagStats
+	if lag {
+		lagStats = &proc.LagStats{}
+		if sm := opt.Metrics; sm != nil {
+			sm.Register("lag.strides", func() int64 { return int64(lagStats.TotalStrides()) })
+			sm.Register("lag.rollbacks", func() int64 { return int64(lagStats.TotalRollbacks()) })
+			sm.Register("lag.mem_warped_cycles", func() int64 { return lagStats.MemWarpedCycles })
+		}
+		res, err = core.RunLag(sys, opt.ParStride, lagStats)
+	} else {
+		res, err = core.Run()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", spec.F.Name, err)
 	}
@@ -152,6 +185,7 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		Warps:        core.Warps,
 		WarpedCycles: core.WarpedCycles,
 		NUCA:         nucaRep,
+		Lag:          lagStats,
 	}, nil
 }
 
@@ -272,6 +306,14 @@ type Table3Row struct {
 type Stepping struct {
 	NoFastPath bool
 	NoWarp     bool
+	// UseNUCA swaps the perfect-L2 normalization for the full secondary
+	// memory system on the TRIPS runs (the Alpha baseline is unaffected).
+	UseNUCA bool
+	// SeqStep / ParStride select the core/memory interleave for UseNUCA
+	// runs: sequential lockstep vs bounded-lag with an optional stride cap.
+	// See TRIPSOptions.
+	SeqStep   bool
+	ParStride int64
 }
 
 // Table3 computes one benchmark's row. An optional Stepping overrides the
@@ -284,12 +326,12 @@ func Table3(w workloads.Workload, step ...Stepping) (Table3Row, error) {
 	}
 
 	handSpec := w.Build(true)
-	hand, err := RunTRIPS(handSpec, TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp})
+	hand, err := RunTRIPS(handSpec, TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride})
 	if err != nil {
 		return row, err
 	}
 	compSpec := w.Build(false)
-	comp, err := RunTRIPS(compSpec, TRIPSOptions{Mode: tcc.Compiled, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp})
+	comp, err := RunTRIPS(compSpec, TRIPSOptions{Mode: tcc.Compiled, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride})
 	if err != nil {
 		return row, err
 	}

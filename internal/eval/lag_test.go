@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"trips/internal/tcc"
+	"trips/internal/workloads"
+)
+
+// TestNUCASteppingModesBitIdentical runs a NUCA-backed workload under the
+// sequential stepper and every bounded-lag variant and requires identical
+// cycle counts and final registers. vadd is the load-bearing workload here:
+// its working set evicts dirty L2 lines, and a victim writeback is submitted
+// from inside a response's Done callback during the backend tick — the one
+// submission whose drain stamp cannot come from the owning core's clock
+// (the clock already reads the in-progress tick) and must be phased to
+// replay the sequential drain schedule. Stepping-mode divergence on this
+// test means the stamp phasing broke.
+func TestNUCASteppingModesBitIdentical(t *testing.T) {
+	w, err := workloads.ByName("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunTRIPS(w.Build(true), TRIPSOptions{Mode: tcc.Hand, UseNUCA: true, SeqStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		opt  TRIPSOptions
+	}{
+		{"lag", TRIPSOptions{Mode: tcc.Hand, UseNUCA: true}},
+		{"lag+nowarp", TRIPSOptions{Mode: tcc.Hand, UseNUCA: true, NoWarp: true}},
+		{"lag+nofastpath", TRIPSOptions{Mode: tcc.Hand, UseNUCA: true, NoFastPath: true}},
+		{"lag+stride1", TRIPSOptions{Mode: tcc.Hand, UseNUCA: true, ParStride: 1}},
+	} {
+		got, err := RunTRIPS(w.Build(true), m.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if got.Cycles != ref.Cycles {
+			t.Errorf("%s: %d cycles, sequential stepper %d", m.name, got.Cycles, ref.Cycles)
+		}
+		if !reflect.DeepEqual(got.Regs, ref.Regs) {
+			t.Errorf("%s: final registers diverge from sequential stepper", m.name)
+		}
+	}
+}

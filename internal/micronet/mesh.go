@@ -77,7 +77,11 @@ type router[T Routable] struct {
 	at     Coord
 	inBuf  [numDirs]T
 	inFull [numDirs]bool
-	occ    int8     // occupied entries of inBuf (fast skip for idle routers)
+	occ    int8 // occupied entries of inBuf (fast skip for idle routers)
+	// listed marks membership in the mesh's occupied-router list (see
+	// Mesh.occRouters); it may lag occ going to zero until the next Tick
+	// compacts the list.
+	listed bool
 	outQ   Queue[T] // delivered messages awaiting the tile
 }
 
@@ -101,6 +105,13 @@ type Mesh[T Routable] struct {
 	// Propagate walks only those. Each edge latches into its own dedicated
 	// (router, input-port) buffer, so the walk order cannot affect state.
 	busyEdges []*meshEdge[T]
+	// occRouters tracks routers with occupied input buffers, so Tick visits
+	// only those instead of scanning the grid. Routing decisions, claims,
+	// and delivery caps are all per-router, and each output link has exactly
+	// one source router, so the visit order cannot affect state (the same
+	// argument as busyEdges). Stale entries (occ back to zero) are dropped
+	// at the next Tick.
+	occRouters []*router[T]
 	// edgeOf[d][r][c] locates the edge record for links[d][r][c].
 	edgeOf [numDirs][][]*meshEdge[T]
 	// DeliveryCap bounds messages delivered to one tile per cycle
@@ -231,6 +242,7 @@ func (m *Mesh[T]) Inject(at Coord, msg T) bool {
 	rt.inBuf[Local] = msg
 	rt.inFull[Local] = true
 	rt.occ++
+	m.noteOcc(rt)
 	m.bufOcc++
 	m.injected++
 	if m.trace != nil {
@@ -291,12 +303,31 @@ func (m *Mesh[T]) Tick() {
 	if m.bufOcc == 0 {
 		return
 	}
-	for r := 0; r < m.Rows; r++ {
-		for c := 0; c < m.Cols; c++ {
-			if rt := &m.routers[r][c]; rt.occ > 0 {
-				m.tickRouter(rt, off)
-			}
+	kept := m.occRouters[:0]
+	for _, rt := range m.occRouters {
+		if rt.occ > 0 {
+			m.tickRouter(rt, off)
 		}
+		if rt.occ > 0 {
+			kept = append(kept, rt)
+		} else {
+			rt.listed = false
+		}
+	}
+	tail := m.occRouters[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	m.occRouters = kept
+}
+
+// noteOcc registers a router in the occupied list when a buffer fills. A
+// router already listed (possibly as a stale entry from a previous cycle)
+// is not re-added; Tick compacts entries whose buffers have drained.
+func (m *Mesh[T]) noteOcc(rt *router[T]) {
+	if !rt.listed {
+		rt.listed = true
+		m.occRouters = append(m.occRouters, rt)
 	}
 }
 
@@ -392,6 +423,7 @@ func (m *Mesh[T]) Propagate() {
 				rt.inBuf[e.in] = msg
 				rt.inFull[e.in] = true
 				rt.occ++
+				m.noteOcc(rt)
 				m.bufOcc++
 				m.linkBusy--
 				e.link.Pop()
@@ -462,6 +494,105 @@ func (m *Mesh[T]) TransitBound() (int64, bool) {
 	return int64(rt.at.Manhattan(rt.inBuf[in].Dest())) + 1, true
 }
 
+// maxTransitSet caps how many co-resident messages the multi-message transit
+// analysis considers. Beyond a handful the window is almost always conflict
+// limited anyway, and the per-call scan cost grows with k².
+const maxTransitSet = 6
+
+// transitMsg is one resident message located during a multi-message transit
+// scan: its current router input buffer and destination.
+type transitMsg[T Routable] struct {
+	msg  T
+	pos  Coord
+	in   Dir
+	dest Coord
+}
+
+// transitSet collects every resident message when all of them are latched in
+// router input buffers — nothing on links, nothing awaiting Pop — and there
+// are between 1 and maxTransitSet of them. In that state each message's
+// future is governed only by dimension-ordered routing and arbitration
+// between the collected messages themselves.
+func (m *Mesh[T]) transitSet() (set [maxTransitSet]transitMsg[T], n int, ok bool) {
+	if m.linkBusy != 0 || m.pendingDeliv != 0 || m.bufOcc == 0 || m.bufOcc > maxTransitSet {
+		return set, 0, false
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			rt := &m.routers[r][c]
+			if rt.occ == 0 {
+				continue
+			}
+			for d := North; d <= Local; d++ {
+				if rt.inFull[d] {
+					set[n] = transitMsg[T]{msg: rt.inBuf[d], pos: rt.at, in: d, dest: rt.inBuf[d].Dest()}
+					n++
+				}
+			}
+		}
+	}
+	return set, n, true
+}
+
+// transitWindow returns the number of future Ticks over which every message
+// in the set provably advances exactly one hop per Tick: no two messages
+// claim the same output link on the same Tick (link-disjoint trajectories
+// under deterministic X-then-Y routing), and no message reaches its
+// destination inside the window (delivery arbitration is excluded, so the
+// window is also capped at the minimum remaining Manhattan distance).
+// Within such a window no arbitration loss, link stall, or buffer
+// backpressure can occur, so the mesh evolution is a pure per-hop replay.
+func transitWindow[T Routable](set []transitMsg[T], rows, cols int) int64 {
+	w := -1
+	for _, t := range set {
+		if d := t.pos.Manhattan(t.dest); w < 0 || d < w {
+			w = d
+		}
+	}
+	if w <= 0 {
+		return 0
+	}
+	var pos [maxTransitSet]Coord
+	for i, t := range set {
+		pos[i] = t.pos
+	}
+	for tick := 0; tick < w; tick++ {
+		var outs [8]Dir
+		for i := range set {
+			out := route(pos[i], set[i].dest)
+			outs[i] = out
+			for j := 0; j < i; j++ {
+				if pos[j] == pos[i] && outs[j] == out {
+					return int64(tick) // two messages claim the same link this Tick
+				}
+			}
+		}
+		for i := range set {
+			nr, nc, _ := step(pos[i].Row, pos[i].Col, outs[i], rows, cols)
+			pos[i] = Coord{Row: nr, Col: nc}
+		}
+	}
+	return int64(w)
+}
+
+// TransitBoundMulti generalizes TransitBound to up to maxTransitSet resident
+// messages: it returns the next Tick (counted from now) at which the mesh's
+// evolution stops being a pure one-hop-per-message replay — either the
+// nearest message's delivery Tick or the first Tick where two trajectories
+// contend for a link. Warping callers may SkipTicks up to bound-1 cycles and
+// must step the bound-th Tick. ok=false when the mesh is empty, a message is
+// mid-link or awaiting Pop, or more than maxTransitSet messages are resident.
+func (m *Mesh[T]) TransitBoundMulti() (int64, bool) {
+	if m.bufOcc == 1 {
+		return m.TransitBound() // solo fast path: no window simulation needed
+	}
+	set, n, ok := m.transitSet()
+	if !ok {
+		return 0, false
+	}
+	return transitWindow(set[:n], m.Rows, m.Cols) + 1, true
+}
+
 // SkipTicks advances the mesh by n cycles without per-cycle routing, replaying
 // exactly the state n Ticks would have produced. On an empty mesh that is just
 // the round-robin arbitration counter. With a single message in transit the
@@ -478,46 +609,71 @@ func (m *Mesh[T]) SkipTicks(n int64) {
 	if n <= 0 || m.bufOcc == 0 && m.linkBusy == 0 && m.pendingDeliv == 0 {
 		return
 	}
-	rt, in, ok := m.soloTransit()
+	set, nset, ok := m.transitSet()
 	if !ok {
-		panic(fmt.Sprintf("micronet: %s: SkipTicks(%d) on a non-quiet, non-solo mesh (bufOcc=%d linkBusy=%d pendingDeliv=%d)",
+		panic(fmt.Sprintf("micronet: %s: SkipTicks(%d) on a mesh that is not fully buffer-latched (bufOcc=%d linkBusy=%d pendingDeliv=%d)",
 			m.Name, n, m.bufOcc, m.linkBusy, m.pendingDeliv))
 	}
-	msg := rt.inBuf[in]
-	dest := msg.Dest()
-	if int64(rt.at.Manhattan(dest)) < n {
-		panic(fmt.Sprintf("micronet: %s: SkipTicks(%d) would warp past delivery (message at %v, dest %v)",
-			m.Name, n, rt.at, dest))
+	if w := transitWindow(set[:nset], m.Rows, m.Cols); w < n {
+		panic(fmt.Sprintf("micronet: %s: SkipTicks(%d) exceeds the %d-message conflict-free transit window (%d)",
+			m.Name, n, nset, w))
 	}
+	// Lift every message out of its buffer, then replay each trajectory n
+	// hops. The window check above guarantees the trajectories are
+	// link-disjoint per Tick and deliver nothing, so per-message replay in
+	// any order reproduces exactly the state n stepped Ticks would build.
 	var zero T
-	rt.inBuf[in] = zero
-	rt.inFull[in] = false
-	rt.occ--
-	tr, tracked := any(msg).(Tracked)
-	pos := rt.at
-	for i := int64(0); i < n; i++ {
-		out := route(pos, dest)
-		m.links[out][pos.Row][pos.Col].sent++
-		if tracked {
-			tr.NoteHop()
-		}
-		if m.trace != nil {
-			// Replay the hop trace a stepped run would have emitted: the
-			// i-th skipped tick would have stamped cycle start+i, keeping
-			// per-message hop timestamps monotone across warps.
-			m.trace.Emit(obs.Event{
-				Cycle: start + i, Kind: obs.KindNetHop, Net: m.netID,
-				Seq: traceIDOf(msg), Addr: obs.PackCoord(pos.Row, pos.Col),
-			})
-		}
-		nr, nc, _ := step(pos.Row, pos.Col, out, m.Rows, m.Cols)
-		pos = Coord{Row: nr, Col: nc}
-		in = opposite(out)
+	for _, t := range set[:nset] {
+		rt := &m.routers[t.pos.Row][t.pos.Col]
+		rt.inBuf[t.in] = zero
+		rt.inFull[t.in] = false
+		rt.occ--
 	}
-	nrt := &m.routers[pos.Row][pos.Col]
-	nrt.inBuf[in] = msg
-	nrt.inFull[in] = true
-	nrt.occ++
+	for _, t := range set[:nset] {
+		msg, pos, in := t.msg, t.pos, t.in
+		tr, tracked := any(msg).(Tracked)
+		for i := int64(0); i < n; i++ {
+			out := route(pos, t.dest)
+			m.links[out][pos.Row][pos.Col].sent++
+			if tracked {
+				tr.NoteHop()
+			}
+			if m.trace != nil {
+				// Replay the hop trace a stepped run would have emitted: the
+				// i-th skipped tick would have stamped cycle start+i, keeping
+				// per-message hop timestamps monotone across warps.
+				m.trace.Emit(obs.Event{
+					Cycle: start + i, Kind: obs.KindNetHop, Net: m.netID,
+					Seq: traceIDOf(msg), Addr: obs.PackCoord(pos.Row, pos.Col),
+				})
+			}
+			nr, nc, _ := step(pos.Row, pos.Col, out, m.Rows, m.Cols)
+			pos = Coord{Row: nr, Col: nc}
+			in = opposite(out)
+		}
+		nrt := &m.routers[pos.Row][pos.Col]
+		nrt.inBuf[in] = msg
+		nrt.inFull[in] = true
+		nrt.occ++
+		m.noteOcc(nrt)
+	}
+}
+
+// RewindTicks moves the arbitration clock backwards by n cycles. It is the
+// inverse of SkipTicks on a quiet mesh and exists solely for bounded-lag
+// rollback: a core whose stride was pure warp (no Step executed) rewinds its
+// local clock, and its network clocks must follow so a replayed stride sees
+// identical arbitration rotation. Rewinding a mesh with resident messages
+// would desynchronize per-hop accounting, so that is a hard error.
+func (m *Mesh[T]) RewindTicks(n int64) {
+	if n <= 0 {
+		return
+	}
+	if !m.Quiet() {
+		panic(fmt.Sprintf("micronet: %s: RewindTicks(%d) on a non-quiet mesh (bufOcc=%d linkBusy=%d pendingDeliv=%d)",
+			m.Name, n, m.bufOcc, m.linkBusy, m.pendingDeliv))
+	}
+	m.tickCount -= int(n)
 }
 
 // Quiet reports whether no messages are anywhere in the network: no occupied

@@ -129,10 +129,133 @@ func TestSkipTicksContractViolationsPanic(t *testing.T) {
 		m.Inject(Coord{0, 0}, &testMsg{id: 1, dest: Coord{0, 2}})
 		m.SkipTicks(3) // distance is 2
 	})
-	mustPanic("non-solo", func() {
+	mustPanic("conflicting trajectories", func() {
+		m := NewMesh[*testMsg]("opn", 5, 5)
+		// Both head for (3,1): X-then-Y routing merges them at (1,1) on the
+		// second tick, where they claim the same South link — the conflict-free
+		// window is 1 tick, so a 2-tick skip must refuse.
+		m.Inject(Coord{1, 0}, &testMsg{id: 1, dest: Coord{3, 1}})
+		m.Inject(Coord{0, 1}, &testMsg{id: 2, dest: Coord{3, 1}})
+		m.SkipTicks(2)
+	})
+	mustPanic("mid-link", func() {
 		m := NewMesh[*testMsg]("opn", 5, 5)
 		m.Inject(Coord{0, 0}, &testMsg{id: 1, dest: Coord{0, 2}})
 		m.Inject(Coord{4, 4}, &testMsg{id: 2, dest: Coord{0, 2}})
+		m.Tick() // both messages move onto links: not a fully latched state
 		m.SkipTicks(1)
 	})
+}
+
+func TestTransitBoundMulti(t *testing.T) {
+	m := NewMesh[*testMsg]("ocn", 5, 5)
+	if _, ok := m.TransitBoundMulti(); ok {
+		t.Error("empty mesh reported a multi-transit bound")
+	}
+	m.Inject(Coord{0, 0}, &testMsg{id: 1, dest: Coord{3, 4}}) // distance 7
+	if b, ok := m.TransitBoundMulti(); !ok || b != 8 {
+		t.Errorf("solo bound = %d,%v, want 8,true", b, ok)
+	}
+	// A second message with a disjoint trajectory: the window is capped by
+	// the nearer message's remaining distance (2), so the bound is 3.
+	m.Inject(Coord{4, 4}, &testMsg{id: 2, dest: Coord{4, 2}})
+	if b, ok := m.TransitBoundMulti(); !ok || b != 3 {
+		t.Errorf("disjoint pair bound = %d,%v, want 3,true", b, ok)
+	}
+	// Converging messages: both claim (1,1)'s South link on the second tick,
+	// so only one conflict-free tick remains — bound 2.
+	m2 := NewMesh[*testMsg]("ocn", 5, 5)
+	m2.Inject(Coord{1, 0}, &testMsg{id: 1, dest: Coord{3, 1}})
+	m2.Inject(Coord{0, 1}, &testMsg{id: 2, dest: Coord{3, 1}})
+	if b, ok := m2.TransitBoundMulti(); !ok || b != 2 {
+		t.Errorf("conflicting pair bound = %d,%v, want 2,true", b, ok)
+	}
+	// A message mid-link makes the bound incomputable.
+	m2.Tick()
+	if _, ok := m2.TransitBoundMulti(); ok {
+		t.Error("mid-link mesh reported a multi-transit bound")
+	}
+}
+
+// TestSkipTicksMultiReplayBitIdentical is the multi-message version of the
+// solo replay test: skipping j ticks with several link-disjoint messages in
+// flight must leave the mesh bit-identical to j stepped ticks, and every
+// message must still be delivered at the same absolute cycle with the same
+// hop/wait counters.
+func TestSkipTicksMultiReplayBitIdentical(t *testing.T) {
+	type injection struct {
+		src, dst Coord
+	}
+	cases := []struct {
+		name string
+		inj  []injection
+		skip int64
+	}{
+		{"two-disjoint", []injection{{Coord{0, 0}, Coord{4, 4}}, {Coord{4, 4}, Coord{0, 0}}}, 4},
+		{"three-parallel-rows", []injection{{Coord{0, 0}, Coord{0, 4}}, {Coord{2, 0}, Coord{2, 4}}, {Coord{4, 0}, Coord{4, 4}}}, 4},
+		{"follower-chain", []injection{{Coord{0, 0}, Coord{0, 4}}, {Coord{0, 1}, Coord{0, 4}}}, 3},
+		{"converging-partial", []injection{{Coord{1, 0}, Coord{3, 1}}, {Coord{0, 1}, Coord{3, 1}}}, 1},
+	}
+	for _, tc := range cases {
+		run := func(skip int64) (*Mesh[*testMsg], map[int]int) {
+			m := NewMesh[*testMsg]("ocn", 5, 5)
+			msgs := make([]*testMsg, len(tc.inj))
+			for i, in := range tc.inj {
+				msgs[i] = &testMsg{id: i + 1, dest: in.dst}
+				if !m.Inject(in.src, msgs[i]) {
+					t.Fatalf("%s: inject %d refused", tc.name, i)
+				}
+			}
+			m.SkipTicks(skip)
+			delivered := map[int]int{}
+			for cycle := int(skip); cycle < 100 && len(delivered) < len(msgs); cycle++ {
+				m.Tick()
+				for _, in := range tc.inj {
+					for {
+						got, ok := m.Deliver(in.dst)
+						if !ok {
+							break
+						}
+						delivered[got.id] = cycle
+						m.Pop(in.dst)
+					}
+				}
+				m.Propagate()
+			}
+			if len(delivered) != len(msgs) {
+				t.Fatalf("%s skip=%d: only %d/%d messages delivered", tc.name, skip, len(delivered), len(msgs))
+			}
+			return m, delivered
+		}
+		mA, delA := run(0)
+		mB, delB := run(tc.skip)
+		for id, cyc := range delA {
+			if delB[id] != cyc {
+				t.Errorf("%s skip=%d: message %d delivered at cycle %d, stepped run at %d",
+					tc.name, tc.skip, id, delB[id], cyc)
+			}
+		}
+		sA, sB := meshState(mA), meshState(mB)
+		for k, v := range sA {
+			if sB[k] != v {
+				t.Errorf("%s skip=%d: state %q = %d, stepped run %d", tc.name, tc.skip, k, sB[k], v)
+			}
+		}
+	}
+}
+
+func TestRewindTicks(t *testing.T) {
+	m := NewMesh[*testMsg]("opn", 5, 5)
+	m.SkipTicks(10)
+	m.RewindTicks(4)
+	if m.tickCount != 6 {
+		t.Errorf("tickCount after skip 10 / rewind 4 = %d, want 6", m.tickCount)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RewindTicks on a non-quiet mesh did not panic")
+		}
+	}()
+	m.Inject(Coord{0, 0}, &testMsg{id: 1, dest: Coord{0, 2}})
+	m.RewindTicks(1)
 }

@@ -1,0 +1,95 @@
+package nuca
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trips/internal/mem"
+	"trips/internal/proc"
+)
+
+// TestCrossCoreLagPropertyFuzz validates the visibility horizon L that the
+// bounded-lag coordinator builds its strides on: a core submitting a request
+// at local cycle t can never observe the response's effects before backend
+// cycle t+L. The test fuzzes the placement inputs L is derived from — port
+// count (which moves the NT rows), partitioning (which restricts reachable
+// MTs), scratchpad mode, and a random request mix including line-splitting
+// sizes — and asserts the bound on every completed transaction. If a future
+// change shortens the OCN round trip (fewer hops, faster banks) without
+// CrossCoreLag tracking it, this fails before the coordinator silently
+// starts missing rollbacks.
+func TestCrossCoreLagPropertyFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			partition := seed%2 == 0
+			scratch := seed%3 == 0
+			sys := New(Config{Backing: mem.New(), Partition: partition, Scratchpad: scratch})
+			nPorts := 1 + rng.Intn(5)
+			var ports []proc.MemPort
+			for i := 0; i < nPorts; i++ {
+				name := fmt.Sprintf("fz%d", i)
+				if partition && i%2 == 1 {
+					name = "p1:" + name
+				}
+				ports = append(ports, sys.Port(name))
+			}
+			sys.AssignOwners(func(name string) int {
+				if strings.HasPrefix(name, "p1:") {
+					return 1
+				}
+				return 0
+			})
+			var clock [2]int64
+			sys.BindClock(0, func() int64 { return clock[0] })
+			sys.BindClock(1, func() int64 { return clock[1] })
+			L := sys.CrossCoreLag()
+			if L < 5 {
+				t.Fatalf("CrossCoreLag = %d, below the geometric minimum 5 (ports on col 3, MTs on cols 0-1)", L)
+			}
+
+			checked := 0
+			observe := func(submitCycle int64) func([]byte) {
+				return func([]byte) {
+					if got := sys.Cycle() - submitCycle; got < L {
+						t.Errorf("response effect %d cycles after submit, horizon promises >= %d", got, L)
+					}
+					checked++
+				}
+			}
+			for cyc := int64(0); cyc < 600; cyc++ {
+				clock[0], clock[1] = cyc, cyc
+				for _, p := range ports {
+					if rng.Intn(4) != 0 {
+						continue
+					}
+					addr := uint64(rng.Intn(1 << 18))
+					n := 1 + rng.Intn(2*LineBytes)
+					req := &proc.MemRequest{Addr: addr, Done: observe(cyc)}
+					if rng.Intn(2) == 0 {
+						data := make([]byte, n)
+						rng.Read(data)
+						req.IsWrite = true
+						req.Data = data
+					} else {
+						req.N = n
+					}
+					p.Submit(req) // refusals (full port queue) just drop the probe
+				}
+				sys.Tick()
+			}
+			for i := 0; i < 100_000 && sys.Outstanding() > 0; i++ {
+				sys.Tick()
+			}
+			if n := sys.Outstanding(); n != 0 {
+				t.Fatalf("%d transactions never completed", n)
+			}
+			if checked < 100 {
+				t.Fatalf("only %d transactions observed — fuzz mix too thin to trust", checked)
+			}
+		})
+	}
+}

@@ -133,6 +133,14 @@ type ntPort struct {
 	// half selects the MT partition this port may address (when the
 	// system is partitioned).
 	half int
+	// owner identifies the core this port belongs to for bounded-lag
+	// stepping (-1: unowned, e.g. a DMA port — always drained immediately).
+	owner int
+	// clock, when non-nil, stamps staged transactions with the owning
+	// core's local cycle so the serial drain can replay the sequential
+	// injection schedule even when the core has run ahead of the memory
+	// clock.
+	clock func() int64
 }
 
 // outItem is a staged transaction awaiting injection. Submit builds the
@@ -146,6 +154,12 @@ type outItem struct {
 	req    *proc.MemRequest
 	pd     *pending // nil for unsplit requests
 	off, n int
+	// stamp is the submitting clock's cycle at Submit time (0 when the port
+	// has no bound clock). The serial drain only injects an item once the
+	// backend clock has passed its stamp, which reproduces the sequential
+	// drain schedule when the submitting core has run ahead under
+	// bounded-lag stepping.
+	stamp int64
 }
 
 // Submit implements proc.MemPort. Requests that cross line boundaries are
@@ -199,7 +213,30 @@ func (p *ntPort) submitPart(req *proc.MemRequest, pd *pending, addr uint64, n, o
 	if req.IsWrite {
 		msg.data = req.Data[off : off+n]
 	}
-	p.outQ.Push(outItem{msg: msg, req: req, pd: pd, off: off, n: n})
+	var stamp int64
+	switch {
+	case p.sys.inTick:
+		// Submission issued from inside a Done callback during the serial
+		// backend tick (e.g. a line fill evicting a dirty victim). The
+		// sequential schedule drains it later in this same tick, but the
+		// owning core's clock already reads the current backend cycle under
+		// lockstep, so stamping from the clock would delay it one tick.
+		// Stamp one behind the backend cycle to replay the sequential drain.
+		stamp = p.sys.cycle - 1
+	case p.clock != nil:
+		stamp = p.clock()
+	}
+	p.outQ.Push(outItem{msg: msg, req: req, pd: pd, off: off, n: n, stamp: stamp})
+	if p.owner >= 0 {
+		// Owner counters are per-port-owner cells: each core goroutine only
+		// touches its own cell, and drains (which decrement) run in the
+		// serial memory phase, barrier-ordered against core steps.
+		p.sys.stagedByOwner[p.owner]++
+	} else {
+		// Unowned (DMA) ports submit from the serial chip phase only, so a
+		// plain shared counter is safe.
+		p.sys.stagedUnowned++
+	}
 }
 
 // mtState is one memory tile.
@@ -220,22 +257,61 @@ type mtState struct {
 	MSHRCoalesced, MSHRBlocked uint64
 }
 
+// maxOwners bounds the per-owner accounting arrays (the prototype has two
+// processors per chip).
+const maxOwners = 2
+
 // System is the full secondary memory system.
 type System struct {
 	cfg       Config
 	mesh      *micronet.Mesh[*ocnMsg]
 	mts       []*mtState
-	mtAt      map[micronet.Coord]*mtState
+	mtGrid    [Rows][2]*mtState // MT lookup by coordinate (MTs live in cols 0-1)
 	ports     map[string]*ntPort
 	order     []*ntPort
 	sdcs      [2]micronet.Coord
-	sdcQ      map[int][]sdcJob // per-SDC in-flight jobs
+	sdcQ      [2][]sdcJob // per-SDC in-flight jobs
 	pending   map[int]pending
 	pendSplit map[int]*pending
 	nextID    int
 	cycle     int64
 	// delivery delay queue for multi-flit serialization
 	delayed []delayedMsg
+	// free is the ocnMsg recycle list. Messages created and consumed inside
+	// the serial Tick/dispatch path (responses, SDC traffic) cycle through
+	// it; Submit-side request shells may enter it when consumed but are
+	// never taken from it, because Submit runs on parallel core goroutines
+	// while the pool is serial-only.
+	free []*ocnMsg
+	// inTick is set for the duration of the serial Tick so submissions
+	// issued from inside Done callbacks (serviced by this very tick) can be
+	// stamped to drain on the sequential schedule rather than the owning
+	// core's already-advanced clock.
+	inTick bool
+	// mtStaged counts staged messages across all MT output queues, and
+	// stagedUnowned counts staged port transactions on unowned (DMA) ports;
+	// together with the per-owner staging cells they make the empty-queue
+	// checks in Tick and horizon O(1). Unowned ports submit only from the
+	// serial chip phase, so a plain counter is race-free.
+	mtStaged      int
+	stagedUnowned int64
+
+	// Bounded-lag support: per-owner outstanding-work accounting, the
+	// memoized cross-core visibility lag, and the optional effect gate a
+	// bounded-lag coordinator installs to detect responses that would land
+	// behind a core's already-simulated cycles (rollback trigger).
+	ownerFn        func(name string) int
+	stagedByOwner  [maxOwners]int64
+	pendingByOwner [maxOwners]int
+	lagCache       int64
+	gate           func(owner int, effectCycle int64)
+
+	// Horizon memoization: Quiet and NextEventCycle are consulted together
+	// on every coordinator iteration; both derive from one scan of the
+	// deadline sources, cached per backend cycle.
+	horizonAt    int64
+	horizonQuiet bool
+	horizonNEC   int64
 
 	// Stats.
 	Requests, LineTransfers uint64
@@ -244,6 +320,33 @@ type System struct {
 	SDRAMReads, SDRAMWrites uint64
 
 	metrics *obs.Sampler
+}
+
+// newMsg takes a recycled message shell from the pool (serial contexts
+// only) and freeMsg returns a fully consumed one, dropping its payload
+// reference. Callers always overwrite every field on allocation, so reuse
+// cannot leak state between transactions.
+func (s *System) newMsg() *ocnMsg {
+	if n := len(s.free); n > 0 {
+		m := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return m
+	}
+	return &ocnMsg{}
+}
+
+func (s *System) freeMsg(m *ocnMsg) {
+	*m = ocnMsg{}
+	s.free = append(s.free, m)
+}
+
+// mtPush stages a message on an MT output queue, keeping the system-wide
+// staged count that lets Tick and horizon skip the per-MT scan when every
+// queue is empty.
+func (s *System) mtPush(mt *mtState, m *ocnMsg) {
+	mt.outQ.Push(m)
+	s.mtStaged++
 }
 
 type sdcJob struct {
@@ -267,11 +370,10 @@ func New(cfg Config) *System {
 	s := &System{
 		cfg:       cfg,
 		mesh:      micronet.NewMesh[*ocnMsg]("ocn", Rows, Cols),
-		mtAt:      make(map[micronet.Coord]*mtState),
 		ports:     make(map[string]*ntPort),
 		pending:   make(map[int]pending),
 		pendSplit: make(map[int]*pending),
-		sdcQ:      make(map[int][]sdcJob),
+		horizonAt: -1,
 	}
 	s.mesh.DeliveryCap = 2
 	mode := ModeL2
@@ -282,7 +384,7 @@ func New(cfg Config) *System {
 		at := micronet.Coord{Row: 1 + i/2, Col: i % 2}
 		mt := &mtState{at: at, bank: cache.NewBank(64<<10, 4, LineBytes), mode: mode}
 		s.mts = append(s.mts, mt)
-		s.mtAt[at] = mt
+		s.mtGrid[at.Row][at.Col] = mt
 	}
 	s.sdcs = [2]micronet.Coord{{Row: 0, Col: 0}, {Row: Rows - 1, Col: 0}}
 	s.mesh.Attach(cfg.Trace, obs.NetOCN)
@@ -322,10 +424,103 @@ func (s *System) Port(name string) proc.MemPort {
 	row := 1 + len(s.orderForHalf(half))%(Rows-2)
 	_ = base
 	at := micronet.Coord{Row: row, Col: 3}
-	p := &ntPort{sys: s, name: name, at: at, half: half}
+	p := &ntPort{sys: s, name: name, at: at, half: half, owner: -1}
+	if s.ownerFn != nil {
+		p.owner = s.ownerFn(name)
+	}
 	s.ports[name] = p
 	s.order = append(s.order, p)
+	s.lagCache = 0 // port set changed: recompute the cross-core lag
 	return p
+}
+
+// AssignOwners maps port names to bounded-lag owners (core indices 0..1, or
+// -1 for unowned ports such as the DMA controllers'). The function is applied
+// to every existing port and remembered for ports created later.
+func (s *System) AssignOwners(fn func(name string) int) {
+	s.ownerFn = fn
+	for _, p := range s.order {
+		p.owner = fn(p.name)
+	}
+	s.lagCache = 0
+}
+
+// BindClock attaches a local-cycle stamp source to every port of the given
+// owner. Staged submissions carry the clock's value so the serial drain can
+// replay the sequential injection schedule while the core runs ahead.
+func (s *System) BindClock(owner int, clock func() int64) {
+	for _, p := range s.order {
+		if p.owner == owner {
+			p.clock = clock
+		}
+	}
+}
+
+// SetEffectGate installs the bounded-lag coordinator's response observer: it
+// is called with the owning core and the backend cycle at which each client
+// response's effects become core-visible, before the response's Done callback
+// runs. A coordinator uses it to detect (and roll back from) responses that
+// land behind a core's already-simulated cycles. nil uninstalls.
+func (s *System) SetEffectGate(fn func(owner int, effectCycle int64)) { s.gate = fn }
+
+// StagedFor returns the number of staged (not yet drained) transactions
+// across the owner's ports, and OutstandingFor adds the in-flight ones: a
+// core with OutstandingFor == 0 has no memory transaction anywhere in the
+// system, so no response can reach it without a future Submit.
+func (s *System) StagedFor(owner int) int { return int(s.stagedByOwner[owner]) }
+
+// OutstandingFor returns staged plus in-flight transactions for one owner.
+func (s *System) OutstandingFor(owner int) int {
+	return int(s.stagedByOwner[owner]) + s.pendingByOwner[owner]
+}
+
+// CrossCoreLag returns L, the bounded-lag visibility horizon: a core whose
+// memory system holds none of its transactions cannot observe any response
+// effect for at least L cycles after a Submit. The fastest possible effect
+// chain is a single-flit write hit: injection on the tick after the stamp,
+// one hop per tick to the nearest reachable MT (Manhattan distance D >= 2 —
+// ports sit on column 3, MTs on columns 0-1), a same-tick bank hit and
+// response injection, D hops back, and a delivery tick — effects become
+// visible 2D+3 cycles after the stamp. L = 2D+1 keeps a two-cycle safety
+// margin and is asserted against observed response timing by a property
+// test. The value is memoized and recomputed when the port set changes.
+func (s *System) CrossCoreLag() int64 {
+	if s.lagCache > 0 {
+		return s.lagCache
+	}
+	minD := -1
+	for _, p := range s.order {
+		if p.owner < 0 {
+			continue
+		}
+		for _, mt := range s.mts {
+			if s.cfg.Partition && s.mtHalf(mt) != p.half {
+				continue
+			}
+			if d := p.at.Manhattan(mt.at); minD < 0 || d < minD {
+				minD = d
+			}
+		}
+	}
+	if minD < 0 {
+		minD = 2 // no owned ports yet: the geometric minimum (|Δrow|=0, col 3 -> col 1)
+	}
+	s.lagCache = 2*int64(minD) + 1
+	return s.lagCache
+}
+
+// mtHalf returns which partition half an MT belongs to (mts[0..7] are half
+// 0, mts[8..15] half 1 — the route() interleave).
+func (s *System) mtHalf(mt *mtState) int {
+	for i, m := range s.mts {
+		if m == mt {
+			if i >= NumMTs/2 {
+				return 1
+			}
+			return 0
+		}
+	}
+	return 0
 }
 
 func (s *System) orderForHalf(h int) []*ntPort {
@@ -368,6 +563,7 @@ func (s *System) MTFor(addr uint64) int {
 // Tick implements proc.MemBackend: one OCN cycle.
 func (s *System) Tick() {
 	s.cycle++
+	s.inTick = true
 	// Deliver delayed (multi-flit) messages whose serialization elapsed.
 	kept := s.delayed[:0]
 	for _, d := range s.delayed {
@@ -401,9 +597,14 @@ func (s *System) Tick() {
 			}
 		}
 	}
-	// SDC completions.
+	// SDC completions. Filtered in place: jobs wait out the full SDRAM
+	// latency here, so a fresh slice per tick would reallocate once per
+	// waiting cycle per job.
 	for sdc := 0; sdc < 2; sdc++ {
-		var still []sdcJob
+		if len(s.sdcQ[sdc]) == 0 {
+			continue
+		}
+		still := s.sdcQ[sdc][:0]
 		for _, j := range s.sdcQ[sdc] {
 			if j.readyAt > s.cycle {
 				still = append(still, j)
@@ -412,51 +613,69 @@ func (s *System) Tick() {
 			m := j.msg
 			if m.write {
 				s.cfg.Backing.WriteBytes(m.addr, m.data)
+				s.freeMsg(m)
 				continue
 			}
-			resp := &ocnMsg{
+			resp := s.newMsg()
+			*resp = ocnMsg{
 				dst: m.mt, kind: mkSDCResp, addr: m.addr, n: m.n,
 				data: s.cfg.Backing.ReadBytes(m.addr, m.n), id: m.id,
 				origin: m.origin, mt: m.mt,
 				flits: 1 + (m.n+FlitBytes-1)/FlitBytes,
 			}
 			if !s.mesh.Inject(s.sdcs[sdc], resp) {
+				s.freeMsg(resp)
 				still = append(still, sdcJob{msg: m, readyAt: s.cycle + 1})
 				continue
 			}
+			s.freeMsg(m)
 		}
 		s.sdcQ[sdc] = still
 	}
-	// MT output queues.
-	for _, mt := range s.mts {
-		for !mt.outQ.Empty() {
-			if !s.mesh.Inject(mt.at, mt.outQ.Front()) {
-				break
+	// MT output queues (skipped outright when nothing is staged anywhere).
+	if s.mtStaged > 0 {
+		for _, mt := range s.mts {
+			for !mt.outQ.Empty() {
+				if !s.mesh.Inject(mt.at, mt.outQ.Front()) {
+					break
+				}
+				mt.outQ.Pop()
+				s.mtStaged--
 			}
-			mt.outQ.Pop()
 		}
 	}
 	// Port output queues: transaction ids are assigned here, at the serial
 	// drain in fixed port order, so Submit stays safe from parallel core
 	// steps. Ids are correlation keys only (map lookups, echoed in
 	// responses), so the assignment point does not affect simulated timing.
-	for _, p := range s.order {
-		for !p.outQ.Empty() {
-			if !s.mesh.CanInject(p.at) {
-				break
+	// Stamped items (bounded-lag cores that ran ahead) wait until the
+	// backend clock passes their stamp, replaying the sequential injection
+	// schedule.
+	if s.stagedUnowned > 0 || s.stagedByOwner[0] > 0 || s.stagedByOwner[1] > 0 {
+		for _, p := range s.order {
+			for !p.outQ.Empty() {
+				if p.outQ.Front().stamp >= s.cycle || !s.mesh.CanInject(p.at) {
+					break
+				}
+				it := p.outQ.Pop()
+				id := s.nextID
+				s.nextID++
+				it.msg.id = id
+				if it.pd == nil {
+					s.pending[id] = pending{req: it.req, port: p}
+				} else {
+					it.pd.parts[id] = part{off: it.off, n: it.n}
+					s.pendSplit[id] = it.pd
+				}
+				if p.owner >= 0 {
+					s.stagedByOwner[p.owner]--
+					s.pendingByOwner[p.owner]++
+				} else {
+					s.stagedUnowned--
+				}
+				s.mesh.Inject(p.at, it.msg)
+				s.Requests++
 			}
-			it := p.outQ.Pop()
-			id := s.nextID
-			s.nextID++
-			it.msg.id = id
-			if it.pd == nil {
-				s.pending[id] = pending{req: it.req, port: p}
-			} else {
-				it.pd.parts[id] = part{off: it.off, n: it.n}
-				s.pendSplit[id] = it.pd
-			}
-			s.mesh.Inject(p.at, it.msg)
-			s.Requests++
 		}
 	}
 	// Sample before the propagate pass latches links into router buffers:
@@ -466,34 +685,39 @@ func (s *System) Tick() {
 		sm.Sample(s.cycle)
 	}
 	s.mesh.Propagate()
+	s.inTick = false
 }
 
-// Quiet implements proc.EventHorizon. All outstanding OCN work is held
-// behind computable drain deadlines rather than boolean busy flags: a single
-// in-transit message drains at a known cycle (mesh.TransitBound — it can
-// neither lose arbitration nor stall), staged injections in MT/port output
-// queues drain on the very next tick, and multi-flit serializations and
-// SDRAM jobs carry explicit readyAt stamps. All of those are reported by
-// NextEventCycle instead of blocking quiescence. Only a mesh with two or
-// more resident messages — whose future arbitration interleaving per-cycle
-// routing must resolve — makes the system non-quiet.
-func (s *System) Quiet() bool {
-	if s.mesh.Quiet() {
-		return true
+// horizon computes quiescence and the next-event deadline in one scan,
+// memoized per backend cycle: coordinators consult Quiet and NextEventCycle
+// together on every iteration, and both derive from the same deadline
+// sources. The cache is keyed on s.cycle (every Tick or Warp moves it);
+// callers that stage new submissions without ticking — bounded-lag core
+// strides — must call HorizonDirty before re-reading.
+func (s *System) horizon() (bool, int64) {
+	if s.horizonAt == s.cycle {
+		return s.horizonQuiet, s.horizonNEC
 	}
-	_, ok := s.mesh.TransitBound()
-	return ok
-}
-
-// NextEventCycle implements proc.EventHorizon: the earliest drain deadline
-// across delayed multi-flit deliveries, in-flight SDRAM jobs, the mesh's
-// solo in-transit message, and staged MT/port injections, in the backend
-// cycle domain (serviced during the owner's step one cycle earlier). A
-// staged injection drains on the next tick, so any non-empty output queue
-// pins the horizon to cycle+1 — the owner cannot warp past it, which keeps
-// the post-injection (no longer solo) mesh stepping cycle-by-cycle.
-func (s *System) NextEventCycle() int64 {
+	// All outstanding OCN work is held behind computable drain deadlines
+	// rather than boolean busy flags: resident messages whose trajectories
+	// are provably conflict-free advance one hop per tick until the bound
+	// (mesh.TransitBoundMulti), staged injections in MT/port output queues
+	// drain once the backend clock passes their stamp, and multi-flit
+	// serializations and SDRAM jobs carry explicit readyAt stamps. Only a
+	// mesh state whose future arbitration must be resolved by per-cycle
+	// routing (a message mid-link, an unpopped delivery, contending
+	// trajectories past their window) makes the system non-quiet.
+	quiet := true
 	h := horizonNever
+	if !s.mesh.Quiet() {
+		if t, ok := s.mesh.TransitBoundMulti(); ok {
+			if d := s.cycle + t; d < h {
+				h = d
+			}
+		} else {
+			quiet = false
+		}
+	}
 	for _, d := range s.delayed {
 		if d.readyAt < h {
 			h = d.readyAt
@@ -506,37 +730,62 @@ func (s *System) NextEventCycle() int64 {
 			}
 		}
 	}
-	if t, ok := s.mesh.TransitBound(); ok {
-		if d := s.cycle + t; d < h {
-			h = d
-		}
+	if s.mtStaged > 0 && s.cycle+1 < h {
+		h = s.cycle + 1
 	}
-	staged := false
-	for _, mt := range s.mts {
-		if !mt.outQ.Empty() {
-			staged = true
-			break
-		}
-	}
-	if !staged {
+	if s.stagedUnowned > 0 || s.stagedByOwner[0] > 0 || s.stagedByOwner[1] > 0 {
 		for _, p := range s.order {
-			if !p.outQ.Empty() {
-				staged = true
-				break
+			if p.outQ.Empty() {
+				continue
+			}
+			// A stamped item drains on the tick after its stamp; an unstamped
+			// one (stamp 0) on the very next tick.
+			d := p.outQ.Front().stamp + 1
+			if d < s.cycle+1 {
+				d = s.cycle + 1
+			}
+			if d < h {
+				h = d
 			}
 		}
 	}
-	if staged && s.cycle+1 < h {
-		h = s.cycle + 1
-	}
+	s.horizonAt, s.horizonQuiet, s.horizonNEC = s.cycle, quiet, h
+	return quiet, h
+}
+
+// HorizonDirty invalidates the memoized Quiet/NextEventCycle scan. Tick and
+// Warp invalidate implicitly (the cache is keyed on the backend cycle);
+// bounded-lag coordinators call this after core strides stage new
+// submissions without moving the backend clock.
+func (s *System) HorizonDirty() { s.horizonAt = -1 }
+
+// Cycle returns the backend clock. The backend runs one tick ahead of the
+// chip cycle whose step it services: between ticks, Cycle() is the index of
+// the next chip cycle the memory system will execute.
+func (s *System) Cycle() int64 { return s.cycle }
+
+// Quiet implements proc.EventHorizon: every resident piece of OCN work has
+// a computable drain deadline (see horizon), so clock-warping is sound.
+func (s *System) Quiet() bool {
+	q, _ := s.horizon()
+	return q
+}
+
+// NextEventCycle implements proc.EventHorizon: the earliest drain deadline
+// across delayed multi-flit deliveries, in-flight SDRAM jobs, in-transit
+// messages, and staged MT/port injections, in the backend cycle domain
+// (serviced during the owner's step one cycle earlier).
+func (s *System) NextEventCycle() int64 {
+	_, h := s.horizon()
 	return h
 }
 
 // Warp implements proc.EventHorizon: advance the clock and replay the mesh's
-// skipped-cycle state changes (arbitration counter, and — when a solo message
-// is in transit — its per-hop movement). The caller guarantees delta stays
-// below every deadline NextEventCycle reported, so the warp can never jump
-// a message past its delivery or an SDRAM job past its completion.
+// skipped-cycle state changes (arbitration counter, and the per-hop movement
+// of resident messages inside their conflict-free transit window). The
+// caller guarantees delta stays below every deadline NextEventCycle
+// reported, so the warp can never jump a message past its delivery, a
+// trajectory into a link conflict, or an SDRAM job past its completion.
 func (s *System) Warp(delta int64) {
 	s.cycle += delta
 	s.mesh.SkipTicks(delta)
@@ -571,6 +820,7 @@ func (s *System) dispatch(msg *ocnMsg) {
 	case mkResp:
 		if pd, ok := s.pendSplit[msg.id]; ok {
 			delete(s.pendSplit, msg.id)
+			s.respArrived(pd.port)
 			pt := pd.parts[msg.id]
 			if !pd.req.IsWrite {
 				copy(pd.buf[pt.off:pt.off+pt.n], msg.data)
@@ -579,6 +829,7 @@ func (s *System) dispatch(msg *ocnMsg) {
 			if pd.left == 0 && pd.req.Done != nil {
 				pd.req.Done(pd.buf)
 			}
+			s.freeMsg(msg)
 			return
 		}
 		p, ok := s.pending[msg.id]
@@ -586,9 +837,27 @@ func (s *System) dispatch(msg *ocnMsg) {
 			panic("nuca: response for unknown request")
 		}
 		delete(s.pending, msg.id)
+		s.respArrived(p.port)
 		if p.req.Done != nil {
 			p.req.Done(msg.data)
 		}
+		s.freeMsg(msg)
+	}
+}
+
+// respArrived updates per-owner accounting for a completed transaction and
+// notifies the bounded-lag effect gate. Response effects (Done callbacks,
+// request completion) become visible to the owning core at the current
+// backend cycle — the tick executing now services the owner's step one cycle
+// earlier, whose effects the core observes on its next cycle, which is
+// exactly s.cycle.
+func (s *System) respArrived(p *ntPort) {
+	if p == nil || p.owner < 0 {
+		return
+	}
+	s.pendingByOwner[p.owner]--
+	if s.gate != nil {
+		s.gate(p.owner, s.cycle)
 	}
 }
 
@@ -602,7 +871,7 @@ func (s *System) nearestSDC(at micronet.Coord) micronet.Coord {
 
 // mtRequest services a client request at its home MT.
 func (s *System) mtRequest(msg *ocnMsg) {
-	mt := s.mtAt[msg.dst]
+	mt := s.mtGrid[msg.dst.Row][msg.dst.Col]
 	if mt == nil {
 		panic(fmt.Sprintf("nuca: request routed to non-MT node %v", msg.dst))
 	}
@@ -613,15 +882,21 @@ func (s *System) mtRequest(msg *ocnMsg) {
 	if msg.write {
 		if mt.bank.Write(msg.addr, msg.data) {
 			mt.Hits++
-			mt.outQ.Push(&ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
+			resp := s.newMsg()
+			*resp = ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1}
+			s.mtPush(mt, resp)
+			s.freeMsg(msg)
 			return
 		}
 	} else if data, ok := s.bankRead(mt, msg.addr, msg.n); ok {
 		mt.Hits++
-		mt.outQ.Push(&ocnMsg{
+		resp := s.newMsg()
+		*resp = ocnMsg{
 			dst: msg.origin, kind: mkResp, id: msg.id, data: data,
 			flits: 1 + (msg.n+FlitBytes-1)/FlitBytes,
-		})
+		}
+		s.mtPush(mt, resp)
+		s.freeMsg(msg)
 		return
 	}
 	// Miss: single-entry MSHR — a second missing line stalls behind the
@@ -643,10 +918,12 @@ func (s *System) mtRequest(msg *ocnMsg) {
 	mt.waitLine = line
 	mt.waiters = append(mt.waiters, msg)
 	sdc := s.nearestSDC(mt.at)
-	mt.outQ.Push(&ocnMsg{
+	fetch := s.newMsg()
+	*fetch = ocnMsg{
 		dst: sdc, kind: mkSDCReq, addr: line, n: LineBytes,
 		id: msg.id, origin: msg.origin, mt: mt.at, flits: 1,
-	})
+	}
+	s.mtPush(mt, fetch)
 }
 
 // bankRead reads n bytes, splitting line-straddling accesses.
@@ -669,10 +946,12 @@ func (s *System) bankRead(mt *mtState, addr uint64, n int) ([]byte, bool) {
 
 // mtFill installs a refilled line and replays waiters.
 func (s *System) mtFill(msg *ocnMsg) {
-	mt := s.mtAt[msg.mt]
+	mt := s.mtGrid[msg.mt.Row][msg.mt.Col]
 	if v := mt.bank.Fill(msg.addr, msg.data); v.Valid {
 		sdc := s.nearestSDC(mt.at)
-		mt.outQ.Push(&ocnMsg{dst: sdc, kind: mkSDCReq, addr: v.Addr, data: v.Data, write: true, flits: 1 + LineBytes/FlitBytes})
+		wb := s.newMsg()
+		*wb = ocnMsg{dst: sdc, kind: mkSDCReq, addr: v.Addr, data: v.Data, write: true, flits: 1 + LineBytes/FlitBytes}
+		s.mtPush(mt, wb)
 	}
 	s.LineTransfers++
 	mt.busy = false
@@ -681,6 +960,7 @@ func (s *System) mtFill(msg *ocnMsg) {
 	for _, w := range waiters {
 		s.mtRequest(w)
 	}
+	s.freeMsg(msg)
 }
 
 // scratchAccess services a scratchpad-mode access: the bank IS the memory
@@ -696,14 +976,20 @@ func (s *System) scratchAccess(mt *mtState, msg *ocnMsg) {
 	}
 	if msg.write {
 		mt.bank.Write(msg.addr, msg.data)
-		mt.outQ.Push(&ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1})
+		resp := s.newMsg()
+		*resp = ocnMsg{dst: msg.origin, kind: mkResp, id: msg.id, flits: 1}
+		s.mtPush(mt, resp)
+		s.freeMsg(msg)
 		return
 	}
 	data, _ := s.bankRead(mt, msg.addr, msg.n)
-	mt.outQ.Push(&ocnMsg{
+	resp := s.newMsg()
+	*resp = ocnMsg{
 		dst: msg.origin, kind: mkResp, id: msg.id, data: data,
 		flits: 1 + (msg.n+FlitBytes-1)/FlitBytes,
-	})
+	}
+	s.mtPush(mt, resp)
+	s.freeMsg(msg)
 }
 
 // Flush writes every dirty L2 line back to the backing store (test and

@@ -919,6 +919,25 @@ func (c *Core) WarpTo(target int64) {
 	c.cycle = target
 }
 
+// RewindTo is the inverse of WarpTo for a warp-only segment: it moves the
+// core clock back to target and un-replays the operand meshes' skipped
+// arbitration ticks. It is only sound when every cycle in [target, cycle)
+// was reached by WarpTo — a warped cycle is exactly a no-op Step, so
+// undoing the mesh tick counters restores the pre-warp state bit for bit.
+// The bounded-lag coordinator uses this to roll a core back to the effect
+// cycle of a response that arrived earlier than its stride assumed.
+func (c *Core) RewindTo(target int64) {
+	delta := c.cycle - target
+	if delta <= 0 {
+		return
+	}
+	for _, m := range c.opns {
+		m.RewindTicks(delta)
+	}
+	c.cycle = target
+	c.WarpedCycles -= delta
+}
+
 // drainsIdle reports whether every DT has finished pushing committed
 // stores into its bank (the background tail of the commit protocol).
 func (c *Core) drainsIdle() bool {
@@ -984,6 +1003,11 @@ func (c *Core) Run() (Result, error) {
 			return Result{}, fmt.Errorf("proc: no commit in 200000 cycles at cycle %d (%d blocks committed): deadlock", c.cycle, c.CommittedBlocks)
 		}
 	}
+	return c.buildResult(), nil
+}
+
+// buildResult summarizes the run; shared by Run and the bounded-lag runner.
+func (c *Core) buildResult() Result {
 	res := Result{
 		Cycles:          c.cycle,
 		CommittedBlocks: c.CommittedBlocks,
@@ -998,7 +1022,7 @@ func (c *Core) Run() (Result, error) {
 	if c.cfg.TrackCritPath && c.gt.lastCommitEv != nil {
 		res.CritPath = critpath.Finish(c.gt.lastCommitEv)
 	}
-	return res, nil
+	return res
 }
 
 // DebugState summarizes per-tile block state for deadlock diagnosis.

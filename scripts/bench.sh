@@ -2,17 +2,20 @@
 # bench.sh — simulator performance harness.
 #
 # Runs the checked-in benchmark suite and refreshes the machine-readable
-# Table 3 baseline (BENCH_table3.json: per-row results + host throughput).
+# baselines: BENCH_table3.json (per-row Table 3 results + host throughput)
+# and BENCH_chip.json (chip-stepping host-time A/B: bounded-lag vs the
+# sequential stepper on the chip benchmarks, plus derived speedups).
 #
-#   scripts/bench.sh            quick smoke: Table 3 once + Figure 5b, JSON refresh
+#   scripts/bench.sh            quick smoke: Table 3 once + Figure 5b + chip
+#                               benches, JSON refresh
 #   scripts/bench.sh full       adds multi-iteration Figure 5b and the ablations
-#   scripts/bench.sh compare    fresh run into a temp file, diffed against the
-#                               checked-in baseline: exits nonzero if any
-#                               simulated cycle count drifted (host-throughput
-#                               deltas are informational)
+#   scripts/bench.sh compare    fresh runs into temp files, diffed against the
+#                               checked-in baselines: exits nonzero if any
+#                               simulated cycle count drifted (host-time
+#                               deltas and speedups are informational)
 #
-# The simulated results in BENCH_table3.json are deterministic; only the
-# host-throughput fields (wall_ns, sim_cycles_per_sec, ...) vary by machine.
+# The simulated results in both files are deterministic; only the host-time
+# fields (wall_ns, ns_per_op, speedups, ...) vary by machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,22 +37,33 @@ go test -race ./internal/proc/ ./internal/micronet/ ./internal/chip/ ./internal/
 
 if [ "$mode" = "compare" ]; then
   # Install the cleanup handler before mktemp so an interrupt between the
-  # two can't leak the temp file; INT/TERM also go through it.
+  # two can't leak the temp files; INT/TERM also go through it.
   fresh=""
-  trap '[ -z "$fresh" ] || rm -f "$fresh"' EXIT INT TERM
+  freshchip=""
+  trap '[ -z "$fresh" ] || rm -f "$fresh"; [ -z "$freshchip" ] || rm -f "$freshchip"' EXIT INT TERM
   fresh="$(mktemp /tmp/bench_table3.XXXXXX.json)"
+  freshchip="$(mktemp /tmp/bench_chip.XXXXXX.json)"
   echo "== Table 3 (once) + Figure 5b, fresh baseline -> $fresh =="
   BENCH_TABLE3_JSON="$fresh" \
     go test -run '^$' -bench 'Table3$|Figure5bCommitPipeline' -benchtime=1x -benchmem
+  echo "== chip stepping benches, fresh baseline -> $freshchip =="
+  BENCH_CHIP_JSON="$freshchip" \
+    go test -run '^$' -bench 'ChipDMAStream|NUCAvsPerfectL2' -benchtime=1x
   echo "== compare against checked-in BENCH_table3.json =="
   go run ./cmd/bench-compare BENCH_table3.json "$fresh"
-  echo "compare OK: simulated cycles match the baseline"
+  echo "== compare against checked-in BENCH_chip.json =="
+  go run ./cmd/bench-compare -chip BENCH_chip.json "$freshchip"
+  echo "compare OK: simulated cycles match the baselines"
   exit 0
 fi
 
 echo "== Table 3 (once) + Figure 5b, emitting BENCH_table3.json =="
 BENCH_TABLE3_JSON="$PWD/BENCH_table3.json" \
   go test -run '^$' -bench 'Table3$|Figure5bCommitPipeline' -benchtime=1x -benchmem
+
+echo "== chip stepping benches, emitting BENCH_chip.json =="
+BENCH_CHIP_JSON="$PWD/BENCH_chip.json" \
+  go test -run '^$' -bench 'ChipDMAStream|NUCAvsPerfectL2' -benchtime=20x
 
 if [ "$mode" = "full" ]; then
   echo "== Figure 5b (timed, multi-iteration) =="
@@ -58,4 +72,4 @@ if [ "$mode" = "full" ]; then
   go test -run '^$' -bench 'Ablation' -benchtime=1x
 fi
 
-echo "done; baseline written to BENCH_table3.json"
+echo "done; baselines written to BENCH_table3.json and BENCH_chip.json"
