@@ -412,7 +412,14 @@ func BenchmarkChipDMAStream(b *testing.B) {
 		})
 	}
 	if path := os.Getenv("BENCH_CHIP_JSON"); path != "" {
-		if err := eval.MergeChipBenchJSON(path, rows); err != nil {
+		// In sweep mode (scripts/bench.sh sweep) the run was pinned to a
+		// specific GOMAXPROCS; record it as a scaling-series point instead of
+		// overwriting the main rows measured at default parallelism.
+		if os.Getenv("BENCH_CHIP_SWEEP") != "" {
+			if err := eval.MergeChipSweepJSON(path, runtime.GOMAXPROCS(0), rows); err != nil {
+				b.Fatal(err)
+			}
+		} else if err := eval.MergeChipBenchJSON(path, rows); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -457,7 +464,11 @@ func BenchmarkNUCAvsPerfectL2(b *testing.B) {
 		})
 	}
 	if path := os.Getenv("BENCH_CHIP_JSON"); path != "" {
-		if err := eval.MergeChipBenchJSON(path, rows); err != nil {
+		if os.Getenv("BENCH_CHIP_SWEEP") != "" {
+			if err := eval.MergeChipSweepJSON(path, runtime.GOMAXPROCS(0), rows); err != nil {
+				b.Fatal(err)
+			}
+		} else if err := eval.MergeChipBenchJSON(path, rows); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -125,6 +125,41 @@ func compareChip(basePath, freshPath string) {
 		fmt.Printf("simulated cycles: %d chip-bench cells identical\n", len(names))
 	}
 
+	// Pairing audit: every cell is half of a seq/lag A/B pair, so an unpaired
+	// row means a partial bench run (interrupted filter, crashed variant). A
+	// partial fresh run must not pass as clean, and a partial baseline must
+	// not be silently accepted as the thing future runs are compared against.
+	pairErrs := 0
+	union := append(append([]eval.ChipBenchRow{}, base.Rows...), fresh.Rows...)
+	files := []struct {
+		path string
+		rep  *eval.ChipBenchReport
+	}{{basePath, &base}, {freshPath, &fresh}}
+	for _, f := range files {
+		for _, m := range eval.MissingSeqPairings(f.rep.Rows, union) {
+			fmt.Printf("PAIR  %s: %s (partial bench run?)\n", f.path, m)
+			pairErrs++
+		}
+	}
+
+	// Sweep points re-measure the same cells at other GOMAXPROCS settings;
+	// the stepper is bit-identical across host parallelism, so a sweep cycle
+	// count disagreeing with the main row of the same file is drift.
+	for _, f := range files {
+		rows := make(map[string]eval.ChipBenchRow, len(f.rep.Rows))
+		for _, r := range f.rep.Rows {
+			rows[key(r)] = r
+		}
+		for _, p := range f.rep.Sweep {
+			r, ok := rows[p.Bench+"/"+p.Variant]
+			if ok && r.Cycles != p.Cycles {
+				fmt.Printf("DRIFT %s: sweep %s/%s@%dproc cycles %d vs main row %d\n",
+					f.path, p.Bench, p.Variant, p.GOMAXPROCS, p.Cycles, r.Cycles)
+				drift++
+			}
+		}
+	}
+
 	// Host time and stepping speedups: informational only.
 	for _, n := range names {
 		b, inBase := baseRows[n]
@@ -147,9 +182,19 @@ func compareChip(basePath, freshPath string) {
 		}
 		fmt.Println(line)
 	}
+	for _, p := range fresh.Sweep {
+		if p.Speedup > 0 {
+			fmt.Printf("sweep   %-30s %d procs %.2fx\n", p.Bench+"/"+p.Variant, p.GOMAXPROCS, p.Speedup)
+		}
+	}
 
+	if pairErrs > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d unpaired chip-bench row(s) — partial run is not a valid baseline\n", pairErrs)
+	}
 	if drift > 0 {
 		fmt.Fprintf(os.Stderr, "bench-compare: %d chip-bench cell(s) drifted in simulated cycles\n", drift)
+	}
+	if drift > 0 || pairErrs > 0 {
 		os.Exit(1)
 	}
 }

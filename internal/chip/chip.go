@@ -60,6 +60,11 @@ type Config struct {
 	// positive, bounded-lag strides use G+n as their horizon instead of
 	// the provably safe bounds, making rollbacks reachable.
 	LagHorizonOverride int64
+	// LagDeadlinePad is a test-only fault-injection hook: when positive,
+	// every computed response deadline is padded by n cycles past the
+	// provable bound, so cores waiting on memory overshoot the true effect
+	// cycle and exercise the rollback path.
+	LagDeadlinePad int64
 	// Trace holds one optional tracer per core. The entries must be
 	// distinct objects: the compute phase steps the two cores on
 	// concurrent goroutines, and a Tracer is single-goroutine.
@@ -203,6 +208,13 @@ func New(cfg Config) (*Chip, error) {
 			}
 			return int64(n)
 		})
+		sm.Register("lag.deadline_strides", func() int64 {
+			var n uint64
+			for i := range c.Lag.Core {
+				n += c.Lag.Core[i].DeadlineLimited
+			}
+			return int64(n)
+		})
 		sm.Register("lag.quiesce_stalls", func() int64 {
 			var n uint64
 			for i := range c.Lag.Core {
@@ -334,6 +346,7 @@ func (c *Chip) runLag() error {
 		NoWarp:          c.cfg.NoWarp,
 		Parallel:        !c.cfg.NoParallel,
 		HorizonOverride: c.cfg.LagHorizonOverride,
+		DeadlinePad:     c.cfg.LagDeadlinePad,
 		PreTick: func(int64) {
 			for _, d := range c.DMA {
 				d.tick()

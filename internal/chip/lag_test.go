@@ -258,6 +258,65 @@ func TestChipLagRollbackInjectionBitIdentical(t *testing.T) {
 	}
 }
 
+// TestChipLagDeadlinePadRollbackBitIdentical fault-injects the response
+// deadlines themselves: LagDeadlinePad stretches every computed deadline
+// past the provable bound, so a core blocked on a pointer-chase load warps
+// beyond the true effect cycle and the effect gate must roll it back. The
+// run must stay bit-identical to the sequential stepper — rollback recovery,
+// not just rollback detection — and the unpadded run must keep rollbacks at
+// zero, pinning that the deadlines themselves never overshoot.
+func TestChipLagDeadlinePadRollbackBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	ref := runScenario(t, "chase", func(cfg *Config) {
+		cfg.Stepping = StepSeq
+		cfg.NoWarp = true
+		cfg.NoParallel = true
+	})
+	faulted := chipScenario(t, "chase", func(cfg *Config) {
+		cfg.LagDeadlinePad = 64
+	})
+	if err := faulted.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := chipOutcome{
+		cycles: faulted.Cycle(),
+		r0:     faulted.Cores[0].Snapshot(),
+		r1:     faulted.Cores[1].Snapshot(),
+		moved:  faulted.DMA[0].Moved + faulted.DMA[1].Moved,
+	}
+	if got != ref {
+		t.Errorf("deadline-padded run diverged:\n  got:  %+v\n  want: %+v", got, ref)
+	}
+	if faulted.Lag.TotalRollbacks() == 0 {
+		t.Errorf("deadline pad 64 never triggered a rollback — fault injection is dead")
+	}
+}
+
+// TestChipLagDeadlineCountersPopulated runs the memory-bound chase normally
+// and requires the deadline-stride telemetry to be live: a core blocking on
+// OCN round trips must end strides at computed response deadlines (not
+// one-cycle lockstep) and must do so without a single rollback.
+func TestChipLagDeadlineCountersPopulated(t *testing.T) {
+	c := chipScenario(t, "chase", func(cfg *Config) {})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var deadline uint64
+	for i := range c.Lag.Core {
+		deadline += c.Lag.Core[i].DeadlineLimited
+	}
+	if deadline == 0 {
+		t.Errorf("chase run ended no strides at a response deadline — the computed-horizon leg is dead")
+	}
+	if c.Lag.TotalStrides() == 0 {
+		t.Errorf("chase run recorded no strides")
+	}
+	if n := c.Lag.TotalRollbacks(); n != 0 {
+		t.Errorf("derived deadlines produced %d rollbacks — a bound overshoots", n)
+	}
+}
+
 // TestChipLagLimitBoundaryParity sweeps MaxCycles across the completion
 // boundary and requires the sequential and bounded-lag steppers to agree on
 // outcome (success vs limit error) and final cycle at every limit.

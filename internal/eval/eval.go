@@ -141,6 +141,13 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		if sm := opt.Metrics; sm != nil {
 			sm.Register("lag.strides", func() int64 { return int64(lagStats.TotalStrides()) })
 			sm.Register("lag.rollbacks", func() int64 { return int64(lagStats.TotalRollbacks()) })
+			sm.Register("lag.deadline_strides", func() int64 {
+				var n uint64
+				for i := range lagStats.Core {
+					n += lagStats.Core[i].DeadlineLimited
+				}
+				return int64(n)
+			})
 			sm.Register("lag.mem_warped_cycles", func() int64 { return lagStats.MemWarpedCycles })
 		}
 		res, err = core.RunLag(sys, opt.ParStride, lagStats)

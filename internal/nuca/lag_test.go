@@ -93,3 +93,111 @@ func TestCrossCoreLagPropertyFuzz(t *testing.T) {
 		})
 	}
 }
+
+// TestResponseDeadlinePropertyFuzz validates the per-transaction response
+// deadlines the bounded-lag coordinator strides on: no response may ever
+// dispatch at a port before any deadline the system reported for it — not
+// just the final value, but every intermediate ratchet (drain seed, MSHR
+// fetch, SDC acceptance, in-mesh tightening), since the coordinator may have
+// built a stride on any of them. The test fuzzes the inputs the deadlines
+// are derived from — port count and rows, partitioning, scratchpad mode,
+// SDRAM latency, and a request mix with line-splitting sizes — and, after
+// every tick, ratchets a shadow copy of the live per-id deadlines; an id
+// leaving the table means its response dispatched this very tick, which must
+// be at or after the shadow bound. It also pins the aggregation contract:
+// an owner with outstanding work always has a finite deadline.
+func TestResponseDeadlinePropertyFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			partition := seed%2 == 0
+			scratch := seed%3 == 0
+			lat := 1 + rng.Intn(90)
+			sys := New(Config{Backing: mem.New(), Partition: partition, Scratchpad: scratch, SDRAMLatency: lat})
+			nPorts := 1 + rng.Intn(5)
+			var ports []proc.MemPort
+			for i := 0; i < nPorts; i++ {
+				name := fmt.Sprintf("fz%d", i)
+				if partition && i%2 == 1 {
+					name = "p1:" + name
+				}
+				ports = append(ports, sys.Port(name))
+			}
+			sys.AssignOwners(func(name string) int {
+				if strings.HasPrefix(name, "p1:") {
+					return 1
+				}
+				return 0
+			})
+			var clock [2]int64
+			sys.BindClock(0, func() int64 { return clock[0] })
+			sys.BindClock(1, func() int64 { return clock[1] })
+
+			shadow := make(map[int]int64) // id -> max deadline ever reported
+			checked := 0
+			audit := func() {
+				for id, e := range sys.respDeadline {
+					if e.at > shadow[id] {
+						shadow[id] = e.at
+					}
+				}
+				for id, dl := range shadow {
+					if _, live := sys.respDeadline[id]; live {
+						continue
+					}
+					// The id left the table: its response dispatched during
+					// the tick that just ran, i.e. at the current cycle.
+					if sys.cycle < dl {
+						t.Errorf("response %d dispatched at cycle %d, before its reported deadline %d", id, sys.cycle, dl)
+					}
+					delete(shadow, id)
+					checked++
+				}
+				for owner := 0; owner < maxOwners; owner++ {
+					if sys.OutstandingFor(owner) > 0 && sys.ResponseDeadlineFor(owner) == horizonNever {
+						t.Fatalf("owner %d has %d outstanding transactions but no finite response deadline", owner, sys.OutstandingFor(owner))
+					}
+				}
+			}
+			drive := func(cyc int64) {
+				clock[0], clock[1] = cyc, cyc
+				for _, p := range ports {
+					if rng.Intn(4) != 0 {
+						continue
+					}
+					addr := uint64(rng.Intn(1 << 18))
+					n := 1 + rng.Intn(2*LineBytes)
+					req := &proc.MemRequest{Addr: addr}
+					if rng.Intn(2) == 0 {
+						data := make([]byte, n)
+						rng.Read(data)
+						req.IsWrite = true
+						req.Data = data
+					} else {
+						req.N = n
+					}
+					p.Submit(req) // refusals (full port queue) just drop the probe
+				}
+			}
+			for cyc := int64(0); cyc < 800; cyc++ {
+				drive(cyc)
+				sys.Tick()
+				audit()
+			}
+			for i := 0; i < 100_000 && sys.Outstanding() > 0; i++ {
+				sys.Tick()
+				audit()
+			}
+			if n := sys.Outstanding(); n != 0 {
+				t.Fatalf("%d transactions never completed", n)
+			}
+			if len(sys.respDeadline) != 0 {
+				t.Fatalf("%d deadline entries leaked past their responses", len(sys.respDeadline))
+			}
+			if checked < 100 {
+				t.Fatalf("only %d transactions audited — fuzz mix too thin to trust", checked)
+			}
+		})
+	}
+}

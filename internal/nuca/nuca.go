@@ -141,6 +141,11 @@ type ntPort struct {
 	// injection schedule even when the core has run ahead of the memory
 	// clock.
 	clock func() int64
+	// mtDist[i] is the wormhole Manhattan distance from this port to MT i,
+	// precomputed at port creation: the per-(bank, port) generalization of
+	// the single CrossCoreLag minimum, used to seed per-transaction response
+	// deadlines at drain time.
+	mtDist [NumMTs]int64
 }
 
 // outItem is a staged transaction awaiting injection. Submit builds the
@@ -241,14 +246,24 @@ func (p *ntPort) submitPart(req *proc.MemRequest, pd *pending, addr uint64, n, o
 
 // mtState is one memory tile.
 type mtState struct {
-	at   micronet.Coord
-	bank *cache.Bank
-	mode Mode
+	at    micronet.Coord
+	index int // position in System.mts (partition half, distance tables)
+	bank  *cache.Bank
+	mode  Mode
+	// sdcDist is the Manhattan distance to this MT's nearest SDC,
+	// precomputed at construction for the fill-deadline terms.
+	sdcDist int64
 	// Single-entry MSHR (Section 3.6): one outstanding SDC fetch.
 	busy     bool
 	waiters  []*ocnMsg
 	waitLine uint64
-	outQ     micronet.Queue[*ocnMsg]
+	// fillDeadline, while busy, is a lower bound (backend cycles) on the
+	// tick at which the in-flight SDC fetch can install its line: staged
+	// fetch transit + SDRAM latency + return transit, raised to the exact
+	// completion time once the SDC accepts the job. Waiter response
+	// deadlines build on it.
+	fillDeadline int64
+	outQ         micronet.Queue[*ocnMsg]
 	// Stats.
 	Hits, Misses uint64
 	// MSHRCoalesced counts misses absorbed by the in-flight fetch for the
@@ -306,6 +321,17 @@ type System struct {
 	lagCache       int64
 	gate           func(owner int, effectCycle int64)
 
+	// Per-transaction response deadlines for owned-port transactions: a
+	// lower bound (backend cycles) on the tick at which the transaction's
+	// response can dispatch at its port. Seeded at drain from the
+	// per-(bank, port) distance table, ratcheted upward as the transaction's
+	// slow path reveals itself (MSHR fetch, SDC acceptance), and checked
+	// against the actual dispatch cycle before deletion. Unowned (DMA)
+	// transactions are never tracked, keeping the DMA hot path untouched.
+	respDeadline map[int]rdEntry
+	deadlineAt   int64 // memo key for deadlineFor (-1: dirty)
+	deadlineFor  [maxOwners]int64
+
 	// Horizon memoization: Quiet and NextEventCycle are consulted together
 	// on every coordinator iteration; both derive from one scan of the
 	// deadline sources, cached per backend cycle.
@@ -349,6 +375,13 @@ func (s *System) mtPush(mt *mtState, m *ocnMsg) {
 	s.mtStaged++
 }
 
+// rdEntry is one tracked transaction's response deadline: the bound itself
+// and the owning port (whose distance table prices waiter re-deadlines).
+type rdEntry struct {
+	at   int64
+	port *ntPort
+}
+
 type sdcJob struct {
 	msg     *ocnMsg
 	readyAt int64
@@ -368,12 +401,14 @@ func New(cfg Config) *System {
 		cfg.SDRAMLatency = 60
 	}
 	s := &System{
-		cfg:       cfg,
-		mesh:      micronet.NewMesh[*ocnMsg]("ocn", Rows, Cols),
-		ports:     make(map[string]*ntPort),
-		pending:   make(map[int]pending),
-		pendSplit: make(map[int]*pending),
-		horizonAt: -1,
+		cfg:          cfg,
+		mesh:         micronet.NewMesh[*ocnMsg]("ocn", Rows, Cols),
+		ports:        make(map[string]*ntPort),
+		pending:      make(map[int]pending),
+		pendSplit:    make(map[int]*pending),
+		respDeadline: make(map[int]rdEntry),
+		horizonAt:    -1,
+		deadlineAt:   -1,
 	}
 	s.mesh.DeliveryCap = 2
 	mode := ModeL2
@@ -382,11 +417,14 @@ func New(cfg Config) *System {
 	}
 	for i := 0; i < NumMTs; i++ {
 		at := micronet.Coord{Row: 1 + i/2, Col: i % 2}
-		mt := &mtState{at: at, bank: cache.NewBank(64<<10, 4, LineBytes), mode: mode}
+		mt := &mtState{at: at, index: i, bank: cache.NewBank(64<<10, 4, LineBytes), mode: mode}
 		s.mts = append(s.mts, mt)
 		s.mtGrid[at.Row][at.Col] = mt
 	}
 	s.sdcs = [2]micronet.Coord{{Row: 0, Col: 0}, {Row: Rows - 1, Col: 0}}
+	for _, mt := range s.mts {
+		mt.sdcDist = int64(mt.at.Manhattan(s.nearestSDC(mt.at)))
+	}
 	s.mesh.Attach(cfg.Trace, obs.NetOCN)
 	if sm := cfg.Metrics; sm != nil {
 		s.metrics = sm
@@ -425,6 +463,9 @@ func (s *System) Port(name string) proc.MemPort {
 	_ = base
 	at := micronet.Coord{Row: row, Col: 3}
 	p := &ntPort{sys: s, name: name, at: at, half: half, owner: -1}
+	for _, mt := range s.mts {
+		p.mtDist[mt.index] = int64(p.at.Manhattan(mt.at))
+	}
 	if s.ownerFn != nil {
 		p.owner = s.ownerFn(name)
 	}
@@ -474,6 +515,82 @@ func (s *System) OutstandingFor(owner int) int {
 	return int(s.stagedByOwner[owner]) + s.pendingByOwner[owner]
 }
 
+// ResponseDeadlineFor returns the earliest backend cycle at which any of the
+// owner's outstanding transactions can have its response dispatch at the
+// owning core's port — the per-owner aggregation of the per-transaction
+// deadlines, which a bounded-lag coordinator may use directly as a stride
+// horizon in place of one-cycle lockstep. Returns horizonNever (MaxInt64)
+// when the owner has no outstanding transactions. Memoized per backend cycle
+// alongside the horizon scan; HorizonDirty invalidates.
+func (s *System) ResponseDeadlineFor(owner int) int64 {
+	if s.deadlineAt != s.cycle {
+		s.scanDeadlines()
+	}
+	return s.deadlineFor[owner]
+}
+
+// scanDeadlines recomputes the per-owner deadline minima. Before folding, it
+// tightens tracked per-transaction deadlines from the live state whose
+// timing is now better known than at seed time: responses resident in the
+// mesh cannot dispatch sooner than their remaining Manhattan transit (the
+// multi-message earliest-arrival bound — position-now implies a permanent
+// floor, so ratcheting the stored entry is sound under any later
+// contention), and responses in multi-flit serialization dispatch exactly at
+// their readyAt. Staged (undrained) port transactions are priced on the fly
+// from their drain stamp plus round-trip transit, mirroring the drain-time
+// seeding without registering ids early.
+func (s *System) scanDeadlines() {
+	for i := range s.deadlineFor {
+		s.deadlineFor[i] = horizonNever
+	}
+	if len(s.respDeadline) > 0 {
+		s.mesh.VisitResidents(func(m *ocnMsg, at micronet.Coord) {
+			if m.kind != mkResp {
+				return
+			}
+			if e, ok := s.respDeadline[m.id]; ok {
+				if nd := s.cycle + int64(at.Manhattan(m.dst)); nd > e.at {
+					e.at = nd
+					s.respDeadline[m.id] = e
+				}
+			}
+		})
+		for _, d := range s.delayed {
+			if d.msg.kind != mkResp {
+				continue
+			}
+			if e, ok := s.respDeadline[d.msg.id]; ok && d.readyAt > e.at {
+				e.at = d.readyAt
+				s.respDeadline[d.msg.id] = e
+			}
+		}
+		for _, e := range s.respDeadline {
+			if e.at < s.deadlineFor[e.port.owner] {
+				s.deadlineFor[e.port.owner] = e.at
+			}
+		}
+	}
+	if s.stagedByOwner[0] > 0 || s.stagedByOwner[1] > 0 {
+		for _, p := range s.order {
+			if p.owner < 0 || p.outQ.Empty() {
+				continue
+			}
+			for i := 0; i < p.outQ.Len(); i++ {
+				it := p.outQ.At(i)
+				t := it.stamp
+				if t < s.cycle {
+					t = s.cycle
+				}
+				mt := s.mtGrid[it.msg.dst.Row][it.msg.dst.Col]
+				if d := t + 1 + 2*p.mtDist[mt.index]; d < s.deadlineFor[p.owner] {
+					s.deadlineFor[p.owner] = d
+				}
+			}
+		}
+	}
+	s.deadlineAt = s.cycle
+}
+
 // CrossCoreLag returns L, the bounded-lag visibility horizon: a core whose
 // memory system holds none of its transactions cannot observe any response
 // effect for at least L cycles after a Submit. The fastest possible effect
@@ -488,7 +605,7 @@ func (s *System) CrossCoreLag() int64 {
 	if s.lagCache > 0 {
 		return s.lagCache
 	}
-	minD := -1
+	minD := int64(-1)
 	for _, p := range s.order {
 		if p.owner < 0 {
 			continue
@@ -497,7 +614,7 @@ func (s *System) CrossCoreLag() int64 {
 			if s.cfg.Partition && s.mtHalf(mt) != p.half {
 				continue
 			}
-			if d := p.at.Manhattan(mt.at); minD < 0 || d < minD {
+			if d := p.mtDist[mt.index]; minD < 0 || d < minD {
 				minD = d
 			}
 		}
@@ -505,20 +622,15 @@ func (s *System) CrossCoreLag() int64 {
 	if minD < 0 {
 		minD = 2 // no owned ports yet: the geometric minimum (|Δrow|=0, col 3 -> col 1)
 	}
-	s.lagCache = 2*int64(minD) + 1
+	s.lagCache = 2*minD + 1
 	return s.lagCache
 }
 
 // mtHalf returns which partition half an MT belongs to (mts[0..7] are half
 // 0, mts[8..15] half 1 — the route() interleave).
 func (s *System) mtHalf(mt *mtState) int {
-	for i, m := range s.mts {
-		if m == mt {
-			if i >= NumMTs/2 {
-				return 1
-			}
-			return 0
-		}
+	if mt.index >= NumMTs/2 {
+		return 1
 	}
 	return 0
 }
@@ -670,6 +782,14 @@ func (s *System) Tick() {
 				if p.owner >= 0 {
 					s.stagedByOwner[p.owner]--
 					s.pendingByOwner[p.owner]++
+					// Seed the response deadline: a request injected this tick
+					// needs D hops out, and its response D hops back, before it
+					// can dispatch at the port — the fastest chain (single-flit
+					// hit) dispatches at cycle+2D+2, so cycle+2D keeps the same
+					// two-cycle safety margin CrossCoreLag documents. Slow
+					// paths (MSHR miss, SDRAM) ratchet the bound upward later.
+					mt := s.mtGrid[it.msg.dst.Row][it.msg.dst.Col]
+					s.respDeadline[id] = rdEntry{at: s.cycle + 2*p.mtDist[mt.index], port: p}
 				} else {
 					s.stagedUnowned--
 				}
@@ -753,11 +873,14 @@ func (s *System) horizon() (bool, int64) {
 	return quiet, h
 }
 
-// HorizonDirty invalidates the memoized Quiet/NextEventCycle scan. Tick and
-// Warp invalidate implicitly (the cache is keyed on the backend cycle);
-// bounded-lag coordinators call this after core strides stage new
-// submissions without moving the backend clock.
-func (s *System) HorizonDirty() { s.horizonAt = -1 }
+// HorizonDirty invalidates the memoized Quiet/NextEventCycle scan and the
+// per-owner deadline aggregation. Tick and Warp invalidate implicitly (both
+// caches are keyed on the backend cycle); bounded-lag coordinators call this
+// after core strides stage new submissions without moving the backend clock.
+func (s *System) HorizonDirty() {
+	s.horizonAt = -1
+	s.deadlineAt = -1
+}
 
 // Cycle returns the backend clock. The backend runs one tick ahead of the
 // chip cycle whose step it services: between ticks, Cycle() is the index of
@@ -815,9 +938,27 @@ func (s *System) dispatch(msg *ocnMsg) {
 			s.SDRAMWrites++
 		} else {
 			s.SDRAMReads++
+			// The SDC accepted the fetch: its completion time is now exact,
+			// so raise the MT's fill deadline from the staged-transit estimate
+			// to completion plus return transit, and re-price every waiter's
+			// response deadline on top of it.
+			if mt := s.mtGrid[msg.mt.Row][msg.mt.Col]; mt != nil && mt.busy {
+				if nd := s.cycle + int64(s.cfg.SDRAMLatency) + mt.sdcDist; nd > mt.fillDeadline {
+					mt.fillDeadline = nd
+					for _, w := range mt.waiters {
+						s.raiseDeadline(w.id, mt)
+					}
+				}
+			}
 		}
 		s.sdcQ[sdc] = append(s.sdcQ[sdc], sdcJob{msg: msg, readyAt: s.cycle + int64(s.cfg.SDRAMLatency)})
 	case mkResp:
+		if e, ok := s.respDeadline[msg.id]; ok {
+			if s.cycle < e.at {
+				panic(fmt.Sprintf("nuca: response %d dispatched at cycle %d, before its computed deadline %d", msg.id, s.cycle, e.at))
+			}
+			delete(s.respDeadline, msg.id)
+		}
 		if pd, ok := s.pendSplit[msg.id]; ok {
 			delete(s.pendSplit, msg.id)
 			s.respArrived(pd.port)
@@ -912,11 +1053,22 @@ func (s *System) mtRequest(msg *ocnMsg) {
 			mt.MSHRBlocked++
 			mt.waiters = append(mt.waiters, msg)
 		}
+		// Either way the request cannot answer before the in-flight fetch
+		// fills (a blocked different-line waiter then needs its own fetch on
+		// top — the current fill stays a valid lower bound).
+		s.raiseDeadline(msg.id, mt)
 		return
 	}
 	mt.busy = true
 	mt.waitLine = line
 	mt.waiters = append(mt.waiters, msg)
+	// Fill lower bound for the fetch staged this tick: the fetch needs
+	// sdcDist hops plus a delivery tick to reach the SDC, the SDRAM latency,
+	// and sdcDist hops back — cycle + 2*sdcDist + latency undercounts the
+	// delivery ticks and flit serialization, keeping it a sound bound. The
+	// SDC acceptance raises it to the exact completion time later.
+	mt.fillDeadline = s.cycle + 2*mt.sdcDist + int64(s.cfg.SDRAMLatency)
+	s.raiseDeadline(msg.id, mt)
 	sdc := s.nearestSDC(mt.at)
 	fetch := s.newMsg()
 	*fetch = ocnMsg{
@@ -924,6 +1076,23 @@ func (s *System) mtRequest(msg *ocnMsg) {
 		id: msg.id, origin: msg.origin, mt: mt.at, flits: 1,
 	}
 	s.mtPush(mt, fetch)
+}
+
+// raiseDeadline ratchets a tracked transaction's response deadline to the
+// MT's fill deadline plus the return transit to its port: a waiter's response
+// cannot dispatch before the line it waits on (or the fetch ahead of it)
+// fills and the response crosses back. Untracked ids (unowned DMA traffic)
+// are skipped; deadlines only ever move up, so replayed waiters that miss
+// again simply ratchet further.
+func (s *System) raiseDeadline(id int, mt *mtState) {
+	e, ok := s.respDeadline[id]
+	if !ok {
+		return
+	}
+	if nd := mt.fillDeadline + e.port.mtDist[mt.index]; nd > e.at {
+		e.at = nd
+		s.respDeadline[id] = e
+	}
 }
 
 // bankRead reads n bytes, splitting line-straddling accesses.
@@ -955,6 +1124,7 @@ func (s *System) mtFill(msg *ocnMsg) {
 	}
 	s.LineTransfers++
 	mt.busy = false
+	mt.fillDeadline = 0
 	waiters := mt.waiters
 	mt.waiters = nil
 	for _, w := range waiters {

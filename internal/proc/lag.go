@@ -15,11 +15,17 @@ import (
 //
 // The causality argument has three legs, each enforced structurally:
 //
-//  1. Lockstep under outstanding work. A core with transactions pending in
-//     the memory system (OutstandingFor > 0) strides at most one cycle past
-//     the backend clock G, because a response can complete during any
-//     backend tick. Within one cycle, an effect delivered at cycle e = G+1
-//     is never behind the core's clock, so no rollback is ever needed.
+//  1. Response deadlines under outstanding work. A core with transactions
+//     pending in the memory system (OutstandingFor > 0) strides up to the
+//     earliest cycle any of those transactions' responses can dispatch at
+//     its port (ResponseDeadlineFor): per-transaction bounds built from the
+//     per-(bank, port) wormhole Manhattan transit tables, the MSHR fill
+//     state, and SDRAM completion times, each a provable lower bound on the
+//     effect cycle. The stride therefore ends at or before the first cycle
+//     a response could touch the core, so no rollback is ever needed —
+//     where PR 5 held such a core to one-cycle lockstep (horizon G+1), a
+//     core waiting out a 60-cycle SDRAM access now strides those cycles in
+//     one piece.
 //
 //  2. The staged-submission gate. A core may step cycle u > G only while its
 //     owned port queues are empty. In a sequential run the backend drains
@@ -30,13 +36,17 @@ import (
 //     submissions carry the submitting core's cycle as a drain stamp, so the
 //     deferred backend ticks drain them on exactly the sequential schedule.
 //
-//  3. The visibility horizon L. A core with no outstanding work and empty
-//     queues cannot be affected by the memory system before its next own
-//     submission completes a round trip, which CrossCoreLag bounds from
-//     below by the OCN Manhattan distance. Strides are capped at G+L; the
-//     effect gate cross-checks every response against the owner's clock and
-//     rolls back the (warp-only, hence cheaply rewindable) overshoot if a
-//     fault-injected horizon override let the core run past it.
+//  3. Free run without outstanding work. A core with no transactions
+//     anywhere in the memory system cannot be affected by it before its own
+//     next Submit completes a round trip — and leg 2 ends the stride one
+//     cycle after any Submit, after which leg 1's deadline for that very
+//     transaction takes over. The stride is therefore bounded only by the
+//     cycle limit (and MaxStride, when configured); the effect gate still
+//     cross-checks every response against the owner's clock and rolls back
+//     the (warp-only, hence cheaply rewindable) overshoot if a
+//     fault-injected override let the core run past a real effect.
+//     CrossCoreLag remains the geometric floor all deadline terms are
+//     asserted against by the property tests.
 //
 // The coordinator alternates three phases per round: a joint warp when every
 // component is quiescent at the same cycle (the old whole-machine fast
@@ -56,6 +66,13 @@ type LagMem interface {
 	CrossCoreLag() int64
 	OutstandingFor(owner int) int
 	StagedFor(owner int) int
+	// ResponseDeadlineFor returns the earliest backend cycle at which any of
+	// the owner's outstanding transactions can have its response dispatch at
+	// the owner's port, or MaxInt64 when none are outstanding. The
+	// coordinator uses it directly as the stride horizon under outstanding
+	// work, so it must be a sound lower bound on every response's effect
+	// cycle.
+	ResponseDeadlineFor(owner int) int64
 	BindClock(owner int, clock func() int64)
 	SetEffectGate(fn func(owner int, effectCycle int64))
 }
@@ -71,12 +88,16 @@ type LagCoreStats struct {
 	Strides      uint64
 	StrideCycles int64
 	StrideHist   obs.Histogram
-	// Why strides ended: the core ran out of horizon (HorizonLimited), was
-	// held to lockstep by outstanding memory work (QuiesceLimited), staged a
-	// submission the backend must drain first (Backpressure), or finished.
-	HorizonLimited uint64
-	QuiesceLimited uint64
-	Backpressure   uint64
+	// Why strides ended: the core ran out of horizon (HorizonLimited, e.g. a
+	// MaxStride or fault-injection cap), reached the computed response
+	// deadline of its outstanding memory work (DeadlineLimited), degenerated
+	// to one-cycle lockstep because that deadline was already at hand
+	// (QuiesceLimited), staged a submission the backend must drain first
+	// (Backpressure), or finished.
+	HorizonLimited  uint64
+	DeadlineLimited uint64
+	QuiesceLimited  uint64
+	Backpressure    uint64
 	// Rollbacks counts strides invalidated by an early-arriving response;
 	// structurally zero unless a horizon override disables the safe bounds.
 	Rollbacks        uint64
@@ -125,9 +146,9 @@ func (s *LagStats) Summary() string {
 		if cs.Strides == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  core %d: %d strides (%d cycles, avg %.1f), stalls horizon=%d quiesce=%d backpressure=%d, rollbacks=%d (%d cycles)\n",
+		fmt.Fprintf(&b, "  core %d: %d strides (%d cycles, avg %.1f), stalls horizon=%d deadline=%d quiesce=%d backpressure=%d, rollbacks=%d (%d cycles)\n",
 			k, cs.Strides, cs.StrideCycles, float64(cs.StrideCycles)/float64(cs.Strides),
-			cs.HorizonLimited, cs.QuiesceLimited, cs.Backpressure, cs.Rollbacks, cs.RolledBackCycles)
+			cs.HorizonLimited, cs.DeadlineLimited, cs.QuiesceLimited, cs.Backpressure, cs.Rollbacks, cs.RolledBackCycles)
 		fmt.Fprintf(&b, "    stride-length hist: %s\n", cs.StrideHist.String())
 	}
 	return b.String()
@@ -147,10 +168,15 @@ type LagConfig struct {
 	// regardless of outstanding work — a fault-injection hook that makes
 	// horizon violations (and thus rollbacks) reachable for testing.
 	HorizonOverride int64
-	// MaxStride, when positive, caps free-running strides at G+n even when
-	// the visibility horizon L allows more. Values at or above L change
-	// nothing; smaller values trade parallelism for tighter interleaving.
-	// Always safe: shrinking a horizon can never admit an early message.
+	// DeadlinePad, when positive, adds n cycles to every computed response
+	// deadline — past the provable bound, so a waiting core overshoots the
+	// true effect cycle and the effect gate must roll it back. A
+	// fault-injection hook for exercising the rollback path; never set it
+	// outside tests.
+	DeadlinePad int64
+	// MaxStride, when positive, caps every stride horizon at G+n. Always
+	// safe: shrinking a horizon can never admit an early message; smaller
+	// values trade parallelism for tighter interleaving.
 	MaxStride int64
 	// PreTick runs before each backend tick with the tick index — the chip
 	// hangs its DMA engines here.
@@ -171,6 +197,7 @@ type LagConfig struct {
 // stride end reasons.
 const (
 	rsHorizon = iota
+	rsDeadline
 	rsQuiesce
 	rsBackpressure
 	rsDone
@@ -182,8 +209,12 @@ type strideRes struct {
 }
 
 type strideReq struct {
-	horizon  int64
-	lockstep bool
+	horizon int64
+	// endReason classifies a stride that runs all the way to its horizon:
+	// rsHorizon for a free-run or override cap, rsDeadline for a computed
+	// response deadline, rsQuiesce when that deadline degenerated to
+	// one-cycle lockstep.
+	endReason int
 }
 
 type lagRunner struct {
@@ -191,7 +222,6 @@ type lagRunner struct {
 	cores []LagCore
 	cfg   LagConfig
 	limit int64
-	L     int64
 	G     int64 // backend clock: index of the next backend tick
 
 	doneCore    []bool
@@ -202,7 +232,7 @@ type lagRunner struct {
 	sres        []strideRes
 	ran         []bool
 	horizons    []int64
-	lockstep    []bool
+	endReasons  []int
 	ownerIdx    map[int]int
 	catchTarget int64
 
@@ -225,7 +255,7 @@ func RunBoundedLag(mem LagMem, cores []LagCore, cfg LagConfig) (int64, error) {
 	n := len(cores)
 	r := &lagRunner{
 		mem: mem, cores: cores, cfg: cfg, limit: limit,
-		L: mem.CrossCoreLag(), G: mem.Cycle(),
+		G: mem.Cycle(),
 		doneCore:    make([]bool, n),
 		lastStepped: make([]int64, n),
 		lastCommit:  make([]int64, n),
@@ -234,7 +264,7 @@ func RunBoundedLag(mem LagMem, cores []LagCore, cfg LagConfig) (int64, error) {
 		sres:        make([]strideRes, n),
 		ran:         make([]bool, n),
 		horizons:    make([]int64, n),
-		lockstep:    make([]bool, n),
+		endReasons:  make([]int, n),
 		ownerIdx:    make(map[int]int, n),
 		stats:       cfg.Stats,
 		par:         cfg.Parallel && runtime.GOMAXPROCS(0) > 1 && n > 1,
@@ -399,14 +429,39 @@ func (r *lagRunner) strideAll() {
 		case r.cfg.HorizonOverride > 0:
 			req.horizon = r.G + r.cfg.HorizonOverride
 		case r.cores[k].Owner >= 0 && r.mem.OutstandingFor(r.cores[k].Owner) > 0:
-			req.horizon = r.G + 1
-			req.lockstep = true
-		default:
-			lagN := r.L
-			if r.cfg.MaxStride > 0 && r.cfg.MaxStride < lagN {
-				lagN = r.cfg.MaxStride
+			// Outstanding memory work: stride to the earliest cycle any of
+			// its responses can dispatch at the core's port. The deadline is
+			// an absolute backend cycle; clamp to at least G+1 so the
+			// slowest core always makes progress.
+			d := r.mem.ResponseDeadlineFor(r.cores[k].Owner)
+			if d == horizonNever {
+				// Accounting says outstanding but no deadline source knows a
+				// bound — fall back to the provably safe lockstep leg.
+				d = r.G + 1
 			}
-			req.horizon = r.G + lagN
+			if r.cfg.MaxStride > 0 && d > r.G+r.cfg.MaxStride {
+				d = r.G + r.cfg.MaxStride
+			}
+			if r.cfg.DeadlinePad > 0 {
+				d += r.cfg.DeadlinePad
+			}
+			if d <= r.G {
+				d = r.G + 1
+			}
+			req.horizon = d
+			req.endReason = rsDeadline
+			if d == r.G+1 {
+				req.endReason = rsQuiesce
+			}
+		default:
+			// No outstanding work: nothing in the memory system can affect
+			// this core before its own next Submit, and the staged-submission
+			// gate ends the stride one cycle after any Submit — so the free
+			// run is bounded only by the limit (and MaxStride if set).
+			req.horizon = r.limit + 1
+			if r.cfg.MaxStride > 0 && req.horizon > r.G+r.cfg.MaxStride {
+				req.horizon = r.G + r.cfg.MaxStride
+			}
 		}
 		// A core may step the cycle at limit but never past it, matching
 		// the sequential limit checks cycle for cycle.
@@ -414,7 +469,15 @@ func (r *lagRunner) strideAll() {
 			req.horizon = r.limit + 1
 		}
 		r.horizons[k] = req.horizon
-		r.lockstep[k] = req.lockstep
+		r.endReasons[k] = req.endReason
+		// A core already parked at (or past) its horizon has nothing to do
+		// this round; skip the dispatch so zero-length strides don't dilute
+		// the stride statistics. Progress is still guaranteed: the slowest
+		// active core sits at G and its horizon is always at least G+1.
+		if req.horizon <= r.cores[k].Core.Cycle() {
+			r.ran[k] = false
+			continue
+		}
 		r.ran[k] = true
 	}
 	if active == 0 {
@@ -424,17 +487,17 @@ func (r *lagRunner) strideAll() {
 		for k := 1; k < len(r.cores); k++ {
 			if r.ran[k] {
 				r.wg.Add(1)
-				r.work[k] <- strideReq{r.horizons[k], r.lockstep[k]}
+				r.work[k] <- strideReq{r.horizons[k], r.endReasons[k]}
 			}
 		}
 		if r.ran[0] {
-			r.stride(0, r.horizons[0], r.lockstep[0])
+			r.stride(0, r.horizons[0], r.endReasons[0])
 		}
 		r.wg.Wait()
 	} else {
 		for k := range r.cores {
 			if r.ran[k] {
-				r.stride(k, r.horizons[k], r.lockstep[k])
+				r.stride(k, r.horizons[k], r.endReasons[k])
 			}
 		}
 	}
@@ -449,6 +512,8 @@ func (r *lagRunner) strideAll() {
 		switch r.sres[k].reason {
 		case rsHorizon:
 			cs.HorizonLimited++
+		case rsDeadline:
+			cs.DeadlineLimited++
 		case rsQuiesce:
 			cs.QuiesceLimited++
 		case rsBackpressure:
@@ -462,15 +527,12 @@ func (r *lagRunner) strideAll() {
 // stages a submission the backend must drain first. Locally quiet stretches
 // are warped per-core — this is where bounded lag beats the global gate:
 // the warp no longer waits for the whole machine to quiesce.
-func (r *lagRunner) stride(k int, horizon int64, lockstep bool) {
+func (r *lagRunner) stride(k int, horizon int64, endReason int) {
 	c := r.cores[k].Core
 	owner := r.cores[k].Owner
 	start := c.Cycle()
 	res := &r.sres[k]
-	*res = strideRes{reason: rsHorizon}
-	if lockstep {
-		res.reason = rsQuiesce
-	}
+	*res = strideRes{reason: endReason}
 	for {
 		t := c.Cycle()
 		if c.Done() {
@@ -614,7 +676,7 @@ func (r *lagRunner) startWorkers() {
 		r.work[k] = ch
 		go func(k int, ch chan strideReq) {
 			for req := range ch {
-				r.stride(k, req.horizon, req.lockstep)
+				r.stride(k, req.horizon, req.endReason)
 				r.wg.Done()
 			}
 		}(k, ch)

@@ -13,6 +13,12 @@
 #                               checked-in baselines: exits nonzero if any
 #                               simulated cycle count drifted (host-time
 #                               deltas and speedups are informational)
+#   scripts/bench.sh sweep 1 2 4
+#                               GOMAXPROCS scaling sweep: re-runs the chip
+#                               stepping benches pinned to each listed core
+#                               count and records the speedup-vs-cores series
+#                               into BENCH_chip.json (sweep array; the main
+#                               rows are left untouched)
 #
 # The simulated results in both files are deterministic; only the host-time
 # fields (wall_ns, ns_per_op, speedups, ...) vary by machine.
@@ -20,6 +26,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-smoke}"
+
+if [ "$mode" = "sweep" ]; then
+  shift
+  [ $# -gt 0 ] || { echo "usage: scripts/bench.sh sweep <procs>..." >&2; exit 2; }
+  for n in "$@"; do
+    echo "== chip stepping benches @ GOMAXPROCS=$n -> BENCH_chip.json sweep =="
+    GOMAXPROCS="$n" BENCH_CHIP_SWEEP=1 BENCH_CHIP_JSON="$PWD/BENCH_chip.json" \
+      go test -run '^$' -bench 'ChipDMAStream|NUCAvsPerfectL2' -benchtime=3x
+  done
+  echo "sweep recorded for GOMAXPROCS in: $*"
+  exit 0
+fi
 
 echo "== go vet =="
 go vet ./...
