@@ -66,6 +66,14 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *parStride < 0 {
+		fmt.Fprintf(os.Stderr, "trips-eval: -par-stride must be non-negative, got %d\n", *parStride)
+		os.Exit(2)
+	}
+	if *seqStep && !*useNUCA {
+		fmt.Fprintln(os.Stderr, "trips-eval: -seq selects the core/memory interleave for -nuca runs; pass -nuca as well")
+		os.Exit(2)
+	}
 	if !(*t1 || *t2 || *t3 || *f1 || *f2 || *f3 || *f4 || *f5b || *f6 || *ablate || *all) {
 		flag.Usage()
 		os.Exit(2)

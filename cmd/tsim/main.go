@@ -8,7 +8,16 @@
 //	     [-opn 1|2] [-conservative] [-nuca] [-alpha] [-golden]
 //	     [-trace out.json] [-debug-addr :6060]
 //	     [-seq] [-par-stride n]
+//	     [-checkpoint-at n -checkpoint-out f] [-restore f]
+//	     [-sample-interval n [-sample-warmup n] [-sample-n k]]
 //	     [-host] [-nofastpath] [-nowarp] [-cpuprofile f] [-memprofile f]
+//
+// -checkpoint-at/-checkpoint-out frame the complete machine state at the
+// first block-commit boundary after the given cycle; -restore resumes such a
+// file and runs to completion with results bit-identical to the
+// uninterrupted run. -sample-interval fans SimPoint-style interval replays
+// across a worker pool. All three disable the critical-path analyzer (its
+// event graph cannot be serialized).
 package main
 
 import (
@@ -45,10 +54,45 @@ func main() {
 		noWarp     = flag.Bool("nowarp", false, "disable clock-warping over quiescent stretches (results must not change)")
 		seqStep    = flag.Bool("seq", false, "force sequential core/memory interleave for -nuca runs instead of bounded-lag stepping (results must not change)")
 		parStride  = flag.Int64("par-stride", 0, "cap bounded-lag stride length in cycles (0 = auto horizon; results must not change)")
+		ckptAt     = flag.Int64("checkpoint-at", 0, "checkpoint at the first block commit after this cycle (requires -checkpoint-out)")
+		ckptOut    = flag.String("checkpoint-out", "", "write the checkpoint to this file (requires -checkpoint-at)")
+		restore    = flag.String("restore", "", "resume from this checkpoint file instead of starting at the entry block")
+		sampleInt  = flag.Int64("sample-interval", 0, "SimPoint-style sampling: interval length in cycles (0 = off)")
+		sampleWarm = flag.Int64("sample-warmup", 0, "SimPoint-style sampling: cycles before the first sampled interval")
+		sampleN    = flag.Int("sample-n", 8, "SimPoint-style sampling: maximum number of intervals")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *opn != 1 && *opn != 2 {
+		fmt.Fprintf(os.Stderr, "tsim: -opn must be 1 or 2, got %d\n", *opn)
+		os.Exit(2)
+	}
+	if *parStride < 0 {
+		fmt.Fprintf(os.Stderr, "tsim: -par-stride must be non-negative, got %d\n", *parStride)
+		os.Exit(2)
+	}
+	if *seqStep && !*useNUCA {
+		fmt.Fprintln(os.Stderr, "tsim: -seq selects the core/memory interleave for -nuca runs; pass -nuca as well")
+		os.Exit(2)
+	}
+	if *ckptAt < 0 {
+		fmt.Fprintf(os.Stderr, "tsim: -checkpoint-at must be positive, got %d\n", *ckptAt)
+		os.Exit(2)
+	}
+	if (*ckptAt > 0) != (*ckptOut != "") {
+		fmt.Fprintln(os.Stderr, "tsim: -checkpoint-at and -checkpoint-out must be used together")
+		os.Exit(2)
+	}
+	if *sampleInt < 0 || *sampleWarm < 0 || *sampleN <= 0 {
+		fmt.Fprintln(os.Stderr, "tsim: -sample-interval and -sample-warmup must be non-negative, -sample-n positive")
+		os.Exit(2)
+	}
+	if *sampleInt > 0 && (*ckptOut != "" || *restore != "") {
+		fmt.Fprintln(os.Stderr, "tsim: -sample-interval cannot be combined with -checkpoint-out or -restore")
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -95,7 +139,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	opt := eval.TRIPSOptions{TrackCritPath: true, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp, SeqStep: *seqStep, ParStride: *parStride}
+	// The critical-path analyzer builds an event graph that cannot be
+	// serialized, so checkpoint, restore and sampling all run without it.
+	crit := *ckptOut == "" && *restore == "" && *sampleInt == 0
+	opt := eval.TRIPSOptions{TrackCritPath: crit, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp, SeqStep: *seqStep, ParStride: *parStride}
 	var tracer *obs.Tracer
 	var sampler *obs.Sampler
 	if *traceOut != "" {
@@ -138,6 +185,33 @@ func main() {
 	}
 
 	spec := w.Build(hand)
+
+	if *sampleInt > 0 {
+		runSampled(w, spec, opt, *sampleWarm, *sampleInt, *sampleN, *mode)
+		return
+	}
+
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt.RestoreFrom = f
+	}
+	var ckptFile *os.File
+	if *ckptOut != "" {
+		f, err := os.Create(*ckptOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ckptFile = f
+		opt.CheckpointAt = *ckptAt
+		opt.CheckpointTo = f
+	}
+
 	t0 := time.Now()
 	r, err := eval.RunTRIPS(spec, opt)
 	wall := time.Since(t0)
@@ -145,18 +219,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if ckptFile != nil {
+		if err := ckptFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("%s (%s, %s mode):\n", w.Name, w.Class, *mode)
 	fmt.Printf("  cycles            %d\n", r.Cycles)
 	fmt.Printf("  committed blocks  %d (avg %.1f useful insts/block)\n", r.Blocks, r.BlockSize)
 	fmt.Printf("  committed insts   %d\n", r.Insts)
 	fmt.Printf("  IPC               %.3f\n", r.IPC)
 	fmt.Printf("  flushes           %d\n", r.Flushes)
-	fmt.Println("  critical path:")
-	for c := critpath.Cat(0); c < critpath.NumCats; c++ {
-		fmt.Printf("    %-15s %6.2f%%\n", c.String(), r.Crit.Percent(c))
+	if crit {
+		fmt.Println("  critical path:")
+		for c := critpath.Cat(0); c < critpath.NumCats; c++ {
+			fmt.Printf("    %-15s %6.2f%%\n", c.String(), r.Crit.Percent(c))
+		}
 	}
 	for _, out := range spec.Outputs {
 		fmt.Printf("  output r%d = %d\n", out, r.Regs[out])
+	}
+	if ckptFile != nil {
+		fmt.Printf("  checkpoint: wrote %s (armed at cycle %d)\n", *ckptOut, *ckptAt)
+	}
+	if *restore != "" {
+		fmt.Printf("  restored from %s\n", *restore)
 	}
 	if *stats {
 		fmt.Print(r.Stats.String())
@@ -210,4 +298,30 @@ func main() {
 		fmt.Printf("alpha: %d cycles, IPC %.3f, speedup(TRIPS/alpha) %.2f\n",
 			ar.Cycles, ar.IPC, float64(ar.Cycles)/float64(r.Cycles))
 	}
+}
+
+// runSampled runs the SimPoint-style sampled mode: one profiling pass that
+// drops checkpoints at commit boundaries, then parallel interval replays.
+func runSampled(w workloads.Workload, spec *workloads.Spec, opt eval.TRIPSOptions, warmup, interval int64, n int, mode string) {
+	t0 := time.Now()
+	sr, err := eval.RunSampled(spec, opt, warmup, interval, n, 0)
+	wall := time.Since(t0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := sr.Full
+	fmt.Printf("%s (%s, %s mode, sampled):\n", w.Name, w.Class, mode)
+	fmt.Printf("  cycles            %d\n", r.Cycles)
+	fmt.Printf("  committed insts   %d\n", r.Insts)
+	fmt.Printf("  IPC               %.3f\n", r.IPC)
+	fmt.Printf("  sampling          warmup %d, interval %d, %d checkpoints (%d payload bytes)\n",
+		sr.Warmup, sr.Interval, len(sr.Samples), sr.CkptBytes)
+	if len(sr.Samples) > 0 {
+		fmt.Printf("  %8s %10s %10s %10s %8s\n", "interval", "start", "end", "insts", "IPC")
+		for _, s := range sr.Samples {
+			fmt.Printf("  %8d %10d %10d %10d %8.3f\n", s.Index, s.StartCycle, s.EndCycle, s.Insts, s.IPC)
+		}
+	}
+	fmt.Printf("  host: %.1f ms wall (profiling pass + parallel replays)\n", float64(wall.Nanoseconds())/1e6)
 }

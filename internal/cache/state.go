@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"sort"
+
+	"trips/internal/ckpt"
+)
+
+// SaveState serializes the bank: LRU clock, stats, and each (set, way)
+// slot in place. Way positions matter — Fill's victim scan prefers the last
+// invalid way in set order — so lines are written per-slot with a validity
+// bit rather than as a compacted list.
+func (b *Bank) SaveState(w *ckpt.Writer) {
+	w.Section("bank")
+	w.U64(b.clock)
+	w.U64(b.Hits)
+	w.U64(b.Misses)
+	w.U64(b.Evictions)
+	w.U64(b.Writebacks)
+	for i := range b.sets {
+		for j := range b.sets[i] {
+			ln := &b.sets[i][j]
+			w.Bool(ln.valid)
+			if !ln.valid {
+				continue
+			}
+			w.Bool(ln.dirty)
+			w.U64(ln.tag)
+			w.U64(ln.lastUse)
+			w.Bytes(ln.data)
+		}
+	}
+}
+
+// LoadState restores a bank saved from an identically-shaped instance.
+func (b *Bank) LoadState(r *ckpt.Reader) {
+	r.Section("bank")
+	b.clock = r.U64()
+	b.Hits = r.U64()
+	b.Misses = r.U64()
+	b.Evictions = r.U64()
+	b.Writebacks = r.U64()
+	for i := range b.sets {
+		for j := range b.sets[i] {
+			ln := &b.sets[i][j]
+			*ln = line{}
+			ln.valid = r.Bool()
+			if !ln.valid {
+				continue
+			}
+			ln.dirty = r.Bool()
+			ln.tag = r.U64()
+			ln.lastUse = r.U64()
+			ln.data = r.Bytes()
+		}
+	}
+}
+
+// SaveState serializes the MSHR. Waiters are opaque to this package, so the
+// caller supplies an encoder invoked once per waiter; lines are written in
+// ascending line-address order for determinism. Waiter slice order within a
+// line is preserved (it is the service order on fill).
+func (m *MSHR) SaveState(w *ckpt.Writer, enc func(*ckpt.Writer, any)) {
+	w.Section("mshr")
+	lines := make([]uint64, 0, len(m.entries))
+	for la := range m.entries {
+		lines = append(lines, la)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	w.Int(len(lines))
+	for _, la := range lines {
+		w.U64(la)
+		ws := m.entries[la]
+		w.Int(len(ws))
+		for _, waiter := range ws {
+			enc(w, waiter)
+		}
+	}
+}
+
+// LoadState restores the MSHR, decoding each waiter with dec.
+func (m *MSHR) LoadState(r *ckpt.Reader, dec func(*ckpt.Reader) any) {
+	r.Section("mshr")
+	m.entries = make(map[uint64][]any)
+	m.requests = 0
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		la := r.U64()
+		cnt := r.Int()
+		if r.Err() != nil {
+			return
+		}
+		ws := make([]any, 0, cnt)
+		for j := 0; j < cnt; j++ {
+			ws = append(ws, dec(r))
+		}
+		m.entries[la] = ws
+		m.requests += cnt
+	}
+}

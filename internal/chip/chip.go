@@ -105,6 +105,33 @@ type Chip struct {
 	// channel ping-pong a few hundred ns. The worker is started lazily on
 	// the first parallel step and stopped as soon as either core finishes.
 	step1, done1 chan struct{}
+
+	// Checkpoint hook: ckptFn fires once at the first chip cycle past
+	// ckptAt on which a block commits on any core, then disarms. Both
+	// steppers honor it; the bounded-lag stepper parks every clock at
+	// ckptAt and locksteps to the commit boundary first.
+	ckptAt int64
+	ckptFn func(cycle int64) error
+}
+
+// SetCheckpointHook arms fn to run once at the first block-commit boundary
+// past cycle at. Commits are the chip's quiesce points: the hook fires
+// between cycles, when every tile, network and memory structure is a pure
+// function of the architectural state SaveState serializes.
+func (c *Chip) SetCheckpointHook(at int64, fn func(cycle int64) error) {
+	c.ckptAt = at
+	c.ckptFn = fn
+}
+
+// committedBlocks sums block commits across the active cores.
+func (c *Chip) committedBlocks() uint64 {
+	var n uint64
+	for _, core := range c.Cores {
+		if core != nil {
+			n += core.CommittedBlocks
+		}
+	}
+	return n
 }
 
 // startWorker launches the core-1 step worker.
@@ -313,6 +340,7 @@ func (c *Chip) runSeq() error {
 		limit = 200_000_000
 	}
 	defer c.stopWorker()
+	lastBlocks := c.committedBlocks()
 	for !c.Done() {
 		if !c.cfg.NoWarp {
 			c.tryWarp(limit)
@@ -321,6 +349,18 @@ func (c *Chip) runSeq() error {
 			return fmt.Errorf("chip: cycle limit %d exceeded", limit)
 		}
 		c.Step()
+		if c.ckptFn != nil {
+			if nb := c.committedBlocks(); nb != lastBlocks {
+				lastBlocks = nb
+				if c.cycle > c.ckptAt {
+					fn := c.ckptFn
+					c.ckptFn = nil
+					if err := fn(c.cycle); err != nil {
+						return fmt.Errorf("chip: checkpoint at cycle %d: %w", c.cycle, err)
+					}
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -331,6 +371,38 @@ func (c *Chip) runSeq() error {
 // port owners assigned at construction gate each owned port's drains by its
 // core's clock.
 func (c *Chip) runLag() error {
+	if c.ckptFn == nil {
+		return c.runLagPhase(0)
+	}
+	// Checkpoint capture under bounded-lag stepping: park every clock at
+	// the arm cycle (LagConfig.StopAt aligns core and backend clocks at a
+	// lockstep boundary), lockstep sequentially to the next block-commit
+	// boundary, capture, and resume the coordinator. The composition is
+	// observable-identical to an uninterrupted bounded-lag run; only the
+	// warp telemetry may differ across the phase seams.
+	if err := c.runLagPhase(c.ckptAt); err != nil {
+		return err
+	}
+	last := c.committedBlocks()
+	var guard int64
+	for !c.Done() && c.committedBlocks() == last {
+		c.Step()
+		if guard++; guard > 400_000 {
+			return fmt.Errorf("chip: no block commit within %d lockstep cycles after checkpoint arm cycle %d", guard-1, c.ckptAt)
+		}
+	}
+	fn := c.ckptFn
+	c.ckptFn = nil
+	if err := fn(c.cycle); err != nil {
+		return fmt.Errorf("chip: checkpoint at cycle %d: %w", c.cycle, err)
+	}
+	return c.runLagPhase(0)
+}
+
+// runLagPhase runs the bounded-lag coordinator until completion, or until
+// every clock parks at stopAt (stopAt > 0). Warp accounting is by delta:
+// the coordinator accumulates into c.Lag across phases.
+func (c *Chip) runLagPhase(stopAt int64) error {
 	limit := c.cfg.MaxCycles
 	if limit == 0 {
 		limit = 200_000_000
@@ -341,12 +413,15 @@ func (c *Chip) runLag() error {
 			cores = append(cores, proc.LagCore{Core: core, Owner: i})
 		}
 	}
+	preWarps := c.Lag.JointWarps + c.Lag.MemWarps
+	preWarped := c.Lag.JointWarpedCycles + c.Lag.MemWarpedCycles
 	g, err := proc.RunBoundedLag(c.Mem, cores, proc.LagConfig{
 		Limit:           limit,
 		NoWarp:          c.cfg.NoWarp,
 		Parallel:        !c.cfg.NoParallel,
 		HorizonOverride: c.cfg.LagHorizonOverride,
 		DeadlinePad:     c.cfg.LagDeadlinePad,
+		StopAt:          stopAt,
 		PreTick: func(int64) {
 			for _, d := range c.DMA {
 				d.tick()
@@ -371,8 +446,8 @@ func (c *Chip) runLag() error {
 		},
 	})
 	c.cycle = g
-	c.Warps += c.Lag.JointWarps + c.Lag.MemWarps
-	c.WarpedCycles += c.Lag.JointWarpedCycles + c.Lag.MemWarpedCycles
+	c.Warps += c.Lag.JointWarps + c.Lag.MemWarps - preWarps
+	c.WarpedCycles += c.Lag.JointWarpedCycles + c.Lag.MemWarpedCycles - preWarped
 	return err
 }
 
@@ -464,30 +539,51 @@ type DMA struct {
 	rdReq, wrReq *proc.MemRequest
 }
 
-// Program arms the DMA to copy n bytes (line-aligned) from src to dst.
-func (d *DMA) Program(src, dst uint64, n int) {
+// onReadDone and onWriteDone are the transaction completion actions. They
+// are methods (not closure bodies) so a checkpoint restore can rebuild the
+// Done callback of an in-flight request to the exact live behavior.
+func (d *DMA) onReadDone(data []byte) {
+	d.buf = data
+	d.inFlight = false
+	d.phase = 2
+}
+
+func (d *DMA) onWriteDone() {
+	d.inFlight = false
+	d.phase = 1
+	d.Moved += uint64(len(d.buf))
+	d.Completions++
+	d.src += uint64(len(d.buf))
+	d.dst += uint64(len(d.buf))
+	d.left -= len(d.buf)
+	if d.left <= 0 {
+		d.phase = 0
+	}
+}
+
+// bind lazily creates the DMA's OCN port and its persistent request
+// records: the Done closures are bound once, so a long transfer issues
+// thousands of transactions without allocating per line.
+func (d *DMA) bind() {
 	if d.port == nil {
 		d.port = d.chip.Mem.Port(fmt.Sprintf("dma%d", d.id))
 	}
 	if d.rdReq == nil {
-		d.rdReq = &proc.MemRequest{Done: func(data []byte) {
-			d.buf = data
-			d.inFlight = false
-			d.phase = 2
-		}}
-		d.wrReq = &proc.MemRequest{IsWrite: true, Done: func([]byte) {
-			d.inFlight = false
-			d.phase = 1
-			d.Moved += uint64(len(d.buf))
-			d.Completions++
-			d.src += uint64(len(d.buf))
-			d.dst += uint64(len(d.buf))
-			d.left -= len(d.buf)
-			if d.left <= 0 {
-				d.phase = 0
-			}
-		}}
+		d.rdReq = &proc.MemRequest{
+			Origin: proc.Origin{Kind: proc.OriginDMARead, Tile: d.id},
+			Done:   d.onReadDone,
+		}
+		d.wrReq = &proc.MemRequest{
+			IsWrite: true,
+			Origin:  proc.Origin{Kind: proc.OriginDMAWrite, Tile: d.id},
+			Done:    func([]byte) { d.onWriteDone() },
+		}
 	}
+}
+
+// Program arms the DMA to copy n bytes (line-aligned) from src to dst.
+func (d *DMA) Program(src, dst uint64, n int) {
+	d.bind()
 	d.src, d.dst, d.left = src, dst, n
 	d.phase = 0
 }

@@ -54,8 +54,8 @@ func TestTwoCoresRunConcurrently(t *testing.T) {
 	if got := c.Cores[1].Register(0, 8); got != 12 {
 		t.Errorf("core 1 r8 = %d, want 12", got)
 	}
-	r0 := c.Cores[0].Snapshot()
-	r1 := c.Cores[1].Snapshot()
+	r0 := c.Cores[0].Result()
+	r1 := c.Cores[1].Result()
 	if r0.CommittedBlocks != 20 || r1.CommittedBlocks != 12 {
 		t.Errorf("committed %d/%d blocks", r0.CommittedBlocks, r1.CommittedBlocks)
 	}
@@ -177,7 +177,7 @@ func TestChipStepModesBitIdentical(t *testing.T) {
 		if err := c.Run(); err != nil {
 			t.Fatal(err)
 		}
-		return c.Cycle(), c.Cores[0].Snapshot(), c.Cores[1].Snapshot()
+		return c.Cycle(), c.Cores[0].Result(), c.Cores[1].Result()
 	}
 	refCyc, ref0, ref1 := run(true, true) // sequential, no warp: the baseline
 	for _, m := range []struct {
@@ -258,7 +258,7 @@ func TestDualCoreWorkloads(t *testing.T) {
 			}
 		}
 	}
-	r0, r1 := c.Cores[0].Snapshot(), c.Cores[1].Snapshot()
+	r0, r1 := c.Cores[0].Result(), c.Cores[1].Result()
 	if r0.CommittedBlocks == 0 || r1.CommittedBlocks == 0 {
 		t.Errorf("cores committed %d / %d blocks", r0.CommittedBlocks, r1.CommittedBlocks)
 	}

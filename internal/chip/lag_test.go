@@ -160,8 +160,8 @@ func runScenario(t *testing.T, scenario string, mut func(*Config)) chipOutcome {
 	}
 	return chipOutcome{
 		cycles: c.Cycle(),
-		r0:     c.Cores[0].Snapshot(),
-		r1:     c.Cores[1].Snapshot(),
+		r0:     c.Cores[0].Result(),
+		r1:     c.Cores[1].Result(),
 		moved:  c.DMA[0].Moved + c.DMA[1].Moved,
 	}
 }
@@ -246,8 +246,8 @@ func TestChipLagRollbackInjectionBitIdentical(t *testing.T) {
 	}
 	got := chipOutcome{
 		cycles: faulted.Cycle(),
-		r0:     faulted.Cores[0].Snapshot(),
-		r1:     faulted.Cores[1].Snapshot(),
+		r0:     faulted.Cores[0].Result(),
+		r1:     faulted.Cores[1].Result(),
 		moved:  faulted.DMA[0].Moved + faulted.DMA[1].Moved,
 	}
 	if got != ref {
@@ -281,8 +281,8 @@ func TestChipLagDeadlinePadRollbackBitIdentical(t *testing.T) {
 	}
 	got := chipOutcome{
 		cycles: faulted.Cycle(),
-		r0:     faulted.Cores[0].Snapshot(),
-		r1:     faulted.Cores[1].Snapshot(),
+		r0:     faulted.Cores[0].Result(),
+		r1:     faulted.Cores[1].Result(),
 		moved:  faulted.DMA[0].Moved + faulted.DMA[1].Moved,
 	}
 	if got != ref {

@@ -52,7 +52,7 @@ func TestChipDMAWarpBitIdentical(t *testing.T) {
 		if c.DMA[0].Moved != bytes {
 			t.Fatalf("dma moved %d bytes, want %d", c.DMA[0].Moved, bytes)
 		}
-		return c, c.Cores[0].Snapshot(), c.Cores[1].Snapshot()
+		return c, c.Cores[0].Result(), c.Cores[1].Result()
 	}
 	ref, ref0, ref1 := run(true, true)
 	for _, m := range []struct {

@@ -180,7 +180,7 @@ func chipRun(t *testing.T, w workloads.Workload) (int64, proc.Result) {
 	if err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
-	return c.Cycle(), c.Cores[0].Snapshot()
+	return c.Cycle(), c.Cores[0].Result()
 }
 
 // TestChipLoopDeterministic replays one microbenchmark under the chip loop

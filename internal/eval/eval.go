@@ -7,8 +7,10 @@ package eval
 
 import (
 	"fmt"
+	"io"
 
 	"trips/internal/alpha"
+	"trips/internal/ckpt"
 	"trips/internal/critpath"
 	"trips/internal/mem"
 	"trips/internal/nuca"
@@ -54,6 +56,22 @@ type TRIPSOptions struct {
 	Trace *obs.Tracer
 	// Metrics, when non-nil, samples occupancy series during the run.
 	Metrics *obs.Sampler
+	// CheckpointAt / CheckpointTo arm a one-shot checkpoint: at the first
+	// block-commit boundary after cycle CheckpointAt — commit is the quiesce
+	// point of the distributed protocols — the complete machine state (core
+	// tiles, micronets, LSQ, predictor, event wheel, and the memory backend
+	// with its backing image) is framed and written to CheckpointTo,
+	// content-hashed to the program image and configuration. Incompatible
+	// with TrackCritPath: the critical-path event graph cannot be
+	// serialized.
+	CheckpointAt int64
+	CheckpointTo io.Writer
+	// RestoreFrom, when non-nil, resumes from a checkpoint instead of
+	// starting at the entry block. The checkpoint must carry the same
+	// program/configuration hash; a mismatch fails loudly before any state
+	// is touched. The resumed run's final result is bit-identical to the
+	// uninterrupted run's.
+	RestoreFrom io.Reader
 }
 
 // TRIPSResult is one TRIPS run's outcome.
@@ -83,60 +101,39 @@ type TRIPSResult struct {
 
 // RunTRIPS compiles and executes a workload spec on the TRIPS core.
 func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
-	prog, meta, err := tcc.Compile(spec.F, tcc.Options{Mode: opt.Mode, Placement: opt.Placement})
-	if err != nil {
-		return nil, fmt.Errorf("eval: compile %s: %w", spec.F.Name, err)
+	if (opt.CheckpointTo != nil || opt.RestoreFrom != nil) && opt.TrackCritPath {
+		return nil, fmt.Errorf("eval: %s: checkpoint/restore is incompatible with critical-path tracking (the event graph cannot be serialized)", spec.F.Name)
 	}
-	m := mem.New()
-	if spec.SetupMem != nil {
-		spec.SetupMem(m)
+	if opt.CheckpointTo != nil && opt.CheckpointAt <= 0 {
+		return nil, fmt.Errorf("eval: %s: checkpoint requested without a positive capture cycle", spec.F.Name)
 	}
-	if err := prog.Image(m); err != nil {
-		return nil, err
-	}
-	lat := opt.MemLatency
-	if lat == 0 {
-		lat = 20
-	}
-	var backend proc.MemBackend
-	var sys *nuca.System
-	lag := opt.UseNUCA && !opt.SeqStep
-	if opt.UseNUCA {
-		sys = nuca.New(nuca.Config{Backing: m, Trace: opt.Trace, Metrics: opt.Metrics})
-		if lag {
-			// Bounded-lag stepping needs every port tagged with the single
-			// core's owner id so the staged-submission gate and the effect
-			// gate see its traffic.
-			sys.AssignOwners(func(string) int { return 0 })
-		}
-		backend = sys
-	} else {
-		backend = proc.NewFixedLatencyMem(m, lat)
-	}
-	core, err := proc.NewCore(proc.Config{
-		Program:           prog,
-		Mem:               backend,
-		TrackCritPath:     opt.TrackCritPath,
-		OPNChannels:       opt.OPNChannels,
-		ConservativeLoads: opt.ConservativeLoads,
-		SlowOPNRouter:     opt.SlowOPNRouter,
-		NoFastPath:        opt.NoFastPath,
-		NoWarp:            opt.NoWarp,
-		ExternalMemTick:   lag,
-		Trace:             opt.Trace,
-		Metrics:           opt.Metrics,
-	})
+	t, err := buildTRIPS(spec, opt)
 	if err != nil {
 		return nil, err
 	}
-	for v, val := range spec.Init {
-		if gr, ok := meta.RegOf[v]; ok {
-			core.SetRegister(0, gr, val)
+	if opt.RestoreFrom != nil {
+		payload, err := ckpt.ReadFile(opt.RestoreFrom, t.hash(opt))
+		if err != nil {
+			return nil, fmt.Errorf("eval: restore %s: %w", spec.F.Name, err)
 		}
+		if err := t.load(payload); err != nil {
+			return nil, fmt.Errorf("eval: restore %s: %w", spec.F.Name, err)
+		}
+	}
+	capture := func(cycle int64) error {
+		pw := &ckpt.Writer{}
+		if err := t.save(pw); err != nil {
+			return err
+		}
+		if err := ckpt.WriteFile(opt.CheckpointTo, t.hash(opt), pw.Payload()); err != nil {
+			return err
+		}
+		opt.Trace.Emit(obs.Event{Cycle: cycle, Kind: obs.KindCkpt, Arg: uint64(pw.Len())})
+		return nil
 	}
 	var res proc.Result
 	var lagStats *proc.LagStats
-	if lag {
+	if t.lag {
 		lagStats = &proc.LagStats{}
 		if sm := opt.Metrics; sm != nil {
 			sm.Register("lag.strides", func() int64 { return int64(lagStats.TotalStrides()) })
@@ -150,50 +147,21 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 			})
 			sm.Register("lag.mem_warped_cycles", func() int64 { return lagStats.MemWarpedCycles })
 		}
-		res, err = core.RunLag(sys, opt.ParStride, lagStats)
+		if opt.CheckpointTo != nil {
+			res, err = t.core.RunLagWithCheckpoint(t.sys, opt.ParStride, lagStats, opt.CheckpointAt, capture)
+		} else {
+			res, err = t.core.RunLag(t.sys, opt.ParStride, lagStats)
+		}
 	} else {
-		res, err = core.Run()
+		if opt.CheckpointTo != nil {
+			t.core.SetCheckpointHook(opt.CheckpointAt, capture)
+		}
+		res, err = t.core.Run()
 	}
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", spec.F.Name, err)
 	}
-	core.FlushCaches()
-	if sys != nil {
-		// Leak assertion: a completed run must have drained the OCN pending
-		// tables — every transaction (split or not) saw its response. A
-		// residue here means a response was dropped or a pending entry
-		// leaked, which would surface much later as an id collision.
-		if n := sys.Outstanding(); n != 0 {
-			return nil, fmt.Errorf("eval: %s: %d OCN transactions still pending after completion", spec.F.Name, n)
-		}
-		sys.Flush()
-	}
-	regs := make(map[tir.Reg]uint64, len(meta.RegOf))
-	for v, gr := range meta.RegOf {
-		regs[v] = core.Register(0, gr)
-	}
-	var nucaRep *nuca.StatsReport
-	if sys != nil {
-		rep := sys.Report()
-		nucaRep = &rep
-	}
-	return &TRIPSResult{
-		Cycles:    res.Cycles,
-		Insts:     res.CommittedInsts,
-		Blocks:    res.CommittedBlocks,
-		IPC:       res.IPC,
-		Flushes:   res.Flushes,
-		Crit:      res.CritPath,
-		Regs:      regs,
-		Mem:       m,
-		BlockSize: meta.AvgBlockSize,
-		Stats:     core.TileStats(),
-
-		Warps:        core.Warps,
-		WarpedCycles: core.WarpedCycles,
-		NUCA:         nucaRep,
-		Lag:          lagStats,
-	}, nil
+	return t.finish(res, lagStats)
 }
 
 // AlphaResult is one baseline run's outcome.

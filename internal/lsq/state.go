@@ -1,0 +1,93 @@
+package lsq
+
+import "trips/internal/ckpt"
+
+// EncodeEntry serializes one LSQ record. Exported because the DT also holds
+// entries outside the queue (commit drains, the write buffer) and must
+// serialize them with the identical layout.
+func EncodeEntry(w *ckpt.Writer, e *Entry) {
+	w.U64(e.Key)
+	w.U64(e.BlockSeq)
+	w.Bool(e.IsStore)
+	w.U64(e.Addr)
+	w.Int(e.Width)
+	w.U64(e.Data)
+	w.Bool(e.Issued)
+	w.Bool(e.Null)
+}
+
+// DecodeEntry reverses EncodeEntry into a fresh record.
+func DecodeEntry(r *ckpt.Reader) *Entry {
+	e := &Entry{}
+	e.Key = r.U64()
+	e.BlockSeq = r.U64()
+	e.IsStore = r.Bool()
+	e.Addr = r.U64()
+	e.Width = r.Int()
+	e.Data = r.U64()
+	e.Issued = r.Bool()
+	e.Null = r.Bool()
+	return e
+}
+
+// SaveState serializes the queue contents (already key-sorted) and stats.
+func (q *LSQ) SaveState(w *ckpt.Writer) {
+	w.Section("lsq")
+	w.U64(q.Forwards)
+	w.U64(q.Violations)
+	w.U64(q.Conflicts)
+	w.Int(len(q.entries))
+	for _, e := range q.entries {
+		EncodeEntry(w, e)
+	}
+}
+
+// LoadState restores the queue with fresh entries.
+func (q *LSQ) LoadState(r *ckpt.Reader) {
+	r.Section("lsq")
+	q.Forwards = r.U64()
+	q.Violations = r.U64()
+	q.Conflicts = r.U64()
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	q.entries = make(entryList, 0, n)
+	for i := 0; i < n; i++ {
+		q.entries = append(q.entries, DecodeEntry(r))
+	}
+}
+
+// SaveState serializes the dependence predictor: the bit vector packed
+// eight per byte, the flash-clear countdown, and stats. ClearInterval is
+// construction-time configuration and is not saved.
+func (d *DepPredictor) SaveState(w *ckpt.Writer) {
+	w.Section("deppred")
+	packed := make([]byte, len(d.bits)/8)
+	for i, b := range d.bits {
+		if b {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	w.Bytes(packed)
+	w.Int(d.blocks)
+	w.U64(d.Stalls)
+	w.U64(d.Trainings)
+	w.U64(d.Clears)
+}
+
+// LoadState restores the dependence predictor.
+func (d *DepPredictor) LoadState(r *ckpt.Reader) {
+	r.Section("deppred")
+	packed := r.Bytes()
+	d.bits = [1024]bool{}
+	if len(packed) == len(d.bits)/8 {
+		for i := range d.bits {
+			d.bits[i] = packed[i/8]&(1<<(i%8)) != 0
+		}
+	}
+	d.blocks = r.Int()
+	d.Stalls = r.U64()
+	d.Trainings = r.U64()
+	d.Clears = r.U64()
+}

@@ -1,0 +1,41 @@
+package mem
+
+import (
+	"sort"
+
+	"trips/internal/ckpt"
+)
+
+// SaveState serializes the sparse memory, pages in ascending page-number
+// order for a deterministic byte stream.
+func (m *Memory) SaveState(w *ckpt.Writer) {
+	w.Section("mem")
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	w.Int(len(pns))
+	for _, pn := range pns {
+		w.U64(pn)
+		w.Bytes(m.pages[pn])
+	}
+}
+
+// LoadState replaces the memory contents with the serialized pages.
+func (m *Memory) LoadState(r *ckpt.Reader) {
+	r.Section("mem")
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	m.pages = make(map[uint64][]byte, n)
+	for i := 0; i < n; i++ {
+		pn := r.U64()
+		data := r.Bytes()
+		if r.Err() != nil {
+			return
+		}
+		m.pages[pn] = data
+	}
+}

@@ -34,6 +34,10 @@ const (
 	KindNetInject  // Addr = packed source coord, Arg = packed dest coord
 	KindNetHop     // Addr = packed coord the message left
 	KindNetDeliver // Addr = packed destination coord
+
+	// Checkpoint capture: a framed machine-state checkpoint was written at
+	// this cycle (a block-commit boundary); Arg = payload length in bytes.
+	KindCkpt
 )
 
 func (k Kind) String() string {
@@ -68,6 +72,8 @@ func (k Kind) String() string {
 		return "hop"
 	case KindNetDeliver:
 		return "deliver"
+	case KindCkpt:
+		return "ckpt"
 	}
 	return "?"
 }

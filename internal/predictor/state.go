@@ -1,0 +1,113 @@
+package predictor
+
+import "trips/internal/ckpt"
+
+// EncodePrediction serializes a Prediction, including the unexported repair
+// checkpoints. Exported because the GT holds live Predictions in its block
+// and thread contexts and must checkpoint them.
+func EncodePrediction(w *ckpt.Writer, p Prediction) {
+	w.U64(p.Next)
+	w.Int(p.Exit)
+	w.U8(uint8(p.Kind))
+	w.U32(p.ghr)
+	w.Int(p.rasSP)
+	w.Bool(p.usedG)
+	w.U8(p.lexit)
+	w.U8(p.gexit)
+}
+
+// DecodePrediction reverses EncodePrediction.
+func DecodePrediction(r *ckpt.Reader) Prediction {
+	var p Prediction
+	p.Next = r.U64()
+	p.Exit = r.Int()
+	p.Kind = Kind(r.U8())
+	p.ghr = r.U32()
+	p.rasSP = r.Int()
+	p.usedG = r.Bool()
+	p.lexit = r.U8()
+	p.gexit = r.U8()
+	return p
+}
+
+// SaveState serializes every predictor table and stat counter.
+func (p *Predictor) SaveState(w *ckpt.Writer) {
+	w.Section("pred")
+	for _, h := range p.localHist {
+		w.U16(h)
+	}
+	for _, e := range p.localPred {
+		w.U8(e.exit)
+		w.U8(e.conf)
+	}
+	for _, e := range p.globPred {
+		w.U8(e.exit)
+		w.U8(e.conf)
+	}
+	for _, c := range p.chooser {
+		w.U8(c)
+	}
+	w.U32(p.ghr)
+	for _, e := range p.btb {
+		w.U32(e.tag)
+		w.U64(e.target)
+		w.Bool(e.valid)
+	}
+	for _, e := range p.ctb {
+		w.U32(e.tag)
+		w.U64(e.target)
+		w.Bool(e.valid)
+	}
+	for _, v := range p.ras {
+		w.U64(v)
+	}
+	w.Int(p.rasSP)
+	for _, e := range p.btype {
+		w.U8(uint8(e.kind))
+		w.U8(e.conf)
+	}
+	w.U64(p.Predictions)
+	w.U64(p.ExitMisses)
+	w.U64(p.TargetMisses)
+}
+
+// LoadState restores every predictor table and stat counter.
+func (p *Predictor) LoadState(r *ckpt.Reader) {
+	r.Section("pred")
+	for i := range p.localHist {
+		p.localHist[i] = r.U16()
+	}
+	for i := range p.localPred {
+		p.localPred[i].exit = r.U8()
+		p.localPred[i].conf = r.U8()
+	}
+	for i := range p.globPred {
+		p.globPred[i].exit = r.U8()
+		p.globPred[i].conf = r.U8()
+	}
+	for i := range p.chooser {
+		p.chooser[i] = r.U8()
+	}
+	p.ghr = r.U32()
+	for i := range p.btb {
+		p.btb[i].tag = r.U32()
+		p.btb[i].target = r.U64()
+		p.btb[i].valid = r.Bool()
+	}
+	for i := range p.ctb {
+		p.ctb[i].tag = r.U32()
+		p.ctb[i].target = r.U64()
+		p.ctb[i].valid = r.Bool()
+	}
+	for i := range p.ras {
+		p.ras[i] = r.U64()
+	}
+	p.rasSP = r.Int()
+	for i := range p.btype {
+		p.btype[i].kind = Kind(r.U8())
+		p.btype[i].conf = r.U8()
+	}
+	p.Predictions = r.U64()
+	p.ExitMisses = r.U64()
+	p.TargetMisses = r.U64()
+}

@@ -134,6 +134,11 @@ type Core struct {
 	// hook is a single pointer compare.
 	trace   *obs.Tracer
 	metrics *obs.Sampler
+
+	// Checkpoint hook: ckptFn fires once at the first block-commit cycle
+	// boundary past ckptAt, then disarms. Nil when no checkpoint is armed.
+	ckptAt int64
+	ckptFn func(cycle int64) error
 }
 
 // NewCore builds a core over the given configuration.
@@ -999,6 +1004,13 @@ func (c *Core) Run() (Result, error) {
 		if c.CommittedBlocks != lastCount {
 			lastCount = c.CommittedBlocks
 			lastCommit = c.cycle
+			if c.ckptFn != nil && c.cycle > c.ckptAt {
+				fn := c.ckptFn
+				c.ckptFn = nil
+				if err := fn(c.cycle); err != nil {
+					return Result{}, fmt.Errorf("proc: checkpoint at cycle %d: %w", c.cycle, err)
+				}
+			}
 		} else if c.cycle-lastCommit > 200_000 {
 			return Result{}, fmt.Errorf("proc: no commit in 200000 cycles at cycle %d (%d blocks committed): deadlock", c.cycle, c.CommittedBlocks)
 		}
@@ -1060,9 +1072,19 @@ func (c *Core) DebugState() string {
 // all committed stores drained.
 func (c *Core) Done() bool { return c.gt.allRetired() && c.drainsIdle() }
 
-// Snapshot returns the current run statistics (used by chip-level loops
+// SetCheckpointHook arms fn to run once, at the first cycle boundary after
+// `at` at which a block committed during the preceding cycle. Committing is
+// the quiesce point of the distributed protocols: at that boundary every
+// tile's state is a pure function of the architecture, so a checkpoint
+// taken there restores bit-identically. fn receives the capture cycle.
+func (c *Core) SetCheckpointHook(at int64, fn func(cycle int64) error) {
+	c.ckptAt = at
+	c.ckptFn = fn
+}
+
+// Result returns the current run statistics (used by chip-level loops
 // that step cores manually instead of calling Run).
-func (c *Core) Snapshot() Result {
+func (c *Core) Result() Result {
 	res := Result{
 		Cycles:          c.cycle,
 		CommittedBlocks: c.CommittedBlocks,

@@ -139,6 +139,7 @@ func (d *dtTile) newFetch(line uint64) *dtFetch {
 		d.fetchFree = d.fetchFree[:n-1]
 	} else {
 		f = &dtFetch{d: d}
+		f.req.Origin = Origin{Kind: OriginDTFetch, Tile: d.id}
 		f.req.Done = func(data []byte) {
 			f.d.active = true
 			f.d.fillLine(f.line, data)
@@ -260,18 +261,20 @@ func (d *dtTile) pumpUncached(now int64) {
 			continue
 		}
 		width := isa.MemWidth(msg.memOp)
-		req := &MemRequest{Addr: physical(msg.addr), N: width, Done: func(data []byte) {
-			d.active = true
-			if d.slotSeq[msg.slot] != msg.seq {
-				return
-			}
-			var v uint64
-			for i := len(data) - 1; i >= 0; i-- {
-				v = v<<8 | uint64(data[i])
-			}
-			ev := d.core.newEvent(d.core.cycle, pl.ev, critpath.Split{}, critpath.CatOther)
-			d.replyLoad(d.core.cycle+1, msg, Value{Bits: extendValue(v, msg.memOp)}, ev)
-		}}
+		req := &MemRequest{Addr: physical(msg.addr), N: width,
+			Origin: Origin{Kind: OriginDTUncachedLoad, Tile: d.id, msg: msg},
+			Done: func(data []byte) {
+				d.active = true
+				if d.slotSeq[msg.slot] != msg.seq {
+					return
+				}
+				var v uint64
+				for i := len(data) - 1; i >= 0; i-- {
+					v = v<<8 | uint64(data[i])
+				}
+				ev := d.core.newEvent(d.core.cycle, pl.ev, critpath.Split{}, critpath.CatOther)
+				d.replyLoad(d.core.cycle+1, msg, Value{Bits: extendValue(v, msg.memOp)}, ev)
+			}}
 		if !d.port.Submit(req) {
 			return
 		}
@@ -758,10 +761,12 @@ func (d *dtTile) commitStore(st *lsq.Entry) bool {
 		for i := 0; i < st.Width; i++ {
 			data[i] = byte(st.Data >> (8 * i))
 		}
-		req := &MemRequest{Addr: physical(st.Addr), Data: data, IsWrite: true, Done: func([]byte) {
-			d.active = true
-			d.uncachedSt[st] = 2
-		}}
+		req := &MemRequest{Addr: physical(st.Addr), Data: data, IsWrite: true,
+			Origin: Origin{Kind: OriginDTUncachedStore, Tile: d.id},
+			Done: func([]byte) {
+				d.active = true
+				d.uncachedSt[st] = 2
+			}}
 		if d.port.Submit(req) {
 			d.uncachedSt[st] = 1
 		}

@@ -73,13 +73,15 @@ func (it *itTile) tick(now int64) {
 	// Submit queued chunk reads.
 	for !it.pending.Empty() {
 		blockAddr := it.pending.Front()
-		req := &MemRequest{Addr: it.chunkAddr(blockAddr), N: isa.ChunkBytes, Done: func(data []byte) {
-			it.active = true
-			it.chunks[blockAddr] = &itChunk{raw: data}
-			if st := it.refills[blockAddr]; st != nil {
-				st.ownDone = true
-			}
-		}}
+		req := &MemRequest{Addr: it.chunkAddr(blockAddr), N: isa.ChunkBytes,
+			Origin: Origin{Kind: OriginITRefill, Tile: it.id},
+			Done: func(data []byte) {
+				it.active = true
+				it.chunks[blockAddr] = &itChunk{raw: data}
+				if st := it.refills[blockAddr]; st != nil {
+					st.ownDone = true
+				}
+			}}
 		if !it.port.Submit(req) {
 			break
 		}

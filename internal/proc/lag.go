@@ -187,6 +187,13 @@ type LagConfig struct {
 	// CanWarpExtra gates warping on chip-level work: false while a DMA
 	// engine is between transactions and needs per-cycle ticks.
 	CanWarpExtra func() bool
+	// StopAt, when positive, pauses the run at that cycle: every stride,
+	// joint warp, and backend catch-up is clamped so no clock passes it, and
+	// the coordinator returns once every active core and the backend have
+	// reached it. At the pause point core and backend clocks agree — the
+	// lockstep boundary a checkpoint capture needs. Resume by calling
+	// RunBoundedLag again with StopAt 0.
+	StopAt int64
 	// Stats, when non-nil, receives coordinator telemetry.
 	Stats *LagStats
 	// LimitErr formats the cycle-limit error (chip and proc wordings
@@ -296,6 +303,9 @@ func RunBoundedLag(mem LagMem, cores []LagCore, cfg LagConfig) (int64, error) {
 		if r.allDone() && !r.extraBusy() && r.G >= r.maxCoreCycle() {
 			return r.G, nil
 		}
+		if cfg.StopAt > 0 && r.G >= cfg.StopAt && r.parkedAt(cfg.StopAt) {
+			return r.G, nil
+		}
 		if r.G > limit {
 			if cfg.LimitErr != nil {
 				return r.G, cfg.LimitErr(limit)
@@ -322,6 +332,17 @@ func (r *lagRunner) refreshDone() {
 			r.doneCore[k] = true
 		}
 	}
+}
+
+// parkedAt reports whether every unfinished core has reached the pause
+// cycle.
+func (r *lagRunner) parkedAt(stop int64) bool {
+	for k := range r.cores {
+		if !r.doneCore[k] && r.cores[k].Core.Cycle() < stop {
+			return false
+		}
+	}
+	return true
 }
 
 func (r *lagRunner) allDone() bool {
@@ -382,6 +403,9 @@ func (r *lagRunner) jointWarp() {
 	}
 	if h > r.limit {
 		h = r.limit
+	}
+	if r.cfg.StopAt > 0 && h > r.cfg.StopAt {
+		h = r.cfg.StopAt
 	}
 	if r.cfg.Watchdog {
 		for k := range r.cores {
@@ -467,6 +491,9 @@ func (r *lagRunner) strideAll() {
 		// the sequential limit checks cycle for cycle.
 		if req.horizon > r.limit+1 {
 			req.horizon = r.limit + 1
+		}
+		if r.cfg.StopAt > 0 && req.horizon > r.cfg.StopAt {
+			req.horizon = r.cfg.StopAt
 		}
 		r.horizons[k] = req.horizon
 		r.endReasons[k] = req.endReason
@@ -606,6 +633,9 @@ func (r *lagRunner) catchUp() {
 			target = r.limit + 1
 		}
 	}
+	if r.cfg.StopAt > 0 && target > r.cfg.StopAt {
+		target = r.cfg.StopAt
+	}
 	r.catchTarget = target
 	maxCore := r.maxCoreCycle()
 	for r.G < r.catchTarget {
@@ -711,6 +741,56 @@ func (c *Core) RunLag(mem LagMem, maxStride int64, stats *LagStats) (Result, err
 		},
 	}
 	if _, err := RunBoundedLag(mem, []LagCore{{Core: c, Owner: 0}}, cfg); err != nil {
+		return Result{}, err
+	}
+	return c.buildResult(), nil
+}
+
+// RunLagWithCheckpoint runs like RunLag but captures a checkpoint mid-run:
+// the bounded-lag engine pauses at cycle `at` (core and backend clocks
+// lockstepped), the pair then steps sequentially until the first block
+// commit — the protocol quiesce point SaveState requires — fn fires at that
+// boundary, and bounded-lag stepping resumes to completion. The composition
+// is observable-identical to an uninterrupted RunLag: strides replay the
+// sequential interleave exactly, and the lockstep stretch IS the sequential
+// interleave (only the host-side Warps/WarpedCycles telemetry differs).
+func (c *Core) RunLagWithCheckpoint(mem LagMem, maxStride int64, stats *LagStats, at int64, fn func(cycle int64) error) (Result, error) {
+	limit := c.cfg.MaxCycles
+	if limit == 0 {
+		limit = 200_000_000
+	}
+	mkCfg := func(stopAt int64) LagConfig {
+		return LagConfig{
+			Limit:     limit,
+			Watchdog:  true,
+			NoWarp:    c.cfg.NoFastPath || c.cfg.NoWarp,
+			MaxStride: maxStride,
+			StopAt:    stopAt,
+			Stats:     stats,
+			LimitErr: func(l int64) error {
+				return fmt.Errorf("proc: cycle limit %d exceeded (%d blocks committed)", l, c.CommittedBlocks)
+			},
+		}
+	}
+	cores := []LagCore{{Core: c, Owner: 0}}
+	if _, err := RunBoundedLag(mem, cores, mkCfg(at)); err != nil {
+		return Result{}, err
+	}
+	// Sequential lockstep to the first commit boundary. A finished core
+	// checkpoints its terminal state instead.
+	last := c.CommittedBlocks
+	var guard int64
+	for !c.Done() && c.CommittedBlocks == last {
+		c.Step()
+		mem.Tick()
+		if guard++; guard > 400_000 {
+			return Result{}, fmt.Errorf("proc: no block commit within %d lockstep cycles after checkpoint arm cycle %d", guard-1, at)
+		}
+	}
+	if err := fn(c.Cycle()); err != nil {
+		return Result{}, fmt.Errorf("proc: checkpoint at cycle %d: %w", c.Cycle(), err)
+	}
+	if _, err := RunBoundedLag(mem, cores, mkCfg(0)); err != nil {
 		return Result{}, err
 	}
 	return c.buildResult(), nil

@@ -17,7 +17,47 @@ type MemRequest struct {
 	// Done is invoked when the transaction completes; for reads it carries
 	// the data.
 	Done func(data []byte)
+	// Origin identifies the requester and carries enough context to rebuild
+	// Done after a checkpoint restore (closures cannot be serialized). A
+	// request with OriginNone has no completion side effects beyond the
+	// write itself, so its Done restores as nil.
+	Origin Origin
 }
+
+// OriginKind discriminates the issuers of MemRequests for checkpointing.
+type OriginKind uint8
+
+const (
+	OriginNone            OriginKind = iota // writeback: no Done callback
+	OriginDTFetch                           // DT line fetch (miss or write-allocate)
+	OriginDTUncachedLoad                    // DT uncacheable load
+	OriginDTUncachedStore                   // DT uncacheable committed store
+	OriginITRefill                          // IT distributed I-cache refill chunk
+	OriginDMARead                           // chip DMA engine read
+	OriginDMAWrite                          // chip DMA engine write
+)
+
+// Origin describes who issued a request. Tile is the DT/IT index (or DMA
+// engine id); msg carries the uncacheable load's request message, which the
+// in-flight closure solely owns.
+type Origin struct {
+	Kind OriginKind
+	Tile int
+	msg  *opnMsg
+}
+
+// OriginResolver rebuilds a decoded MemRequest's Done callback from its
+// Origin. The Core resolves tile-issued requests; the chip wraps it to also
+// resolve DMA-issued ones.
+type OriginResolver interface {
+	ResolveOrigin(req *MemRequest)
+}
+
+// ResolverFunc adapts a function to OriginResolver (the chip composes the
+// two cores' resolvers and its own DMA resolution this way).
+type ResolverFunc func(req *MemRequest)
+
+func (f ResolverFunc) ResolveOrigin(req *MemRequest) { f(req) }
 
 // MemPort accepts transactions from one tile. Submit returns false when the
 // port cannot accept a request this cycle (backpressure).

@@ -1,6 +1,7 @@
 package proc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -84,3 +85,22 @@ func (p *Program) Image(m *mem.Memory) error {
 
 // NumBlocks returns the number of static blocks.
 func (p *Program) NumBlocks() int { return len(p.blocks) }
+
+// CanonicalBytes renders the program deterministically — entry address,
+// then each block's address and encoded image in ascending address order —
+// for content-hashing a checkpoint to the exact binary that produced it.
+// Encoding cannot fail here: NewProgram already encoded every block.
+func (p *Program) CanonicalBytes() []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint64(out, p.Entry)
+	for _, addr := range p.Addrs() {
+		data, err := isa.EncodeBlock(p.blocks[addr])
+		if err != nil {
+			panic(fmt.Sprintf("proc: block at %#x no longer encodes: %v", addr, err))
+		}
+		out = binary.LittleEndian.AppendUint64(out, addr)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(data)))
+		out = append(out, data...)
+	}
+	return out
+}

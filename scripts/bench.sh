@@ -30,6 +30,21 @@ mode="${1:-smoke}"
 if [ "$mode" = "sweep" ]; then
   shift
   [ $# -gt 0 ] || { echo "usage: scripts/bench.sh sweep <procs>..." >&2; exit 2; }
+  # A sweep point pinned to more GOMAXPROCS than the host has physical
+  # cores measures scheduler thrash, not scaling; refuse rather than record
+  # junk speedups into BENCH_chip.json.
+  cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+  for n in "$@"; do
+    case "$n" in
+      ''|*[!0-9]*) echo "bench.sh: sweep proc count '$n' is not a positive integer" >&2; exit 2 ;;
+    esac
+    [ "$n" -ge 1 ] || { echo "bench.sh: sweep proc count must be >= 1, got $n" >&2; exit 2; }
+    if [ "$n" -gt "$cores" ]; then
+      echo "bench.sh: sweep point $n exceeds the $cores cores this host has;" >&2
+      echo "  an oversubscribed pin would record junk into BENCH_chip.json — refusing" >&2
+      exit 2
+    fi
+  done
   for n in "$@"; do
     echo "== chip stepping benches @ GOMAXPROCS=$n -> BENCH_chip.json sweep =="
     GOMAXPROCS="$n" BENCH_CHIP_SWEEP=1 BENCH_CHIP_JSON="$PWD/BENCH_chip.json" \
