@@ -10,14 +10,21 @@
 //	     [-seq] [-par-stride n]
 //	     [-checkpoint-at n -checkpoint-out f] [-restore f]
 //	     [-sample-interval n [-sample-warmup n] [-sample-n k]]
+//	     [-flight [-flight-dir d] [-dump-on trig] [-flight-depth k] [-flight-interval n]]
+//	     [-max-cycles n] [-lag-deadline-pad n] [-lag-horizon-override n]
 //	     [-host] [-nofastpath] [-nowarp] [-cpuprofile f] [-memprofile f]
 //
 // -checkpoint-at/-checkpoint-out frame the complete machine state at the
 // first block-commit boundary after the given cycle; -restore resumes such a
 // file and runs to completion with results bit-identical to the
 // uninterrupted run. -sample-interval fans SimPoint-style interval replays
-// across a worker pool. All three disable the critical-path analyzer (its
-// event graph cannot be serialized).
+// across a worker pool. -flight arms the flight recorder: a rolling ring of
+// commit-boundary checkpoints plus a bounded trace window, dumped as a
+// self-describing bundle on panic, cycle-limit overrun or the -dump-on
+// trigger (rollback, end, block=N, cycle=N) for trips-debug to replay. All
+// of these disable the critical-path analyzer (its event graph cannot be
+// serialized). -lag-deadline-pad / -lag-horizon-override inject bounded-lag
+// timing faults to exercise the recorder's violation paths.
 package main
 
 import (
@@ -60,6 +67,14 @@ func main() {
 		sampleInt  = flag.Int64("sample-interval", 0, "SimPoint-style sampling: interval length in cycles (0 = off)")
 		sampleWarm = flag.Int64("sample-warmup", 0, "SimPoint-style sampling: cycles before the first sampled interval")
 		sampleN    = flag.Int("sample-n", 8, "SimPoint-style sampling: maximum number of intervals")
+		flightOn   = flag.Bool("flight", false, "arm the flight recorder: rolling checkpoints + crash-dump trace windows (see trips-debug)")
+		flightDir  = flag.String("flight-dir", "flight-dumps", "directory receiving flight-recorder dump bundles")
+		flightDep  = flag.Int("flight-depth", 0, "flight recorder: rolling checkpoint ring depth (0 = default)")
+		flightInt  = flag.Int64("flight-interval", 0, "flight recorder: cycles between rolling checkpoints (0 = default)")
+		dumpOn     = flag.String("dump-on", "", "flight recorder explicit trigger: rollback, end, block=N, or cycle=N (requires -flight)")
+		maxCycles  = flag.Int64("max-cycles", 0, "cap the simulated run length in cycles (0 = default 200M)")
+		lagPad     = flag.Int64("lag-deadline-pad", 0, "fault injection: pad bounded-lag response deadlines by this many cycles (diagnostics; overruns panic)")
+		lagHorizon = flag.Int64("lag-horizon-override", 0, "fault injection: force this bounded-lag stride horizon (diagnostics; overruns panic)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -91,6 +106,18 @@ func main() {
 	}
 	if *sampleInt > 0 && (*ckptOut != "" || *restore != "") {
 		fmt.Fprintln(os.Stderr, "tsim: -sample-interval cannot be combined with -checkpoint-out or -restore")
+		os.Exit(2)
+	}
+	if *dumpOn != "" && !*flightOn {
+		fmt.Fprintln(os.Stderr, "tsim: -dump-on arms a flight-recorder trigger; pass -flight as well")
+		os.Exit(2)
+	}
+	if *flightOn && (*ckptOut != "" || *sampleInt > 0) {
+		fmt.Fprintln(os.Stderr, "tsim: -flight cannot be combined with -checkpoint-out or -sample-interval (both own the commit hook)")
+		os.Exit(2)
+	}
+	if *maxCycles < 0 || *lagPad < 0 || *lagHorizon < 0 {
+		fmt.Fprintln(os.Stderr, "tsim: -max-cycles, -lag-deadline-pad and -lag-horizon-override must be non-negative")
 		os.Exit(2)
 	}
 
@@ -140,15 +167,18 @@ func main() {
 	}
 
 	// The critical-path analyzer builds an event graph that cannot be
-	// serialized, so checkpoint, restore and sampling all run without it.
-	crit := *ckptOut == "" && *restore == "" && *sampleInt == 0
-	opt := eval.TRIPSOptions{TrackCritPath: crit, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp, SeqStep: *seqStep, ParStride: *parStride}
+	// serialized, so checkpoint, restore, sampling and the flight recorder
+	// all run without it.
+	crit := *ckptOut == "" && *restore == "" && *sampleInt == 0 && !*flightOn
+	opt := eval.TRIPSOptions{TrackCritPath: crit, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp, SeqStep: *seqStep, ParStride: *parStride, MaxCycles: *maxCycles, LagHorizonOverride: *lagHorizon, LagDeadlinePad: *lagPad}
 	var tracer *obs.Tracer
 	var sampler *obs.Sampler
 	if *traceOut != "" {
 		tracer = obs.NewTracer(0)
-		sampler = obs.NewSampler(0)
 		opt.Trace = tracer
+	}
+	if *traceOut != "" || *stats || *flightOn {
+		sampler = obs.NewSampler(0)
 		opt.Metrics = sampler
 	}
 	if *debugAddr != "" {
@@ -184,6 +214,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *flightOn {
+		opt.Flight = &eval.FlightOptions{
+			Dir:      *flightDir,
+			Depth:    *flightDep,
+			Interval: *flightInt,
+			DumpOn:   *dumpOn,
+			Tool:     "tsim",
+			Bench:    w.Name,
+			Hand:     hand,
+		}
+	}
+
 	spec := w.Build(hand)
 
 	if *sampleInt > 0 {
@@ -217,6 +259,9 @@ func main() {
 	wall := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if *flightOn {
+			fmt.Fprintf(os.Stderr, "tsim: flight-recorder dump bundles (if any) are under %s; inspect with trips-debug\n", *flightDir)
+		}
 		os.Exit(1)
 	}
 	if ckptFile != nil {
@@ -245,6 +290,9 @@ func main() {
 	}
 	if *restore != "" {
 		fmt.Printf("  restored from %s\n", *restore)
+	}
+	for _, d := range r.FlightDumps {
+		fmt.Printf("  flight dump: %s (inspect with trips-debug info %s)\n", d, d)
 	}
 	if *stats {
 		fmt.Print(r.Stats.String())

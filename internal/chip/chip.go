@@ -112,6 +112,9 @@ type Chip struct {
 	// ckptAt and locksteps to the commit boundary first.
 	ckptAt int64
 	ckptFn func(cycle int64) error
+	// Rollback hook: forwarded to LagConfig.OnRollback so observers (the
+	// flight recorder) see effect-gate rewinds under StepLag.
+	onRollback func(owner int, from, effect int64)
 }
 
 // SetCheckpointHook arms fn to run once at the first block-commit boundary
@@ -121,6 +124,14 @@ type Chip struct {
 func (c *Chip) SetCheckpointHook(at int64, fn func(cycle int64) error) {
 	c.ckptAt = at
 	c.ckptFn = fn
+}
+
+// SetRollbackHook arms fn to observe bounded-lag effect-gate rewinds under
+// StepLag: owner is the memory-port owner id (core index), from the cycle
+// the core had run ahead to, effect the rewound-to cycle. Observability
+// only — fn must not touch simulated state.
+func (c *Chip) SetRollbackHook(fn func(owner int, from, effect int64)) {
+	c.onRollback = fn
 }
 
 // committedBlocks sums block commits across the active cores.
@@ -371,30 +382,36 @@ func (c *Chip) runSeq() error {
 // port owners assigned at construction gate each owned port's drains by its
 // core's clock.
 func (c *Chip) runLag() error {
-	if c.ckptFn == nil {
-		return c.runLagPhase(0)
-	}
 	// Checkpoint capture under bounded-lag stepping: park every clock at
 	// the arm cycle (LagConfig.StopAt aligns core and backend clocks at a
 	// lockstep boundary), lockstep sequentially to the next block-commit
-	// boundary, capture, and resume the coordinator. The composition is
-	// observable-identical to an uninterrupted bounded-lag run; only the
-	// warp telemetry may differ across the phase seams.
-	if err := c.runLagPhase(c.ckptAt); err != nil {
-		return err
-	}
-	last := c.committedBlocks()
-	var guard int64
-	for !c.Done() && c.committedBlocks() == last {
-		c.Step()
-		if guard++; guard > 400_000 {
-			return fmt.Errorf("chip: no block commit within %d lockstep cycles after checkpoint arm cycle %d", guard-1, c.ckptAt)
+	// boundary, capture, and resume the coordinator. fn may re-arm the hook
+	// via SetCheckpointHook for rolling captures (the flight recorder). The
+	// composition is observable-identical to an uninterrupted bounded-lag
+	// run; only the warp telemetry may differ across the phase seams.
+	for c.ckptFn != nil {
+		at := c.ckptAt
+		if err := c.runLagPhase(at); err != nil {
+			return err
 		}
-	}
-	fn := c.ckptFn
-	c.ckptFn = nil
-	if err := fn(c.cycle); err != nil {
-		return fmt.Errorf("chip: checkpoint at cycle %d: %w", c.cycle, err)
+		last := c.committedBlocks()
+		var guard int64
+		for !c.Done() && c.committedBlocks() == last {
+			c.Step()
+			if guard++; guard > 400_000 {
+				return fmt.Errorf("chip: no block commit within %d lockstep cycles after checkpoint arm cycle %d", guard-1, at)
+			}
+		}
+		fn := c.ckptFn
+		c.ckptFn = nil
+		if err := fn(c.cycle); err != nil {
+			return fmt.Errorf("chip: checkpoint at cycle %d: %w", c.cycle, err)
+		}
+		// A finished chip cannot reach another commit boundary: drop any
+		// re-arm rather than spin on the terminal state.
+		if c.Done() {
+			c.ckptFn = nil
+		}
 	}
 	return c.runLagPhase(0)
 }
@@ -421,6 +438,7 @@ func (c *Chip) runLagPhase(stopAt int64) error {
 		Parallel:        !c.cfg.NoParallel,
 		HorizonOverride: c.cfg.LagHorizonOverride,
 		DeadlinePad:     c.cfg.LagDeadlinePad,
+		OnRollback:      c.onRollback,
 		StopAt:          stopAt,
 		PreTick: func(int64) {
 			for _, d := range c.DMA {

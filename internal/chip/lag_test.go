@@ -317,6 +317,36 @@ func TestChipLagDeadlineCountersPopulated(t *testing.T) {
 	}
 }
 
+// TestChipRollbackHookObserves pins the OnRollback observability hook the
+// flight recorder hangs on: under horizon-override fault injection every
+// effect-gate rewind must invoke the hook with a sane (from > effect) pair,
+// and the hook count must match the coordinator's rollback telemetry.
+func TestChipRollbackHookObserves(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	c := chipScenario(t, "chase", func(cfg *Config) {
+		cfg.LagHorizonOverride = 64
+	})
+	var fired uint64
+	c.SetRollbackHook(func(owner int, from, effect int64) {
+		fired++
+		if from <= effect {
+			t.Errorf("rollback hook: from %d <= effect %d", from, effect)
+		}
+		if owner != 0 && owner != 1 {
+			t.Errorf("rollback hook: bogus owner %d", owner)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Lag.TotalRollbacks(); n == 0 {
+		t.Fatalf("horizon override produced no rollbacks — cannot exercise the hook")
+	} else if fired != n {
+		t.Errorf("rollback hook fired %d times, coordinator counted %d", fired, n)
+	}
+}
+
 // TestChipLagLimitBoundaryParity sweeps MaxCycles across the completion
 // boundary and requires the sequential and bounded-lag steppers to agree on
 // outcome (success vs limit error) and final cycle at every limit.

@@ -91,6 +91,7 @@ func WriteFile(w io.Writer, content Hash, payload []byte) error {
 	if _, err := w.Write(sum[:]); err != nil {
 		return fmt.Errorf("ckpt: writing checksum: %w", err)
 	}
+	noteWrite(len(hdr) + len(payload) + len(sum))
 	return nil
 }
 
@@ -111,8 +112,10 @@ func ReadFile(r io.Reader, want Hash) ([]byte, error) {
 	var got Hash
 	copy(got[:], hdr[12:44])
 	if got != want {
+		stats.hashFailures.Add(1)
 		return nil, fmt.Errorf("%w: file was taken with %s, this run is %s", ErrContentHash, got, want)
 	}
+	stats.hashChecks.Add(1)
 	n := binary.LittleEndian.Uint64(hdr[44:52])
 	if n > maxPayload {
 		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, n)
@@ -126,8 +129,11 @@ func ReadFile(r io.Reader, want Hash) ([]byte, error) {
 		return nil, fmt.Errorf("%w: checksum: %v", ErrCorrupt, err)
 	}
 	if sum != sha256.Sum256(payload) {
+		stats.hashFailures.Add(1)
 		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
 	}
+	stats.hashChecks.Add(1)
+	noteRead(len(hdr) + len(payload) + len(sum))
 	return payload, nil
 }
 
@@ -138,6 +144,11 @@ type Writer struct {
 
 // Payload returns the accumulated payload.
 func (w *Writer) Payload() []byte { return w.buf }
+
+// Reset truncates the payload to zero length, keeping the allocated buffer
+// for reuse. The flight recorder's rolling ring recycles slot buffers this
+// way so steady-state captures stop allocating once the ring warms up.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
@@ -184,9 +195,10 @@ func (w *Writer) String(s string) {
 // sticks: every later accessor returns a zero value, so callers can decode
 // a whole section and check Err once.
 type Reader struct {
-	buf []byte
-	off int
-	err error
+	buf   []byte
+	off   int
+	err   error
+	maxID uint64
 }
 
 // NewReader wraps a payload for decoding.
@@ -194,6 +206,19 @@ func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
 
 // Err reports the first decoding failure, if any.
 func (r *Reader) Err() error { return r.err }
+
+// NoteID records an allocator-issued id decoded from the payload; MaxID
+// returns the largest noted so far. Restore paths use the pair to resume
+// host-side id allocators (message trace ids) past every restored id, so
+// ids allocated after a restore never collide with ids still in flight.
+func (r *Reader) NoteID(id uint64) {
+	if id > r.maxID {
+		r.maxID = id
+	}
+}
+
+// MaxID returns the largest id recorded by NoteID.
+func (r *Reader) MaxID() uint64 { return r.maxID }
 
 // Remaining returns how many undecoded bytes are left.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }

@@ -1,0 +1,66 @@
+package ckpt
+
+import "sync/atomic"
+
+// Package-level save/restore counters. Checkpoint traffic flows through
+// WriteFile/ReadFile from several layers (tsim -checkpoint-out, SimPoint
+// sampling, the flight recorder's rolling ring), so the counters live here
+// at the choke point rather than in each caller. All fields are updated
+// atomically; snapshots are safe from any goroutine.
+var stats struct {
+	framesWritten atomic.Uint64
+	bytesWritten  atomic.Uint64
+	framesRead    atomic.Uint64
+	bytesRead     atomic.Uint64
+	hashChecks    atomic.Uint64
+	hashFailures  atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the package counters.
+type StatsSnapshot struct {
+	// FramesWritten / BytesWritten count successful WriteFile calls and the
+	// total bytes they framed (header + payload + checksum).
+	FramesWritten uint64
+	BytesWritten  uint64
+	// FramesRead / BytesRead count successful ReadFile calls — i.e.
+	// restores — and the bytes they validated.
+	FramesRead uint64
+	BytesRead  uint64
+	// HashChecks counts content-hash and payload-checksum verifications
+	// that passed; HashFailures counts mismatches (ErrContentHash or
+	// checksum corruption).
+	HashChecks   uint64
+	HashFailures uint64
+}
+
+// Stats returns a snapshot of the package counters.
+func Stats() StatsSnapshot {
+	return StatsSnapshot{
+		FramesWritten: stats.framesWritten.Load(),
+		BytesWritten:  stats.bytesWritten.Load(),
+		FramesRead:    stats.framesRead.Load(),
+		BytesRead:     stats.bytesRead.Load(),
+		HashChecks:    stats.hashChecks.Load(),
+		HashFailures:  stats.hashFailures.Load(),
+	}
+}
+
+// ResetStats zeroes the package counters (tests only).
+func ResetStats() {
+	stats.framesWritten.Store(0)
+	stats.bytesWritten.Store(0)
+	stats.framesRead.Store(0)
+	stats.bytesRead.Store(0)
+	stats.hashChecks.Store(0)
+	stats.hashFailures.Store(0)
+}
+
+func noteWrite(totalBytes int) {
+	stats.framesWritten.Add(1)
+	stats.bytesWritten.Add(uint64(totalBytes))
+}
+
+func noteRead(totalBytes int) {
+	stats.framesRead.Add(1)
+	stats.bytesRead.Add(uint64(totalBytes))
+}

@@ -1,0 +1,87 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// The save/restore counters sit at the WriteFile/ReadFile choke point:
+// every successful write bumps frames/bytes written, every successful read
+// bumps frames/bytes read plus two passed hash checks (content hash and
+// payload checksum), and mismatches land in HashFailures instead.
+func TestStatsCounters(t *testing.T) {
+	ResetStats()
+	content := HashContent([]byte("prog"), []byte("cfg"))
+	payload := []byte("payload bytes")
+
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, content, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	s := Stats()
+	if s.FramesWritten != 1 {
+		t.Fatalf("FramesWritten = %d, want 1", s.FramesWritten)
+	}
+	if want := uint64(len(frame)); s.BytesWritten != want {
+		t.Fatalf("BytesWritten = %d, want %d (full frame)", s.BytesWritten, want)
+	}
+	if s.FramesRead != 0 || s.HashChecks != 0 || s.HashFailures != 0 {
+		t.Fatalf("read-side counters dirty before any read: %+v", s)
+	}
+
+	if _, err := ReadFile(bytes.NewReader(frame), content); err != nil {
+		t.Fatal(err)
+	}
+	s = Stats()
+	if s.FramesRead != 1 {
+		t.Fatalf("FramesRead = %d, want 1", s.FramesRead)
+	}
+	if want := uint64(len(frame)); s.BytesRead != want {
+		t.Fatalf("BytesRead = %d, want %d", s.BytesRead, want)
+	}
+	if s.HashChecks != 2 {
+		t.Fatalf("HashChecks = %d, want 2 (content hash + payload checksum)", s.HashChecks)
+	}
+
+	// A content-hash mismatch counts as a failure, not a read.
+	other := HashContent([]byte("different"))
+	if _, err := ReadFile(bytes.NewReader(frame), other); !errors.Is(err, ErrContentHash) {
+		t.Fatalf("expected ErrContentHash, got %v", err)
+	}
+	// A flipped payload byte fails the checksum after the content hash
+	// passes.
+	bad := append([]byte(nil), frame...)
+	bad[52] ^= 0xff
+	if _, err := ReadFile(bytes.NewReader(bad), content); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+	s = Stats()
+	if s.HashFailures != 2 {
+		t.Fatalf("HashFailures = %d, want 2", s.HashFailures)
+	}
+	if s.FramesRead != 1 {
+		t.Fatalf("FramesRead = %d after failed reads, want still 1", s.FramesRead)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.Bytes([]byte("0123456789"))
+	if w.Len() == 0 {
+		t.Fatal("expected non-empty payload")
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	w.U32(7)
+	r := NewReader(w.Payload())
+	if got := r.U32(); got != 7 {
+		t.Fatalf("U32 after Reset = %d, want 7", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

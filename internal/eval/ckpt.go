@@ -72,6 +72,7 @@ func buildTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*trips, error) {
 		NoFastPath:        opt.NoFastPath,
 		NoWarp:            opt.NoWarp,
 		ExternalMemTick:   t.lag,
+		MaxCycles:         opt.MaxCycles,
 		Trace:             opt.Trace,
 		Metrics:           opt.Metrics,
 	})
@@ -82,6 +83,9 @@ func buildTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*trips, error) {
 		if gr, ok := meta.RegOf[v]; ok {
 			core.SetRegister(0, gr, val)
 		}
+	}
+	if opt.LagHorizonOverride > 0 || opt.LagDeadlinePad > 0 {
+		core.SetLagFaults(opt.LagHorizonOverride, opt.LagDeadlinePad)
 	}
 	t.core = core
 	return t, nil
@@ -218,6 +222,9 @@ func RunSampled(spec *workloads.Spec, opt TRIPSOptions, warmup, interval int64, 
 	}
 	if opt.CheckpointTo != nil || opt.RestoreFrom != nil {
 		return nil, fmt.Errorf("eval: sampled %s: cannot combine with explicit checkpoint/restore", spec.F.Name)
+	}
+	if opt.Flight != nil {
+		return nil, fmt.Errorf("eval: sampled %s: the flight recorder and SimPoint sampling both own the commit hook; use one", spec.F.Name)
 	}
 	opt.SeqStep = true
 	opt.CheckpointAt = 0

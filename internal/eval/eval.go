@@ -72,6 +72,23 @@ type TRIPSOptions struct {
 	// is touched. The resumed run's final result is bit-identical to the
 	// uninterrupted run's.
 	RestoreFrom io.Reader
+	// Flight, when non-nil, arms the flight recorder: a rolling ring of
+	// block-commit checkpoints plus a bounded trace window, dumped as a
+	// self-describing bundle on panic, cycle-limit overrun, bounded-lag
+	// rollback, or the configured DumpOn trigger. Incompatible with
+	// TrackCritPath and with explicit CheckpointTo.
+	Flight *FlightOptions
+	// MaxCycles caps the run's simulated length (0 = the simulator default,
+	// 200M). A run that reaches the cap fails with a cycle-limit error —
+	// which, with the flight recorder armed, dumps a bundle on the way out.
+	MaxCycles int64
+	// LagHorizonOverride / LagDeadlinePad are bounded-lag fault-injection
+	// knobs (see proc.LagConfig): they make rollbacks reachable on demand
+	// while results stay bit-identical. Debug/test only — they exist so a
+	// tsim walkthrough can force the rollback path and watch the flight
+	// recorder catch it.
+	LagHorizonOverride int64
+	LagDeadlinePad     int64
 }
 
 // TRIPSResult is one TRIPS run's outcome.
@@ -97,6 +114,9 @@ type TRIPSResult struct {
 	// Lag carries bounded-lag coordinator telemetry (stride histogram,
 	// stall reasons, rollbacks) when the run used bounded-lag stepping.
 	Lag *proc.LagStats
+	// FlightDumps lists dump-bundle directories the flight recorder wrote
+	// during the run (nil when the recorder was off or never triggered).
+	FlightDumps []string
 }
 
 // RunTRIPS compiles and executes a workload spec on the TRIPS core.
@@ -107,10 +127,15 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 	if opt.CheckpointTo != nil && opt.CheckpointAt <= 0 {
 		return nil, fmt.Errorf("eval: %s: checkpoint requested without a positive capture cycle", spec.F.Name)
 	}
+	fr, err := newFlightRun(spec, &opt)
+	if err != nil {
+		return nil, err
+	}
 	t, err := buildTRIPS(spec, opt)
 	if err != nil {
 		return nil, err
 	}
+	fr.bind(t, opt)
 	if opt.RestoreFrom != nil {
 		payload, err := ckpt.ReadFile(opt.RestoreFrom, t.hash(opt))
 		if err != nil {
@@ -119,6 +144,9 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 		if err := t.load(payload); err != nil {
 			return nil, fmt.Errorf("eval: restore %s: %w", spec.F.Name, err)
 		}
+	}
+	if sm := opt.Metrics; sm != nil {
+		registerCkptSeries(sm)
 	}
 	capture := func(cycle int64) error {
 		pw := &ckpt.Writer{}
@@ -133,35 +161,58 @@ func RunTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*TRIPSResult, error) {
 	}
 	var res proc.Result
 	var lagStats *proc.LagStats
-	if t.lag {
-		lagStats = &proc.LagStats{}
-		if sm := opt.Metrics; sm != nil {
-			sm.Register("lag.strides", func() int64 { return int64(lagStats.TotalStrides()) })
-			sm.Register("lag.rollbacks", func() int64 { return int64(lagStats.TotalRollbacks()) })
-			sm.Register("lag.deadline_strides", func() int64 {
-				var n uint64
-				for i := range lagStats.Core {
-					n += lagStats.Core[i].DeadlineLimited
-				}
-				return int64(n)
-			})
-			sm.Register("lag.mem_warped_cycles", func() int64 { return lagStats.MemWarpedCycles })
-		}
-		if opt.CheckpointTo != nil {
-			res, err = t.core.RunLagWithCheckpoint(t.sys, opt.ParStride, lagStats, opt.CheckpointAt, capture)
+	err = fr.guard(func() error {
+		var err error
+		if t.lag {
+			lagStats = &proc.LagStats{}
+			if sm := opt.Metrics; sm != nil {
+				sm.Register("lag.strides", func() int64 { return int64(lagStats.TotalStrides()) })
+				sm.Register("lag.rollbacks", func() int64 { return int64(lagStats.TotalRollbacks()) })
+				sm.Register("lag.deadline_strides", func() int64 {
+					var n uint64
+					for i := range lagStats.Core {
+						n += lagStats.Core[i].DeadlineLimited
+					}
+					return int64(n)
+				})
+				sm.Register("lag.mem_warped_cycles", func() int64 { return lagStats.MemWarpedCycles })
+			}
+			switch {
+			case opt.CheckpointTo != nil:
+				res, err = t.core.RunLagWithCheckpoint(t.sys, opt.ParStride, lagStats, opt.CheckpointAt, capture)
+			case fr.armed():
+				// The recorder pre-armed a self-re-arming rolling hook.
+				res, err = t.core.RunLagCheckpointed(t.sys, opt.ParStride, lagStats)
+			default:
+				res, err = t.core.RunLag(t.sys, opt.ParStride, lagStats)
+			}
 		} else {
-			res, err = t.core.RunLag(t.sys, opt.ParStride, lagStats)
+			if opt.CheckpointTo != nil {
+				t.core.SetCheckpointHook(opt.CheckpointAt, capture)
+			}
+			res, err = t.core.Run()
 		}
-	} else {
-		if opt.CheckpointTo != nil {
-			t.core.SetCheckpointHook(opt.CheckpointAt, capture)
-		}
-		res, err = t.core.Run()
-	}
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", spec.F.Name, err)
 	}
-	return t.finish(res, lagStats)
+	fr.finish()
+	out, err := t.finish(res, lagStats)
+	if err != nil {
+		return nil, err
+	}
+	out.FlightDumps = fr.dumpDirs()
+	return out, nil
+}
+
+// registerCkptSeries exposes the checkpoint save/restore counters as
+// sampled series so -stats and /metrics see checkpoint traffic over time.
+func registerCkptSeries(sm *obs.Sampler) {
+	sm.Register("ckpt.frames_written", func() int64 { return int64(ckpt.Stats().FramesWritten) })
+	sm.Register("ckpt.bytes_written", func() int64 { return int64(ckpt.Stats().BytesWritten) })
+	sm.Register("ckpt.restores", func() int64 { return int64(ckpt.Stats().FramesRead) })
+	sm.Register("ckpt.hash_checks", func() int64 { return int64(ckpt.Stats().HashChecks) })
 }
 
 // AlphaResult is one baseline run's outcome.
@@ -289,6 +340,12 @@ type Stepping struct {
 	// See TRIPSOptions.
 	SeqStep   bool
 	ParStride int64
+	// FlightDir, when non-empty, arms the flight recorder on the
+	// compiled-TRIPS run of each row (the hand run keeps the critical-path
+	// analyzer, which the recorder is incompatible with): a crash or
+	// cycle-limit overrun in a long suite run dumps a replayable bundle
+	// under this directory instead of evaporating.
+	FlightDir string
 }
 
 // Table3 computes one benchmark's row. An optional Stepping overrides the
@@ -306,7 +363,11 @@ func Table3(w workloads.Workload, step ...Stepping) (Table3Row, error) {
 		return row, err
 	}
 	compSpec := w.Build(false)
-	comp, err := RunTRIPS(compSpec, TRIPSOptions{Mode: tcc.Compiled, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride})
+	copt := TRIPSOptions{Mode: tcc.Compiled, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride}
+	if st.FlightDir != "" {
+		copt.Flight = &FlightOptions{Dir: st.FlightDir, Tool: "trips-eval", Bench: w.Name}
+	}
+	comp, err := RunTRIPS(compSpec, copt)
 	if err != nil {
 		return row, err
 	}

@@ -28,8 +28,8 @@ var Progress struct {
 // counts are deterministic; everything else here is host wall-clock.
 type HostMetrics struct {
 	Workload     string  `json:"workload"`
-	SimCycles    int64   `json:"sim_cycles"`     // total simulated cycles across the row's runs
-	WallNS       int64   `json:"wall_ns"`        // host wall-clock for the row
+	SimCycles    int64   `json:"sim_cycles"` // total simulated cycles across the row's runs
+	WallNS       int64   `json:"wall_ns"`    // host wall-clock for the row
 	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
 	NSPerCycle   float64 `json:"host_ns_per_sim_cycle"`
 }

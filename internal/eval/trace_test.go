@@ -48,6 +48,31 @@ func TestTraceBitIdentity(t *testing.T) {
 		if traced.Trace.Total() == 0 {
 			t.Errorf("nuca=%v: traced run emitted no events", useNUCA)
 		}
+
+		// Armed flight recorder: rolling checkpoints and the bounded window
+		// must be exactly as invisible as a plain tracer. (TrackCritPath is
+		// dropped — the recorder is incompatible with it — but the critical
+		// path analyzer is itself pure observation, so the plain run remains
+		// the reference.)
+		armed := TRIPSOptions{Mode: tcc.Hand, UseNUCA: useNUCA,
+			Flight: &FlightOptions{Dir: t.TempDir(), Depth: 3, Interval: 500}}
+		flightRun, err := RunTRIPS(w.Build(true), armed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flightRun.Cycles != plain.Cycles {
+			t.Errorf("nuca=%v: recorder-armed run took %d cycles, plain %d — the recorder perturbed the simulation",
+				useNUCA, flightRun.Cycles, plain.Cycles)
+		}
+		if flightRun.Blocks != plain.Blocks || flightRun.Insts != plain.Insts {
+			t.Errorf("nuca=%v: recorder-armed run committed %d blocks/%d insts, plain %d/%d",
+				useNUCA, flightRun.Blocks, flightRun.Insts, plain.Blocks, plain.Insts)
+		}
+		for r, v := range plain.Regs {
+			if flightRun.Regs[r] != v {
+				t.Errorf("nuca=%v: recorder-armed r%d = %d, plain %d", useNUCA, r, flightRun.Regs[r], v)
+			}
+		}
 	}
 }
 

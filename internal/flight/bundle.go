@@ -1,0 +1,194 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"trips/internal/ckpt"
+	"trips/internal/obs"
+)
+
+// BundleFormat versions the bundle layout; bump on breaking changes.
+const BundleFormat = 1
+
+// Manifest is the bundle's self-description (manifest.json).
+type Manifest struct {
+	Format    int    `json:"format"`
+	Tool      string `json:"tool,omitempty"`
+	Trigger   string `json:"trigger"`
+	Reason    string `json:"reason,omitempty"`
+	DumpCycle int64  `json:"dump_cycle"`
+	// ContentHash is the run's checkpoint compatibility hash, hex-encoded;
+	// replay recomputes it from Meta and refuses a mismatched bundle.
+	ContentHash string            `json:"content_hash,omitempty"`
+	Checkpoint  *CheckpointInfo   `json:"checkpoint,omitempty"`
+	Windows     []WindowInfo      `json:"windows,omitempty"`
+	Counters    map[string]uint64 `json:"counters,omitempty"`
+	// Meta is the workload/config identity the producer recorded —
+	// everything replay needs to rebuild the machine.
+	Meta map[string]string `json:"meta,omitempty"`
+	// Kinds maps numeric event kinds to names so the events files are
+	// interpretable without this codebase.
+	Kinds map[uint8]string `json:"kinds,omitempty"`
+}
+
+// CheckpointInfo describes the bundled checkpoint frame.
+type CheckpointInfo struct {
+	File  string `json:"file"`
+	Cycle int64  `json:"cycle"`
+	Bytes int    `json:"bytes"`
+}
+
+// WindowInfo describes one bundled trace window.
+type WindowInfo struct {
+	Name       string `json:"name"`
+	File       string `json:"file"`
+	Events     int    `json:"events"`
+	Dropped    uint64 `json:"dropped"`
+	FirstCycle int64  `json:"first_cycle"`
+	LastCycle  int64  `json:"last_cycle"`
+}
+
+// eventsFile is the on-disk window format.
+type eventsFile struct {
+	Format int         `json:"format"`
+	Name   string      `json:"name"`
+	Events []obs.Event `json:"events"`
+}
+
+func kindLegend() map[uint8]string {
+	m := make(map[uint8]string)
+	for k := obs.KindBlockFetch; k <= obs.KindCkpt; k++ {
+		m[uint8(k)] = k.String()
+	}
+	return m
+}
+
+// writeBundle stages every bundle file into dir (already created).
+func (r *Recorder) writeBundle(dir, trigger, reason string, cycle int64) error {
+	man := Manifest{
+		Format:      BundleFormat,
+		Tool:        r.cfg.Tool,
+		Trigger:     trigger,
+		Reason:      reason,
+		DumpCycle:   cycle,
+		ContentHash: r.cfg.Hash.String(),
+		Counters:    r.counters(),
+		Meta:        r.cfg.Meta,
+		Kinds:       kindLegend(),
+	}
+	if ckCycle, payload, ok := r.NearestBefore(cycle); ok {
+		f, err := os.Create(filepath.Join(dir, "checkpoint.ckpt"))
+		if err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		werr := ckpt.WriteFile(f, r.cfg.Hash, payload)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("flight: writing checkpoint: %w", werr)
+		}
+		man.Checkpoint = &CheckpointInfo{File: "checkpoint.ckpt", Cycle: ckCycle, Bytes: len(payload)}
+	}
+	for _, w := range r.windows {
+		evs := w.tr.Events()
+		name := fmt.Sprintf("window-%s.events.json", sanitize(w.name))
+		if err := WriteEvents(filepath.Join(dir, name), w.name, evs); err != nil {
+			return err
+		}
+		wi := WindowInfo{Name: w.name, File: name, Events: len(evs), Dropped: w.tr.Dropped()}
+		if len(evs) > 0 {
+			wi.FirstCycle = evs[0].Cycle
+			wi.LastCycle = evs[len(evs)-1].Cycle
+		}
+		man.Windows = append(man.Windows, wi)
+	}
+	if r.cfg.StatsText != nil {
+		if err := os.WriteFile(filepath.Join(dir, "stats.txt"), []byte(r.cfg.StatsText()), 0o644); err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+	}
+	mb, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), append(mb, '\n'), 0o644); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	return nil
+}
+
+// WriteEvents writes a trace window to path as self-describing JSON.
+func WriteEvents(path, name string, evs []obs.Event) error {
+	b, err := json.Marshal(&eventsFile{Format: BundleFormat, Name: name, Events: evs})
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	return nil
+}
+
+// ReadEvents reads a trace window written by WriteEvents.
+func ReadEvents(path string) ([]obs.Event, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	var f eventsFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("flight: %s: %w", path, err)
+	}
+	if f.Format != BundleFormat {
+		return nil, fmt.Errorf("flight: %s: format %d, this build reads %d", path, f.Format, BundleFormat)
+	}
+	return f.Events, nil
+}
+
+// Bundle is a dump bundle opened for reading.
+type Bundle struct {
+	Dir      string
+	Manifest Manifest
+}
+
+// ReadBundle opens a bundle directory and parses its manifest.
+func ReadBundle(dir string) (*Bundle, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("flight: %s: %w", dir, err)
+	}
+	if man.Format != BundleFormat {
+		return nil, fmt.Errorf("flight: %s: bundle format %d, this build reads %d", dir, man.Format, BundleFormat)
+	}
+	return &Bundle{Dir: dir, Manifest: man}, nil
+}
+
+// CheckpointPath returns the bundled checkpoint's path ("" if none).
+func (b *Bundle) CheckpointPath() string {
+	if b.Manifest.Checkpoint == nil {
+		return ""
+	}
+	return filepath.Join(b.Dir, b.Manifest.Checkpoint.File)
+}
+
+// Window reads the named trace window ("" with exactly one window means
+// that window).
+func (b *Bundle) Window(name string) ([]obs.Event, error) {
+	if name == "" && len(b.Manifest.Windows) == 1 {
+		name = b.Manifest.Windows[0].Name
+	}
+	for _, w := range b.Manifest.Windows {
+		if w.Name == name {
+			return ReadEvents(filepath.Join(b.Dir, w.File))
+		}
+	}
+	return nil, fmt.Errorf("flight: bundle %s has no window %q", b.Dir, name)
+}

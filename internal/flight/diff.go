@@ -1,0 +1,177 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+
+	"trips/internal/obs"
+)
+
+// Trace windows from different runs of the same simulation are bit-identical
+// in every protocol observable, but two emission artifacts leak host-side
+// state into the raw streams:
+//
+//   - Message trace ids: the tracer's id allocator restarts at 1 in a
+//     restored run while in-flight messages keep their checkpointed ids, so
+//     the same flow can carry different Seq values in two otherwise
+//     identical windows.
+//   - Intra-cycle order: all events within one cycle describe simultaneous
+//     micronet activity, and the order the routers happen to be visited in
+//     (event-wheel bucket order, channel iteration) is not preserved across
+//     checkpoint/restore even though every simulated observable is.
+//
+// Comparison therefore canonicalizes both: events are sorted within each
+// cycle by their protocol content, and net-event ids are remapped densely by
+// order of first canonical appearance. After that, two windows of the same
+// simulated region must match event-for-event, and the first mismatch
+// localizes the first divergent protocol event.
+
+func isNetKind(k obs.Kind) bool {
+	return k == obs.KindNetInject || k == obs.KindNetHop || k == obs.KindNetDeliver
+}
+
+// NormalizeFlowIDs returns a copy of evs with each net event's Seq (the
+// message trace id) remapped to a dense id assigned in order of first
+// appearance. Block-protocol events (whose Seq is the architectural block
+// sequence number) are untouched.
+func NormalizeFlowIDs(evs []obs.Event) []obs.Event {
+	out := make([]obs.Event, len(evs))
+	remap := make(map[uint64]uint64)
+	var next uint64
+	for i, ev := range evs {
+		if isNetKind(ev.Kind) {
+			id, ok := remap[ev.Seq]
+			if !ok {
+				next++
+				id = next
+				remap[ev.Seq] = id
+			}
+			ev.Seq = id
+		}
+		out[i] = ev
+	}
+	return out
+}
+
+// WindowFrom returns the suffix of evs with Cycle >= from (events are
+// emitted in nondecreasing cycle order).
+func WindowFrom(evs []obs.Event, from int64) []obs.Event {
+	lo, hi := 0, len(evs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if evs[mid].Cycle < from {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return evs[lo:]
+}
+
+// eventLess orders two events by protocol content. withSeq includes Seq as
+// the final tiebreaker — valid only once flow ids are normalized (raw net
+// Seq values are a host artifact).
+func eventLess(a, b obs.Event, withSeq bool) bool {
+	switch {
+	case a.Cycle != b.Cycle:
+		return a.Cycle < b.Cycle
+	case a.Kind != b.Kind:
+		return a.Kind < b.Kind
+	case a.Net != b.Net:
+		return a.Net < b.Net
+	case a.Addr != b.Addr:
+		return a.Addr < b.Addr
+	case a.Arg != b.Arg:
+		return a.Arg < b.Arg
+	case a.Slot != b.Slot:
+		return a.Slot < b.Slot
+	case a.Cat != b.Cat:
+		return a.Cat < b.Cat
+	}
+	if withSeq {
+		return a.Seq < b.Seq
+	}
+	return false
+}
+
+// Canonicalize returns a copy of evs in comparison-canonical form: events
+// sorted within each cycle by protocol content, and net-event flow ids
+// remapped densely by first canonical appearance. Two windows of the same
+// simulated region canonicalize to equal sequences regardless of how the
+// producing runs interleaved their per-cycle emissions or allocated their
+// trace ids.
+func Canonicalize(evs []obs.Event) []obs.Event {
+	out := make([]obs.Event, len(evs))
+	copy(out, evs)
+	// First pass orders by content alone so flow-id assignment below cannot
+	// depend on the producer's raw ids or emission interleaving.
+	sort.SliceStable(out, func(i, j int) bool { return eventLess(out[i], out[j], false) })
+	out = NormalizeFlowIDs(out)
+	// Second pass breaks content ties by the now-normalized flow id.
+	sort.SliceStable(out, func(i, j int) bool { return eventLess(out[i], out[j], true) })
+	return out
+}
+
+// Divergence reports the first event-level mismatch between two windows.
+type Divergence struct {
+	Index  int        // position in the normalized sequences
+	A, B   *obs.Event // the mismatched events (nil when one side ran out)
+	Reason string
+}
+
+// Compare canonicalizes both windows (see Canonicalize) and returns the
+// first divergence, or nil when the windows match event-for-event.
+func Compare(a, b []obs.Event) *Divergence {
+	na, nb := Canonicalize(a), Canonicalize(b)
+	n := len(na)
+	if len(nb) < n {
+		n = len(nb)
+	}
+	for i := 0; i < n; i++ {
+		if na[i] != nb[i] {
+			ea, eb := na[i], nb[i]
+			return &Divergence{
+				Index:  i,
+				A:      &ea,
+				B:      &eb,
+				Reason: fmt.Sprintf("event %d differs:\n  a: %s\n  b: %s", i, FormatEvent(ea), FormatEvent(eb)),
+			}
+		}
+	}
+	if len(na) != len(nb) {
+		d := &Divergence{Index: n}
+		if len(na) > n {
+			ea := na[n]
+			d.A = &ea
+			d.Reason = fmt.Sprintf("a has %d extra event(s) after %d matching; first extra: %s", len(na)-n, n, FormatEvent(ea))
+		} else {
+			eb := nb[n]
+			d.B = &eb
+			d.Reason = fmt.Sprintf("b has %d extra event(s) after %d matching; first extra: %s", len(nb)-n, n, FormatEvent(eb))
+		}
+		return d
+	}
+	return nil
+}
+
+// FormatEvent renders one event for terminal diff output.
+func FormatEvent(ev obs.Event) string {
+	switch ev.Kind {
+	case obs.KindNetInject:
+		sr, sc := obs.UnpackCoord(ev.Addr)
+		dr, dc := obs.UnpackCoord(ev.Arg)
+		return fmt.Sprintf("cycle %d %s %s flow %d (%d,%d)->(%d,%d)", ev.Cycle, obs.NetName(ev.Net), ev.Kind, ev.Seq, sr, sc, dr, dc)
+	case obs.KindNetHop, obs.KindNetDeliver:
+		r, c := obs.UnpackCoord(ev.Addr)
+		return fmt.Sprintf("cycle %d %s %s flow %d at (%d,%d)", ev.Cycle, obs.NetName(ev.Net), ev.Kind, ev.Seq, r, c)
+	case obs.KindOperand:
+		hops, waits := obs.UnpackPair(ev.Arg)
+		return fmt.Sprintf("cycle %d block seq %d slot %d %s hops=%d waits=%d", ev.Cycle, ev.Seq, ev.Slot, ev.Kind, hops, waits)
+	case obs.KindFlushWave:
+		return fmt.Sprintf("cycle %d flush wave oldest seq %d slot-mask %#x", ev.Cycle, ev.Seq, ev.Arg)
+	case obs.KindCkpt:
+		return fmt.Sprintf("cycle %d ckpt %d bytes", ev.Cycle, ev.Arg)
+	default:
+		return fmt.Sprintf("cycle %d block %#x seq %d slot %d %s", ev.Cycle, ev.Addr, ev.Seq, ev.Slot, ev.Kind)
+	}
+}

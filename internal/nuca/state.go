@@ -68,6 +68,7 @@ func decOCNMsg(r *ckpt.Reader) *ocnMsg {
 	m.hops = r.Int()
 	m.waits = r.Int()
 	m.tid = r.U64()
+	r.NoteID(m.tid)
 	return m
 }
 
@@ -489,4 +490,7 @@ func (s *System) LoadState(r *ckpt.Reader, res func(portName string) proc.Origin
 	s.lagCache = 0
 	s.horizonAt = -1
 	s.deadlineAt = -1
+	// Resume the trace-id allocator past every restored in-flight message so
+	// post-restore allocations never collide with checkpointed ids.
+	s.cfg.Trace.ReserveIDs(r.MaxID())
 }

@@ -6,14 +6,16 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
 )
 
-// ServeDebug starts a debug HTTP server on addr (e.g. "localhost:6060")
-// serving expvar under /debug/vars and net/http/pprof under /debug/pprof/.
-// It returns the bound listener address (useful with ":0") and runs the
-// server on a background goroutine for the life of the process — intended
-// for watching long evaluation runs, so there is no shutdown plumbing.
-func ServeDebug(addr string) (string, error) {
+// DebugMux builds the debug HTTP handler tree: expvar under /debug/vars,
+// net/http/pprof under /debug/pprof/, and the published samplers in
+// Prometheus text format under /metrics. Split out from ServeDebug so tests
+// can drive it through httptest without binding a port.
+func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -21,25 +23,63 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", metricsHandler)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "trips debug endpoint: /debug/vars (expvar), /debug/pprof/ (pprof)")
+		fmt.Fprintln(w, "trips debug endpoint: /debug/vars (expvar), /debug/pprof/ (pprof), /metrics (prometheus)")
 	})
+	return mux
+}
+
+// ServeDebug starts a debug HTTP server on addr (e.g. "localhost:6060")
+// serving the DebugMux routes. It returns the bound listener address
+// (useful with ":0") and runs the server on a background goroutine for the
+// life of the process — intended for watching long evaluation runs, so
+// there is no shutdown plumbing.
+func ServeDebug(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: DebugMux()}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// PublishSampler exposes a sampler's running aggregates as one expvar map.
-// Only the atomically-maintained aggregates are read (never the point
-// slices), so the HTTP goroutine can poll while the simulation samples.
+// published is the registry behind both /debug/vars sampler maps and
+// /metrics. PublishSampler replaces an existing entry (a long-lived process
+// can run many evaluations under one name); the expvar func reads through
+// the registry so the replacement is visible there too.
+var published struct {
+	sync.Mutex
+	samplers map[string]*Sampler
+}
+
+// PublishSampler exposes a sampler's running aggregates as one expvar map
+// and as /metrics gauges. Only the atomically-maintained aggregates are
+// read (never the point slices), so the HTTP goroutine can poll while the
+// simulation samples. Publishing the same name again replaces the sampler.
 func PublishSampler(name string, s *Sampler) {
+	published.Lock()
+	if published.samplers == nil {
+		published.samplers = make(map[string]*Sampler)
+	}
+	_, replaced := published.samplers[name]
+	published.samplers[name] = s
+	published.Unlock()
+	if replaced {
+		// expvar.Publish panics on duplicate names; the registered func
+		// below already reads the registry, so nothing else to do.
+		return
+	}
 	expvar.Publish(name, expvar.Func(func() any {
+		published.Lock()
+		cur := published.samplers[name]
+		published.Unlock()
 		out := map[string]any{}
-		for _, sr := range s.Series() {
+		if cur == nil {
+			return out
+		}
+		for _, sr := range cur.Series() {
 			out[sr.Name] = map[string]any{
 				"last":  sr.Last(),
 				"max":   sr.Max(),
@@ -49,4 +89,54 @@ func PublishSampler(name string, s *Sampler) {
 		}
 		return out
 	}))
+}
+
+// metricsHandler renders every published sampler in the Prometheus text
+// exposition format (version 0.0.4): one gauge per series aggregate, the
+// series name sanitized into a metric name, the publishing source and the
+// aggregate kind as labels. Deterministic output order (sorted sources,
+// then series) keeps scrapes diffable.
+func metricsHandler(w http.ResponseWriter, r *http.Request) {
+	published.Lock()
+	names := make([]string, 0, len(published.samplers))
+	for n := range published.samplers {
+		names = append(names, n)
+	}
+	samplers := make(map[string]*Sampler, len(published.samplers))
+	for n, s := range published.samplers {
+		samplers[n] = s
+	}
+	published.Unlock()
+	sort.Strings(names)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	seen := map[string]bool{}
+	for _, src := range names {
+		series := samplers[src].Series()
+		sort.Slice(series, func(i, j int) bool { return series[i].Name < series[j].Name })
+		for _, sr := range series {
+			metric := "trips_" + sanitizeMetricName(sr.Name)
+			if !seen[metric] {
+				seen[metric] = true
+				fmt.Fprintf(w, "# TYPE %s gauge\n", metric)
+			}
+			fmt.Fprintf(w, "%s{source=%q,agg=\"last\"} %d\n", metric, src, sr.Last())
+			fmt.Fprintf(w, "%s{source=%q,agg=\"max\"} %d\n", metric, src, sr.Max())
+			fmt.Fprintf(w, "%s{source=%q,agg=\"mean\"} %g\n", metric, src, sr.Mean())
+			fmt.Fprintf(w, "%s{source=%q,agg=\"count\"} %d\n", metric, src, sr.Count())
+		}
+	}
+}
+
+// sanitizeMetricName maps a series name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_] ("lag.strides" -> "lag_strides").
+func sanitizeMetricName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
 }

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// debugGet drives one request through the debug mux and returns the body.
+func debugGet(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugVarsExposesSampler(t *testing.T) {
+	s := NewSampler(0)
+	strides := s.Register("lag.strides", func() int64 { return 0 })
+	s.Register("eval.progress", func() int64 { return 0 })
+	PublishSampler("debugtest", s)
+	strides.record(1, 7)
+	strides.record(2, 3)
+
+	code, body := debugGet(t, DebugMux(), "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/vars: status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	raw, ok := vars["debugtest"]
+	if !ok {
+		t.Fatalf("published sampler missing from expvar output; keys: %d", len(vars))
+	}
+	var agg map[string]struct {
+		Last  int64   `json:"last"`
+		Max   int64   `json:"max"`
+		Mean  float64 `json:"mean"`
+		Count int64   `json:"count"`
+	}
+	if err := json.Unmarshal(raw, &agg); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := agg["lag.strides"]
+	if !ok {
+		t.Fatalf("lag.strides series missing: %v", agg)
+	}
+	if st.Last != 3 || st.Max != 7 || st.Count != 2 || st.Mean != 5 {
+		t.Errorf("lag.strides aggregates wrong: %+v", st)
+	}
+	if _, ok := agg["eval.progress"]; !ok {
+		t.Errorf("eval.progress series missing: %v", agg)
+	}
+}
+
+func TestPublishSamplerReplaces(t *testing.T) {
+	a := NewSampler(0)
+	a.Register("v", func() int64 { return 0 }).record(1, 1)
+	PublishSampler("debugtest-replace", a)
+	// A second publish under the same name must not panic (expvar.Publish
+	// would) and must replace the sampler both in expvar and /metrics.
+	b := NewSampler(0)
+	b.Register("v", func() int64 { return 0 }).record(1, 42)
+	PublishSampler("debugtest-replace", b)
+
+	_, body := debugGet(t, DebugMux(), "/debug/vars")
+	if !strings.Contains(body, `"debugtest-replace"`) {
+		t.Fatal("replaced sampler missing from expvar output")
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	var agg map[string]map[string]float64
+	if err := json.Unmarshal(vars["debugtest-replace"], &agg); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg["v"]["last"]; got != 42 {
+		t.Errorf("expvar reads the stale sampler: last = %v, want 42", got)
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	s := NewSampler(0)
+	s.Register("flight.dumps", func() int64 { return 0 }).record(1, 2)
+	PublishSampler("debugtest-metrics", s)
+
+	code, body := debugGet(t, DebugMux(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	if !strings.Contains(body, "# TYPE trips_flight_dumps gauge") {
+		t.Errorf("missing TYPE line for trips_flight_dumps:\n%s", body)
+	}
+	if !strings.Contains(body, `trips_flight_dumps{source="debugtest-metrics",agg="last"} 2`) {
+		t.Errorf("missing last gauge:\n%s", body)
+	}
+	if !strings.Contains(body, `trips_flight_dumps{source="debugtest-metrics",agg="count"} 1`) {
+		t.Errorf("missing count gauge:\n%s", body)
+	}
+	// Metric names must stay inside the Prometheus alphabet.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, "trips_") && strings.Contains(line, ".") &&
+			!strings.Contains(line, "\"") {
+			t.Errorf("unsanitized metric name in %q", line)
+		}
+	}
+}
+
+func TestDebugPprofRoutes(t *testing.T) {
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		code, _ := debugGet(t, DebugMux(), path)
+		if code != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, code)
+		}
+	}
+}
+
+func TestDebugRootHelp(t *testing.T) {
+	code, body := debugGet(t, DebugMux(), "/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /: status %d", code)
+	}
+	for _, want := range []string{"/debug/vars", "/debug/pprof/", "/metrics"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("root help does not mention %s: %q", want, body)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"lag.strides":        "lag_strides",
+		"ckpt.bytes_written": "ckpt_bytes_written",
+		"a-b c":              "a_b_c",
+		"OK_9":               "OK_9",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -176,6 +176,21 @@ func (t *Tracer) NextID() uint64 {
 	return t.nextID
 }
 
+// ReserveIDs advances the trace-id allocator so every id up to and
+// including max is considered spent. Restore paths call it with the largest
+// trace id found in a checkpoint: in-flight messages keep their
+// checkpointed ids, so without the reservation a restored run's fresh
+// allocations would eventually collide with them. Nil-safe (untraced runs
+// restore with no tracer attached).
+func (t *Tracer) ReserveIDs(max uint64) {
+	if t == nil {
+		return
+	}
+	if max > t.nextID {
+		t.nextID = max
+	}
+}
+
 // Total returns the number of events ever emitted (including overwritten).
 func (t *Tracer) Total() uint64 {
 	if t == nil {

@@ -124,7 +124,7 @@ type Core struct {
 	// Warps counts clock-warp jumps; WarpedCycles the dead cycles skipped.
 	Warps        uint64
 	WarpedCycles int64
-	nonNopCount     map[uint64]uint64 // block addr -> useful instruction count
+	nonNopCount  map[uint64]uint64 // block addr -> useful instruction count
 
 	// Timeline holds per-block protocol phases when RecordTimeline is set.
 	Timeline  []BlockTime
@@ -139,6 +139,13 @@ type Core struct {
 	// boundary past ckptAt, then disarms. Nil when no checkpoint is armed.
 	ckptAt int64
 	ckptFn func(cycle int64) error
+	// Rollback hook: forwarded to LagConfig.OnRollback by the RunLag
+	// wrappers so observers (the flight recorder) see effect-gate rewinds.
+	onRollback func(owner int, from, effect int64)
+	// Fault-injection knobs forwarded to LagConfig by the RunLag wrappers
+	// (see LagConfig.HorizonOverride/DeadlinePad). Test/debug only.
+	lagHorizonOverride int64
+	lagDeadlinePad     int64
 }
 
 // NewCore builds a core over the given configuration.
@@ -1080,6 +1087,25 @@ func (c *Core) Done() bool { return c.gt.allRetired() && c.drainsIdle() }
 func (c *Core) SetCheckpointHook(at int64, fn func(cycle int64) error) {
 	c.ckptAt = at
 	c.ckptFn = fn
+}
+
+// SetRollbackHook arms fn to observe bounded-lag effect-gate rewinds when
+// this core runs under a RunLag wrapper: owner is the memory-port owner id,
+// from the cycle the core had run ahead to, effect the rewound-to cycle.
+// Observability only — fn must not touch simulated state.
+func (c *Core) SetRollbackHook(fn func(owner int, from, effect int64)) {
+	c.onRollback = fn
+}
+
+// SetLagFaults sets the bounded-lag fault-injection knobs the RunLag
+// wrappers forward to the coordinator: horizonOverride forces every stride
+// horizon to G+n, deadlinePad overshoots every response deadline by n
+// cycles (see LagConfig). Both make rollbacks reachable on demand while
+// results stay bit-identical; never set them outside tests or debugging
+// walkthroughs.
+func (c *Core) SetLagFaults(horizonOverride, deadlinePad int64) {
+	c.lagHorizonOverride = horizonOverride
+	c.lagDeadlinePad = deadlinePad
 }
 
 // Result returns the current run statistics (used by chip-level loops

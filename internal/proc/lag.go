@@ -187,6 +187,13 @@ type LagConfig struct {
 	// CanWarpExtra gates warping on chip-level work: false while a DMA
 	// engine is between transactions and needs per-cycle ticks.
 	CanWarpExtra func() bool
+	// OnRollback, when non-nil, is invoked after the effect gate rewinds a
+	// core: owner is the memory-port owner id, from the cycle the core had
+	// run ahead to, effect the cycle it was rewound to. Observability hook
+	// only (the flight recorder hangs dump triggers here); it runs after
+	// the rewind and before the response's completion callback, and must
+	// not touch simulated state.
+	OnRollback func(owner int, from, effect int64)
 	// StopAt, when positive, pauses the run at that cycle: every stride,
 	// joint warp, and backend catch-up is clamped so no clock passes it, and
 	// the coordinator returns once every active core and the backend have
@@ -262,7 +269,7 @@ func RunBoundedLag(mem LagMem, cores []LagCore, cfg LagConfig) (int64, error) {
 	n := len(cores)
 	r := &lagRunner{
 		mem: mem, cores: cores, cfg: cfg, limit: limit,
-		G: mem.Cycle(),
+		G:           mem.Cycle(),
 		doneCore:    make([]bool, n),
 		lastStepped: make([]int64, n),
 		lastCommit:  make([]int64, n),
@@ -693,6 +700,9 @@ func (r *lagRunner) onEffect(owner int, effect int64) {
 	cs := &r.stats.Core[k]
 	cs.Rollbacks++
 	cs.RolledBackCycles += t - effect
+	if r.cfg.OnRollback != nil {
+		r.cfg.OnRollback(owner, t, effect)
+	}
 	// The backend must not tick past the rewound clock.
 	if effect < r.catchTarget {
 		r.catchTarget = effect
@@ -731,11 +741,14 @@ func (c *Core) RunLag(mem LagMem, maxStride int64, stats *LagStats) (Result, err
 		limit = 200_000_000
 	}
 	cfg := LagConfig{
-		Limit:     limit,
-		Watchdog:  true,
-		NoWarp:    c.cfg.NoFastPath || c.cfg.NoWarp,
-		MaxStride: maxStride,
-		Stats:     stats,
+		Limit:           limit,
+		Watchdog:        true,
+		NoWarp:          c.cfg.NoFastPath || c.cfg.NoWarp,
+		MaxStride:       maxStride,
+		Stats:           stats,
+		OnRollback:      c.onRollback,
+		HorizonOverride: c.lagHorizonOverride,
+		DeadlinePad:     c.lagDeadlinePad,
 		LimitErr: func(l int64) error {
 			return fmt.Errorf("proc: cycle limit %d exceeded (%d blocks committed)", l, c.CommittedBlocks)
 		},
@@ -750,45 +763,72 @@ func (c *Core) RunLag(mem LagMem, maxStride int64, stats *LagStats) (Result, err
 // the bounded-lag engine pauses at cycle `at` (core and backend clocks
 // lockstepped), the pair then steps sequentially until the first block
 // commit — the protocol quiesce point SaveState requires — fn fires at that
-// boundary, and bounded-lag stepping resumes to completion. The composition
-// is observable-identical to an uninterrupted RunLag: strides replay the
-// sequential interleave exactly, and the lockstep stretch IS the sequential
-// interleave (only the host-side Warps/WarpedCycles telemetry differs).
+// boundary, and bounded-lag stepping resumes. fn may re-arm the hook for a
+// later cycle by calling SetCheckpointHook from inside the callback (the
+// same convention Run follows), which is how rolling-checkpoint consumers
+// like the flight recorder capture a whole sequence of frames from one
+// run. The composition is observable-identical to an uninterrupted RunLag:
+// strides replay the sequential interleave exactly, and the lockstep
+// stretch IS the sequential interleave (only the host-side
+// Warps/WarpedCycles telemetry differs).
 func (c *Core) RunLagWithCheckpoint(mem LagMem, maxStride int64, stats *LagStats, at int64, fn func(cycle int64) error) (Result, error) {
+	c.SetCheckpointHook(at, fn)
+	return c.RunLagCheckpointed(mem, maxStride, stats)
+}
+
+// RunLagCheckpointed drives the park → lockstep-to-commit → capture loop
+// until no checkpoint hook is armed (the hook re-arms itself for rolling
+// captures), then runs bounded-lag to completion. Callers arm the hook via
+// SetCheckpointHook first; with no hook armed it is plain RunLag.
+func (c *Core) RunLagCheckpointed(mem LagMem, maxStride int64, stats *LagStats) (Result, error) {
 	limit := c.cfg.MaxCycles
 	if limit == 0 {
 		limit = 200_000_000
 	}
 	mkCfg := func(stopAt int64) LagConfig {
 		return LagConfig{
-			Limit:     limit,
-			Watchdog:  true,
-			NoWarp:    c.cfg.NoFastPath || c.cfg.NoWarp,
-			MaxStride: maxStride,
-			StopAt:    stopAt,
-			Stats:     stats,
+			Limit:           limit,
+			Watchdog:        true,
+			NoWarp:          c.cfg.NoFastPath || c.cfg.NoWarp,
+			MaxStride:       maxStride,
+			StopAt:          stopAt,
+			Stats:           stats,
+			OnRollback:      c.onRollback,
+			HorizonOverride: c.lagHorizonOverride,
+			DeadlinePad:     c.lagDeadlinePad,
 			LimitErr: func(l int64) error {
 				return fmt.Errorf("proc: cycle limit %d exceeded (%d blocks committed)", l, c.CommittedBlocks)
 			},
 		}
 	}
 	cores := []LagCore{{Core: c, Owner: 0}}
-	if _, err := RunBoundedLag(mem, cores, mkCfg(at)); err != nil {
-		return Result{}, err
-	}
-	// Sequential lockstep to the first commit boundary. A finished core
-	// checkpoints its terminal state instead.
-	last := c.CommittedBlocks
-	var guard int64
-	for !c.Done() && c.CommittedBlocks == last {
-		c.Step()
-		mem.Tick()
-		if guard++; guard > 400_000 {
-			return Result{}, fmt.Errorf("proc: no block commit within %d lockstep cycles after checkpoint arm cycle %d", guard-1, at)
+	for c.ckptFn != nil {
+		at := c.ckptAt
+		if _, err := RunBoundedLag(mem, cores, mkCfg(at)); err != nil {
+			return Result{}, err
 		}
-	}
-	if err := fn(c.Cycle()); err != nil {
-		return Result{}, fmt.Errorf("proc: checkpoint at cycle %d: %w", c.Cycle(), err)
+		// Sequential lockstep to the first commit boundary. A finished core
+		// checkpoints its terminal state instead.
+		last := c.CommittedBlocks
+		var guard int64
+		for !c.Done() && c.CommittedBlocks == last {
+			c.Step()
+			mem.Tick()
+			if guard++; guard > 400_000 {
+				return Result{}, fmt.Errorf("proc: no block commit within %d lockstep cycles after checkpoint arm cycle %d", guard-1, at)
+			}
+		}
+		fn := c.ckptFn
+		c.ckptFn = nil
+		if err := fn(c.Cycle()); err != nil {
+			return Result{}, fmt.Errorf("proc: checkpoint at cycle %d: %w", c.Cycle(), err)
+		}
+		// A finished core cannot reach another commit boundary: ignore any
+		// re-arm and fall through to the final drain.
+		if c.Done() {
+			c.ckptFn = nil
+			break
+		}
 	}
 	if _, err := RunBoundedLag(mem, cores, mkCfg(0)); err != nil {
 		return Result{}, err

@@ -183,6 +183,7 @@ func decOPNMsg(r *ckpt.Reader) *opnMsg {
 	m.hops = r.Int()
 	m.waits = r.Int()
 	m.tid = r.U64()
+	r.NoteID(m.tid)
 	return m
 }
 
@@ -1221,6 +1222,9 @@ func (c *Core) LoadState(r *ckpt.Reader) error {
 	for _, d := range c.dts {
 		d.loadState(r)
 	}
+	// Resume the trace-id allocator past every restored in-flight message so
+	// post-restore allocations never collide with checkpointed ids.
+	c.cfg.Trace.ReserveIDs(r.MaxID())
 	return r.Err()
 }
 
