@@ -55,20 +55,32 @@ func BenchmarkTable3(b *testing.B) {
 
 // runCycles is the ablation helper: simulated cycles for one configuration.
 func runCycles(b *testing.B, name string, opt eval.TRIPSOptions, hand bool) float64 {
+	c, _ := runCyclesCov(b, name, opt, hand)
+	return c
+}
+
+// runCyclesCov additionally returns the tile-skip coverage — the fraction of
+// per-tile ticks the event-driven doze overlay elided (0 under
+// -noeventdriven or NoFastPath).
+func runCyclesCov(b *testing.B, name string, opt eval.TRIPSOptions, hand bool) (float64, float64) {
 	b.Helper()
 	w, err := workloads.ByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var cycles int64
+	var cov float64
 	for i := 0; i < b.N; i++ {
 		r, err := eval.RunTRIPS(w.Build(hand), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles = r.Cycles
+		if total := r.TileTicks + r.TileSkips; total > 0 {
+			cov = float64(r.TileSkips) / float64(total)
+		}
 	}
-	return float64(cycles)
+	return float64(cycles), cov
 }
 
 // BenchmarkAblationPlacement: naive vs greedy instruction placement
@@ -367,15 +379,18 @@ func BenchmarkChipDMAStream(b *testing.B) {
 	for _, cfg := range []struct {
 		name     string
 		noWarp   bool
+		noDoze   bool
 		stepping chip.Stepping
 	}{
-		{"warp", false, chip.StepLag},
-		{"nowarp", true, chip.StepLag},
-		{"seq-warp", false, chip.StepSeq},
-		{"seq-nowarp", true, chip.StepSeq},
+		{"warp", false, false, chip.StepLag},
+		{"nowarp", true, false, chip.StepLag},
+		{"nowarp-nodoze", true, true, chip.StepLag},
+		{"seq-warp", false, false, chip.StepSeq},
+		{"seq-nowarp", true, false, chip.StepSeq},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			var cyc, warped int64
+			var cov float64
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				backing := mem.New()
@@ -383,11 +398,12 @@ func BenchmarkChipDMAStream(b *testing.B) {
 					backing.Write(0x700000+uint64(j)*8, 8, uint64(j+1))
 				}
 				c, err := chip.New(chip.Config{
-					Programs:  [2]*proc.Program{mkBlocks(0x100000, 2), nil},
-					Backing:   backing,
-					MaxCycles: 50_000_000,
-					NoWarp:    cfg.noWarp,
-					Stepping:  cfg.stepping,
+					Programs:      [2]*proc.Program{mkBlocks(0x100000, 2), nil},
+					Backing:       backing,
+					MaxCycles:     50_000_000,
+					NoWarp:        cfg.noWarp,
+					NoEventDriven: cfg.noDoze,
+					Stepping:      cfg.stepping,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -401,14 +417,18 @@ func BenchmarkChipDMAStream(b *testing.B) {
 				}
 				cyc = c.Cycle()
 				warped = c.WarpedCycles
+				if ticks, skips, _ := c.TileActivity(); ticks+skips > 0 {
+					cov = float64(skips) / float64(ticks+skips)
+				}
 			}
 			rows = append(rows, eval.ChipBenchRow{
 				Bench: "ChipDMAStream", Variant: cfg.name,
 				NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(b.N),
-				Cycles:  cyc,
+				Cycles:  cyc, SkipCoverage: cov,
 			})
 			b.ReportMetric(float64(cyc), "cycles")
 			b.ReportMetric(100*float64(warped)/float64(cyc), "warp-coverage-%")
+			b.ReportMetric(100*cov, "tile-skip-%")
 		})
 	}
 	if path := os.Getenv("BENCH_CHIP_JSON"); path != "" {
@@ -440,27 +460,31 @@ func BenchmarkNUCAvsPerfectL2(b *testing.B) {
 		nuca     bool
 		nowarp   bool
 		seq      bool
+		nodoze   bool
 	}{
-		{"perfect-l2", "vadd", false, false, false},
-		{"perfect-l2-nowarp", "vadd", false, true, false},
-		{"nuca", "vadd", true, false, false},
-		{"nuca-nowarp", "vadd", true, true, false},
-		{"nuca-seq", "vadd", true, false, true},
-		{"mcf-nuca", "181.mcf", true, false, false},
-		{"mcf-nuca-nowarp", "181.mcf", true, true, false},
-		{"mcf-nuca-seq", "181.mcf", true, false, true},
+		{"perfect-l2", "vadd", false, false, false, false},
+		{"perfect-l2-nowarp", "vadd", false, true, false, false},
+		{"nuca", "vadd", true, false, false, false},
+		{"nuca-nowarp", "vadd", true, true, false, false},
+		{"nuca-nodoze", "vadd", true, false, false, true},
+		{"nuca-seq", "vadd", true, false, true, false},
+		{"mcf-nuca", "181.mcf", true, false, false, false},
+		{"mcf-nuca-nowarp", "181.mcf", true, true, false, false},
+		{"mcf-nuca-nodoze", "181.mcf", true, false, false, true},
+		{"mcf-nuca-seq", "181.mcf", true, false, true, false},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			start := time.Now()
-			cyc := runCycles(b, cfg.workload, eval.TRIPSOptions{Mode: tcc.Hand, UseNUCA: cfg.nuca, NoWarp: cfg.nowarp, SeqStep: cfg.seq}, true)
+			cyc, cov := runCyclesCov(b, cfg.workload, eval.TRIPSOptions{Mode: tcc.Hand, UseNUCA: cfg.nuca, NoWarp: cfg.nowarp, SeqStep: cfg.seq, NoEventDriven: cfg.nodoze}, true)
 			if cfg.nuca {
 				rows = append(rows, eval.ChipBenchRow{
 					Bench: "NUCAvsPerfectL2", Variant: cfg.name,
 					NsPerOp: float64(time.Since(start).Nanoseconds()) / float64(b.N),
-					Cycles:  int64(cyc),
+					Cycles:  int64(cyc), SkipCoverage: cov,
 				})
 			}
 			b.ReportMetric(cyc, "cycles")
+			b.ReportMetric(100*cov, "tile-skip-%")
 		})
 	}
 	if path := os.Getenv("BENCH_CHIP_JSON"); path != "" {

@@ -170,6 +170,25 @@ func compareChip(basePath, freshPath string) {
 		delta := (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
 		fmt.Printf("host  %-32s %11.0f -> %11.0f ns/op (%+.1f%%)\n", n, b.NsPerOp, f.NsPerOp, delta)
 	}
+	// Tile-skip coverage (the event-driven doze overlay's engagement):
+	// deterministic per cell, but a coverage drop with identical cycles is a
+	// lost host-time optimization, not a correctness failure — so flag
+	// regressions informationally without failing the run.
+	for _, n := range names {
+		b, inBase := baseRows[n]
+		f, inFresh := freshRows[n]
+		if !inFresh || f.SkipCoverage == 0 && (!inBase || b.SkipCoverage == 0) {
+			continue
+		}
+		line := fmt.Sprintf("doze  %-32s %5.1f%% tile-skip coverage", n, 100*f.SkipCoverage)
+		if inBase && b.SkipCoverage > 0 {
+			line += fmt.Sprintf(" (baseline %5.1f%%)", 100*b.SkipCoverage)
+			if f.SkipCoverage < b.SkipCoverage-0.01 {
+				line += "  REGRESSION"
+			}
+		}
+		fmt.Println(line)
+	}
 	var speedKeys []string
 	for n := range fresh.Speedups {
 		speedKeys = append(speedKeys, n)

@@ -58,6 +58,7 @@ func main() {
 		hostStats  = flag.Bool("host", false, "print host throughput after -table3 (nondeterministic)")
 		noFast     = flag.Bool("nofastpath", false, "run -table3 without quiescence-aware stepping (results must not change)")
 		noWarp     = flag.Bool("nowarp", false, "run -table3 without clock-warping (results must not change)")
+		noEvent    = flag.Bool("noeventdriven", false, "run -table3 without the per-tile event-driven doze overlay (results must not change)")
 		useNUCA    = flag.Bool("nuca", false, "run -table3 TRIPS rows against the full secondary memory system instead of the perfect L2")
 		seqStep    = flag.Bool("seq", false, "force sequential core/memory interleave for -nuca runs instead of bounded-lag stepping (results must not change)")
 		parStride  = flag.Int64("par-stride", 0, "cap bounded-lag stride length in cycles (0 = auto horizon; results must not change)")
@@ -153,7 +154,7 @@ func main() {
 		fig5b()
 	}
 	if *t3 {
-		table3(*bench, *workers, *jsonOut, *hostStats, eval.Stepping{NoFastPath: *noFast, NoWarp: *noWarp, UseNUCA: *useNUCA, SeqStep: *seqStep, ParStride: *parStride, FlightDir: *flightDir})
+		table3(*bench, *workers, *jsonOut, *hostStats, eval.Stepping{NoFastPath: *noFast, NoWarp: *noWarp, NoEventDriven: *noEvent, UseNUCA: *useNUCA, SeqStep: *seqStep, ParStride: *parStride, FlightDir: *flightDir})
 		if *flightDir != "" {
 			fmt.Fprintf(os.Stderr, "trips-eval: flight recorder was armed; dump bundles (if any) are under %s\n", *flightDir)
 		}

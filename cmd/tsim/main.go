@@ -12,7 +12,7 @@
 //	     [-sample-interval n [-sample-warmup n] [-sample-n k]]
 //	     [-flight [-flight-dir d] [-dump-on trig] [-flight-depth k] [-flight-interval n]]
 //	     [-max-cycles n] [-lag-deadline-pad n] [-lag-horizon-override n]
-//	     [-host] [-nofastpath] [-nowarp] [-cpuprofile f] [-memprofile f]
+//	     [-host] [-nofastpath] [-nowarp] [-noeventdriven] [-cpuprofile f] [-memprofile f]
 //
 // -checkpoint-at/-checkpoint-out frame the complete machine state at the
 // first block-commit boundary after the given cycle; -restore resumes such a
@@ -59,6 +59,7 @@ func main() {
 		host       = flag.Bool("host", false, "print host throughput (sim-cycles/sec; nondeterministic)")
 		noFast     = flag.Bool("nofastpath", false, "disable quiescence-aware stepping (results must not change)")
 		noWarp     = flag.Bool("nowarp", false, "disable clock-warping over quiescent stretches (results must not change)")
+		noEvent    = flag.Bool("noeventdriven", false, "disable the per-tile event-driven doze overlay (results must not change)")
 		seqStep    = flag.Bool("seq", false, "force sequential core/memory interleave for -nuca runs instead of bounded-lag stepping (results must not change)")
 		parStride  = flag.Int64("par-stride", 0, "cap bounded-lag stride length in cycles (0 = auto horizon; results must not change)")
 		ckptAt     = flag.Int64("checkpoint-at", 0, "checkpoint at the first block commit after this cycle (requires -checkpoint-out)")
@@ -170,7 +171,7 @@ func main() {
 	// serialized, so checkpoint, restore, sampling and the flight recorder
 	// all run without it.
 	crit := *ckptOut == "" && *restore == "" && *sampleInt == 0 && !*flightOn
-	opt := eval.TRIPSOptions{TrackCritPath: crit, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp, SeqStep: *seqStep, ParStride: *parStride, MaxCycles: *maxCycles, LagHorizonOverride: *lagHorizon, LagDeadlinePad: *lagPad}
+	opt := eval.TRIPSOptions{TrackCritPath: crit, OPNChannels: *opn, ConservativeLoads: *conserv, UseNUCA: *useNUCA, NoFastPath: *noFast, NoWarp: *noWarp, NoEventDriven: *noEvent, SeqStep: *seqStep, ParStride: *parStride, MaxCycles: *maxCycles, LagHorizonOverride: *lagHorizon, LagDeadlinePad: *lagPad}
 	var tracer *obs.Tracer
 	var sampler *obs.Sampler
 	if *traceOut != "" {
@@ -317,6 +318,11 @@ func main() {
 			float64(wall.Nanoseconds())/float64(r.Cycles))
 		fmt.Printf("  warp: %d jumps covering %d of %d sim-cycles (%.2f%%)\n",
 			r.Warps, r.WarpedCycles, r.Cycles, 100*float64(r.WarpedCycles)/float64(r.Cycles))
+		if r.SteppedCycles > 0 {
+			total := r.TileTicks + r.TileSkips
+			fmt.Printf("  tiles: %d of %d tile-ticks dozed over %d stepped cycles (%.2f%% skip coverage)\n",
+				r.TileSkips, total, r.SteppedCycles, 100*float64(r.TileSkips)/float64(total))
+		}
 		if r.Lag != nil {
 			fmt.Print(r.Lag.Summary())
 		}

@@ -8,19 +8,19 @@ package chip
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"strings"
 
 	"trips/internal/mem"
+	"trips/internal/micronet"
 	"trips/internal/nuca"
 	"trips/internal/obs"
 	"trips/internal/proc"
 )
 
-// horizonNever means no deadline-held event is outstanding (matches the
-// sentinel convention of proc.EventHorizon).
-const horizonNever = int64(math.MaxInt64)
+// horizonNever means no deadline-held event is outstanding (the shared
+// sentinel convention; see micronet.HorizonNever).
+const horizonNever = micronet.HorizonNever
 
 // Stepping selects the chip's run-loop scheduler.
 type Stepping int
@@ -51,6 +51,9 @@ type Config struct {
 	// NoWarp disables clock-warping over chip-wide quiescent stretches
 	// (for A/B bit-identity checks, mirroring proc.Config.NoWarp).
 	NoWarp bool
+	// NoEventDriven disables the per-tile doze overlay inside each core
+	// (for A/B bit-identity checks, mirroring proc.Config.NoEventDriven).
+	NoEventDriven bool
 	// NoParallel forces the two cores to step sequentially on one host
 	// thread instead of the deterministic two-phase parallel step.
 	NoParallel bool
@@ -200,6 +203,7 @@ func New(cfg Config) (*Chip, error) {
 			Mem:             backend,
 			ExternalMemTick: true,
 			MaxCycles:       cfg.MaxCycles,
+			NoEventDriven:   cfg.NoEventDriven,
 			Trace:           cfg.Trace[i],
 		})
 		if err != nil {
@@ -506,13 +510,9 @@ func (c *Chip) tryWarp(limit int64) {
 		if !core.Quiescent() {
 			return
 		}
-		if ch := core.NextEventCycle(); ch < h {
-			h = ch
-		}
+		h = micronet.MinHorizon(h, core.NextEventCycle())
 	}
-	if mh := c.Mem.NextEventCycle(); mh != horizonNever && mh-1 < h {
-		h = mh - 1
-	}
+	h = micronet.FoldBackendHorizon(h, c.Mem.NextEventCycle())
 	if h > limit {
 		h = limit
 	}
@@ -532,6 +532,22 @@ func (c *Chip) tryWarp(limit int64) {
 
 // Cycle returns the chip cycle count.
 func (c *Chip) Cycle() int64 { return c.cycle }
+
+// TileActivity sums the per-core tile stepping telemetry: ticks (tile ticks
+// actually executed), skips (tile ticks elided by the event-driven doze
+// overlay), and stepped (per-core Step invocations; warped cycles excluded).
+// ticks+skips == 30*stepped always; the skip share is the doze coverage.
+func (c *Chip) TileActivity() (ticks, skips uint64, stepped int64) {
+	for _, core := range c.Cores {
+		if core == nil {
+			continue
+		}
+		ticks += core.TileTicks
+		skips += core.TileSkips
+		stepped += core.SteppedCycles
+	}
+	return
+}
 
 // DMA is one of the two direct memory access controllers: programmable to
 // transfer data between any two regions of the physical address space

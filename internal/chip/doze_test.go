@@ -1,0 +1,133 @@
+package chip
+
+import (
+	"runtime"
+	"testing"
+
+	"trips/internal/mem"
+	"trips/internal/proc"
+)
+
+// tileActivity bundles the chip's aggregated tile stepping telemetry for
+// equality comparison across host configurations.
+type tileActivity struct {
+	ticks, skips uint64
+	stepped      int64
+}
+
+func activity(c *Chip) tileActivity {
+	ticks, skips, stepped := c.TileActivity()
+	return tileActivity{ticks, skips, stepped}
+}
+
+// TestChipTileSkipGOMAXPROCSParity proves the doze overlay's decisions are
+// host-independent: the per-tile tick/skip counters (incremented only inside
+// Core.Step, never during warps or rollback replay) must be identical across
+// GOMAXPROCS 1, 2 and 4, alongside the simulated outcome. It also pins that
+// the overlay actually engages on a real workload — an accounting identity
+// (ticks+skips == 30*stepped) with zero skips would mean the tentpole is
+// silently dead.
+func TestChipTileSkipGOMAXPROCSParity(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	type full struct {
+		out chipOutcome
+		act tileActivity
+	}
+	run := func() full {
+		c := chipScenario(t, "vadd", func(cfg *Config) {})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return full{
+			out: chipOutcome{
+				cycles: c.Cycle(),
+				r0:     c.Cores[0].Result(),
+				r1:     c.Cores[1].Result(),
+				moved:  c.DMA[0].Moved + c.DMA[1].Moved,
+			},
+			act: activity(c),
+		}
+	}
+	ref := run()
+	if ref.act.skips == 0 {
+		t.Error("vadd chip run skipped no tile ticks — the doze overlay never engaged")
+	}
+	if got, want := ref.act.ticks+ref.act.skips, uint64(proc.NumTiles)*uint64(ref.act.stepped); got != want {
+		t.Errorf("tile accounting broken: ticks+skips = %d, want %d (%d tiles x %d stepped cycles)",
+			got, want, proc.NumTiles, ref.act.stepped)
+	}
+	for _, procs := range []int{2, 4} {
+		runtime.GOMAXPROCS(procs)
+		if got := run(); got != ref {
+			t.Errorf("GOMAXPROCS=%d diverged:\n  got:  %+v\n  want: %+v", procs, got, ref)
+		}
+	}
+}
+
+// TestChipLimitBoundaryDozeParity sweeps MaxCycles across the exact
+// completion boundary and requires a dozing and a non-dozing run to agree on
+// the outcome and the final cycle at every limit — the doze analogue of
+// TestChipLimitBoundaryWarpParity. A dozing tile skipped at the limit cycle
+// must not change where the limit error fires or whether the final step
+// completes the program.
+func TestChipLimitBoundaryDozeParity(t *testing.T) {
+	scenarios := []struct {
+		name string
+		make func(noDoze bool, limit int64) *Chip
+	}{
+		{"dma", func(noDoze bool, limit int64) *Chip {
+			backing := mem.New()
+			for i := 0; i < 256/8; i++ {
+				backing.Write(0x700000+uint64(i)*8, 8, uint64(i+1))
+			}
+			p0 := countProgram(t, 0x100000, 3)
+			p1 := countProgram(t, 0x200000, 2)
+			c, err := New(Config{
+				Programs:      [2]*proc.Program{p0, p1},
+				Backing:       backing,
+				MaxCycles:     limit,
+				NoEventDriven: noDoze,
+				NoParallel:    true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.DMA[0].Program(0x700000, 0x740000, 256)
+			return c
+		}},
+		{"cores", func(noDoze bool, limit int64) *Chip {
+			p0 := countProgram(t, 0x100000, 40)
+			p1 := countProgram(t, 0x200000, 15)
+			c, err := New(Config{Programs: [2]*proc.Program{p0, p1}, MaxCycles: limit, NoEventDriven: noDoze, NoParallel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			c := sc.make(true, 5_000_000)
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			n := c.Cycle() // the final step ran at cycle n-1
+			for lim := n - 3; lim <= n+1; lim++ {
+				cd := sc.make(false, lim)
+				errD := cd.Run()
+				cn := sc.make(true, lim)
+				errN := cn.Run()
+				if (errD == nil) != (errN == nil) || cd.Cycle() != cn.Cycle() {
+					t.Errorf("limit=%d: doze cyc=%d err=%v | nodoze cyc=%d err=%v",
+						lim, cd.Cycle(), errD, cn.Cycle(), errN)
+					continue
+				}
+				if wantOK := lim >= n-1; (errN == nil) != wantOK {
+					t.Errorf("limit=%d (completion step at %d): err=%v, want success=%v",
+						lim, n-1, errN, wantOK)
+				}
+			}
+		})
+	}
+}

@@ -170,7 +170,9 @@ func runScenario(t *testing.T, scenario string, mut func(*Config)) chipOutcome {
 // the globally synchronous stepper, the bounded-lag coordinator without
 // warps, and the bounded-lag coordinator with per-core warping must produce
 // identical simulated outcomes on every traffic shape — chip cycles, full
-// core snapshots, and DMA byte counts.
+// core snapshots, and DMA byte counts. The nodoze legs repeat the sweep's
+// endpoints with the per-tile event-driven doze overlay disabled, making the
+// fine-grained tile clocks a fourth compared discipline.
 func TestChipSteppingThreeWayBitIdentical(t *testing.T) {
 	prev := runtime.GOMAXPROCS(2)
 	defer runtime.GOMAXPROCS(prev)
@@ -186,9 +188,16 @@ func TestChipSteppingThreeWayBitIdentical(t *testing.T) {
 				mut  func(*Config)
 			}{
 				{"seq+warp", func(cfg *Config) { cfg.Stepping = StepSeq }},
+				{"seq+nodoze", func(cfg *Config) {
+					cfg.Stepping = StepSeq
+					cfg.NoWarp = true
+					cfg.NoParallel = true
+					cfg.NoEventDriven = true
+				}},
 				{"lag+nowarp", func(cfg *Config) { cfg.NoWarp = true }},
 				{"lag+warp", func(cfg *Config) {}},
 				{"lag+warp+serial", func(cfg *Config) { cfg.NoParallel = true }},
+				{"lag+warp+nodoze", func(cfg *Config) { cfg.NoEventDriven = true }},
 			} {
 				got := runScenario(t, scenario, m.mut)
 				if got != ref {

@@ -18,6 +18,11 @@ type ChipBenchRow struct {
 	Variant string  `json:"variant"`
 	NsPerOp float64 `json:"ns_per_op"`
 	Cycles  int64   `json:"cycles"`
+	// SkipCoverage is the fraction of per-tile ticks the event-driven doze
+	// overlay elided (TileSkips / (TileTicks+TileSkips)), when the variant
+	// records it. Deterministic for a given variant, so drift is meaningful;
+	// compared informationally like host time.
+	SkipCoverage float64 `json:"skip_coverage,omitempty"`
 }
 
 // ChipBenchReport is the machine-readable form written to BENCH_chip.json:
@@ -25,9 +30,13 @@ type ChipBenchRow struct {
 // the derived host-time speedups (sequential time / bounded-lag time at
 // identical simulated cycles) and the optional GOMAXPROCS scaling sweep.
 type ChipBenchReport struct {
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Rows       []ChipBenchRow     `json:"rows"`
-	Speedups   map[string]float64 `json:"speedups,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// HostCPUs records the measuring machine's logical CPU count: a 1-CPU
+	// host serializes the parallel stepper, making seq-vs-lag host-time
+	// speedups meaningless (bench.sh warns on it).
+	HostCPUs int                `json:"host_cpus,omitempty"`
+	Rows     []ChipBenchRow     `json:"rows"`
+	Speedups map[string]float64 `json:"speedups,omitempty"`
 	// Sweep is the speedup-vs-cores series recorded by `bench.sh sweep`:
 	// the same (bench, variant) cells re-measured at several GOMAXPROCS
 	// settings. Cycles must match the main rows exactly — the stepper is
@@ -135,6 +144,7 @@ func MergeChipBenchJSON(path string, rows []ChipBenchRow) error {
 		return rep.Rows[i].Variant < rep.Rows[j].Variant
 	})
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.HostCPUs = runtime.NumCPU()
 	rep.Speedups = map[string]float64{}
 	for _, r := range rep.Rows {
 		if s, ok := seqCounterpart(rep.Rows, r); ok && r.NsPerOp > 0 {
@@ -196,6 +206,7 @@ func MergeChipSweepJSON(path string, procs int, rows []ChipBenchRow) error {
 			rep.Sweep[i].Speedup = s.NsPerOp / p.NsPerOp
 		}
 	}
+	rep.HostCPUs = runtime.NumCPU()
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

@@ -71,6 +71,7 @@ func buildTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*trips, error) {
 		SlowOPNRouter:     opt.SlowOPNRouter,
 		NoFastPath:        opt.NoFastPath,
 		NoWarp:            opt.NoWarp,
+		NoEventDriven:     opt.NoEventDriven,
 		ExternalMemTick:   t.lag,
 		MaxCycles:         opt.MaxCycles,
 		Trace:             opt.Trace,
@@ -93,9 +94,9 @@ func buildTRIPS(spec *workloads.Spec, opt TRIPSOptions) (*trips, error) {
 
 // hash binds a checkpoint to the exact program image and the configuration
 // knobs that shape simulated behavior. Stepping discipline (SeqStep,
-// ParStride, NoFastPath, NoWarp) is deliberately excluded: all disciplines
-// are bit-identical by construction, so a checkpoint taken under one may be
-// restored under another.
+// ParStride, NoFastPath, NoWarp, NoEventDriven) is deliberately excluded:
+// all disciplines are bit-identical by construction, so a checkpoint taken
+// under one may be restored under another.
 func (t *trips) hash(opt TRIPSOptions) ckpt.Hash {
 	cfg := fmt.Sprintf("eval:%s mode=%v placement=%v opn=%d conservative=%v slowopn=%v memlat=%d nuca=%v",
 		t.name, opt.Mode, opt.Placement, opt.OPNChannels, opt.ConservativeLoads,
@@ -169,10 +170,13 @@ func (t *trips) finish(res proc.Result, lagStats *proc.LagStats) (*TRIPSResult, 
 		BlockSize: t.meta.AvgBlockSize,
 		Stats:     t.core.TileStats(),
 
-		Warps:        t.core.Warps,
-		WarpedCycles: t.core.WarpedCycles,
-		NUCA:         nucaRep,
-		Lag:          lagStats,
+		Warps:         t.core.Warps,
+		WarpedCycles:  t.core.WarpedCycles,
+		TileTicks:     t.core.TileTicks,
+		TileSkips:     t.core.TileSkips,
+		SteppedCycles: t.core.SteppedCycles,
+		NUCA:          nucaRep,
+		Lag:           lagStats,
 	}, nil
 }
 

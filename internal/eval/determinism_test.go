@@ -66,11 +66,12 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
-// TestFastPathBitIdentical is the tentpole invariant, checked three ways:
+// TestFastPathBitIdentical is the tentpole invariant, checked four ways:
 // full stepping (NoFastPath — every tile ticked every cycle, as the
-// original loop did), the quiescence-aware fast paths with warping disabled
-// (NoWarp), and the fast paths plus clock-warping over quiescent stretches.
-// All three may change host time only: cycles, stats, critical path and
+// original loop did), the quiescence-aware fast paths with both warping and
+// the per-tile doze overlay disabled, the fast paths with doze but no warp,
+// and everything on (doze plus clock-warping over quiescent stretches).
+// All four may change host time only: cycles, stats, critical path and
 // architectural registers must match exactly.
 func TestFastPathBitIdentical(t *testing.T) {
 	variants := []struct {
@@ -78,8 +79,9 @@ func TestFastPathBitIdentical(t *testing.T) {
 		opt  TRIPSOptions
 	}{
 		{"full", TRIPSOptions{NoFastPath: true}},
-		{"fastpath", TRIPSOptions{NoWarp: true}},
-		{"fastpath+warp", TRIPSOptions{}},
+		{"fastpath", TRIPSOptions{NoWarp: true, NoEventDriven: true}},
+		{"fastpath+doze", TRIPSOptions{NoWarp: true}},
+		{"fastpath+doze+warp", TRIPSOptions{}},
 	}
 	for _, name := range microNames {
 		w, err := workloads.ByName(name)
@@ -115,9 +117,9 @@ func TestFastPathBitIdentical(t *testing.T) {
 	}
 }
 
-// TestNUCAFastPathBitIdentical repeats the three-way check behind the full
-// NUCA secondary memory system, where the core's warp decisions must also
-// respect OCN deadlines delivered from outside Core.Step.
+// TestNUCAFastPathBitIdentical repeats the four-way check behind the full
+// NUCA secondary memory system, where the core's warp and doze decisions
+// must also respect OCN deadlines delivered from outside Core.Step.
 func TestNUCAFastPathBitIdentical(t *testing.T) {
 	w, err := workloads.ByName("vadd")
 	if err != nil {
@@ -129,8 +131,9 @@ func TestNUCAFastPathBitIdentical(t *testing.T) {
 		opt  TRIPSOptions
 	}{
 		{"full", TRIPSOptions{NoFastPath: true}},
-		{"fastpath", TRIPSOptions{NoWarp: true}},
-		{"fastpath+warp", TRIPSOptions{}},
+		{"fastpath", TRIPSOptions{NoWarp: true, NoEventDriven: true}},
+		{"fastpath+doze", TRIPSOptions{NoWarp: true}},
+		{"fastpath+doze+warp", TRIPSOptions{}},
 	} {
 		opt := v.opt
 		opt.Mode = tcc.Hand

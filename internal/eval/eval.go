@@ -41,6 +41,10 @@ type TRIPSOptions struct {
 	// NoWarp disables clock-warping over quiescent stretches while keeping
 	// the stepping fast paths. Results must be bit-identical either way.
 	NoWarp bool
+	// NoEventDriven disables the per-tile doze overlay (event-driven tile
+	// clocks) while keeping the whole-core fast paths. Results must be
+	// bit-identical either way. NoFastPath implies it.
+	NoEventDriven bool
 	// SeqStep forces the sequential core-drives-backend interleave for
 	// UseNUCA runs instead of the default bounded-lag coordinator (core and
 	// memory system as separate clock domains). Results must be bit-identical
@@ -109,6 +113,13 @@ type TRIPSResult struct {
 	// comparisons (a warped and an unwarped run differ here by design).
 	Warps        uint64
 	WarpedCycles int64
+	// TileTicks / TileSkips / SteppedCycles report the event-driven tile
+	// clock split: tile ticks executed vs elided by the doze overlay across
+	// SteppedCycles per-core Step calls (warped cycles excluded). Host-side
+	// observability only, like Warps.
+	TileTicks     uint64
+	TileSkips     uint64
+	SteppedCycles int64
 	// NUCA carries the secondary memory system's counters when UseNUCA.
 	NUCA *nuca.StatsReport
 	// Lag carries bounded-lag coordinator telemetry (stride histogram,
@@ -332,6 +343,8 @@ type Table3Row struct {
 type Stepping struct {
 	NoFastPath bool
 	NoWarp     bool
+	// NoEventDriven disables the per-tile doze overlay (see TRIPSOptions).
+	NoEventDriven bool
 	// UseNUCA swaps the perfect-L2 normalization for the full secondary
 	// memory system on the TRIPS runs (the Alpha baseline is unaffected).
 	UseNUCA bool
@@ -358,12 +371,12 @@ func Table3(w workloads.Workload, step ...Stepping) (Table3Row, error) {
 	}
 
 	handSpec := w.Build(true)
-	hand, err := RunTRIPS(handSpec, TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride})
+	hand, err := RunTRIPS(handSpec, TRIPSOptions{Mode: tcc.Hand, TrackCritPath: true, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, NoEventDriven: st.NoEventDriven, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride})
 	if err != nil {
 		return row, err
 	}
 	compSpec := w.Build(false)
-	copt := TRIPSOptions{Mode: tcc.Compiled, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride}
+	copt := TRIPSOptions{Mode: tcc.Compiled, NoFastPath: st.NoFastPath, NoWarp: st.NoWarp, NoEventDriven: st.NoEventDriven, UseNUCA: st.UseNUCA, SeqStep: st.SeqStep, ParStride: st.ParStride}
 	if st.FlightDir != "" {
 		copt.Flight = &FlightOptions{Dir: st.FlightDir, Tool: "trips-eval", Bench: w.Name}
 	}

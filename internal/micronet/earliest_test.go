@@ -1,0 +1,140 @@
+package micronet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEarliestArrivalBasics(t *testing.T) {
+	m := NewMesh[*testMsg]("ocn", 5, 5)
+	if ea := m.EarliestArrival(); ea != HorizonNever {
+		t.Errorf("empty mesh EarliestArrival = %d, want HorizonNever", ea)
+	}
+	m.Inject(Coord{0, 0}, &testMsg{id: 1, dest: Coord{3, 4}}) // distance 7
+	if ea := m.EarliestArrival(); ea != 8 {
+		t.Errorf("solo EarliestArrival = %d, want 8", ea)
+	}
+	// A nearer second message tightens the bound even though the contended
+	// pair has no TransitBoundMulti (converging trajectories stay bounded).
+	m.Inject(Coord{1, 4}, &testMsg{id: 2, dest: Coord{3, 4}}) // distance 2
+	if ea := m.EarliestArrival(); ea != 3 {
+		t.Errorf("pair EarliestArrival = %d, want 3", ea)
+	}
+	// An unpopped delivery means a tile can observe a message now.
+	m2 := NewMesh[*testMsg]("ocn", 5, 5)
+	m2.Inject(Coord{0, 0}, &testMsg{id: 1, dest: Coord{0, 1}})
+	for i := 0; i < 2; i++ {
+		m2.Tick()
+		m2.Propagate()
+	}
+	if _, ok := m2.Deliver(Coord{0, 1}); !ok {
+		t.Fatal("message not delivered after distance+1 ticks")
+	}
+	if ea := m2.EarliestArrival(); ea != 0 {
+		t.Errorf("pending-delivery EarliestArrival = %d, want 0", ea)
+	}
+}
+
+// TestEarliestArrivalPropertyFuzz drives random contended traffic and checks
+// the defining property of the bound: whenever EarliestArrival reports k at a
+// cycle boundary, no delivery may surface in fewer than k further Ticks. The
+// bound is recomputed every boundary and ratcheted to the tightest bound
+// issued since the previous delivery — but only across injection-free
+// boundaries: a bound speaks for the residents it saw, and a message injected
+// later may legitimately arrive sooner.
+func TestEarliestArrivalPropertyFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		m := NewMesh[*testMsg]("ocn", 4, 4)
+		injected, delivered := 0, 0
+		var count, allowed int64
+		holdPop := 0 // cycles to leave deliveries unpopped (exercises ea == 0)
+		for cycle := 0; cycle < 400; cycle++ {
+			if cycle < 200 {
+				for k := rng.Intn(3); k > 0; k-- {
+					src := Coord{rng.Intn(4), rng.Intn(4)}
+					dst := Coord{rng.Intn(4), rng.Intn(4)}
+					if src == dst {
+						continue
+					}
+					if m.Inject(src, &testMsg{id: injected + 1, dest: dst}) {
+						injected++
+						allowed = 0 // a fresh message invalidates older bounds
+					}
+				}
+			}
+			if ea := m.EarliestArrival(); ea != HorizonNever {
+				if a := count + ea; a > allowed {
+					allowed = a
+				}
+			} else if m.Occupancy() != 0 || m.PendingDeliveries() != 0 {
+				t.Fatalf("trial %d cycle %d: EarliestArrival = never on a non-empty mesh", trial, cycle)
+			}
+			m.Tick()
+			count++
+			got := false
+			if holdPop > 0 {
+				holdPop--
+			} else {
+				for r := 0; r < m.Rows; r++ {
+					for c := 0; c < m.Cols; c++ {
+						at := Coord{r, c}
+						for {
+							if _, ok := m.Deliver(at); !ok {
+								break
+							}
+							m.Pop(at)
+							delivered++
+							got = true
+						}
+					}
+				}
+				if rng.Intn(10) == 0 {
+					holdPop = rng.Intn(3)
+				}
+			}
+			if got {
+				if count < allowed {
+					t.Fatalf("trial %d: delivery after %d ticks beats EarliestArrival bound %d", trial, count, allowed)
+				}
+				allowed = 0
+			}
+			m.Propagate()
+		}
+		// Drain: everything injected must eventually arrive, still respecting
+		// the ratcheted bound on every remaining delivery.
+		for cycle := 0; cycle < 200 && !m.Quiet(); cycle++ {
+			if ea := m.EarliestArrival(); ea != HorizonNever {
+				if a := count + ea; a > allowed {
+					allowed = a
+				}
+			}
+			m.Tick()
+			count++
+			got := false
+			for r := 0; r < m.Rows; r++ {
+				for c := 0; c < m.Cols; c++ {
+					at := Coord{r, c}
+					for {
+						if _, ok := m.Deliver(at); !ok {
+							break
+						}
+						m.Pop(at)
+						delivered++
+						got = true
+					}
+				}
+			}
+			if got {
+				if count < allowed {
+					t.Fatalf("trial %d drain: delivery after %d ticks beats EarliestArrival bound %d", trial, count, allowed)
+				}
+				allowed = 0
+			}
+			m.Propagate()
+		}
+		if delivered != injected {
+			t.Fatalf("trial %d: delivered %d of %d injected", trial, delivered, injected)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package micronet
+
+import "math"
+
+// HorizonNever is the shared "no scheduled event" sentinel used by every
+// NextEventCycle-style horizon in the simulator: proc.Core, the chip warp
+// gate, the bounded-lag coordinator, and the NUCA backend all fold candidate
+// deadlines against it. It lives here because micronet is the one package
+// all of them already import.
+const HorizonNever = int64(math.MaxInt64)
+
+// MinHorizon folds a candidate event cycle into a horizon: the earlier of
+// the two. HorizonNever is an identity on either side, which is exactly the
+// plain-min behavior since the sentinel is the maximum int64 — the helper
+// exists so every fold site spells the operation (and its sentinel
+// semantics) the same way.
+func MinHorizon(h, candidate int64) int64 {
+	if candidate < h {
+		return candidate
+	}
+	return h
+}
+
+// FoldBackendHorizon folds a backend clock domain's next-event cycle into an
+// owner-domain horizon. The backend clock runs one tick ahead of the cycle
+// whose step services it — its event at backend cycle R is serviced during
+// the owner's step at R-1 — so the candidate enters the fold as backend-1.
+// A HorizonNever backend (nothing scheduled) folds as identity rather than
+// underflowing the sentinel.
+func FoldBackendHorizon(h, backend int64) int64 {
+	if backend != HorizonNever && backend-1 < h {
+		return backend - 1
+	}
+	return h
+}

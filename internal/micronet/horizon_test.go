@@ -1,0 +1,47 @@
+package micronet
+
+import "testing"
+
+func TestMinHorizonSentinel(t *testing.T) {
+	cases := []struct {
+		name          string
+		h, cand, want int64
+	}{
+		{"both-never", HorizonNever, HorizonNever, HorizonNever},
+		{"candidate-never", 42, HorizonNever, 42},
+		{"horizon-never", HorizonNever, 42, 42},
+		{"candidate-earlier", 100, 7, 7},
+		{"candidate-later", 7, 100, 7},
+		{"equal", 9, 9, 9},
+		{"zero-candidate", 5, 0, 0},
+		{"negative-candidate", 5, -1, -1},
+	}
+	for _, c := range cases {
+		if got := MinHorizon(c.h, c.cand); got != c.want {
+			t.Errorf("%s: MinHorizon(%d, %d) = %d, want %d", c.name, c.h, c.cand, got, c.want)
+		}
+	}
+}
+
+func TestFoldBackendHorizonSentinel(t *testing.T) {
+	cases := []struct {
+		name             string
+		h, backend, want int64
+	}{
+		// A HorizonNever backend must fold as identity, not as MaxInt64-1.
+		{"backend-never", 10, HorizonNever, 10},
+		{"both-never", HorizonNever, HorizonNever, HorizonNever},
+		// Backend event at R is serviced during the owner step at R-1.
+		{"backend-wins", HorizonNever, 5, 4},
+		{"backend-earlier", 10, 5, 4},
+		{"backend-later", 3, 5, 3},
+		{"backend-tie", 4, 5, 4},
+		// backend-1 == h-…: fold picks the strictly earlier cycle.
+		{"off-by-one", 5, 5, 4},
+	}
+	for _, c := range cases {
+		if got := FoldBackendHorizon(c.h, c.backend); got != c.want {
+			t.Errorf("%s: FoldBackendHorizon(%d, %d) = %d, want %d", c.name, c.h, c.backend, got, c.want)
+		}
+	}
+}

@@ -726,6 +726,29 @@ func (m *Mesh[T]) VisitResidents(fn func(msg T, at Coord)) {
 	}
 }
 
+// EarliestArrival returns a lower bound on the number of future Ticks before
+// any resident message can be delivered: zero when a delivery is already
+// awaiting Pop, otherwise the minimum over resident messages of the
+// per-message Manhattan remainder plus the delivery Tick (the VisitResidents
+// bound), and HorizonNever on an empty mesh. Unlike TransitBoundMulti the
+// bound never fails on contended multi-message states — contention only
+// delays messages — but it is correspondingly weaker: it bounds when the
+// next delivery CAN happen, not when the mesh state stops needing per-cycle
+// routing, so it must never be used to SkipTicks. Callers use it as a
+// next-event floor while Quiet stays false.
+func (m *Mesh[T]) EarliestArrival() int64 {
+	if m.pendingDeliv > 0 {
+		return 0
+	}
+	h := HorizonNever
+	m.VisitResidents(func(msg T, at Coord) {
+		if b := int64(at.Manhattan(msg.Dest())) + 1; b < h {
+			h = b
+		}
+	})
+	return h
+}
+
 // Quiet reports whether no messages are anywhere in the network: no occupied
 // router buffers, nothing resident on a link, and no delivered messages
 // awaiting Pop. O(1) via the quiescence counters.

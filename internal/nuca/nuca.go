@@ -831,23 +831,25 @@ func (s *System) horizon() (bool, int64) {
 	h := horizonNever
 	if !s.mesh.Quiet() {
 		if t, ok := s.mesh.TransitBoundMulti(); ok {
-			if d := s.cycle + t; d < h {
-				h = d
-			}
+			h = micronet.MinHorizon(h, s.cycle+t)
 		} else {
+			// Contended trajectories must be resolved by per-cycle routing,
+			// so warping stays unsound (quiet stays false) — but the earliest
+			// possible arrival still floors the next event: no delivery can
+			// surface before it, so coordinators waiting on this domain need
+			// not treat the horizon as "now".
 			quiet = false
+			if ea := s.mesh.EarliestArrival(); ea != micronet.HorizonNever {
+				h = micronet.MinHorizon(h, s.cycle+ea)
+			}
 		}
 	}
 	for _, d := range s.delayed {
-		if d.readyAt < h {
-			h = d.readyAt
-		}
+		h = micronet.MinHorizon(h, d.readyAt)
 	}
 	for sdc := 0; sdc < 2; sdc++ {
 		for _, j := range s.sdcQ[sdc] {
-			if j.readyAt < h {
-				h = j.readyAt
-			}
+			h = micronet.MinHorizon(h, j.readyAt)
 		}
 	}
 	if s.mtStaged > 0 && s.cycle+1 < h {
@@ -897,7 +899,10 @@ func (s *System) Quiet() bool {
 // NextEventCycle implements proc.EventHorizon: the earliest drain deadline
 // across delayed multi-flit deliveries, in-flight SDRAM jobs, in-transit
 // messages, and staged MT/port injections, in the backend cycle domain
-// (serviced during the owner's step one cycle earlier).
+// (serviced during the owner's step one cycle earlier). Even when Quiet is
+// false — contended mesh trajectories needing per-cycle routing — the result
+// is a sound next-event floor via the mesh's earliest-arrival bound; warping
+// remains gated on Quiet.
 func (s *System) NextEventCycle() int64 {
 	_, h := s.horizon()
 	return h

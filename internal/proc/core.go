@@ -2,7 +2,6 @@ package proc
 
 import (
 	"fmt"
-	"math"
 
 	"trips/internal/critpath"
 	"trips/internal/isa"
@@ -10,8 +9,9 @@ import (
 	"trips/internal/obs"
 )
 
-// horizonNever marks "no scheduled event" in NextEventCycle results.
-const horizonNever = int64(math.MaxInt64)
+// horizonNever marks "no scheduled event" in NextEventCycle results (the
+// shared sentinel; see micronet.MinHorizon for the fold helpers).
+const horizonNever = micronet.HorizonNever
 
 // haltAddr is the conventional halt target: a block whose committed exit
 // branches to address 0 halts its thread.
@@ -61,6 +61,16 @@ type Config struct {
 	// for the three-way A/B determinism tests, mirroring NoFastPath.
 	// NoFastPath implies NoWarp: the full-scan baseline never warps.
 	NoWarp bool
+	// NoEventDriven disables per-tile doze scheduling: with it set, every
+	// active tile ticks every cycle (the prior discipline), instead
+	// of tiles whose remaining work is provably deadline-held (an ET waiting
+	// out its pipeline latencies, a DT waiting out cache-hit latency, the GT
+	// in a warpIdle state) skipping ticks until their wake cycle. Event-driven
+	// stepping is bit-identical by construction — a dozing tile's skipped
+	// ticks are exactly ticks that would have been no-ops — and the flag
+	// exists for the A/B determinism suites, mirroring NoWarp. NoFastPath
+	// implies NoEventDriven: the full-scan baseline never dozes.
+	NoEventDriven bool
 	// Trace, when non-nil, records block-protocol and operand-network
 	// events into the ring. Tracing never mutates simulated state, so a
 	// traced run's cycle counts are bit-identical to an untraced one.
@@ -77,6 +87,11 @@ type BlockTime struct {
 	Addr                                 uint64
 	Dispatch, Complete, CommitCmd, Acked int64
 }
+
+// NumTiles is the tile count per core — the GT plus the IT, RT, ET and DT
+// arrays (30 on the prototype) — and the denominator of the per-cycle tile
+// tick/skip accounting identity.
+const NumTiles = 1 + isa.NumITs + isa.NumRTs + isa.NumETs + isa.NumDTs
 
 // Core is one TRIPS processor core.
 type Core struct {
@@ -124,7 +139,19 @@ type Core struct {
 	// Warps counts clock-warp jumps; WarpedCycles the dead cycles skipped.
 	Warps        uint64
 	WarpedCycles int64
-	nonNopCount  map[uint64]uint64 // block addr -> useful instruction count
+	// Per-tile stepping telemetry: across the SteppedCycles cycles this core
+	// actually stepped (warped cycles excluded), TileTicks counts tile ticks
+	// executed and TileSkips the tile ticks the gating elided (idle or dozing
+	// tiles), with TileTicks+TileSkips == NumTiles*SteppedCycles. Host-side
+	// observability only — deterministic for a given stepping discipline but
+	// different across disciplines, so never part of simulated-state
+	// comparisons and never serialized into checkpoints.
+	TileTicks     uint64
+	TileSkips     uint64
+	SteppedCycles int64
+	// eventDriven caches !NoFastPath && !NoEventDriven: tiles may doze.
+	eventDriven bool
+	nonNopCount map[uint64]uint64 // block addr -> useful instruction count
 
 	// Timeline holds per-block protocol phases when RecordTimeline is set.
 	Timeline  []BlockTime
@@ -169,6 +196,7 @@ func NewCore(cfg Config) (*Core, error) {
 		cfg:         cfg,
 		program:     cfg.Program,
 		mem:         cfg.Mem,
+		eventDriven: !cfg.NoFastPath && !cfg.NoEventDriven,
 		nonNopCount: make(map[uint64]uint64),
 		timelineI:   make(map[uint64]int),
 		trace:       cfg.Trace,
@@ -389,7 +417,7 @@ func (c *Core) runEvent(now int64, e *schedEvent) {
 		e.rt.deliverHeaderBeat(e.slot, e.seq, e.idx, e.rd, e.wr, ev)
 	case evStoreMask:
 		d := e.dt
-		d.active = true
+		d.wake()
 		if d.slotSeq[e.slot] == e.seq {
 			d.storeMask[e.slot] = e.mask
 			d.maskKnown[e.slot] = true
@@ -628,26 +656,57 @@ func (c *Core) Step() {
 	itBusy := full || !c.gsnIT.Quiet()
 	rtBusy := full || !c.gsnRT.Quiet()
 	dtBusy := full || !c.gsnDT.Quiet() || !c.dsn.Quiet() || c.dsn.Pending() > 0
-	// Tiles.
-	c.gt.tick(now)
+	// Tiles. Under event-driven stepping (the per-tile clock-domain split) a
+	// tile whose remaining work is provably deadline-held dozes — it skips
+	// ticks until its wake cycle or an incoming delivery, whichever is first.
+	// A skipped tick is exactly a tick that would have been a no-op, so
+	// simulated state stays bit-identical to the tick-active-every-cycle
+	// discipline; TileTicks/TileSkips record the split for telemetry.
+	ed := c.eventDriven
+	if !ed || c.gt.wakeAt <= now || c.gtDeliverable() {
+		c.gt.tick(now)
+		c.TileTicks++
+	} else {
+		c.TileSkips++
+	}
 	for _, it := range c.its {
 		if it.active || itBusy {
 			it.tick(now)
+			c.TileTicks++
+		} else {
+			c.TileSkips++
 		}
 	}
 	for _, r := range c.rts {
 		if r.active || rtBusy {
 			r.tick(now)
+			c.TileTicks++
+		} else {
+			c.TileSkips++
 		}
 	}
 	for _, e := range c.ets {
-		if e.active || full {
+		switch {
+		case full:
 			e.tick(now)
+			c.TileTicks++
+		case !e.active || (ed && e.wakeAt > now):
+			c.TileSkips++
+		default:
+			e.tick(now)
+			c.TileTicks++
 		}
 	}
 	for _, d := range c.dts {
-		if d.active || dtBusy {
+		switch {
+		case dtBusy:
 			d.tick(now)
+			c.TileTicks++
+		case !d.active || (ed && d.wakeAt > now):
+			c.TileSkips++
+		default:
+			d.tick(now)
+			c.TileTicks++
 		}
 	}
 	// Launch at most one queued GCN command per cycle.
@@ -671,7 +730,35 @@ func (c *Core) Step() {
 	if sm := c.metrics; sm != nil {
 		sm.Sample(now)
 	}
+	c.SteppedCycles++
 	c.cycle++
+}
+
+// gtDeliverable reports whether a message is waiting for the GT right now:
+// a status message at the head of any GSN chain, or an operand-network
+// delivery addressed to the GT's node. A dozing GT must tick on any of
+// these — its doze horizon (warpIdle) is only valid while no delivery can
+// reach it, exactly the contract the whole-core warp gate establishes
+// globally and this check establishes per-cycle.
+func (c *Core) gtDeliverable() bool {
+	if _, ok := c.gsnRT.Recv(0); ok {
+		return true
+	}
+	if _, ok := c.gsnDT.Recv(0); ok {
+		return true
+	}
+	if _, ok := c.gsnIT.Recv(0); ok {
+		return true
+	}
+	for _, m := range c.opns {
+		if m.PendingDeliveries() == 0 {
+			continue
+		}
+		if _, ok := m.Deliver(gtCoord()); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // pumpOPNDeliveries routes delivered operand-network messages into ET and
@@ -877,13 +964,19 @@ func (c *Core) Quiescent() bool {
 			return false
 		}
 	}
+	// A dozing ET or DT counts as quiescent: its remaining work resolves at
+	// a wake deadline NextEventCycle folds in, so warping up to that horizon
+	// skips only cycles the tile would have skipped anyway. This is how the
+	// per-tile clock-domain split generalizes the whole-core warp — a core
+	// whose only activity is an ET waiting out a divide or a DT waiting out
+	// cache-hit latency can now warp through the wait.
 	for _, e := range c.ets {
-		if e.active {
+		if e.active && !(c.eventDriven && e.wakeAt > c.cycle) {
 			return false
 		}
 	}
 	for _, d := range c.dts {
-		if d.active {
+		if d.active && !(c.eventDriven && d.wakeAt > c.cycle) {
 			return false
 		}
 	}
@@ -905,12 +998,23 @@ func (c *Core) NextEventCycle() int64 {
 		}
 	}
 	for cyc := range c.schedOverflow {
-		if cyc < h {
-			h = cyc
-		}
+		h = micronet.MinHorizon(h, cyc)
 	}
-	if gh, ok := c.gt.warpIdle(c.cycle); ok && gh < h {
-		h = gh
+	if gh, ok := c.gt.warpIdle(c.cycle); ok {
+		h = micronet.MinHorizon(h, gh)
+	}
+	// Dozing tiles hold deadline-bound work; their wake cycles are events.
+	if c.eventDriven {
+		for _, e := range c.ets {
+			if e.active && e.wakeAt > c.cycle {
+				h = micronet.MinHorizon(h, e.wakeAt)
+			}
+		}
+		for _, d := range c.dts {
+			if d.active && d.wakeAt > c.cycle {
+				h = micronet.MinHorizon(h, d.wakeAt)
+			}
+		}
 	}
 	return h
 }
@@ -980,9 +1084,7 @@ func (c *Core) Run() (Result, error) {
 			h := c.NextEventCycle()
 			// The backend clock runs one ahead: its event at cycle R is
 			// serviced during our step at R-1.
-			if mh := eh.NextEventCycle(); mh != horizonNever && mh-1 < h {
-				h = mh - 1
-			}
+			h = micronet.FoldBackendHorizon(h, eh.NextEventCycle())
 			// Clamp so the limit check and commit watchdog below fire at
 			// exactly the cycles an unwarped run would report. The clamps
 			// also convert a horizonNever result (deadlock: nothing

@@ -98,6 +98,12 @@ type dtTile struct {
 	// tick when every queue is empty and no slot has in-progress protocol
 	// work.
 	active bool
+	// wakeAt is the event-driven doze overlay: when nonzero, the only
+	// remaining work is hit-queue accesses whose bank latency elapses at
+	// wakeAt, so Step may skip this tile until then (deliveries clear it via
+	// wake()). Never serialized: checkpoint restore leaves it zero and the
+	// first tick recomputes it.
+	wakeAt int64
 
 	// fetchFree pools line-fetch requests so the hot fill path neither
 	// allocates a MemRequest nor a Done closure per miss.
@@ -141,7 +147,7 @@ func (d *dtTile) newFetch(line uint64) *dtFetch {
 		f = &dtFetch{d: d}
 		f.req.Origin = Origin{Kind: OriginDTFetch, Tile: d.id}
 		f.req.Done = func(data []byte) {
-			f.d.active = true
+			f.d.wake()
 			f.d.fillLine(f.line, data)
 			f.d.fetchFree = append(f.d.fetchFree, f)
 		}
@@ -153,7 +159,7 @@ func (d *dtTile) newFetch(line uint64) *dtFetch {
 }
 
 func (d *dtTile) bindSlot(slot int, seq uint64, thread int, mask uint32) {
-	d.active = true
+	d.wake()
 	d.slotSeq[slot] = seq
 	d.slotThread[slot] = thread
 	d.storeMask[slot] = mask
@@ -171,8 +177,14 @@ func (d *dtTile) bindSlot(slot int, seq uint64, thread int, mask uint32) {
 
 // enqueue accepts an arriving OPN memory operation.
 func (d *dtTile) enqueue(msg *opnMsg) {
-	d.active = true
+	d.wake()
 	d.inQ.Push(msg)
+}
+
+// wake registers work with the stepping fast path and cancels any doze.
+func (d *dtTile) wake() {
+	d.active = true
+	d.wakeAt = 0
 }
 
 func (d *dtTile) tick(now int64) {
@@ -195,6 +207,56 @@ func (d *dtTile) tick(now int64) {
 	d.drainDSNQ()
 	d.drainOutQ()
 	d.active = !d.idleNow()
+	d.wakeAt = 0
+	if d.core.eventDriven && d.active {
+		d.wakeAt = d.dozeHorizon(now)
+	}
+}
+
+// dozeHorizon reports the cycle at which this tile next has local work, or 0
+// when it must tick every cycle. A nonzero horizon is sound only when the
+// hit queue is the SOLE busy condition: every other tick sub-pass is then a
+// pure no-op until either the horizon arrives or a delivery re-wakes the
+// tile through wake().
+func (d *dtTile) dozeHorizon(now int64) int64 {
+	if len(d.hitQ) == 0 {
+		return 0 // busy for some other reason; scan every cycle
+	}
+	if d.wb.valid || len(d.uncachedSt) > 0 {
+		return 0
+	}
+	// A line fill this tick may have armed a retry pass for the next one.
+	if len(d.cacheRetry) > 0 && d.mshrFreed {
+		return 0
+	}
+	if !d.inQ.Empty() || len(d.stalled) > 0 || !d.uncachedQ.Empty() ||
+		len(d.conflictLoads) > 0 ||
+		!d.pendingFetch.Empty() || !d.gsnOut.Empty() || d.drainOrder.Len() > 0 ||
+		!d.dsnQ.Empty() || !d.outQ.Empty() {
+		return 0
+	}
+	for s := 0; s < NumSlots; s++ {
+		if d.slotSeq[s] == 0 {
+			continue
+		}
+		if d.committing[s] && !d.ackSent[s] {
+			return 0
+		}
+		if d.id == 0 && !d.finishSent[s] && d.maskKnown[s] &&
+			d.storeSeen[s]&d.storeMask[s] == d.storeMask[s] {
+			return 0
+		}
+	}
+	w := horizonNever
+	for _, pl := range d.hitQ {
+		if pl.readyAt < w {
+			w = pl.readyAt
+		}
+	}
+	if w <= now || w == horizonNever {
+		return 0
+	}
+	return w
 }
 
 // idleNow reports whether another tick with no intervening wake would be a
@@ -264,7 +326,7 @@ func (d *dtTile) pumpUncached(now int64) {
 		req := &MemRequest{Addr: physical(msg.addr), N: width,
 			Origin: Origin{Kind: OriginDTUncachedLoad, Tile: d.id, msg: msg},
 			Done: func(data []byte) {
-				d.active = true
+				d.wake()
 				if d.slotSeq[msg.slot] != msg.seq {
 					return
 				}
@@ -691,7 +753,7 @@ func (d *dtTile) checkFinish(now int64) {
 // acknowledgment does not wait for slow line fills; those complete in the
 // background through the write buffer.
 func (d *dtTile) onCommitCommand(now int64, slot int, seq uint64, ev *critpath.Event) {
-	d.active = true
+	d.wake()
 	if d.slotSeq[slot] != seq {
 		return
 	}
@@ -764,7 +826,7 @@ func (d *dtTile) commitStore(st *lsq.Entry) bool {
 		req := &MemRequest{Addr: physical(st.Addr), Data: data, IsWrite: true,
 			Origin: Origin{Kind: OriginDTUncachedStore, Tile: d.id},
 			Done: func([]byte) {
-				d.active = true
+				d.wake()
 				d.uncachedSt[st] = 2
 			}}
 		if d.port.Submit(req) {
@@ -902,7 +964,7 @@ func (d *dtTile) flush(slot int, seq uint64) {
 	if d.slotSeq[slot] != seq {
 		return
 	}
-	d.active = true
+	d.wake()
 	thread := d.slotThread[slot]
 	d.lsqs[thread].FlushBlock(seq)
 	d.slotSeq[slot] = 0

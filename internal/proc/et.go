@@ -70,6 +70,15 @@ type etTile struct {
 	// nothing issuable, nothing queued). A cleared tile's tick would be a
 	// no-op, so skipping it cannot change simulated state.
 	active bool
+	// wakeAt is the tile's doze horizon under event-driven stepping: when
+	// nonzero and in the future, every tick before it is provably a no-op
+	// (all in-flight results finish later, nothing issuable except a
+	// divider-blocked station, output queue empty), so Step skips the tile
+	// until then. Host-side stepping acceleration only — never serialized;
+	// a restored tile starts at zero and recomputes on its first tick. Any
+	// wake (delivery, flush, commit) clears it, since new work invalidates
+	// the horizon.
+	wakeAt int64
 
 	// Stats.
 	Issued, LocalBypass, Remote, DeadPred, DroppedStale uint64
@@ -77,6 +86,14 @@ type etTile struct {
 
 func newET(core *Core, id int) *etTile {
 	return &etTile{core: core, id: id, at: etCoord(id)}
+}
+
+// wake registers external work (dispatch, delivery, commit, flush) and
+// cancels any doze: the event that set it may enable issue before the old
+// horizon.
+func (e *etTile) wake() {
+	e.active = true
+	e.wakeAt = 0
 }
 
 // bindSlot is called (via the dispatch schedule) when a new block begins
@@ -87,14 +104,14 @@ func (e *etTile) bindSlot(slot int, seq uint64, thread int) {
 	e.readyMask[slot] = 0
 	e.slotSeq[slot] = seq
 	e.slotThread[slot] = thread
-	e.active = true
+	e.wake()
 }
 
 // deliverInst installs a dispatched instruction into its reservation
 // station ("written into ... the reservation stations in the ETs when they
 // arrive, and are available to execute as soon as they arrive", paper 4.1).
 func (e *etTile) deliverInst(slot int, seq uint64, index int, in isa.Inst, ev *critpath.Event) {
-	e.active = true
+	e.wake()
 	if e.slotSeq[slot] != seq {
 		return // stale dispatch (frame was flushed and rebound)
 	}
@@ -135,7 +152,7 @@ func (e *etTile) reeval(slot, i int) {
 
 // deliverOperand fills an operand field from the OPN or the local bypass.
 func (e *etTile) deliverOperand(slot int, seq uint64, tgt isa.Target, v Value, ev *critpath.Event) {
-	e.active = true
+	e.wake()
 	if e.slotSeq[slot] != seq {
 		e.DroppedStale++
 		return
@@ -210,6 +227,30 @@ func (e *etTile) tick(now int64) {
 	// happen at delivery time, so with readyMask empty nothing can change
 	// until the next external delivery.
 	e.active = len(e.pipe) > 0 || !e.outQ.Empty() || issued || blocked
+	// Doze horizon: with nothing issued and nothing queued, every remaining
+	// obligation carries an explicit completion cycle — in-flight results
+	// finish at their doneAt stamps, and a divider-blocked ready station
+	// can't re-attempt issue before divBusyUntil. Ticks before the earliest
+	// of those are pure no-ops (completeFinished keeps everything, the
+	// select scan re-finds the same blocked station, drainOutQ sees an empty
+	// queue), so Step may skip them. An issued instruction means the select
+	// could issue again next cycle, and a non-empty outQ retries injection
+	// every cycle — neither is deadline-held, so neither dozes.
+	e.wakeAt = 0
+	if e.core.eventDriven && e.active && !issued && e.outQ.Empty() {
+		w := horizonNever
+		for i := range e.pipe {
+			if e.pipe[i].doneAt < w {
+				w = e.pipe[i].doneAt
+			}
+		}
+		if blocked && e.divBusyUntil < w {
+			w = e.divBusyUntil
+		}
+		if w > now && w != horizonNever {
+			e.wakeAt = w
+		}
+	}
 }
 
 func (e *etTile) completeFinished(now int64) {
@@ -432,7 +473,7 @@ func (e *etTile) flush(slot int, seq uint64) {
 	if e.slotSeq[slot] != seq {
 		return
 	}
-	e.active = true
+	e.wake()
 	e.stations[slot] = [isa.SlotsPerET]station{}
 	e.pending[slot] = 0
 	e.readyMask[slot] = 0

@@ -114,6 +114,13 @@ type gtTile struct {
 	dispatchBusyUntil int64
 	rrThread          int // round-robin fetch among active threads
 
+	// wakeAt is the event-driven doze overlay: when nonzero, warpIdle proved
+	// the next tick a no-op before this cycle (horizonNever = pure external
+	// wait), so Step may skip the GT until wakeAt arrives or a chain/OPN
+	// delivery becomes observable (gtDeliverable). Never serialized: restore
+	// leaves it zero and the first tick recomputes it.
+	wakeAt int64
+
 	// Stats.
 	Fetches, Refills, Flushes, Mispredicts, ViolationFlushes, Commits uint64
 	lastCommitEv                                                      *critpath.Event
@@ -160,6 +167,15 @@ func (g *gtTile) tick(now int64) {
 	g.tryCommit(now)
 	g.advanceFetch(now)
 	g.reapCommitted(now)
+	g.wakeAt = 0
+	if g.core.eventDriven {
+		// Every condition warpIdle inspects flips only through chain/OPN
+		// deliveries (observable via gtDeliverable) or the GT's own tick, so
+		// a proven-idle horizon holds until one of those occurs.
+		if h, ok := g.warpIdle(now); ok && h > now {
+			g.wakeAt = h
+		}
+	}
 }
 
 // pumpOPN consumes branch messages delivered to the GT. Every popped

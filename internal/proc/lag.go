@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"trips/internal/micronet"
 	"trips/internal/obs"
 )
 
@@ -396,18 +397,12 @@ func (r *lagRunner) jointWarp() {
 		if c.Cycle() != r.G || !c.Quiescent() {
 			return
 		}
-		if ch := c.NextEventCycle(); ch < h {
-			h = ch
-		}
+		h = micronet.MinHorizon(h, c.NextEventCycle())
 	}
 	if !r.mem.Quiet() {
 		return
 	}
-	// The backend clock runs one ahead: its event at cycle R is serviced
-	// during the step at R-1.
-	if mh := r.mem.NextEventCycle(); mh != horizonNever && mh-1 < h {
-		h = mh - 1
-	}
+	h = micronet.FoldBackendHorizon(h, r.mem.NextEventCycle())
 	if h > r.limit {
 		h = r.limit
 	}
@@ -588,9 +583,7 @@ func (r *lagRunner) stride(k int, horizon int64, endReason int) {
 			if wt > r.limit {
 				wt = r.limit
 			}
-			if nh := c.NextEventCycle(); nh < wt {
-				wt = nh
-			}
+			wt = micronet.MinHorizon(wt, c.NextEventCycle())
 			if r.cfg.Watchdog {
 				if wl := r.lastCommit[k] + 200_000; wt > wl {
 					wt = wl
@@ -656,9 +649,7 @@ func (r *lagRunner) catchUp() {
 			if allDone && v > maxCore && !r.extraBusy() {
 				v = maxCore
 			}
-			if mh := r.mem.NextEventCycle(); mh != horizonNever && mh-1 < v {
-				v = mh - 1
-			}
+			v = micronet.FoldBackendHorizon(v, r.mem.NextEventCycle())
 			if v > r.G {
 				r.mem.Warp(v - r.G)
 				r.stats.MemWarps++

@@ -290,14 +290,14 @@ func (c *Core) ResolveOrigin(req *MemRequest) {
 		d := c.dts[req.Origin.Tile]
 		line := req.Addr
 		req.Done = func(data []byte) {
-			d.active = true
+			d.wake()
 			d.fillLine(line, data)
 		}
 	case OriginDTUncachedLoad:
 		d := c.dts[req.Origin.Tile]
 		msg := req.Origin.msg
 		req.Done = func(data []byte) {
-			d.active = true
+			d.wake()
 			if d.slotSeq[msg.slot] != msg.seq {
 				return
 			}
@@ -314,7 +314,7 @@ func (c *Core) ResolveOrigin(req *MemRequest) {
 		}
 		st := d.drains[d.drainOrder.Front()][0]
 		req.Done = func([]byte) {
-			d.active = true
+			d.wake()
 			d.uncachedSt[st] = 2
 		}
 	case OriginITRefill:
@@ -1221,6 +1221,16 @@ func (c *Core) LoadState(r *ckpt.Reader) error {
 	}
 	for _, d := range c.dts {
 		d.loadState(r)
+	}
+	// The doze overlay is never serialized: clear any stale horizons (this
+	// Core may be rewinding) so the first post-restore tick recomputes them
+	// from the restored state.
+	c.gt.wakeAt = 0
+	for _, e := range c.ets {
+		e.wakeAt = 0
+	}
+	for _, d := range c.dts {
+		d.wakeAt = 0
 	}
 	// Resume the trace-id allocator past every restored in-flight message so
 	// post-restore allocations never collide with checkpointed ids.

@@ -45,12 +45,20 @@ if [ "$mode" = "sweep" ]; then
       exit 2
     fi
   done
+  # The merge stamps host_cpus into BENCH_chip.json so a reader can judge
+  # whether the seq-vs-lag host-time speedups were measured on a host that
+  # can actually run the two cores in parallel. A 1-CPU host can't — warn,
+  # but still record (the simulated cycles stay valid either way).
+  if [ "$cores" -le 1 ]; then
+    echo "bench.sh: WARNING: this host has $cores CPU; seq-vs-lag host-time" >&2
+    echo "  speedups measured here are meaningless (recorded as host_cpus=$cores)" >&2
+  fi
   for n in "$@"; do
-    echo "== chip stepping benches @ GOMAXPROCS=$n -> BENCH_chip.json sweep =="
+    echo "== chip stepping benches @ GOMAXPROCS=$n -> BENCH_chip.json sweep (host: $cores CPUs) =="
     GOMAXPROCS="$n" BENCH_CHIP_SWEEP=1 BENCH_CHIP_JSON="$PWD/BENCH_chip.json" \
       go test -run '^$' -bench 'ChipDMAStream|NUCAvsPerfectL2' -benchtime=3x
   done
-  echo "sweep recorded for GOMAXPROCS in: $*"
+  echo "sweep recorded for GOMAXPROCS in: $* (host_cpus=$cores stamped into BENCH_chip.json)"
   exit 0
 fi
 
